@@ -1,0 +1,97 @@
+//===- bench/BenchSupport.h - Table harness for the evaluation -*- C++ -*-===//
+//
+// Part of sharpie. Shared driver for the figure-reproduction benchmarks:
+// runs #Pi on each protocol bundle of a table and prints the rows the
+// paper reports (program, property, inferred cardinalities, time) with the
+// paper's numbers alongside. Absolute timings are machine-dependent; the
+// shape (which rows verify, which rows are buggy, relative effort) is the
+// reproduction target (see EXPERIMENTS.md).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SHARPIE_BENCH_BENCHSUPPORT_H
+#define SHARPIE_BENCH_BENCHSUPPORT_H
+
+#include "logic/TermOps.h"
+#include "protocols/Protocols.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace sharpie {
+namespace bench {
+
+struct RowResult {
+  std::string Name;
+  bool Expected = true;   ///< ExpectSafe of the bundle.
+  bool Verified = false;
+  bool FoundCex = false;
+  double Seconds = 0;
+  std::string Cards;      ///< Inferred cardinalities (ours).
+  std::string PaperTime;
+  std::string ComparatorTime;
+};
+
+inline RowResult runBundle(const std::string &Name,
+                           const protocols::BundleFactory &Make,
+                           double TimeBudgetSeconds = 180) {
+  logic::TermManager M;
+  protocols::ProtocolBundle B = Make(M);
+  synth::SynthOptions Opts;
+  Opts.Shape = B.Shape;
+  Opts.QGuard = B.QGuard;
+  Opts.Reduce.Card.Venn = B.NeedsVenn;
+  Opts.Explicit = B.Explicit;
+  Opts.TimeBudgetSeconds = TimeBudgetSeconds;
+  synth::SynthResult R = synth::synthesize(*B.Sys, Opts);
+
+  RowResult Row;
+  Row.Name = Name;
+  Row.Expected = B.ExpectSafe;
+  Row.Verified = R.Verified;
+  Row.FoundCex = R.Cex.has_value();
+  Row.Seconds = R.Stats.Seconds;
+  Row.PaperTime = B.PaperTime;
+  Row.ComparatorTime = B.ComparatorTime;
+  for (size_t I = 0; I < R.SetBodies.size(); ++I) {
+    if (I)
+      Row.Cards += ", ";
+    Row.Cards += "#{t | " + logic::toString(R.SetBodies[I]) + "}";
+  }
+  if (Row.Cards.empty())
+    Row.Cards = "-";
+  return Row;
+}
+
+inline void printTable(const std::string &Title,
+                       const std::vector<RowResult> &Rows,
+                       const char *ComparatorLabel = nullptr) {
+  std::printf("\n== %s ==\n", Title.c_str());
+  std::printf("%-22s %-9s %-8s %-9s %-9s", "Program", "Result", "OK?",
+              "Time", "Paper");
+  if (ComparatorLabel)
+    std::printf(" %-18s", ComparatorLabel);
+  std::printf("  Inferred cardinalities\n");
+  unsigned Ok = 0;
+  for (const RowResult &R : Rows) {
+    const char *Result = R.Verified ? "safe" : (R.FoundCex ? "cex" : "fail");
+    bool AsExpected = R.Expected ? R.Verified : R.FoundCex;
+    Ok += AsExpected;
+    char Time[32];
+    std::snprintf(Time, sizeof(Time), "%.2fs", R.Seconds);
+    std::printf("%-22s %-9s %-8s %-9s %-9s", R.Name.c_str(), Result,
+                AsExpected ? "yes" : "NO", Time,
+                R.PaperTime.empty() ? "-" : R.PaperTime.c_str());
+    if (ComparatorLabel)
+      std::printf(" %-18s",
+                  R.ComparatorTime.empty() ? "-" : R.ComparatorTime.c_str());
+    std::printf("  %s\n", R.Cards.c_str());
+  }
+  std::printf("%u/%zu rows match the paper's verdict\n", Ok, Rows.size());
+}
+
+} // namespace bench
+} // namespace sharpie
+
+#endif // SHARPIE_BENCH_BENCHSUPPORT_H

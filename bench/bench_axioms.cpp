@@ -1,0 +1,117 @@
+//===- bench/bench_axioms.cpp - Axiom instantiation micro-benchmarks ------------===//
+//
+// Part of sharpie. Google-benchmark micro-benchmarks of the reduction
+// pipeline's moving parts (paper Sec. 5): axiom instantiation as the
+// number of cardinality definitions grows, the Venn region enumeration,
+// and the end-to-end reduction of the Sec. 3 / Sec. 5 worked examples.
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/Reduce.h"
+#include "logic/TermOps.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace sharpie;
+using logic::Sort;
+using logic::Term;
+
+namespace {
+
+/// A formula with D cardinality sets over one array, pairwise comparable.
+Term formulaWithDefs(logic::TermManager &M, int D) {
+  Term F = M.mkVar("f", Sort::Array);
+  Term T = M.mkVar("t", Sort::Tid);
+  std::vector<Term> Conj;
+  for (int I = 0; I < D; ++I) {
+    Term K = M.mkVar("k" + std::to_string(I), Sort::Int);
+    Conj.push_back(M.mkEq(
+        M.mkCard(T, M.mkGe(M.mkRead(F, T), M.mkInt(I))), K));
+    Conj.push_back(M.mkLe(K, M.mkInt(5)));
+  }
+  return M.mkAnd(Conj);
+}
+
+void BM_ReduceScalesWithDefs(benchmark::State &State) {
+  for (auto _ : State) {
+    logic::TermManager M;
+    Term Psi = formulaWithDefs(M, static_cast<int>(State.range(0)));
+    std::unique_ptr<smt::SmtSolver> Oracle = smt::makeZ3Solver(M);
+    engine::ReduceResult R = engine::reduceToGround(M, Psi, {}, Oracle.get());
+    benchmark::DoNotOptimize(R.Ground);
+  }
+}
+BENCHMARK(BM_ReduceScalesWithDefs)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_VennDecomposition(benchmark::State &State) {
+  // Paper Sec. 5.2 Example 2 with a growing number of equality sets.
+  for (auto _ : State) {
+    logic::TermManager M;
+    Term F = M.mkVar("f", Sort::Array);
+    Term T = M.mkVar("t", Sort::Tid);
+    Term N = M.mkVar("n", Sort::Int);
+    std::vector<Term> Conj;
+    for (int I = 0; I < State.range(0); ++I)
+      Conj.push_back(M.mkGt(
+          M.mkMul(M.mkInt(3),
+                  M.mkCard(T, M.mkEq(M.mkRead(F, T), M.mkInt(I)))),
+          M.mkMul(M.mkInt(2), N)));
+    engine::ReduceOptions Opts;
+    Opts.Card.Venn = true;
+    std::unique_ptr<smt::SmtSolver> Oracle = smt::makeZ3Solver(M);
+    engine::ReduceResult R = engine::reduceToGround(
+        M, M.mkAnd(Conj), Opts, Oracle.get(), {{N, M.mkTrue()}});
+    benchmark::DoNotOptimize(R.Ground);
+  }
+}
+BENCHMARK(BM_VennDecomposition)->Arg(2)->Arg(3)->Arg(4);
+
+void BM_Section3IncrementCheck(benchmark::State &State) {
+  // End-to-end validity check of the Sec. 3 invariant's inductiveness.
+  for (auto _ : State) {
+    logic::TermManager M;
+    Term PC = M.mkVar("pc", Sort::Array);
+    Term PCp = M.mkVar("pc'", Sort::Array);
+    Term A = M.mkVar("a", Sort::Int);
+    Term Ap = M.mkVar("a'", Sort::Int);
+    Term T = M.mkVar("t", Sort::Tid);
+    Term Mover = M.mkVar("mv", Sort::Tid);
+    auto Inv = [&](Term Arr, Term S) {
+      return M.mkLe(M.mkCard(T, M.mkGe(M.mkRead(Arr, T), M.mkInt(2))), S);
+    };
+    Term Psi = M.mkAnd(
+        {Inv(PC, A), M.mkEq(M.mkRead(PC, Mover), M.mkInt(1)),
+         M.mkEq(PCp, M.mkStore(PC, Mover, M.mkInt(2))),
+         M.mkEq(Ap, M.mkAdd(A, M.mkInt(1))), M.mkNot(Inv(PCp, Ap))});
+    std::unique_ptr<smt::SmtSolver> Oracle = smt::makeZ3Solver(M);
+    engine::ReduceResult R = engine::reduceToGround(M, Psi, {}, Oracle.get());
+    std::unique_ptr<smt::SmtSolver> S = smt::makeZ3Solver(M);
+    S->add(R.Ground);
+    benchmark::DoNotOptimize(S->check());
+  }
+}
+BENCHMARK(BM_Section3IncrementCheck);
+
+void BM_MiniSolverVsZ3(benchmark::State &State) {
+  // The same ground formula through both back ends (label selects which).
+  logic::TermManager M;
+  Term X = M.mkVar("x", Sort::Int);
+  Term Y = M.mkVar("y", Sort::Int);
+  Term Z = M.mkVar("z", Sort::Int);
+  Term Phi = M.mkAnd(
+      {M.mkLe(M.mkAdd(X, Y), M.mkInt(10)), M.mkLe(M.mkAdd(Y, Z), M.mkInt(7)),
+       M.mkOr(M.mkGe(X, M.mkInt(5)), M.mkGe(Z, M.mkInt(5))),
+       M.mkEq(M.mkAdd({X, Y, Z}), M.mkInt(12))});
+  bool UseMini = State.range(0) == 1;
+  for (auto _ : State) {
+    std::unique_ptr<smt::SmtSolver> S =
+        UseMini ? smt::makeMiniSolver(M) : smt::makeZ3Solver(M);
+    S->add(Phi);
+    benchmark::DoNotOptimize(S->check());
+  }
+}
+BENCHMARK(BM_MiniSolverVsZ3)->Arg(0)->Arg(1);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,21 @@
+//===- bench/bench_fig6_lower.cpp - Paper Figure 6, lower table ----------------===//
+//
+// Part of sharpie. Reproduces the lower table of Fig. 6: the three case
+// studies of Sec. 2 (ticket lock, filter lock, one-third rule), all of
+// which exercise the Venn decomposition of Sec. 5.2.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchSupport.h"
+
+using namespace sharpie;
+using namespace sharpie::bench;
+
+int main() {
+  std::vector<RowResult> Rows;
+  Rows.push_back(runBundle("ticket lock", protocols::makeTicketLock));
+  Rows.push_back(runBundle("filter lock", protocols::makeFilterLock));
+  Rows.push_back(runBundle("one-third rule", protocols::makeOneThird));
+  printTable("Figure 6 (lower): case studies", Rows);
+  return 0;
+}

@@ -1,0 +1,24 @@
+//===- bench/bench_fig6_upper.cpp - Paper Figure 6, upper table ----------------===//
+//
+// Part of sharpie. Reproduces the upper table of Fig. 6: cardinality-based
+// reasoning on the examples from [Farzan et al. 2014] plus the cache and
+// garbage-collection case studies.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchSupport.h"
+
+using namespace sharpie;
+using namespace sharpie::bench;
+
+int main() {
+  std::vector<RowResult> Rows;
+  Rows.push_back(runBundle("intro", protocols::makeIntro));
+  Rows.push_back(runBundle("bluetooth", protocols::makeBluetooth));
+  Rows.push_back(runBundle("tree traverse", protocols::makeTreeTraverse));
+  Rows.push_back(runBundle("cache", protocols::makeCache));
+  Rows.push_back(
+      runBundle("garbage collection", protocols::makeGarbageCollection));
+  printTable("Figure 6 (upper): cardinality-based reasoning", Rows);
+  return 0;
+}

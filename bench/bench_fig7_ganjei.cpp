@@ -1,0 +1,38 @@
+//===- bench/bench_fig7_ganjei.cpp - Paper Figure 7 -----------------------------===//
+//
+// Part of sharpie. Reproduces Fig. 7: the comparison with [Ganjei et al.
+// 2015] on twelve barrier/lock benchmarks, half of them buggy. The paper's
+// comparator timings (PACMAN) are reprinted from the paper; see
+// bench_baselines for our own counter-abstraction stand-in.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchSupport.h"
+
+using namespace sharpie;
+using namespace sharpie::bench;
+
+int main() {
+  using logic::TermManager;
+  std::vector<RowResult> Rows;
+  auto Run = [&](const char *Name, bool Flag,
+                 protocols::ProtocolBundle (*Make)(TermManager &, bool)) {
+    Rows.push_back(runBundle(
+        Name, [&](TermManager &M) { return Make(M, Flag); }));
+  };
+  Run("max", true, protocols::makeMax);
+  Run("max-nobar", false, protocols::makeMax);
+  Run("reader/writer", true, protocols::makeReaderWriter);
+  Run("reader/writer-bug", false, protocols::makeReaderWriter);
+  Run("parent/child", true, protocols::makeParentChild);
+  Run("parent/child-nobar", false, protocols::makeParentChild);
+  Run("simp-bar", true, protocols::makeSimpBar);
+  Run("simp-nobar", false, protocols::makeSimpBar);
+  Run("dyn-barrier", true, protocols::makeDynBarrier);
+  Run("dyn-barrier-nobar", false, protocols::makeDynBarrier);
+  Run("as-many", true, protocols::makeAsMany);
+  Run("as-many-bug", false, protocols::makeAsMany);
+  printTable("Figure 7: comparison with [Ganjei et al. 2015]", Rows,
+             "PACMAN (paper)");
+  return 0;
+}

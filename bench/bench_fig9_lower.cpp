@@ -1,0 +1,35 @@
+//===- bench/bench_fig9_lower.cpp - Paper Figure 9, lower table -------------------===//
+//
+// Part of sharpie. Reproduces the lower table of Fig. 9: comparison with
+// [Sanchez et al. 2012] (interval / polytope / octagon timings reprinted
+// from the paper). The robot swarm scales over grid sizes; the paper's
+// tool times out on 4x4.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchSupport.h"
+
+using namespace sharpie;
+using namespace sharpie::bench;
+
+int main() {
+  using logic::TermManager;
+  std::vector<RowResult> Rows;
+  Rows.push_back(runBundle("barrier", protocols::makeBarrier));
+  Rows.push_back(runBundle("central barrier", protocols::makeCentralBarrier));
+  Rows.push_back(runBundle("work stealing", protocols::makeWorkStealing));
+  Rows.push_back(
+      runBundle("dining philosophers", protocols::makeDiningPhilosophers));
+  for (auto [R, C] : {std::pair<int, int>{2, 2}, {2, 3}, {3, 3}, {4, 4}}) {
+    std::string Name =
+        "robot " + std::to_string(R) + "x" + std::to_string(C);
+    Rows.push_back(runBundle(Name,
+                             [R = R, C = C](TermManager &M) {
+                               return protocols::makeRobot(M, R, C);
+                             },
+                             /*TimeBudgetSeconds=*/120));
+  }
+  printTable("Figure 9 (lower): comparison with [Sanchez et al. 2012]", Rows,
+             "I/P/O (paper)");
+  return 0;
+}

@@ -1,0 +1,25 @@
+//===- bench/bench_fig9_upper.cpp - Paper Figure 9, upper table ------------------===//
+//
+// Part of sharpie. Reproduces the upper table of Fig. 9: cardinality-free
+// reasoning compared with [Abdulla et al. 2007] on bakery-style mutual
+// exclusion protocols (templates with two Tid quantifiers).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchSupport.h"
+
+using namespace sharpie;
+using namespace sharpie::bench;
+
+int main() {
+  std::vector<RowResult> Rows;
+  Rows.push_back(
+      runBundle("Simplified Bakery", protocols::makeSimplifiedBakery));
+  Rows.push_back(runBundle("Lamport's Bakery", protocols::makeLamportBakery,
+                           /*TimeBudgetSeconds=*/300));
+  Rows.push_back(runBundle("Bogus Bakery", protocols::makeBogusBakery));
+  Rows.push_back(runBundle("Ticket Mutex", protocols::makeTicketMutex));
+  printTable("Figure 9 (upper): comparison with [Abdulla et al. 2007]", Rows,
+             "[Abdulla] (paper)");
+  return 0;
+}

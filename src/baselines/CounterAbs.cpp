@@ -1,0 +1,476 @@
+//===- baselines/CounterAbs.cpp - Counter-abstraction baseline -----------------===//
+//
+// Part of sharpie. See CounterAbs.h.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/CounterAbs.h"
+
+#include "logic/TermOps.h"
+
+#include <chrono>
+#include <deque>
+#include <map>
+
+using namespace sharpie;
+using namespace sharpie::baselines;
+using logic::Kind;
+using logic::Sort;
+using logic::Term;
+using sys::ParamSystem;
+using sys::Transition;
+
+namespace {
+
+/// Three-valued booleans for may-semantics.
+enum class TriBool { False, True, Maybe };
+
+TriBool triNot(TriBool B) {
+  if (B == TriBool::Maybe)
+    return TriBool::Maybe;
+  return B == TriBool::True ? TriBool::False : TriBool::True;
+}
+
+/// A possibly right-open interval of counts.
+struct Range {
+  int64_t Lo = 0;
+  int64_t Hi = 0;      ///< Meaningful only when !Open.
+  bool Open = false;   ///< True: [Lo, infinity).
+
+  static Range exact(int64_t V) { return {V, V, false}; }
+};
+
+/// One abstract configuration: a {0,1,2,omega} counter per discovered
+/// local-valuation class, plus concrete (bounded) global values.
+struct AbstractState {
+  std::vector<int8_t> Counters; ///< Indexed by class id; 3 = omega.
+  std::vector<int64_t> Globals;
+
+  bool operator<(const AbstractState &O) const {
+    if (Counters != O.Counters)
+      return Counters < O.Counters;
+    return Globals < O.Globals;
+  }
+};
+
+constexpr int8_t OmegaCtr = 3;
+constexpr int64_t BigSentinel = INT64_MAX / 2; ///< Widened global value.
+
+/// The checker. Classes (tuples of local values) are interned on the fly.
+class Checker {
+public:
+  Checker(const ParamSystem &Sys, const CounterAbsOptions &Opts)
+      : Sys(Sys), M(Sys.manager()), Opts(Opts) {}
+
+  CounterAbsResult run();
+
+private:
+  size_t internClass(const std::vector<int64_t> &Vals) {
+    auto It = ClassIndex.find(Vals);
+    if (It != ClassIndex.end())
+      return It->second;
+    size_t Id = Classes.size();
+    ClassIndex.emplace(Vals, Id);
+    Classes.push_back(Vals);
+    return Id;
+  }
+
+  // -- Abstract evaluation -------------------------------------------------
+  //
+  // Scalars evaluate concretely (globals are concrete, the mover's locals
+  // come from its class); cardinalities evaluate to count Ranges; formulas
+  // evaluate three-valued.
+
+  struct Env {
+    const AbstractState *S;
+    /// Mover binding: local array -> value (from the mover's class), plus
+    /// choice values. Tid-sorted variables cannot be evaluated here.
+    std::map<Term, int64_t> Scalars;
+  };
+
+  std::optional<int64_t> evalInt(Term T, const Env &E) {
+    const logic::Node *N = T.node();
+    switch (N->kind()) {
+    case Kind::Var: {
+      auto It = E.Scalars.find(T);
+      if (It != E.Scalars.end())
+        return It->second;
+      for (size_t I = 0; I < Sys.globals().size(); ++I)
+        if (Sys.globals()[I] == T) {
+          if (E.S->Globals[I] == BigSentinel)
+            return std::nullopt; // Widened: value unknown.
+          return E.S->Globals[I];
+        }
+      return std::nullopt;
+    }
+    case Kind::IntConst:
+      return N->value();
+    case Kind::Add: {
+      int64_t Sum = 0;
+      for (Term K : N->kids()) {
+        auto V = evalInt(K, E);
+        if (!V)
+          return std::nullopt;
+        Sum += *V;
+      }
+      return Sum;
+    }
+    case Kind::Sub: {
+      auto A = evalInt(N->kid(0), E), B = evalInt(N->kid(1), E);
+      if (!A || !B)
+        return std::nullopt;
+      return *A - *B;
+    }
+    case Kind::Neg: {
+      auto A = evalInt(N->kid(0), E);
+      return A ? std::optional<int64_t>(-*A) : std::nullopt;
+    }
+    case Kind::Mul: {
+      auto A = evalInt(N->kid(0), E), B = evalInt(N->kid(1), E);
+      if (!A || !B)
+        return std::nullopt;
+      return *A * *B;
+    }
+    case Kind::Ite: {
+      TriBool C = evalBool(N->kid(0), E);
+      if (C == TriBool::True)
+        return evalInt(N->kid(1), E);
+      if (C == TriBool::False)
+        return evalInt(N->kid(2), E);
+      return std::nullopt;
+    }
+    case Kind::Read: {
+      // Reads are concrete only when pre-bound (mover's or a quantified
+      // thread's class): keyed by the whole read term.
+      auto It = E.Scalars.find(T);
+      if (It != E.Scalars.end())
+        return It->second;
+      return std::nullopt;
+    }
+    default:
+      return std::nullopt;
+    }
+  }
+
+  std::optional<Range> evalCard(Term T, const Env &E) {
+    assert(T.kind() == Kind::Card && "evalCard expects a Card term");
+    Term BV = T->binders()[0];
+    Range R;
+    for (size_t C = 0; C < Classes.size(); ++C) {
+      int8_t Cnt = C < E.S->Counters.size() ? E.S->Counters[C] : 0;
+      if (Cnt == 0)
+        continue;
+      // Evaluate the body with the bound thread drawn from class C.
+      Env Inner = E;
+      for (size_t L = 0; L < Sys.locals().size(); ++L)
+        Inner.Scalars[M.mkRead(Sys.locals()[L], BV)] = Classes[C][L];
+      TriBool B = evalBool(T->body(), Inner);
+      if (B == TriBool::False)
+        continue;
+      if (B == TriBool::Maybe)
+        return std::nullopt;
+      if (Cnt == OmegaCtr)
+        R.Open = true;
+      R.Lo += Cnt == OmegaCtr ? 3 : Cnt;
+      R.Hi += Cnt == OmegaCtr ? 3 : Cnt;
+    }
+    return R;
+  }
+
+  std::optional<int64_t> evalScalarOrRead(Term T, const Env &E) {
+    return evalInt(T, E);
+  }
+
+  TriBool cmpRange(const Range &R, int64_t C, Kind K, bool CardLeft) {
+    // Compare #set (range R) against constant C.
+    auto Test = [&](int64_t V) {
+      if (K == Kind::Eq)
+        return V == C;
+      if (K == Kind::Le)
+        return CardLeft ? V <= C : C <= V;
+      return CardLeft ? V < C : C < V;
+    };
+    bool CanTrue = false, CanFalse = false;
+    if (R.Open) {
+      // Values R.Lo, R.Lo+1, ... : test a prefix and the tail behaviour.
+      for (int64_t V = R.Lo; V <= R.Lo + 4; ++V)
+        (Test(V) ? CanTrue : CanFalse) = true;
+      // Monotone beyond: for <=/</= against a constant the answer is
+      // eventually constant; the prefix above covers the flip.
+      CanFalse = CanFalse || !Test(R.Lo + 5);
+      CanTrue = CanTrue || Test(R.Lo + 5);
+    } else {
+      for (int64_t V = R.Lo; V <= R.Hi; ++V)
+        (Test(V) ? CanTrue : CanFalse) = true;
+    }
+    if (CanTrue && CanFalse)
+      return TriBool::Maybe;
+    return CanTrue ? TriBool::True : TriBool::False;
+  }
+
+  TriBool evalBool(Term T, const Env &E) {
+    const logic::Node *N = T.node();
+    switch (N->kind()) {
+    case Kind::BoolConst:
+      return N->value() ? TriBool::True : TriBool::False;
+    case Kind::Eq:
+    case Kind::Le:
+    case Kind::Lt: {
+      Term A = N->kid(0), B = N->kid(1);
+      // Cardinality comparisons against a concrete side.
+      if (A.kind() == Kind::Card || B.kind() == Kind::Card) {
+        bool CardLeft = A.kind() == Kind::Card;
+        Term CardT = CardLeft ? A : B;
+        Term Other = CardLeft ? B : A;
+        auto R = evalCard(CardT, E);
+        auto C = evalScalarOrRead(Other, E);
+        if (!R || !C)
+          return TriBool::Maybe;
+        return cmpRange(*R, *C, N->kind(), CardLeft);
+      }
+      auto VA = evalScalarOrRead(A, E), VB = evalScalarOrRead(B, E);
+      if (!VA || !VB)
+        return TriBool::Maybe;
+      bool V = N->kind() == Kind::Eq   ? *VA == *VB
+               : N->kind() == Kind::Le ? *VA <= *VB
+                                       : *VA < *VB;
+      return V ? TriBool::True : TriBool::False;
+    }
+    case Kind::And: {
+      TriBool R = TriBool::True;
+      for (Term K : N->kids()) {
+        TriBool B = evalBool(K, E);
+        if (B == TriBool::False)
+          return TriBool::False;
+        if (B == TriBool::Maybe)
+          R = TriBool::Maybe;
+      }
+      return R;
+    }
+    case Kind::Or: {
+      TriBool R = TriBool::False;
+      for (Term K : N->kids()) {
+        TriBool B = evalBool(K, E);
+        if (B == TriBool::True)
+          return TriBool::True;
+        if (B == TriBool::Maybe)
+          R = TriBool::Maybe;
+      }
+      return R;
+    }
+    case Kind::Not:
+      return triNot(evalBool(N->kid(0), E));
+    case Kind::Implies: {
+      TriBool A = evalBool(N->kid(0), E);
+      if (A == TriBool::False)
+        return TriBool::True;
+      TriBool B = evalBool(N->kid(1), E);
+      if (A == TriBool::True)
+        return B;
+      return B == TriBool::True ? TriBool::True : TriBool::Maybe;
+    }
+    case Kind::Forall:
+    case Kind::Exists: {
+      // Quantification over threads = over inhabited classes.
+      bool IsForall = N->kind() == Kind::Forall;
+      if (N->binders().size() != 1 ||
+          N->binders()[0].sort() != Sort::Tid)
+        return TriBool::Maybe;
+      Term BV = N->binders()[0];
+      TriBool Acc = IsForall ? TriBool::True : TriBool::False;
+      for (size_t C = 0; C < Classes.size(); ++C) {
+        int8_t Cnt =
+            C < E.S->Counters.size() ? E.S->Counters[C] : 0;
+        if (Cnt == 0)
+          continue;
+        Env Inner = E;
+        for (size_t L = 0; L < Sys.locals().size(); ++L)
+          Inner.Scalars[M.mkRead(Sys.locals()[L], BV)] = Classes[C][L];
+        TriBool B = evalBool(N->body(), Inner);
+        if (IsForall) {
+          if (B == TriBool::False)
+            return TriBool::False;
+          if (B == TriBool::Maybe)
+            Acc = TriBool::Maybe;
+        } else {
+          if (B == TriBool::True)
+            return TriBool::True;
+          if (B == TriBool::Maybe)
+            Acc = TriBool::Maybe;
+        }
+      }
+      return Acc;
+    }
+    default:
+      return TriBool::Maybe;
+    }
+  }
+
+  const ParamSystem &Sys;
+  logic::TermManager &M;
+  CounterAbsOptions Opts;
+  std::map<std::vector<int64_t>, size_t> ClassIndex;
+  std::vector<std::vector<int64_t>> Classes;
+};
+
+CounterAbsResult Checker::run() {
+  auto Start = std::chrono::steady_clock::now();
+  CounterAbsResult Res;
+  auto Finish = [&](CounterVerdict V, std::string Note) {
+    Res.Verdict = V;
+    Res.Note = std::move(Note);
+    Res.Seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      Start)
+            .count();
+    return Res;
+  };
+
+  if (Sys.mode() != sys::Composition::Async)
+    return Finish(CounterVerdict::Unsupported, "sync systems unsupported");
+  for (const Transition &T : Sys.transitions())
+    if (!T.Writes.empty() || !T.TidChoices.empty())
+      return Finish(CounterVerdict::Unsupported,
+                    "non-mover array writes unsupported");
+
+  // Initial abstract state: all threads in the class given by CustomInit's
+  // first state (locals of thread 0), counted omega; globals from it too.
+  if (!Sys.CustomInit)
+    return Finish(CounterVerdict::Unsupported, "needs CustomInit");
+  std::vector<sys::ParamSystem::State> Inits = Sys.CustomInit(2);
+  std::set<AbstractState> Visited;
+  std::deque<AbstractState> Queue;
+  for (const sys::ParamSystem::State &I : Inits) {
+    AbstractState A;
+    std::vector<int64_t> Class0;
+    for (Term L : Sys.locals()) {
+      auto It = I.Arrays.find(L);
+      Class0.push_back(It != I.Arrays.end() && !It->second.empty()
+                           ? It->second[0]
+                           : 0);
+    }
+    size_t C0 = internClass(Class0);
+    A.Counters.resize(Classes.size(), 0);
+    A.Counters[C0] = OmegaCtr;
+    for (Term G : Sys.globals()) {
+      auto It = I.Scalars.find(G);
+      A.Globals.push_back(It != I.Scalars.end() ? It->second : 0);
+    }
+    if (Visited.insert(A).second)
+      Queue.push_back(A);
+  }
+
+  while (!Queue.empty()) {
+    if (Visited.size() > Opts.MaxStates)
+      return Finish(CounterVerdict::Unknown, "state budget exhausted");
+    AbstractState Cur = Queue.front();
+    Queue.pop_front();
+    Cur.Counters.resize(Classes.size(), 0);
+
+    // Property check (must hold definitely).
+    Env E{&Cur, {}};
+    if (evalBool(Sys.safe(), E) != TriBool::True)
+      return Finish(CounterVerdict::Unknown,
+                    "possible property violation (may be spurious)");
+
+    // Fire each transition from each inhabited class, enumerating choices.
+    // (Snapshot the class count: successor computation may intern new
+    // classes, which are uninhabited in Cur by construction.)
+    size_t NumClassesNow = Cur.Counters.size();
+    for (const Transition &T : Sys.transitions()) {
+      for (size_t C = 0; C < NumClassesNow; ++C) {
+        if (Cur.Counters[C] == 0)
+          continue;
+        std::vector<int64_t> ChoiceVals(T.Choices.size(), Sys.ChoiceLo);
+        for (;;) {
+          Env ME{&Cur, {}};
+          for (size_t L = 0; L < Sys.locals().size(); ++L)
+            ME.Scalars[M.mkRead(Sys.locals()[L], Sys.self())] =
+                Classes[C][L];
+          // Also key by array for evalCard's inner binding style.
+          for (size_t I = 0; I < T.Choices.size(); ++I)
+            ME.Scalars[T.Choices[I]] = ChoiceVals[I];
+          TriBool G = evalBool(T.Guard, ME);
+          if (G != TriBool::False) {
+            // Compute successor(s).
+            std::vector<int64_t> NewClass = Classes[C];
+            bool Ok = true;
+            for (size_t L = 0; L < Sys.locals().size(); ++L) {
+              auto It = T.LocalUpd.find(Sys.locals()[L]);
+              if (It == T.LocalUpd.end())
+                continue;
+              auto V = evalInt(It->second, ME);
+              if (!V || *V < Opts.ValueLo || *V > Opts.ValueHi) {
+                Ok = false;
+                break;
+              }
+              NewClass[L] = *V;
+            }
+            std::vector<int64_t> NewGlobals = Cur.Globals;
+            for (size_t Gi = 0; Ok && Gi < Sys.globals().size(); ++Gi) {
+              auto It = T.GlobalUpd.find(Sys.globals()[Gi]);
+              if (It == T.GlobalUpd.end())
+                continue;
+              auto V = evalInt(It->second, ME);
+              // Globals escaping the range (or computed from an already
+              // widened value) are widened to the Big sentinel, which
+              // evaluates as "unknown" from then on -- sound, but weakens
+              // every property over that global (the eager-counter methods
+              // this baseline models track such counters symbolically; see
+              // EXPERIMENTS.md).
+              NewGlobals[Gi] =
+                  (!V || *V < Opts.ValueLo || *V > Opts.ValueHi)
+                      ? BigSentinel
+                      : *V;
+            }
+            if (!Ok)
+              return Finish(CounterVerdict::Unknown,
+                            "local value escaped the finite range");
+            size_t NC = internClass(NewClass);
+            // Decrement source (omega splits into {2, omega}), increment
+            // target.
+            std::vector<int8_t> DecOptions;
+            if (Cur.Counters[C] == OmegaCtr) {
+              DecOptions = {2, OmegaCtr};
+            } else {
+              DecOptions = {static_cast<int8_t>(Cur.Counters[C] - 1)};
+            }
+            for (int8_t Dec : DecOptions) {
+              AbstractState Next = Cur;
+              Next.Counters.resize(Classes.size(), 0);
+              Next.Counters[C] = Dec;
+              // When NC == C the increment below re-adds the mover to the
+              // already-decremented source counter.
+              int8_t &Tgt = Next.Counters[NC];
+              Tgt = Tgt >= 2 ? OmegaCtr : Tgt + 1;
+              Next.Globals = NewGlobals;
+              if (Visited.insert(Next).second)
+                Queue.push_back(Next);
+            }
+          }
+          // Advance choice vector.
+          size_t I = 0;
+          while (I < ChoiceVals.size() && ++ChoiceVals[I] > Sys.ChoiceHi) {
+            ChoiceVals[I] = Sys.ChoiceLo;
+            ++I;
+          }
+          if (I == ChoiceVals.size())
+            break;
+          if (ChoiceVals.empty())
+            break;
+        }
+      }
+    }
+  }
+
+  Res.NumAbstractStates = static_cast<unsigned>(Visited.size());
+  return Finish(CounterVerdict::Safe, "abstract fixpoint reached");
+}
+
+} // namespace
+
+CounterAbsResult
+sharpie::baselines::checkByCounterAbstraction(const ParamSystem &Sys,
+                                              const CounterAbsOptions &Opts) {
+  return Checker(Sys, Opts).run();
+}

@@ -1,0 +1,59 @@
+//===- baselines/CounterAbs.h - Counter-abstraction baseline ----*- C++ -*-===//
+//
+// Part of sharpie. A from-scratch counter-abstraction model checker in the
+// style of [Ganjei et al., VMCAI 2015] / [Pnueli et al., CAV 2002]: the
+// comparator of the paper's Fig. 7.
+//
+// Local states are grouped into finitely many *classes* (valuations of the
+// per-thread locals, which must range over a finite set -- all Fig. 7
+// benchmarks have pc-only locals). The abstract state maps each class and
+// each global to a {0, 1, 2, omega} counter; omega absorbs any count >= 3.
+// Transitions fire on classes with non-zero count; guards are evaluated
+// three-valued, and may-transitions are explored, so the abstraction
+// over-approximates: "safe" verdicts are sound for every number of
+// threads, property violations only yield "unknown" (the trace may be
+// spurious).
+//
+// Unlike #Pi, the abstraction tracks a counter for *every* class eagerly
+// and supports no universal quantification -- the two restrictions the
+// paper's Sec. 8 discussion attributes to this line of work.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SHARPIE_BASELINES_COUNTERABS_H
+#define SHARPIE_BASELINES_COUNTERABS_H
+
+#include "system/System.h"
+
+#include <optional>
+#include <string>
+
+namespace sharpie {
+namespace baselines {
+
+enum class CounterVerdict { Safe, Unknown, Unsupported };
+
+struct CounterAbsOptions {
+  /// Counter values are {0, 1, 2, omega=3}; omega means "3 or more".
+  int64_t Omega = 3;
+  /// Inclusive bounds on representable local/global values; systems whose
+  /// reachable values escape the bound are reported Unsupported.
+  int64_t ValueLo = -1, ValueHi = 6;
+  unsigned MaxStates = 200000;
+};
+
+struct CounterAbsResult {
+  CounterVerdict Verdict = CounterVerdict::Unknown;
+  unsigned NumAbstractStates = 0;
+  double Seconds = 0;
+  std::string Note;
+};
+
+/// Runs the counter-abstraction model checker on \p Sys.
+CounterAbsResult checkByCounterAbstraction(const sys::ParamSystem &Sys,
+                                           const CounterAbsOptions &Opts = {});
+
+} // namespace baselines
+} // namespace sharpie
+
+#endif // SHARPIE_BASELINES_COUNTERABS_H

@@ -1,0 +1,461 @@
+//===- baselines/IntervalAI.cpp - Interval abstract interpretation --------------===//
+//
+// Part of sharpie. See IntervalAI.h.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/IntervalAI.h"
+
+#include "logic/TermOps.h"
+
+#include <chrono>
+#include <map>
+
+using namespace sharpie;
+using namespace sharpie::baselines;
+using logic::Kind;
+using logic::Sort;
+using logic::Term;
+using sys::ParamSystem;
+using sys::Transition;
+
+namespace {
+
+constexpr int64_t NegInf = INT64_MIN / 4;
+constexpr int64_t PosInf = INT64_MAX / 4;
+
+/// A (possibly unbounded) integer interval. Empty iff Lo > Hi.
+struct Itv {
+  int64_t Lo = PosInf, Hi = NegInf; ///< Default: bottom.
+
+  static Itv exact(int64_t V) { return {V, V}; }
+  static Itv range(int64_t L, int64_t H) { return {L, H}; }
+  static Itv top() { return {NegInf, PosInf}; }
+
+  bool empty() const { return Lo > Hi; }
+  bool contains(int64_t V) const { return Lo <= V && V <= Hi; }
+
+  Itv join(const Itv &O) const {
+    return {std::min(Lo, O.Lo), std::max(Hi, O.Hi)};
+  }
+  Itv widen(const Itv &O) const {
+    Itv R = join(O);
+    if (O.Lo < Lo)
+      R.Lo = NegInf;
+    if (O.Hi > Hi)
+      R.Hi = PosInf;
+    return R;
+  }
+  Itv operator+(const Itv &O) const {
+    if (empty() || O.empty())
+      return Itv();
+    return {Lo <= NegInf || O.Lo <= NegInf ? NegInf : Lo + O.Lo,
+            Hi >= PosInf || O.Hi >= PosInf ? PosInf : Hi + O.Hi};
+  }
+  Itv operator-(const Itv &O) const {
+    if (empty() || O.empty())
+      return Itv();
+    return {Lo <= NegInf || O.Hi >= PosInf ? NegInf : Lo - O.Hi,
+            Hi >= PosInf || O.Lo <= NegInf ? PosInf : Hi - O.Lo};
+  }
+  Itv scaled(int64_t K) const {
+    if (empty())
+      return Itv();
+    auto S = [K](int64_t V) {
+      if (V <= NegInf)
+        return K >= 0 ? NegInf : PosInf;
+      if (V >= PosInf)
+        return K >= 0 ? PosInf : NegInf;
+      return V * K;
+    };
+    int64_t A = S(Lo), B = S(Hi);
+    return {std::min(A, B), std::max(A, B)};
+  }
+
+  bool operator==(const Itv &O) const { return Lo == O.Lo && Hi == O.Hi; }
+};
+
+enum class Tri { False, True, Maybe };
+
+Tri triNot(Tri B) {
+  if (B == Tri::Maybe)
+    return Tri::Maybe;
+  return B == Tri::True ? Tri::False : Tri::True;
+}
+
+/// Interval comparison A ? B.
+Tri cmp(const Itv &A, const Itv &B, Kind K) {
+  if (A.empty() || B.empty())
+    return Tri::True; // Vacuous under an empty environment.
+  switch (K) {
+  case Kind::Le:
+    if (A.Hi <= B.Lo)
+      return Tri::True;
+    if (A.Lo > B.Hi)
+      return Tri::False;
+    return Tri::Maybe;
+  case Kind::Lt:
+    if (A.Hi < B.Lo)
+      return Tri::True;
+    if (A.Lo >= B.Hi)
+      return Tri::False;
+    return Tri::Maybe;
+  default: // Eq
+    if (A.Lo == A.Hi && B.Lo == B.Hi && A.Lo == B.Lo)
+      return Tri::True;
+    if (A.Hi < B.Lo || B.Hi < A.Lo)
+      return Tri::False;
+    return Tri::Maybe;
+  }
+}
+
+class Interpreter {
+public:
+  Interpreter(const ParamSystem &Sys, const IntervalAIOptions &Opts)
+      : Sys(Sys), M(Sys.manager()), Opts(Opts) {}
+
+  IntervalAIResult run();
+
+private:
+  struct AbsState {
+    std::vector<Itv> ClassCount; ///< Per class (threads in that class).
+    std::vector<Itv> Globals;
+
+    bool operator==(const AbsState &O) const {
+      return ClassCount == O.ClassCount && Globals == O.Globals;
+    }
+  };
+
+  size_t internClass(const std::vector<int64_t> &Vals) {
+    auto It = ClassIndex.find(Vals);
+    if (It != ClassIndex.end())
+      return It->second;
+    size_t Id = Classes.size();
+    ClassIndex.emplace(Vals, Id);
+    Classes.push_back(Vals);
+    return Id;
+  }
+
+  struct Env {
+    const AbsState *S;
+    std::map<Term, Itv> Bound; ///< Reads at the mover / choices.
+  };
+
+  Itv evalInt(Term T, const Env &E) {
+    const logic::Node *N = T.node();
+    switch (N->kind()) {
+    case Kind::Var: {
+      auto It = E.Bound.find(T);
+      if (It != E.Bound.end())
+        return It->second;
+      for (size_t I = 0; I < Sys.globals().size(); ++I)
+        if (Sys.globals()[I] == T)
+          return E.S->Globals[I];
+      return Itv::top();
+    }
+    case Kind::IntConst:
+      return Itv::exact(N->value());
+    case Kind::Add: {
+      Itv R = Itv::exact(0);
+      for (Term K : N->kids())
+        R = R + evalInt(K, E);
+      return R;
+    }
+    case Kind::Sub:
+      return evalInt(N->kid(0), E) - evalInt(N->kid(1), E);
+    case Kind::Neg:
+      return evalInt(N->kid(0), E).scaled(-1);
+    case Kind::Mul: {
+      Term A = N->kid(0), B = N->kid(1);
+      if (A.kind() == Kind::IntConst)
+        return evalInt(B, E).scaled(A->value());
+      if (B.kind() == Kind::IntConst)
+        return evalInt(A, E).scaled(B->value());
+      return Itv::top();
+    }
+    case Kind::Ite: {
+      Tri C = evalBool(N->kid(0), E);
+      if (C == Tri::True)
+        return evalInt(N->kid(1), E);
+      if (C == Tri::False)
+        return evalInt(N->kid(2), E);
+      return evalInt(N->kid(1), E).join(evalInt(N->kid(2), E));
+    }
+    case Kind::Read: {
+      auto It = E.Bound.find(T);
+      if (It != E.Bound.end())
+        return It->second;
+      return Itv::top();
+    }
+    case Kind::Card: {
+      Term BV = T->binders()[0];
+      Itv Sum = Itv::exact(0);
+      for (size_t C = 0; C < Classes.size(); ++C) {
+        const Itv &Cnt = E.S->ClassCount[C];
+        if (Cnt.empty() || Cnt.Hi <= 0)
+          continue;
+        Env Inner = *&E;
+        for (size_t L = 0; L < Sys.locals().size(); ++L)
+          Inner.Bound[M.mkRead(Sys.locals()[L], BV)] =
+              Itv::exact(Classes[C][L]);
+        Tri B = evalBool(T->body(), Inner);
+        if (B == Tri::False)
+          continue;
+        Itv Contribution = Cnt;
+        if (Contribution.Lo < 0)
+          Contribution.Lo = 0;
+        if (B == Tri::Maybe)
+          Contribution.Lo = 0; // May contribute nothing.
+        Sum = Sum + Contribution;
+      }
+      return Sum;
+    }
+    default:
+      return Itv::top();
+    }
+  }
+
+  Tri evalBool(Term T, const Env &E) {
+    const logic::Node *N = T.node();
+    switch (N->kind()) {
+    case Kind::BoolConst:
+      return N->value() ? Tri::True : Tri::False;
+    case Kind::Eq:
+    case Kind::Le:
+    case Kind::Lt:
+      if (N->kid(0).sort() == Sort::Array)
+        return Tri::Maybe;
+      return cmp(evalInt(N->kid(0), E), evalInt(N->kid(1), E), N->kind());
+    case Kind::Not:
+      return triNot(evalBool(N->kid(0), E));
+    case Kind::And: {
+      Tri R = Tri::True;
+      for (Term K : N->kids()) {
+        Tri B = evalBool(K, E);
+        if (B == Tri::False)
+          return Tri::False;
+        if (B == Tri::Maybe)
+          R = Tri::Maybe;
+      }
+      return R;
+    }
+    case Kind::Or: {
+      Tri R = Tri::False;
+      for (Term K : N->kids()) {
+        Tri B = evalBool(K, E);
+        if (B == Tri::True)
+          return Tri::True;
+        if (B == Tri::Maybe)
+          R = Tri::Maybe;
+      }
+      return R;
+    }
+    case Kind::Implies: {
+      Tri A = evalBool(N->kid(0), E);
+      if (A == Tri::False)
+        return Tri::True;
+      Tri B = evalBool(N->kid(1), E);
+      if (A == Tri::True)
+        return B;
+      return B == Tri::True ? Tri::True : Tri::Maybe;
+    }
+    case Kind::Forall:
+    case Kind::Exists: {
+      if (N->binders().size() != 1 || N->binders()[0].sort() != Sort::Tid)
+        return Tri::Maybe;
+      bool IsForall = N->kind() == Kind::Forall;
+      Term BV = N->binders()[0];
+      Tri Acc = IsForall ? Tri::True : Tri::False;
+      for (size_t C = 0; C < Classes.size(); ++C) {
+        const Itv &Cnt = E.S->ClassCount[C];
+        if (Cnt.empty() || Cnt.Hi <= 0)
+          continue;
+        Env Inner = E;
+        for (size_t L = 0; L < Sys.locals().size(); ++L)
+          Inner.Bound[M.mkRead(Sys.locals()[L], BV)] =
+              Itv::exact(Classes[C][L]);
+        Tri B = evalBool(N->body(), Inner);
+        // A class with Lo = 0 may be empty; definite answers require
+        // definite inhabitation.
+        bool DefinitelyInhabited = Cnt.Lo >= 1;
+        if (IsForall) {
+          if (B == Tri::False && DefinitelyInhabited)
+            return Tri::False;
+          if (B != Tri::True)
+            Acc = Tri::Maybe;
+        } else {
+          if (B == Tri::True && DefinitelyInhabited)
+            return Tri::True;
+          if (B != Tri::False)
+            Acc = Tri::Maybe;
+        }
+      }
+      return Acc;
+    }
+    default:
+      return Tri::Maybe;
+    }
+  }
+
+  const ParamSystem &Sys;
+  logic::TermManager &M;
+  IntervalAIOptions Opts;
+  std::map<std::vector<int64_t>, size_t> ClassIndex;
+  std::vector<std::vector<int64_t>> Classes;
+};
+
+IntervalAIResult Interpreter::run() {
+  auto Start = std::chrono::steady_clock::now();
+  IntervalAIResult Res;
+  auto Finish = [&](IntervalVerdict V, std::string Note) {
+    Res.Verdict = V;
+    Res.Note = std::move(Note);
+    Res.NumClasses = static_cast<unsigned>(Classes.size());
+    Res.Seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      Start)
+            .count();
+    return Res;
+  };
+
+  if (Sys.mode() != sys::Composition::Async || !Sys.CustomInit)
+    return Finish(IntervalVerdict::Unsupported,
+                  "needs an async system with CustomInit");
+  for (const Transition &T : Sys.transitions())
+    if (!T.Writes.empty() || !T.TidChoices.empty())
+      return Finish(IntervalVerdict::Unsupported,
+                    "non-mover array writes unsupported");
+
+  // Initial abstract state from the N=2 instance, counts widened to
+  // [0, inf) for the initial class (any number of threads).
+  AbsState S;
+  {
+    std::vector<sys::ParamSystem::State> Inits = Sys.CustomInit(2);
+    if (Inits.empty())
+      return Finish(IntervalVerdict::Unsupported, "no initial state");
+    for (const sys::ParamSystem::State &I : Inits) {
+      std::vector<int64_t> Class0;
+      for (Term L : Sys.locals()) {
+        auto It = I.Arrays.find(L);
+        Class0.push_back(It != I.Arrays.end() && !It->second.empty()
+                             ? It->second[0]
+                             : 0);
+      }
+      size_t C0 = internClass(Class0);
+      S.ClassCount.resize(Classes.size(), Itv::exact(0));
+      S.ClassCount[C0] = Itv::range(0, PosInf);
+      S.Globals.resize(Sys.globals().size(), Itv());
+      for (size_t G = 0; G < Sys.globals().size(); ++G) {
+        auto It = I.Scalars.find(Sys.globals()[G]);
+        S.Globals[G] =
+            S.Globals[G].join(Itv::exact(It != I.Scalars.end() ? It->second
+                                                               : 0));
+      }
+    }
+    // The size variable can be any count.
+    if (Sys.sizeVar())
+      for (size_t G = 0; G < Sys.globals().size(); ++G)
+        if (Sys.globals()[G] == *Sys.sizeVar())
+          S.Globals[G] = Itv::range(0, PosInf);
+  }
+
+  for (unsigned Iter = 0; Iter < Opts.MaxIterations; ++Iter) {
+    ++Res.NumIterations;
+    AbsState Next = S;
+    Next.ClassCount.resize(Classes.size(), Itv::exact(0));
+
+    bool GrewClasses = false;
+    for (const Transition &T : Sys.transitions()) {
+      for (size_t C = 0; C < Classes.size(); ++C) {
+        const Itv &Cnt = S.ClassCount[C];
+        if (Cnt.empty() || Cnt.Hi <= 0)
+          continue;
+        // Choices range over the configured interval.
+        Env E{&S, {}};
+        for (size_t L = 0; L < Sys.locals().size(); ++L)
+          E.Bound[M.mkRead(Sys.locals()[L], Sys.self())] =
+              Itv::exact(Classes[C][L]);
+        for (Term Ch : T.Choices)
+          E.Bound[Ch] = Itv::range(Sys.ChoiceLo, Sys.ChoiceHi);
+        if (evalBool(T.Guard, E) == Tri::False)
+          continue;
+        // Local updates must resolve to exact values to pick the target
+        // class; interval-valued targets fan out over the bounded range.
+        std::vector<std::vector<int64_t>> Targets{Classes[C]};
+        bool Ok = true;
+        for (size_t L = 0; L < Sys.locals().size() && Ok; ++L) {
+          auto It = T.LocalUpd.find(Sys.locals()[L]);
+          if (It == T.LocalUpd.end())
+            continue;
+          Itv V = evalInt(It->second, E);
+          if (V.Lo < Opts.ValueLo || V.Hi > Opts.ValueHi) {
+            Ok = false;
+            break;
+          }
+          std::vector<std::vector<int64_t>> Fan;
+          for (const std::vector<int64_t> &Tg : Targets)
+            for (int64_t X = V.Lo; X <= V.Hi; ++X) {
+              std::vector<int64_t> T2 = Tg;
+              T2[L] = X;
+              Fan.push_back(std::move(T2));
+            }
+          Targets = std::move(Fan);
+        }
+        if (!Ok)
+          return Finish(IntervalVerdict::Unknown,
+                        "local value escaped the finite range");
+        for (const std::vector<int64_t> &Tg : Targets) {
+          size_t NC = internClass(Tg);
+          if (NC >= Next.ClassCount.size()) {
+            Next.ClassCount.resize(Classes.size(), Itv::exact(0));
+            GrewClasses = true;
+          }
+          // Source possibly decremented, target possibly incremented:
+          // counts become ranges.
+          Itv &Tgt = Next.ClassCount[NC];
+          Itv Inc = Tgt + Itv::range(0, 1);
+          Tgt = Tgt.join(Inc);
+          Itv &Src = Next.ClassCount[C];
+          Itv Dec = Src + Itv::range(-1, 0);
+          if (Dec.Lo < 0)
+            Dec.Lo = 0;
+          Src = Src.join(Dec);
+        }
+        // Global updates join in.
+        for (size_t G = 0; G < Sys.globals().size(); ++G) {
+          auto It = T.GlobalUpd.find(Sys.globals()[G]);
+          if (It == T.GlobalUpd.end())
+            continue;
+          Next.Globals[G] = Next.Globals[G].join(evalInt(It->second, E));
+        }
+      }
+    }
+
+    AbsState Joined = Next;
+    if (Iter >= Opts.WidenAfter) {
+      for (size_t C = 0; C < Joined.ClassCount.size(); ++C)
+        Joined.ClassCount[C] = S.ClassCount[C].widen(Next.ClassCount[C]);
+      for (size_t G = 0; G < Joined.Globals.size(); ++G)
+        Joined.Globals[G] = S.Globals[G].widen(Next.Globals[G]);
+    }
+    if (!GrewClasses && Joined == S)
+      break;
+    S = Joined;
+  }
+
+  // Verdict at the fixpoint.
+  Env E{&S, {}};
+  Tri Safe = evalBool(Sys.safe(), E);
+  return Finish(Safe == Tri::True ? IntervalVerdict::Safe
+                                  : IntervalVerdict::Unknown,
+                Safe == Tri::True ? "interval fixpoint proves the property"
+                                  : "interval fixpoint too coarse");
+}
+
+} // namespace
+
+IntervalAIResult
+sharpie::baselines::checkByIntervalAI(const ParamSystem &Sys,
+                                      const IntervalAIOptions &Opts) {
+  return Interpreter(Sys, Opts).run();
+}

@@ -1,0 +1,49 @@
+//===- baselines/IntervalAI.h - Interval abstract interpretation -*- C++ -*-===//
+//
+// Part of sharpie. A from-scratch interval abstract interpreter over the
+// counter abstraction of a parameterized system -- the stand-in for the
+// interval-domain column of [Sanchez et al., SAS 2012] in the paper's
+// Fig. 9 (lower table).
+//
+// The abstract domain maps every discovered local-valuation class to an
+// interval of thread counts and every global to an interval of values; a
+// single abstract element is iterated to a post fixpoint with widening.
+// Guards evaluate three-valued over intervals; the verdict is Safe only
+// when the property definitely holds at the fixpoint.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SHARPIE_BASELINES_INTERVALAI_H
+#define SHARPIE_BASELINES_INTERVALAI_H
+
+#include "system/System.h"
+
+#include <string>
+
+namespace sharpie {
+namespace baselines {
+
+enum class IntervalVerdict { Safe, Unknown, Unsupported };
+
+struct IntervalAIOptions {
+  int64_t ValueLo = -2, ValueHi = 8; ///< Representable local values.
+  unsigned MaxIterations = 200;
+  unsigned WidenAfter = 12;
+};
+
+struct IntervalAIResult {
+  IntervalVerdict Verdict = IntervalVerdict::Unknown;
+  unsigned NumClasses = 0;
+  unsigned NumIterations = 0;
+  double Seconds = 0;
+  std::string Note;
+};
+
+/// Runs the interval abstract interpreter on \p Sys.
+IntervalAIResult checkByIntervalAI(const sys::ParamSystem &Sys,
+                                   const IntervalAIOptions &Opts = {});
+
+} // namespace baselines
+} // namespace sharpie
+
+#endif // SHARPIE_BASELINES_INTERVALAI_H

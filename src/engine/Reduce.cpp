@@ -1,0 +1,152 @@
+//===- engine/Reduce.cpp - Obligation reduction pipeline ---------------------===//
+//
+// Part of sharpie. See Reduce.h.
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/Reduce.h"
+
+#include "logic/TermOps.h"
+
+using namespace sharpie;
+using namespace sharpie::engine;
+using logic::Kind;
+using logic::Sort;
+using logic::Term;
+using logic::TermManager;
+
+ReduceResult sharpie::engine::reduceToGround(
+    TermManager &M, Term Psi, const ReduceOptions &Opts,
+    smt::SmtSolver *VennOracle,
+    const std::vector<std::pair<Term, Term>> &ExternalCounters,
+    const std::vector<Term> &ExtraIndexTerms) {
+  ReduceResult Res;
+
+  quant::SkolemResult SK = quant::skolemize(M, Psi);
+  Res.Complete &= SK.Complete;
+
+  card::CardRegistry Reg(M);
+  for (const auto &[K, Body] : ExternalCounters)
+    Reg.registerExternal(K, Body);
+  card::AxiomEngine AE(M, Reg, Opts.Card, VennOracle);
+
+  // Ground facts for context-aware Venn pruning: top-level conjuncts of the
+  // skolemized matrix that are quantifier-, disjunction- and Card-free hold
+  // in every model of the obligation.
+  {
+    std::vector<Term> Facts;
+    std::vector<Term> Conjs = SK.Formula.kind() == Kind::And
+                                  ? SK.Formula->kids()
+                                  : std::vector<Term>{SK.Formula};
+    for (Term C : Conjs) {
+      if (logic::containsKind(C, Kind::Card) ||
+          logic::containsKind(C, Kind::Forall) ||
+          logic::containsKind(C, Kind::Exists) ||
+          logic::containsKind(C, Kind::Or))
+        continue;
+      Facts.push_back(C);
+    }
+    AE.setContext(M.mkAnd(Facts));
+  }
+
+  // Update equations are harvested once from the skolemized matrix; the
+  // update axiom guards on them, so their position (even below a
+  // disjunction) does not matter for soundness.
+  std::set<Term> UpdateEqSet = logic::collectSubterms(SK.Formula, [](Term T) {
+    if (T.kind() != Kind::Eq)
+      return false;
+    return T->kid(0).kind() == Kind::Store || T->kid(1).kind() == Kind::Store;
+  });
+  std::vector<Term> UpdateEqs(UpdateEqSet.begin(), UpdateEqSet.end());
+
+  // Primary index terms: the Tid variables of the obligation itself
+  // (movers, head skolems, property witnesses). Axiom instances introduce
+  // their own witness constants; universals *inside axioms* are expanded
+  // over primary terms only -- the facts about a witness always come from
+  // the obligation's own universals (which are expanded over everything),
+  // never from another axiom's universal, and this asymmetry is what keeps
+  // the reduction quadratic rather than cubic in the number of defs.
+  std::set<Term> PrimarySet = quant::tidIndexTerms(SK.Formula);
+  for (Term E : ExtraIndexTerms)
+    if (E.sort() == Sort::Tid)
+      PrimarySet.insert(E);
+  if (PrimarySet.empty())
+    PrimarySet.insert(M.freshVar("any_t", Sort::Tid));
+  std::vector<Term> Primary(PrimarySet.begin(), PrimarySet.end());
+
+  std::set<Term> IntSet = quant::intIndexTerms(SK.Formula);
+  for (Term E : ExtraIndexTerms)
+    if (E.sort() == Sort::Int)
+      IntSet.insert(E);
+  // Bare Int variables are not index terms (see intIndexTerms), but the
+  // skolem constants of the obligation are pivotal instances (e.g. the
+  // witness of a negated quantified invariant).
+  for (Term Sk : SK.Skolems)
+    if (Sk.sort() == Sort::Int)
+      IntSet.insert(Sk);
+  std::vector<Term> IntTerms(IntSet.begin(), IntSet.end());
+
+  std::vector<Term> Axioms;
+  Term Expanded = SK.Formula;
+  for (unsigned Round = 0;; ++Round) {
+    Res.NumRounds = Round + 1;
+    Term AxiomConj = M.mkAnd(Axioms);
+
+    std::vector<Term> TidAll = Primary;
+    {
+      std::set<Term> WitSet = quant::tidIndexTerms(AxiomConj);
+      unsigned Added = 0;
+      for (Term W : WitSet) {
+        if (PrimarySet.count(W))
+          continue;
+        if (Added++ >= Opts.MaxWitnessInstances) {
+          Res.Complete = false;
+          break;
+        }
+        TidAll.push_back(W);
+      }
+    }
+
+    quant::ExpandResult ExOrig =
+        quant::expandForalls(M, SK.Formula, TidAll, IntTerms, Opts.Expand);
+    quant::ExpandResult ExAx =
+        quant::expandForalls(M, AxiomConj, Primary, IntTerms, Opts.Expand);
+    Res.Complete &= ExOrig.Complete && ExAx.Complete;
+    Res.NumInstances = ExOrig.NumInstances + ExAx.NumInstances;
+    Expanded = M.mkAnd(ExOrig.Formula, ExAx.Formula);
+
+    // Intern every cardinality term that the expansion made ground.
+    std::set<Term> Cards = logic::collectSubterms(
+        Expanded, [](Term T) { return T.kind() == Kind::Card; });
+    for (Term C : Cards)
+      Reg.defFor(C);
+
+    std::vector<Term> NewAxioms = AE.emitNew(UpdateEqs);
+    if (NewAxioms.empty())
+      break;
+    Axioms.insert(Axioms.end(), NewAxioms.begin(), NewAxioms.end());
+    if (Round + 1 >= Opts.MaxRounds) {
+      // Out of rounds with axioms pending: one final expansion so the new
+      // axioms' quantifier-free parts are at least conjoined.
+      quant::ExpandResult ExFinal = quant::expandForalls(
+          M, M.mkAnd(Axioms), Primary, IntTerms, Opts.Expand);
+      Res.Complete &= ExFinal.Complete;
+      Expanded = M.mkAnd(ExOrig.Formula, ExFinal.Formula);
+      std::set<Term> Cards2 = logic::collectSubterms(
+          Expanded, [](Term T) { return T.kind() == Kind::Card; });
+      for (Term C : Cards2)
+        Reg.defFor(C);
+      break;
+    }
+  }
+
+  Res.NumAxioms = AE.stats().NumAxioms;
+  Res.NumVennRegions = AE.stats().NumVennRegions;
+  Res.VennApplied = AE.stats().VennApplied;
+  Res.Complete &= AE.stats().Complete;
+  Res.CardVars = Reg.replacements();
+  Res.Ground = logic::replaceAll(M, Expanded, Res.CardVars);
+  assert(!logic::containsKind(Res.Ground, Kind::Card) &&
+         "cardinality term survived the reduction");
+  return Res;
+}

@@ -1,0 +1,78 @@
+//===- engine/Reduce.h - Obligation reduction pipeline ----------*- C++ -*-===//
+//
+// Part of sharpie. Reduces a satisfiability obligation Psi in the combined
+// theory (arithmetic + arrays + cardinalities + restricted quantifiers) to
+// a ground, cardinality-free formula that the SMT back end can decide:
+//
+//   1. NNF + skolemization of existentials (quant/).
+//   2. Iterated rounds of:
+//      a. expansion of universals over the current Tid/Int index sets,
+//      b. ELIMCARD: intern every (now ground) cardinality term and emit
+//         the cardinality axioms (card/); axiom witnesses enlarge the Tid
+//         index set, which is why the loop re-expands.
+//   3. Replacement of every cardinality term by its k variable.
+//
+// Every step preserves "reduced formula unsat => Psi unsat", so proving a
+// verification condition via the reduction is sound (paper Theorem 1); lost
+// precision is tracked in ReduceResult::Complete.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SHARPIE_ENGINE_REDUCE_H
+#define SHARPIE_ENGINE_REDUCE_H
+
+#include "card/Card.h"
+#include "quant/Quant.h"
+#include "smt/SmtSolver.h"
+
+#include <map>
+#include <optional>
+
+namespace sharpie {
+namespace engine {
+
+struct ReduceOptions {
+  card::AxiomOptions Card;
+  quant::ExpandOptions Expand;
+  unsigned MaxRounds = 3;
+  /// Cap on axiom-witness constants added to the index set of the
+  /// obligation's own universals. Each witness instance of a quantified
+  /// invariant mints fresh cardinality definitions, so an uncapped set
+  /// makes the reduction quadratic-by-round; truncation only weakens the
+  /// reduction (sound).
+  unsigned MaxWitnessInstances = 32;
+};
+
+struct ReduceResult {
+  logic::Term Ground;     ///< Quantifier- and cardinality-free formula.
+  bool Complete = true;   ///< False if any step weakened the obligation.
+  unsigned NumRounds = 0;
+  unsigned NumAxioms = 0;
+  unsigned NumInstances = 0;
+  unsigned NumVennRegions = 0;
+  bool VennApplied = false;
+  /// Maps every cardinality term seen to the k variable standing for it.
+  std::map<logic::Term, logic::Term> CardVars;
+};
+
+/// Reduces the satisfiability obligation \p Psi to a ground formula.
+/// \p VennOracle is used to enumerate Venn regions when Opts.Card.Venn is
+/// set (it must be a solver over the same TermManager, and its assertion
+/// state is preserved via push/pop). \p ExternalCounters registers
+/// externally named cardinalities, e.g. {n, true-body} declares
+/// Def(n) = #{t | true} for a system of symbolic size n.
+/// \p ExtraIndexTerms are additional instantiation terms (Tid- or
+/// Int-sorted) merged into the index sets -- e.g. template-quantifier
+/// instances that appear only inside placeholder substitutions and hence
+/// not in \p Psi itself.
+ReduceResult
+reduceToGround(logic::TermManager &M, logic::Term Psi,
+               const ReduceOptions &Opts, smt::SmtSolver *VennOracle,
+               const std::vector<std::pair<logic::Term, logic::Term>>
+                   &ExternalCounters = {},
+               const std::vector<logic::Term> &ExtraIndexTerms = {});
+
+} // namespace engine
+} // namespace sharpie
+
+#endif // SHARPIE_ENGINE_REDUCE_H

@@ -1,0 +1,217 @@
+//===- explicit/Explicit.cpp - Explicit-state model checker ------------------===//
+//
+// Part of sharpie. See Explicit.h.
+//
+//===----------------------------------------------------------------------===//
+
+#include "explicit/Explicit.h"
+
+#include <deque>
+#include <map>
+
+using namespace sharpie;
+using namespace sharpie::explct;
+using logic::Evaluator;
+using logic::FiniteModel;
+using logic::Term;
+using sys::ParamSystem;
+using sys::Transition;
+
+namespace {
+
+/// Canonical fingerprint of a state for the visited set.
+std::vector<int64_t> fingerprint(const ParamSystem &Sys,
+                                 const FiniteModel &S) {
+  std::vector<int64_t> Key;
+  for (Term G : Sys.globals()) {
+    auto It = S.Scalars.find(G);
+    Key.push_back(It != S.Scalars.end() ? It->second : 0);
+  }
+  for (Term L : Sys.locals()) {
+    auto It = S.Arrays.find(L);
+    if (It == S.Arrays.end()) {
+      Key.insert(Key.end(), static_cast<size_t>(S.DomainSize), 0);
+      continue;
+    }
+    std::vector<int64_t> A = It->second;
+    A.resize(static_cast<size_t>(S.DomainSize), 0);
+    Key.insert(Key.end(), A.begin(), A.end());
+  }
+  return Key;
+}
+
+/// Generic successor generation for asynchronous guarded commands.
+class AsyncStepper {
+public:
+  AsyncStepper(const ParamSystem &Sys, int64_t IntBound)
+      : Sys(Sys), IntBound(IntBound) {}
+
+  std::vector<std::pair<std::string, FiniteModel>>
+  successors(const FiniteModel &S) {
+    std::vector<std::pair<std::string, FiniteModel>> Out;
+    for (const Transition &T : Sys.transitions())
+      for (int64_t Mover = 0; Mover < S.DomainSize; ++Mover)
+        stepWithChoices(S, T, Mover, 0, Out);
+    return Out;
+  }
+
+private:
+  void stepWithChoices(const FiniteModel &S, const Transition &T,
+                       int64_t Mover, size_t ChoiceIdx,
+                       std::vector<std::pair<std::string, FiniteModel>> &Out) {
+    if (ChoiceIdx < T.Choices.size() + T.TidChoices.size()) {
+      bool IsInt = ChoiceIdx < T.Choices.size();
+      Term C = IsInt ? T.Choices[ChoiceIdx]
+                     : T.TidChoices[ChoiceIdx - T.Choices.size()];
+      int64_t Lo = IsInt ? Sys.ChoiceLo : 0;
+      int64_t Hi = IsInt ? Sys.ChoiceHi : S.DomainSize - 1;
+      for (int64_t V = Lo; V <= Hi; ++V) {
+        ChoiceVals[C] = V;
+        stepWithChoices(S, T, Mover, ChoiceIdx + 1, Out);
+      }
+      ChoiceVals.erase(C);
+      return;
+    }
+    FiniteModel Env = S;
+    Env.IntBound = IntBound;
+    Env.Scalars[Sys.self()] = Mover;
+    for (const auto &[C, V] : ChoiceVals)
+      Env.Scalars[C] = V;
+    Evaluator Ev(Env);
+    if (!Ev.evalBool(T.Guard))
+      return;
+    FiniteModel Next = S;
+    for (Term G : Sys.globals()) {
+      auto It = T.GlobalUpd.find(G);
+      if (It != T.GlobalUpd.end())
+        Next.Scalars[G] = Ev.evalInt(It->second);
+    }
+    for (Term L : Sys.locals()) {
+      auto It = T.LocalUpd.find(L);
+      if (It == T.LocalUpd.end())
+        continue;
+      std::vector<int64_t> &A = Next.Arrays[L];
+      A.resize(static_cast<size_t>(S.DomainSize), 0);
+      A[static_cast<size_t>(Mover)] = Ev.evalInt(It->second);
+    }
+    for (const Transition::ArrayWrite &W : T.Writes) {
+      int64_t Idx = Ev.evalInt(W.Idx);
+      assert(Idx >= 0 && Idx < S.DomainSize && "array write out of domain");
+      std::vector<int64_t> &A = Next.Arrays[W.Arr];
+      A.resize(static_cast<size_t>(S.DomainSize), 0);
+      A[static_cast<size_t>(Idx)] = Ev.evalInt(W.Val);
+    }
+    Out.push_back({T.Name, std::move(Next)});
+  }
+
+  const ParamSystem &Sys;
+  int64_t IntBound;
+  std::map<Term, int64_t> ChoiceVals;
+};
+
+} // namespace
+
+ExplicitResult sharpie::explct::explore(const ParamSystem &Sys,
+                                        const ExplicitOptions &Opts) {
+  ExplicitResult Res;
+
+  std::vector<FiniteModel> Initials;
+  if (Sys.CustomInit) {
+    Initials = Sys.CustomInit(Opts.NumThreads);
+  } else {
+    FiniteModel S;
+    S.DomainSize = Opts.NumThreads;
+    for (Term G : Sys.globals())
+      S.Scalars[G] = 0;
+    for (Term L : Sys.locals())
+      S.Arrays[L] =
+          std::vector<int64_t>(static_cast<size_t>(Opts.NumThreads), 0);
+    Initials.push_back(std::move(S));
+  }
+  for (FiniteModel &S : Initials) {
+    S.DomainSize = Opts.NumThreads;
+    S.IntBound = Opts.IntBound;
+    if (Sys.sizeVar())
+      S.Scalars[*Sys.sizeVar()] = Opts.NumThreads;
+#ifndef NDEBUG
+    Evaluator Ev(S);
+    assert(Ev.evalBool(Sys.init()) && "initial state violates init()");
+#endif
+  }
+
+  AsyncStepper Generic(Sys, Opts.IntBound);
+  std::map<std::vector<int64_t>, size_t> Visited;
+  struct Node {
+    FiniteModel S;
+    size_t Parent;
+    std::string Via;
+  };
+  std::vector<Node> Nodes;
+  std::deque<size_t> Queue;
+
+  auto Enqueue = [&](FiniteModel S, size_t Parent, const std::string &Via) {
+    auto Key = fingerprint(Sys, S);
+    if (Visited.count(Key))
+      return;
+    Visited.emplace(std::move(Key), Nodes.size());
+    Nodes.push_back({std::move(S), Parent, Via});
+    Queue.push_back(Nodes.size() - 1);
+  };
+
+  for (FiniteModel &S : Initials)
+    Enqueue(std::move(S), SIZE_MAX, "");
+
+  Res.Exhausted = true;
+  while (!Queue.empty()) {
+    if (Nodes.size() > Opts.MaxStates) {
+      Res.Exhausted = false;
+      break;
+    }
+    size_t Cur = Queue.front();
+    Queue.pop_front();
+    // Safety check.
+    {
+      Evaluator Ev(Nodes[Cur].S);
+      if (!Ev.evalBool(Sys.safe())) {
+        Res.Safe = false;
+        Counterexample Cex;
+        Cex.BadState = Nodes[Cur].S;
+        for (size_t I = Cur; I != SIZE_MAX && !Nodes[I].Via.empty();
+             I = Nodes[I].Parent)
+          Cex.TransitionNames.push_back(Nodes[I].Via);
+        std::reverse(Cex.TransitionNames.begin(), Cex.TransitionNames.end());
+        Res.Cex = std::move(Cex);
+        Res.Exhausted = false;
+        break;
+      }
+    }
+    std::vector<std::pair<std::string, FiniteModel>> Succs;
+    if (Sys.CustomStepper) {
+      for (FiniteModel &S : Sys.CustomStepper(Nodes[Cur].S))
+        Succs.push_back({"round", std::move(S)});
+    } else {
+      Succs = Generic.successors(Nodes[Cur].S);
+    }
+    for (auto &[Via, S] : Succs) {
+      S.DomainSize = Opts.NumThreads;
+      S.IntBound = Opts.IntBound;
+      Enqueue(std::move(S), Cur, Via);
+    }
+  }
+
+  Res.NumStates = static_cast<unsigned>(Nodes.size());
+  Res.States.reserve(Nodes.size());
+  for (Node &N : Nodes)
+    Res.States.push_back(std::move(N.S));
+  return Res;
+}
+
+bool sharpie::explct::holdsInAll(
+    const std::vector<ParamSystem::State> &States, Term Phi) {
+  for (const ParamSystem::State &S : States) {
+    Evaluator Ev(S);
+    if (!Ev.evalBool(Phi))
+      return false;
+  }
+  return true;
+}

@@ -1,0 +1,185 @@
+//===- logic/Eval.cpp - Finite-model evaluation -----------------------------===//
+//
+// Part of sharpie. See Eval.h.
+//
+//===----------------------------------------------------------------------===//
+
+#include "logic/Eval.h"
+
+using namespace sharpie;
+using namespace sharpie::logic;
+
+int64_t Evaluator::lookupScalar(Term Var) {
+  auto EnvIt = Env.find(Var);
+  if (EnvIt != Env.end())
+    return EnvIt->second;
+  auto It = Model.Scalars.find(Var);
+  if (It != Model.Scalars.end())
+    return It->second;
+  Missing.push_back(Var);
+  return 0;
+}
+
+std::vector<int64_t> Evaluator::lookupArray(Term Var) {
+  auto It = Model.Arrays.find(Var);
+  if (It != Model.Arrays.end()) {
+    std::vector<int64_t> V = It->second;
+    V.resize(static_cast<size_t>(Model.DomainSize), 0);
+    return V;
+  }
+  Missing.push_back(Var);
+  return std::vector<int64_t>(static_cast<size_t>(Model.DomainSize), 0);
+}
+
+int64_t Evaluator::evalInt(Term T) {
+  const Node *N = T.node();
+  switch (N->kind()) {
+  case Kind::Var:
+    return lookupScalar(T);
+  case Kind::IntConst:
+    return N->value();
+  case Kind::Add: {
+    int64_t S = 0;
+    for (Term K : N->kids())
+      S += evalInt(K);
+    return S;
+  }
+  case Kind::Sub:
+    return evalInt(N->kid(0)) - evalInt(N->kid(1));
+  case Kind::Neg:
+    return -evalInt(N->kid(0));
+  case Kind::Mul:
+    return evalInt(N->kid(0)) * evalInt(N->kid(1));
+  case Kind::Ite:
+    return evalBool(N->kid(0)) ? evalInt(N->kid(1)) : evalInt(N->kid(2));
+  case Kind::Read: {
+    std::vector<int64_t> A = evalArray(N->kid(0));
+    int64_t I = evalInt(N->kid(1));
+    assert(I >= 0 && I < static_cast<int64_t>(A.size()) &&
+           "array read out of the Tid domain");
+    return A[static_cast<size_t>(I)];
+  }
+  case Kind::Card: {
+    Term B = N->binders()[0];
+    int64_t Count = 0;
+    auto Saved = Env.find(B) != Env.end()
+                     ? std::optional<int64_t>(Env[B])
+                     : std::nullopt;
+    for (int64_t V = 0; V < Model.DomainSize; ++V) {
+      Env[B] = V;
+      if (evalBool(N->body()))
+        ++Count;
+    }
+    if (Saved)
+      Env[B] = *Saved;
+    else
+      Env.erase(B);
+    return Count;
+  }
+  default:
+    assert(false && "evalInt on a non-arithmetic term");
+    return 0;
+  }
+}
+
+bool Evaluator::evalQuant(Term T, bool IsForall) {
+  const Node *N = T.node();
+  const std::vector<Term> &Bs = N->binders();
+  // Enumerate assignments to all binders recursively.
+  std::vector<std::optional<int64_t>> Saved;
+  Saved.reserve(Bs.size());
+  for (Term B : Bs) {
+    auto It = Env.find(B);
+    Saved.push_back(It != Env.end() ? std::optional<int64_t>(It->second)
+                                    : std::nullopt);
+  }
+  std::function<bool(size_t)> Rec = [&](size_t I) -> bool {
+    if (I == Bs.size())
+      return evalBool(N->body());
+    Term B = Bs[I];
+    int64_t Lo, Hi;
+    if (B.sort() == Sort::Tid) {
+      Lo = 0;
+      Hi = Model.DomainSize - 1;
+    } else {
+      SawIntQuantifier = true;
+      Lo = -Model.IntBound;
+      Hi = Model.IntBound;
+    }
+    for (int64_t V = Lo; V <= Hi; ++V) {
+      Env[B] = V;
+      bool R = Rec(I + 1);
+      if (IsForall && !R)
+        return false;
+      if (!IsForall && R)
+        return true;
+    }
+    return IsForall;
+  };
+  bool Result = Rec(0);
+  for (size_t I = 0; I < Bs.size(); ++I) {
+    if (Saved[I])
+      Env[Bs[I]] = *Saved[I];
+    else
+      Env.erase(Bs[I]);
+  }
+  return Result;
+}
+
+bool Evaluator::evalBool(Term T) {
+  const Node *N = T.node();
+  switch (N->kind()) {
+  case Kind::BoolConst:
+    return N->value() != 0;
+  case Kind::Eq:
+    if (N->kid(0).sort() == Sort::Array)
+      return evalArray(N->kid(0)) == evalArray(N->kid(1));
+    return evalInt(N->kid(0)) == evalInt(N->kid(1));
+  case Kind::Le:
+    return evalInt(N->kid(0)) <= evalInt(N->kid(1));
+  case Kind::Lt:
+    return evalInt(N->kid(0)) < evalInt(N->kid(1));
+  case Kind::And:
+    for (Term K : N->kids())
+      if (!evalBool(K))
+        return false;
+    return true;
+  case Kind::Or:
+    for (Term K : N->kids())
+      if (evalBool(K))
+        return true;
+    return false;
+  case Kind::Not:
+    return !evalBool(N->kid(0));
+  case Kind::Implies:
+    return !evalBool(N->kid(0)) || evalBool(N->kid(1));
+  case Kind::Forall:
+    return evalQuant(T, /*IsForall=*/true);
+  case Kind::Exists:
+    return evalQuant(T, /*IsForall=*/false);
+  default:
+    assert(false && "evalBool on a non-formula");
+    return false;
+  }
+}
+
+std::vector<int64_t> Evaluator::evalArray(Term T) {
+  const Node *N = T.node();
+  switch (N->kind()) {
+  case Kind::Var:
+    return lookupArray(T);
+  case Kind::Store: {
+    std::vector<int64_t> A = evalArray(N->kid(0));
+    int64_t I = evalInt(N->kid(1));
+    assert(I >= 0 && I < static_cast<int64_t>(A.size()) &&
+           "array store out of the Tid domain");
+    A[static_cast<size_t>(I)] = evalInt(N->kid(2));
+    return A;
+  }
+  case Kind::Ite:
+    return evalBool(N->kid(0)) ? evalArray(N->kid(1)) : evalArray(N->kid(2));
+  default:
+    assert(false && "evalArray on a non-array term");
+    return {};
+  }
+}

@@ -1,0 +1,73 @@
+//===- logic/Eval.h - Finite-model evaluation -------------------*- C++ -*-===//
+//
+// Part of sharpie. Evaluates terms of the combined theory in an explicit
+// finite model: the thread domain Omega is {0, ..., DomainSize-1}, arrays
+// are explicit value vectors, and cardinalities are counted exactly. This
+// is the reference semantics used by property tests (the cardinality axioms
+// of paper Sec. 5 must be sound in every finite model, Theorem 1) and by
+// the explicit-state checker.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SHARPIE_LOGIC_EVAL_H
+#define SHARPIE_LOGIC_EVAL_H
+
+#include "logic/Term.h"
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+namespace sharpie {
+namespace logic {
+
+/// An explicit first-order structure for the combined theory. Tid-sorted
+/// values range over {0, ..., DomainSize-1}; Int-sorted quantifiers are
+/// evaluated over [-IntBound, IntBound] (a test-only approximation, flagged
+/// by Evaluator::sawIntQuantifier).
+struct FiniteModel {
+  int64_t DomainSize = 2;
+  int64_t IntBound = 4;
+  std::map<Term, int64_t> Scalars;              ///< Int/Tid variable values.
+  std::map<Term, std::vector<int64_t>> Arrays;  ///< Array variable contents.
+};
+
+/// Evaluates closed terms in a FiniteModel. Unbound variables evaluate to 0
+/// (and are recorded in missing()). The evaluator is cheap to construct;
+/// create one per (model, query) batch.
+class Evaluator {
+public:
+  explicit Evaluator(const FiniteModel &Model) : Model(Model) {}
+
+  /// Evaluates an Int- or Tid-sorted term.
+  int64_t evalInt(Term T);
+
+  /// Evaluates a formula.
+  bool evalBool(Term T);
+
+  /// Evaluates an Array-sorted term to its explicit contents.
+  std::vector<int64_t> evalArray(Term T);
+
+  /// True if evaluation met an Int-sorted quantifier (whose enumeration over
+  /// [-IntBound, IntBound] is only an approximation of Int semantics).
+  bool sawIntQuantifier() const { return SawIntQuantifier; }
+
+  /// Variables that had no interpretation and defaulted to 0 / all-0.
+  const std::vector<Term> &missing() const { return Missing; }
+
+private:
+  int64_t lookupScalar(Term Var);
+  std::vector<int64_t> lookupArray(Term Var);
+  bool evalQuant(Term T, bool IsForall);
+
+  const FiniteModel &Model;
+  std::map<Term, int64_t> Env;                 ///< Bound-variable values.
+  bool SawIntQuantifier = false;
+  std::vector<Term> Missing;
+};
+
+} // namespace logic
+} // namespace sharpie
+
+#endif // SHARPIE_LOGIC_EVAL_H

@@ -1,0 +1,418 @@
+//===- logic/Term.cpp - Hash-consed terms ---------------------------------===//
+//
+// Part of sharpie. See Term.h for the interface description.
+//
+//===----------------------------------------------------------------------===//
+
+#include "logic/Term.h"
+
+#include <algorithm>
+
+using namespace sharpie;
+using namespace sharpie::logic;
+
+const char *sharpie::logic::sortName(Sort S) {
+  switch (S) {
+  case Sort::Bool:
+    return "Bool";
+  case Sort::Int:
+    return "Int";
+  case Sort::Tid:
+    return "Tid";
+  case Sort::Array:
+    return "Array";
+  }
+  return "?";
+}
+
+const char *sharpie::logic::kindName(Kind K) {
+  switch (K) {
+  case Kind::Var:
+    return "Var";
+  case Kind::IntConst:
+    return "IntConst";
+  case Kind::BoolConst:
+    return "BoolConst";
+  case Kind::Add:
+    return "Add";
+  case Kind::Sub:
+    return "Sub";
+  case Kind::Neg:
+    return "Neg";
+  case Kind::Mul:
+    return "Mul";
+  case Kind::Ite:
+    return "Ite";
+  case Kind::Read:
+    return "Read";
+  case Kind::Store:
+    return "Store";
+  case Kind::Eq:
+    return "Eq";
+  case Kind::Le:
+    return "Le";
+  case Kind::Lt:
+    return "Lt";
+  case Kind::And:
+    return "And";
+  case Kind::Or:
+    return "Or";
+  case Kind::Not:
+    return "Not";
+  case Kind::Implies:
+    return "Implies";
+  case Kind::Forall:
+    return "Forall";
+  case Kind::Exists:
+    return "Exists";
+  case Kind::Card:
+    return "Card";
+  }
+  return "?";
+}
+
+TermManager::TermManager()
+    : Buckets(std::make_unique<
+              std::unordered_map<size_t, std::vector<std::unique_ptr<Node>>>>()) {
+}
+
+TermManager::~TermManager() = default;
+
+static size_t hashNode(Kind K, Sort S, const std::vector<Term> &Kids,
+                       const std::vector<Term> &Binders,
+                       const std::string &Name, int64_t Value) {
+  size_t H = static_cast<size_t>(K) * 1099511628211ULL +
+             static_cast<size_t>(S) * 131;
+  for (const Term &T : Kids)
+    H = H * 1000003 + T.id();
+  for (const Term &T : Binders)
+    H = H * 1000033 + T.id();
+  H = H * 1000037 + std::hash<std::string>()(Name);
+  H = H * 1000039 + std::hash<int64_t>()(Value);
+  return H;
+}
+
+static bool sameNode(const Node &N, Kind K, Sort S,
+                     const std::vector<Term> &Kids,
+                     const std::vector<Term> &Binders,
+                     const std::string &Name, int64_t Value) {
+  if (N.kind() != K || N.sort() != S || N.kids() != Kids)
+    return false;
+  bool HasBinders =
+      K == Kind::Forall || K == Kind::Exists || K == Kind::Card;
+  if (HasBinders && N.binders() != Binders)
+    return false;
+  if (K == Kind::Var && N.name() != Name)
+    return false;
+  if ((K == Kind::IntConst || K == Kind::BoolConst) && N.value() != Value)
+    return false;
+  return true;
+}
+
+Term TermManager::intern(Kind K, Sort S, std::vector<Term> Kids,
+                         std::vector<Term> Binders, std::string Name,
+                         int64_t Value) {
+  size_t H = hashNode(K, S, Kids, Binders, Name, Value);
+  auto &Bucket = (*Buckets)[H];
+  for (const auto &N : Bucket)
+    if (sameNode(*N, K, S, Kids, Binders, Name, Value))
+      return Term(N.get());
+
+  auto N = std::unique_ptr<Node>(new Node());
+  N->K = K;
+  N->S = S;
+  N->Id = NextId++;
+  N->Kids = std::move(Kids);
+  N->Binders = std::move(Binders);
+  N->Name = std::move(Name);
+  N->Value = Value;
+  ++NumTerms;
+  Term T(N.get());
+  Bucket.push_back(std::move(N));
+  return T;
+}
+
+// -- Leaves -------------------------------------------------------------
+
+Term TermManager::mkVar(const std::string &Name, Sort S) {
+  auto It = Vars.find(Name);
+  if (It != Vars.end()) {
+    assert(It->second.sort() == S && "variable re-declared at another sort");
+    return It->second;
+  }
+  Term T = intern(Kind::Var, S, {}, {}, Name, 0);
+  Vars.emplace(Name, T);
+  return T;
+}
+
+Term TermManager::freshVar(const std::string &Prefix, Sort S) {
+  for (;;) {
+    std::string Name = Prefix + "!" + std::to_string(FreshCounter++);
+    if (!Vars.count(Name))
+      return mkVar(Name, S);
+  }
+}
+
+Term TermManager::mkInt(int64_t V) {
+  return intern(Kind::IntConst, Sort::Int, {}, {}, "", V);
+}
+
+Term TermManager::mkBool(bool V) {
+  return intern(Kind::BoolConst, Sort::Bool, {}, {}, "", V ? 1 : 0);
+}
+
+// -- Arithmetic ----------------------------------------------------------
+
+Term TermManager::mkAdd(std::vector<Term> Ts) {
+  std::vector<Term> Flat;
+  int64_t C = 0;
+  for (Term T : Ts) {
+    assert(T.sort() == Sort::Int && "Add over non-integers");
+    if (T.kind() == Kind::IntConst) {
+      C += T->value();
+      continue;
+    }
+    if (T.kind() == Kind::Add) {
+      for (Term K : T->kids())
+        Flat.push_back(K);
+      continue;
+    }
+    Flat.push_back(T);
+  }
+  if (C != 0 || Flat.empty())
+    Flat.push_back(mkInt(C));
+  if (Flat.size() == 1)
+    return Flat[0];
+  return intern(Kind::Add, Sort::Int, std::move(Flat), {}, "", 0);
+}
+
+Term TermManager::mkSub(Term A, Term B) {
+  assert(A.sort() == Sort::Int && B.sort() == Sort::Int && "Sub sorts");
+  if (A.kind() == Kind::IntConst && B.kind() == Kind::IntConst)
+    return mkInt(A->value() - B->value());
+  if (B.kind() == Kind::IntConst && B->value() == 0)
+    return A;
+  if (A == B)
+    return mkInt(0);
+  return intern(Kind::Sub, Sort::Int, {A, B}, {}, "", 0);
+}
+
+Term TermManager::mkNeg(Term A) {
+  assert(A.sort() == Sort::Int && "Neg sort");
+  if (A.kind() == Kind::IntConst)
+    return mkInt(-A->value());
+  if (A.kind() == Kind::Neg)
+    return A->kid(0);
+  return intern(Kind::Neg, Sort::Int, {A}, {}, "", 0);
+}
+
+Term TermManager::mkMul(Term A, Term B) {
+  assert(A.sort() == Sort::Int && B.sort() == Sort::Int && "Mul sorts");
+  // Keep constants on the left for canonical form.
+  if (B.kind() == Kind::IntConst && A.kind() != Kind::IntConst)
+    std::swap(A, B);
+  if (A.kind() == Kind::IntConst) {
+    if (A->value() == 0)
+      return mkInt(0);
+    if (A->value() == 1)
+      return B;
+    if (B.kind() == Kind::IntConst)
+      return mkInt(A->value() * B->value());
+  }
+  return intern(Kind::Mul, Sort::Int, {A, B}, {}, "", 0);
+}
+
+Term TermManager::mkIte(Term C, Term T, Term E) {
+  assert(C.sort() == Sort::Bool && "Ite condition sort");
+  assert(T.sort() == E.sort() && "Ite branch sorts differ");
+  if (C.kind() == Kind::BoolConst)
+    return C->value() ? T : E;
+  if (T == E)
+    return T;
+  return intern(Kind::Ite, T.sort(), {C, T, E}, {}, "", 0);
+}
+
+// -- Arrays ---------------------------------------------------------------
+
+Term TermManager::mkRead(Term Array, Term Index) {
+  assert(Array.sort() == Sort::Array && "Read of non-array");
+  assert(Index.sort() == Sort::Tid && "Read at non-Tid index");
+  // Read-over-write: store(f, i, v)(i) = v; store(f, i, v)(j) = f(j) only
+  // when i and j are syntactically identical or distinct constants - here
+  // indices are symbolic, so fold only the exact-match case.
+  if (Array.kind() == Kind::Store && Array->kid(1) == Index)
+    return Array->kid(2);
+  return intern(Kind::Read, Sort::Int, {Array, Index}, {}, "", 0);
+}
+
+Term TermManager::mkStore(Term Array, Term Index, Term Value) {
+  assert(Array.sort() == Sort::Array && "Store of non-array");
+  assert(Index.sort() == Sort::Tid && "Store at non-Tid index");
+  assert(Value.sort() == Sort::Int && "Store of non-Int value");
+  return intern(Kind::Store, Sort::Array, {Array, Index, Value}, {}, "", 0);
+}
+
+// -- Atoms -----------------------------------------------------------------
+
+Term TermManager::mkEq(Term A, Term B) {
+  assert(A.sort() == B.sort() && "Eq sorts differ");
+  if (A == B)
+    return mkTrue();
+  if (A.kind() == Kind::IntConst && B.kind() == Kind::IntConst)
+    return mkBool(A->value() == B->value());
+  if (A.sort() == Sort::Bool)
+    return mkIff(A, B);
+  // Canonical argument order for the symmetric operator; constants go to
+  // the right so formulas print naturally ("f(t) = 2").
+  bool AConst = A.kind() == Kind::IntConst;
+  bool BConst = B.kind() == Kind::IntConst;
+  if (AConst != BConst ? AConst : B < A)
+    std::swap(A, B);
+  return intern(Kind::Eq, Sort::Bool, {A, B}, {}, "", 0);
+}
+
+Term TermManager::mkLe(Term A, Term B) {
+  assert(A.sort() == Sort::Int && B.sort() == Sort::Int && "Le sorts");
+  if (A.kind() == Kind::IntConst && B.kind() == Kind::IntConst)
+    return mkBool(A->value() <= B->value());
+  if (A == B)
+    return mkTrue();
+  return intern(Kind::Le, Sort::Bool, {A, B}, {}, "", 0);
+}
+
+Term TermManager::mkLt(Term A, Term B) {
+  assert(A.sort() == Sort::Int && B.sort() == Sort::Int && "Lt sorts");
+  if (A.kind() == Kind::IntConst && B.kind() == Kind::IntConst)
+    return mkBool(A->value() < B->value());
+  if (A == B)
+    return mkFalse();
+  return intern(Kind::Lt, Sort::Bool, {A, B}, {}, "", 0);
+}
+
+// -- Boolean structure ------------------------------------------------------
+
+Term TermManager::mkAnd(std::vector<Term> Ts) {
+  std::vector<Term> Flat;
+  for (Term T : Ts) {
+    assert(T.sort() == Sort::Bool && "And over non-Bool");
+    if (T.kind() == Kind::BoolConst) {
+      if (!T->value())
+        return mkFalse();
+      continue;
+    }
+    if (T.kind() == Kind::And) {
+      for (Term K : T->kids())
+        Flat.push_back(K);
+      continue;
+    }
+    Flat.push_back(T);
+  }
+  // Deduplicate while preserving first-occurrence order.
+  std::vector<Term> Uniq;
+  for (Term T : Flat)
+    if (std::find(Uniq.begin(), Uniq.end(), T) == Uniq.end())
+      Uniq.push_back(T);
+  if (Uniq.empty())
+    return mkTrue();
+  if (Uniq.size() == 1)
+    return Uniq[0];
+  return intern(Kind::And, Sort::Bool, std::move(Uniq), {}, "", 0);
+}
+
+Term TermManager::mkOr(std::vector<Term> Ts) {
+  std::vector<Term> Flat;
+  for (Term T : Ts) {
+    assert(T.sort() == Sort::Bool && "Or over non-Bool");
+    if (T.kind() == Kind::BoolConst) {
+      if (T->value())
+        return mkTrue();
+      continue;
+    }
+    if (T.kind() == Kind::Or) {
+      for (Term K : T->kids())
+        Flat.push_back(K);
+      continue;
+    }
+    Flat.push_back(T);
+  }
+  std::vector<Term> Uniq;
+  for (Term T : Flat)
+    if (std::find(Uniq.begin(), Uniq.end(), T) == Uniq.end())
+      Uniq.push_back(T);
+  if (Uniq.empty())
+    return mkFalse();
+  if (Uniq.size() == 1)
+    return Uniq[0];
+  return intern(Kind::Or, Sort::Bool, std::move(Uniq), {}, "", 0);
+}
+
+Term TermManager::mkNot(Term A) {
+  assert(A.sort() == Sort::Bool && "Not over non-Bool");
+  if (A.kind() == Kind::BoolConst)
+    return mkBool(!A->value());
+  if (A.kind() == Kind::Not)
+    return A->kid(0);
+  return intern(Kind::Not, Sort::Bool, {A}, {}, "", 0);
+}
+
+Term TermManager::mkImplies(Term A, Term B) {
+  assert(A.sort() == Sort::Bool && B.sort() == Sort::Bool && "Implies sorts");
+  if (A.kind() == Kind::BoolConst)
+    return A->value() ? B : mkTrue();
+  if (B.kind() == Kind::BoolConst)
+    return B->value() ? mkTrue() : mkNot(A);
+  if (A == B)
+    return mkTrue();
+  return intern(Kind::Implies, Sort::Bool, {A, B}, {}, "", 0);
+}
+
+Term TermManager::mkIff(Term A, Term B) {
+  if (A == B)
+    return mkTrue();
+  return mkAnd(mkImplies(A, B), mkImplies(B, A));
+}
+
+// -- Binders and cardinality --------------------------------------------------
+
+Term TermManager::mkForall(std::vector<Term> Vars, Term Body) {
+  assert(Body.sort() == Sort::Bool && "quantified body must be Bool");
+  for ([[maybe_unused]] Term V : Vars)
+    assert(V.kind() == Kind::Var &&
+           (V.sort() == Sort::Tid || V.sort() == Sort::Int) &&
+           "binder must be a Tid or Int variable");
+  if (Vars.empty() || Body.kind() == Kind::BoolConst)
+    return Body;
+  if (Body.kind() == Kind::Forall) {
+    std::vector<Term> Merged = Vars;
+    for (Term V : Body->binders())
+      Merged.push_back(V);
+    return intern(Kind::Forall, Sort::Bool, {Body->body()}, std::move(Merged),
+                  "", 0);
+  }
+  return intern(Kind::Forall, Sort::Bool, {Body}, std::move(Vars), "", 0);
+}
+
+Term TermManager::mkExists(std::vector<Term> Vars, Term Body) {
+  assert(Body.sort() == Sort::Bool && "quantified body must be Bool");
+  for ([[maybe_unused]] Term V : Vars)
+    assert(V.kind() == Kind::Var &&
+           (V.sort() == Sort::Tid || V.sort() == Sort::Int) &&
+           "binder must be a Tid or Int variable");
+  if (Vars.empty() || Body.kind() == Kind::BoolConst)
+    return Body;
+  if (Body.kind() == Kind::Exists) {
+    std::vector<Term> Merged = Vars;
+    for (Term V : Body->binders())
+      Merged.push_back(V);
+    return intern(Kind::Exists, Sort::Bool, {Body->body()}, std::move(Merged),
+                  "", 0);
+  }
+  return intern(Kind::Exists, Sort::Bool, {Body}, std::move(Vars), "", 0);
+}
+
+Term TermManager::mkCard(Term BoundVar, Term Body) {
+  assert(BoundVar.kind() == Kind::Var && BoundVar.sort() == Sort::Tid &&
+         "Card binds one Tid variable");
+  assert(Body.sort() == Sort::Bool && "Card body must be Bool");
+  return intern(Kind::Card, Sort::Int, {Body}, {BoundVar}, "", 0);
+}

@@ -1,0 +1,277 @@
+//===- logic/Term.h - Hash-consed terms of the combined theory -*- C++ -*-===//
+//
+// Part of sharpie, a reproduction of "Cardinalities and Universal Quantifiers
+// for Verifying Parameterized Systems" (PLDI 2016).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Terms and formulas of the combined theory of linear integer arithmetic,
+/// arrays, and cardinality constraints (paper Sec. 5). Terms are hash-consed
+/// by a TermManager, so structural equality is pointer equality. The theory
+/// is two-sorted over data: integers support arithmetic, thread identifiers
+/// (sort Tid) support only (dis)equality, and arrays map Tid to Int.
+/// Cardinality terms #{t | phi} bind a Tid variable and have sort Int.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SHARPIE_LOGIC_TERM_H
+#define SHARPIE_LOGIC_TERM_H
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace sharpie {
+namespace logic {
+
+class TermManager;
+
+/// The sorts of the combined theory.
+enum class Sort : uint8_t {
+  Bool,  ///< Formulas.
+  Int,   ///< Data values; full linear arithmetic.
+  Tid,   ///< Thread identifiers; equality and array indexing only.
+  Array, ///< Total functions Tid -> Int (process-local state).
+};
+
+/// Returns a human-readable name for \p S.
+const char *sortName(Sort S);
+
+/// Term constructors. Builders normalize Ge/Gt/Ne/Iff away, so the kinds
+/// below are the complete vocabulary seen by traversals.
+enum class Kind : uint8_t {
+  Var,       ///< Named variable of any sort.
+  IntConst,  ///< Integer literal.
+  BoolConst, ///< true / false.
+  Add,       ///< n-ary integer addition.
+  Sub,       ///< Binary integer subtraction.
+  Neg,       ///< Unary integer negation.
+  Mul,       ///< Binary multiplication (at least one side constant).
+  Ite,       ///< If-then-else over Int terms.
+  Read,      ///< Array read f(t): kids = {array, index}.
+  Store,     ///< Array update f[t <- v]: kids = {array, index, value}.
+  Eq,        ///< Equality; both sides of equal sort (incl. Array = Store).
+  Le,        ///< Integer <=.
+  Lt,        ///< Integer <.
+  And,       ///< n-ary conjunction.
+  Or,        ///< n-ary disjunction.
+  Not,       ///< Negation.
+  Implies,   ///< Implication (kept for readable printing).
+  Forall,    ///< Universal quantifier; binds one or more variables.
+  Exists,    ///< Existential quantifier; binds one or more variables.
+  Card,      ///< #{t | phi}: Int-sorted cardinality of a set of threads.
+};
+
+/// Returns a human-readable name for \p K.
+const char *kindName(Kind K);
+
+class Node;
+
+/// A value-semantics handle to a hash-consed term node. Equality is pointer
+/// identity; ordering uses the node's stable creation id, so iteration
+/// orders derived from Term keys are deterministic.
+class Term {
+public:
+  Term() = default;
+  explicit Term(const Node *N) : Ptr(N) {}
+
+  bool isNull() const { return Ptr == nullptr; }
+  explicit operator bool() const { return Ptr != nullptr; }
+
+  const Node *node() const {
+    assert(Ptr && "dereferencing null Term");
+    return Ptr;
+  }
+  const Node *operator->() const { return node(); }
+
+  Kind kind() const;
+  Sort sort() const;
+  uint32_t id() const;
+
+  bool operator==(const Term &O) const { return Ptr == O.Ptr; }
+  bool operator!=(const Term &O) const { return Ptr != O.Ptr; }
+  bool operator<(const Term &O) const;
+
+private:
+  const Node *Ptr = nullptr;
+};
+
+/// An immutable, hash-consed term node owned by a TermManager.
+class Node {
+public:
+  Kind kind() const { return K; }
+  Sort sort() const { return S; }
+  uint32_t id() const { return Id; }
+
+  /// Children. For Read: {array, index}; for Store: {array, index, value};
+  /// for binders and Card: {body}.
+  const std::vector<Term> &kids() const { return Kids; }
+  Term kid(unsigned I) const {
+    assert(I < Kids.size() && "kid index out of range");
+    return Kids[I];
+  }
+  unsigned numKids() const { return static_cast<unsigned>(Kids.size()); }
+
+  /// Variable name; only meaningful for Kind::Var.
+  const std::string &name() const {
+    assert(K == Kind::Var && "name() on non-variable");
+    return Name;
+  }
+
+  /// Literal value; only meaningful for IntConst (the value) and BoolConst
+  /// (0 or 1).
+  int64_t value() const {
+    assert((K == Kind::IntConst || K == Kind::BoolConst) &&
+           "value() on non-literal");
+    return Value;
+  }
+
+  /// Bound variables; only meaningful for Forall/Exists/Card. For Card the
+  /// list has exactly one Tid-sorted entry.
+  const std::vector<Term> &binders() const {
+    assert((K == Kind::Forall || K == Kind::Exists || K == Kind::Card) &&
+           "binders() on non-binder");
+    return Binders;
+  }
+
+  /// The body of a binder or Card term.
+  Term body() const {
+    assert((K == Kind::Forall || K == Kind::Exists || K == Kind::Card) &&
+           "body() on non-binder");
+    return Kids[0];
+  }
+
+private:
+  friend class TermManager;
+  Node() = default;
+
+  Kind K = Kind::Var;
+  Sort S = Sort::Bool;
+  uint32_t Id = 0;
+  std::vector<Term> Kids;
+  std::vector<Term> Binders;
+  std::string Name;
+  int64_t Value = 0;
+};
+
+inline Kind Term::kind() const { return node()->kind(); }
+inline Sort Term::sort() const { return node()->sort(); }
+inline uint32_t Term::id() const { return node()->id(); }
+inline bool Term::operator<(const Term &O) const {
+  if (Ptr == O.Ptr)
+    return false;
+  if (!Ptr)
+    return true;
+  if (!O.Ptr)
+    return false;
+  return Ptr->id() < O.Ptr->id();
+}
+
+/// Creates and uniquifies terms. All terms built by one manager may be mixed
+/// freely; terms from different managers must never meet. Builders perform
+/// light, local normalization (constant folding, flattening of And/Or/Add,
+/// unit laws) so that trivially equal formulas are pointer-equal.
+class TermManager {
+public:
+  TermManager();
+  TermManager(const TermManager &) = delete;
+  TermManager &operator=(const TermManager &) = delete;
+  ~TermManager();
+
+  // -- Leaves ---------------------------------------------------------------
+
+  /// Returns the unique variable with \p Name and \p S. Reuse of a name with
+  /// a different sort is a programming error.
+  Term mkVar(const std::string &Name, Sort S);
+
+  /// Returns a fresh variable "Prefix!n" guaranteed not to collide with any
+  /// variable created so far.
+  Term freshVar(const std::string &Prefix, Sort S);
+
+  Term mkInt(int64_t V);
+  Term mkBool(bool V);
+  Term mkTrue() { return mkBool(true); }
+  Term mkFalse() { return mkBool(false); }
+
+  // -- Arithmetic -----------------------------------------------------------
+
+  Term mkAdd(std::vector<Term> Ts);
+  Term mkAdd(Term A, Term B) { return mkAdd(std::vector<Term>{A, B}); }
+  Term mkSub(Term A, Term B);
+  Term mkNeg(Term A);
+  Term mkMul(Term A, Term B);
+  Term mkIte(Term C, Term T, Term E);
+
+  // -- Arrays ---------------------------------------------------------------
+
+  Term mkRead(Term Array, Term Index);
+  Term mkStore(Term Array, Term Index, Term Value);
+
+  // -- Atoms ----------------------------------------------------------------
+
+  Term mkEq(Term A, Term B);
+  Term mkNe(Term A, Term B) { return mkNot(mkEq(A, B)); }
+  Term mkLe(Term A, Term B);
+  Term mkLt(Term A, Term B);
+  Term mkGe(Term A, Term B) { return mkLe(B, A); }
+  Term mkGt(Term A, Term B) { return mkLt(B, A); }
+
+  // -- Boolean structure ----------------------------------------------------
+
+  Term mkAnd(std::vector<Term> Ts);
+  Term mkAnd(Term A, Term B) { return mkAnd(std::vector<Term>{A, B}); }
+  Term mkOr(std::vector<Term> Ts);
+  Term mkOr(Term A, Term B) { return mkOr(std::vector<Term>{A, B}); }
+  Term mkNot(Term A);
+  Term mkImplies(Term A, Term B);
+  Term mkIff(Term A, Term B);
+
+  // -- Binders and cardinality ----------------------------------------------
+
+  /// Builds forall Vars. Body. Vars must be Tid- or Int-sorted variables.
+  Term mkForall(std::vector<Term> Vars, Term Body);
+  Term mkExists(std::vector<Term> Vars, Term Body);
+
+  /// Builds the cardinality term #{BoundVar | Body} of sort Int. BoundVar
+  /// must be Tid-sorted; Body must not contain Store (paper Sec. 5).
+  Term mkCard(Term BoundVar, Term Body);
+
+  /// Number of terms created so far (diagnostics).
+  size_t numTerms() const { return NumTerms; }
+
+private:
+  Term intern(Kind K, Sort S, std::vector<Term> Kids,
+              std::vector<Term> Binders, std::string Name, int64_t Value);
+
+  struct NodeKey;
+  struct NodeKeyHash;
+  struct NodeKeyEq;
+
+  std::unordered_map<std::string, Term> Vars;
+  // Keyed by structural content; owns nothing (nodes owned by Pool).
+  std::unique_ptr<
+      std::unordered_map<size_t, std::vector<std::unique_ptr<Node>>>>
+      Buckets;
+  uint32_t NextId = 0;
+  uint64_t FreshCounter = 0;
+  size_t NumTerms = 0;
+};
+
+/// Hash functor so Term can key unordered containers.
+struct TermHash {
+  size_t operator()(const Term &T) const {
+    return std::hash<const void *>()(T.isNull() ? nullptr : T.node());
+  }
+};
+
+using TermVec = std::vector<Term>;
+
+} // namespace logic
+} // namespace sharpie
+
+#endif // SHARPIE_LOGIC_TERM_H

@@ -1,0 +1,484 @@
+//===- logic/TermOps.cpp - Traversals over terms ---------------------------===//
+//
+// Part of sharpie. See TermOps.h.
+//
+//===----------------------------------------------------------------------===//
+
+#include "logic/TermOps.h"
+
+#include <sstream>
+
+using namespace sharpie;
+using namespace sharpie::logic;
+
+// -- Node rebuilding ----------------------------------------------------------
+
+/// Rebuilds a non-leaf, non-binder node of kind \p K from new children,
+/// re-running builder normalization.
+static Term rebuildApplied(TermManager &M, Kind K,
+                           const std::vector<Term> &Kids) {
+  switch (K) {
+  case Kind::Add:
+    return M.mkAdd(Kids);
+  case Kind::Sub:
+    return M.mkSub(Kids[0], Kids[1]);
+  case Kind::Neg:
+    return M.mkNeg(Kids[0]);
+  case Kind::Mul:
+    return M.mkMul(Kids[0], Kids[1]);
+  case Kind::Ite:
+    return M.mkIte(Kids[0], Kids[1], Kids[2]);
+  case Kind::Read:
+    return M.mkRead(Kids[0], Kids[1]);
+  case Kind::Store:
+    return M.mkStore(Kids[0], Kids[1], Kids[2]);
+  case Kind::Eq:
+    return M.mkEq(Kids[0], Kids[1]);
+  case Kind::Le:
+    return M.mkLe(Kids[0], Kids[1]);
+  case Kind::Lt:
+    return M.mkLt(Kids[0], Kids[1]);
+  case Kind::And:
+    return M.mkAnd(Kids);
+  case Kind::Or:
+    return M.mkOr(Kids);
+  case Kind::Not:
+    return M.mkNot(Kids[0]);
+  case Kind::Implies:
+    return M.mkImplies(Kids[0], Kids[1]);
+  default:
+    assert(false && "unexpected kind in rebuildApplied");
+    return Term();
+  }
+}
+
+// -- Substitution -----------------------------------------------------------
+
+namespace {
+
+/// Recursive capture-avoiding substitution. A memo map caches results per
+/// active substitution; crossing a binder narrows the substitution, so the
+/// memo is only reused while no binder has been crossed (each recursive
+/// scope owns its own memo).
+class Substituter {
+public:
+  Substituter(TermManager &M, const Subst &S) : M(M), S(S) {}
+
+  Term run(Term T) {
+    std::map<Term, Term> Memo;
+    return walk(T, S, Memo);
+  }
+
+private:
+  Term walk(Term T, const Subst &Sub, std::map<Term, Term> &Memo) {
+    if (Sub.empty())
+      return T;
+    auto It = Memo.find(T);
+    if (It != Memo.end())
+      return It->second;
+    Term R = rebuild(T, Sub, Memo);
+    Memo.emplace(T, R);
+    return R;
+  }
+
+  Term rebuild(Term T, const Subst &Sub, std::map<Term, Term> &Memo) {
+    const Node *N = T.node();
+    switch (N->kind()) {
+    case Kind::Var: {
+      auto It = Sub.find(T);
+      return It == Sub.end() ? T : It->second;
+    }
+    case Kind::IntConst:
+    case Kind::BoolConst:
+      return T;
+    case Kind::Forall:
+    case Kind::Exists:
+    case Kind::Card: {
+      // Narrow the substitution: bound variables shadow outer bindings.
+      Subst Inner = Sub;
+      for (Term B : N->binders())
+        Inner.erase(B);
+      if (Inner.empty())
+        return T;
+      // Rename bound variables that would capture free variables of the
+      // replacement terms.
+      std::set<Term> RangeVars;
+      for (const auto &[K, V] : Inner) {
+        (void)K;
+        std::set<Term> FV = freeVars(V);
+        RangeVars.insert(FV.begin(), FV.end());
+      }
+      std::vector<Term> NewBinders;
+      Subst Rename;
+      bool Renamed = false;
+      for (Term B : N->binders()) {
+        if (RangeVars.count(B)) {
+          Term Fresh = M.freshVar(B->name(), B.sort());
+          Rename[B] = Fresh;
+          NewBinders.push_back(Fresh);
+          Renamed = true;
+        } else {
+          NewBinders.push_back(B);
+        }
+      }
+      Term Body = N->body();
+      if (Renamed) {
+        std::map<Term, Term> RenameMemo;
+        Body = walk(Body, Rename, RenameMemo);
+      }
+      std::map<Term, Term> InnerMemo;
+      Term NewBody = walk(Body, Inner, InnerMemo);
+      if (N->kind() == Kind::Forall)
+        return M.mkForall(NewBinders, NewBody);
+      if (N->kind() == Kind::Exists)
+        return M.mkExists(NewBinders, NewBody);
+      return M.mkCard(NewBinders[0], NewBody);
+    }
+    default: {
+      std::vector<Term> Kids;
+      Kids.reserve(N->numKids());
+      bool Changed = false;
+      for (Term K : N->kids()) {
+        Term NK = walk(K, Sub, Memo);
+        Changed |= NK != K;
+        Kids.push_back(NK);
+      }
+      if (!Changed)
+        return T;
+      return rebuildApplied(M, N->kind(), Kids);
+    }
+    }
+  }
+
+  TermManager &M;
+  const Subst &S;
+};
+
+} // namespace
+
+Term sharpie::logic::substitute(TermManager &M, Term T, const Subst &S) {
+#ifndef NDEBUG
+  for (const auto &[K, V] : S) {
+    assert(K.kind() == Kind::Var && "substitution key must be a variable");
+    assert(K.sort() == V.sort() && "substitution changes sort");
+  }
+#endif
+  return Substituter(M, S).run(T);
+}
+
+// -- Free variables -----------------------------------------------------------
+
+static void freeVarsRec(Term T, std::set<Term> &Bound, std::set<Term> &Out) {
+  const Node *N = T.node();
+  switch (N->kind()) {
+  case Kind::Var:
+    if (!Bound.count(T))
+      Out.insert(T);
+    return;
+  case Kind::IntConst:
+  case Kind::BoolConst:
+    return;
+  case Kind::Forall:
+  case Kind::Exists:
+  case Kind::Card: {
+    std::vector<Term> Added;
+    for (Term B : N->binders())
+      if (Bound.insert(B).second)
+        Added.push_back(B);
+    freeVarsRec(N->body(), Bound, Out);
+    for (Term B : Added)
+      Bound.erase(B);
+    return;
+  }
+  default:
+    for (Term K : N->kids())
+      freeVarsRec(K, Bound, Out);
+    return;
+  }
+}
+
+std::set<Term> sharpie::logic::freeVars(Term T) {
+  std::set<Term> Bound, Out;
+  freeVarsRec(T, Bound, Out);
+  return Out;
+}
+
+// -- Collection ----------------------------------------------------------------
+
+static void collectRec(Term T, const std::function<bool(Term)> &Pred,
+                       std::set<Term> &Seen, std::set<Term> &Out) {
+  if (!Seen.insert(T).second)
+    return;
+  if (Pred(T))
+    Out.insert(T);
+  const Node *N = T.node();
+  for (Term K : N->kids())
+    collectRec(K, Pred, Seen, Out);
+}
+
+std::set<Term>
+sharpie::logic::collectSubterms(Term T,
+                                const std::function<bool(Term)> &Pred) {
+  std::set<Term> Seen, Out;
+  collectRec(T, Pred, Seen, Out);
+  return Out;
+}
+
+bool sharpie::logic::containsKind(Term T, Kind K) {
+  std::set<Term> Hits =
+      collectSubterms(T, [K](Term S) { return S.kind() == K; });
+  return !Hits.empty();
+}
+
+// -- Whole-subterm replacement ---------------------------------------------------
+
+static Term replaceRec(TermManager &M, Term T,
+                       const std::map<Term, Term> &Map,
+                       std::map<Term, Term> &Memo) {
+  auto Hit = Map.find(T);
+  if (Hit != Map.end())
+    return Hit->second;
+  auto MemoIt = Memo.find(T);
+  if (MemoIt != Memo.end())
+    return MemoIt->second;
+  const Node *N = T.node();
+  Term R = T;
+  switch (N->kind()) {
+  case Kind::Var:
+  case Kind::IntConst:
+  case Kind::BoolConst:
+    break;
+  case Kind::Forall:
+  case Kind::Exists:
+  case Kind::Card: {
+    Term Body = replaceRec(M, N->body(), Map, Memo);
+    if (Body != N->body()) {
+      if (N->kind() == Kind::Forall)
+        R = M.mkForall(N->binders(), Body);
+      else if (N->kind() == Kind::Exists)
+        R = M.mkExists(N->binders(), Body);
+      else
+        R = M.mkCard(N->binders()[0], Body);
+    }
+    break;
+  }
+  default: {
+    std::vector<Term> Kids;
+    Kids.reserve(N->numKids());
+    bool Changed = false;
+    for (Term K : N->kids()) {
+      Term NK = replaceRec(M, K, Map, Memo);
+      Changed |= NK != K;
+      Kids.push_back(NK);
+    }
+    if (Changed)
+      R = rebuildApplied(M, N->kind(), Kids);
+    break;
+  }
+  }
+  Memo.emplace(T, R);
+  return R;
+}
+
+Term sharpie::logic::replaceAll(TermManager &M, Term T,
+                                const std::map<Term, Term> &Map) {
+  if (Map.empty())
+    return T;
+  std::map<Term, Term> Memo;
+  return replaceRec(M, T, Map, Memo);
+}
+
+// -- Negation normal form ------------------------------------------------------
+
+static Term nnf(TermManager &M, Term T, bool Negate) {
+  const Node *N = T.node();
+  switch (N->kind()) {
+  case Kind::BoolConst:
+    return M.mkBool(Negate ? !N->value() : N->value() != 0);
+  case Kind::Not:
+    return nnf(M, N->kid(0), !Negate);
+  case Kind::And: {
+    std::vector<Term> Kids;
+    for (Term K : N->kids())
+      Kids.push_back(nnf(M, K, Negate));
+    return Negate ? M.mkOr(Kids) : M.mkAnd(Kids);
+  }
+  case Kind::Or: {
+    std::vector<Term> Kids;
+    for (Term K : N->kids())
+      Kids.push_back(nnf(M, K, Negate));
+    return Negate ? M.mkAnd(Kids) : M.mkOr(Kids);
+  }
+  case Kind::Implies: {
+    Term A = nnf(M, N->kid(0), !Negate);
+    Term B = nnf(M, N->kid(1), Negate);
+    return Negate ? M.mkAnd(A, B) : M.mkOr(A, B);
+  }
+  case Kind::Forall: {
+    Term Body = nnf(M, N->body(), Negate);
+    return Negate ? M.mkExists(N->binders(), Body)
+                  : M.mkForall(N->binders(), Body);
+  }
+  case Kind::Exists: {
+    Term Body = nnf(M, N->body(), Negate);
+    return Negate ? M.mkForall(N->binders(), Body)
+                  : M.mkExists(N->binders(), Body);
+  }
+  default:
+    // Atom (comparison over Int/Tid/Array terms, possibly with Card inside).
+    return Negate ? M.mkNot(T) : T;
+  }
+}
+
+Term sharpie::logic::toNnf(TermManager &M, Term T) {
+  assert(T.sort() == Sort::Bool && "NNF of a non-formula");
+  return nnf(M, T, false);
+}
+
+// -- Printing --------------------------------------------------------------------
+
+namespace {
+
+void print(std::ostringstream &OS, Term T);
+
+void printNary(std::ostringstream &OS, const Node *N, const char *Op) {
+  OS << "(";
+  for (unsigned I = 0; I < N->numKids(); ++I) {
+    if (I)
+      OS << " " << Op << " ";
+    print(OS, N->kid(I));
+  }
+  OS << ")";
+}
+
+void printBinders(std::ostringstream &OS, const Node *N) {
+  for (unsigned I = 0; I < N->binders().size(); ++I) {
+    if (I)
+      OS << ",";
+    OS << N->binders()[I]->name();
+  }
+}
+
+void print(std::ostringstream &OS, Term T) {
+  const Node *N = T.node();
+  switch (N->kind()) {
+  case Kind::Var:
+    OS << N->name();
+    return;
+  case Kind::IntConst:
+    OS << N->value();
+    return;
+  case Kind::BoolConst:
+    OS << (N->value() ? "true" : "false");
+    return;
+  case Kind::Add:
+    printNary(OS, N, "+");
+    return;
+  case Kind::Sub:
+    printNary(OS, N, "-");
+    return;
+  case Kind::Neg:
+    OS << "-";
+    print(OS, N->kid(0));
+    return;
+  case Kind::Mul:
+    printNary(OS, N, "*");
+    return;
+  case Kind::Ite:
+    OS << "ite(";
+    print(OS, N->kid(0));
+    OS << ", ";
+    print(OS, N->kid(1));
+    OS << ", ";
+    print(OS, N->kid(2));
+    OS << ")";
+    return;
+  case Kind::Read:
+    print(OS, N->kid(0));
+    OS << "(";
+    print(OS, N->kid(1));
+    OS << ")";
+    return;
+  case Kind::Store:
+    print(OS, N->kid(0));
+    OS << "[";
+    print(OS, N->kid(1));
+    OS << " <- ";
+    print(OS, N->kid(2));
+    OS << "]";
+    return;
+  case Kind::Eq:
+    OS << "(";
+    print(OS, N->kid(0));
+    OS << " = ";
+    print(OS, N->kid(1));
+    OS << ")";
+    return;
+  case Kind::Le:
+    OS << "(";
+    print(OS, N->kid(0));
+    OS << " <= ";
+    print(OS, N->kid(1));
+    OS << ")";
+    return;
+  case Kind::Lt:
+    OS << "(";
+    print(OS, N->kid(0));
+    OS << " < ";
+    print(OS, N->kid(1));
+    OS << ")";
+    return;
+  case Kind::And:
+    printNary(OS, N, "/\\");
+    return;
+  case Kind::Or:
+    printNary(OS, N, "\\/");
+    return;
+  case Kind::Not:
+    OS << "~";
+    print(OS, N->kid(0));
+    return;
+  case Kind::Implies:
+    OS << "(";
+    print(OS, N->kid(0));
+    OS << " -> ";
+    print(OS, N->kid(1));
+    OS << ")";
+    return;
+  case Kind::Forall:
+    OS << "(forall ";
+    printBinders(OS, N);
+    OS << ". ";
+    print(OS, N->body());
+    OS << ")";
+    return;
+  case Kind::Exists:
+    OS << "(exists ";
+    printBinders(OS, N);
+    OS << ". ";
+    print(OS, N->body());
+    OS << ")";
+    return;
+  case Kind::Card:
+    OS << "#{";
+    printBinders(OS, N);
+    OS << " | ";
+    print(OS, N->body());
+    OS << "}";
+    return;
+  }
+}
+
+} // namespace
+
+size_t sharpie::logic::termSize(Term T) {
+  return collectSubterms(T, [](Term) { return true; }).size();
+}
+
+std::string sharpie::logic::toString(Term T) {
+  if (T.isNull())
+    return "<null>";
+  std::ostringstream OS;
+  print(OS, T);
+  return OS.str();
+}

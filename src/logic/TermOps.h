@@ -1,0 +1,62 @@
+//===- logic/TermOps.h - Traversals over terms ------------------*- C++ -*-===//
+//
+// Part of sharpie. Substitution, free variables, subterm collection, and
+// negation normal form for the term language of Term.h.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SHARPIE_LOGIC_TERMOPS_H
+#define SHARPIE_LOGIC_TERMOPS_H
+
+#include "logic/Term.h"
+
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+
+namespace sharpie {
+namespace logic {
+
+/// Maps variables to replacement terms (same sort).
+using Subst = std::map<Term, Term>;
+
+/// Replaces free occurrences of the variables in \p S inside \p T.
+/// Capture-avoiding: bound variables that clash with free variables of the
+/// replacement terms are renamed to fresh variables.
+Term substitute(TermManager &M, Term T, const Subst &S);
+
+/// Returns the free variables of \p T in deterministic (creation id) order.
+std::set<Term> freeVars(Term T);
+
+/// Collects all subterms of \p T (including under binders) for which
+/// \p Pred holds, deduplicated, in deterministic order. Does not recurse
+/// into subterms that matched (a matched Card term's body is still visited).
+std::set<Term> collectSubterms(Term T,
+                               const std::function<bool(Term)> &Pred);
+
+/// True iff \p T contains a subterm of kind \p K anywhere (incl. binders).
+bool containsKind(Term T, Kind K);
+
+/// Replaces every occurrence of each key of \p Map (an arbitrary subterm,
+/// not necessarily a variable) by its value. Matching is purely structural;
+/// keys that contain variables bound inside \p T never match (the bound
+/// occurrences are distinct terms), so the replacement cannot capture.
+Term replaceAll(TermManager &M, Term T, const std::map<Term, Term> &Map);
+
+/// Negation normal form: eliminates Implies, pushes Not down to atoms, and
+/// flips quantifiers under negation. Card terms are left untouched (they are
+/// Int-sorted and opaque to NNF); their bodies are *not* normalized.
+Term toNnf(TermManager &M, Term T);
+
+/// Renders \p T in a compact, paper-style syntax, e.g.
+/// "#{t | pc(t) = 2} <= a" or "forall t. pc(t) = 1".
+std::string toString(Term T);
+
+/// Number of distinct subterms of \p T (DAG size; diagnostics).
+size_t termSize(Term T);
+
+} // namespace logic
+} // namespace sharpie
+
+#endif // SHARPIE_LOGIC_TERMOPS_H

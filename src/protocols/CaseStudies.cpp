@@ -1,0 +1,273 @@
+//===- protocols/CaseStudies.cpp - Figure 6 lower-table case studies ----------===//
+//
+// Part of sharpie. The three flagship case studies of paper Sec. 2:
+// the ticket lock (Fig. 1), the filter lock (Fig. 2), and the one-third
+// rule consensus protocol in the heard-of model (Fig. 3). All three need
+// the Venn decomposition (paper Sec. 5.2).
+//
+//===----------------------------------------------------------------------===//
+
+#include "protocols/Protocols.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace sharpie;
+using namespace sharpie::protocols;
+using logic::Sort;
+using logic::Term;
+using logic::TermManager;
+using sys::ParamSystem;
+using sys::Transition;
+
+// -- Ticket lock (paper Fig. 1) -----------------------------------------------------
+
+ProtocolBundle protocols::makeTicketLock(TermManager &M) {
+  ProtocolBundle B;
+  B.Sys = std::make_unique<ParamSystem>(M, "ticket");
+  ParamSystem &S = *B.Sys;
+  Term Tick = S.addGlobal("tick"); // the ticket dispenser t of Fig. 1
+  Term Serv = S.addGlobal("serv"); // the service counter s of Fig. 1
+  Term PC = S.addLocal("pc");
+  Term Mv = S.addLocal("m");
+  Term T = M.mkVar("ti", Sort::Tid);
+
+  // Locations: 1 before lock(), 2 spinning on m > s, 3 critical section.
+  S.setInit(M.mkAnd(
+      {M.mkEq(Tick, M.mkInt(0)), M.mkEq(Serv, M.mkInt(0)),
+       M.mkForall({T}, M.mkAnd(M.mkEq(M.mkRead(PC, T), M.mkInt(1)),
+                               M.mkEq(M.mkRead(Mv, T), M.mkInt(-1))))}));
+
+  Transition &Draw = S.addTransition("draw", M.mkEq(S.my(PC), M.mkInt(1)));
+  Draw.LocalUpd[Mv] = Tick;
+  Draw.LocalUpd[PC] = M.mkInt(2);
+  Draw.GlobalUpd[Tick] = M.mkAdd(Tick, M.mkInt(1));
+
+  Transition &Enter = S.addTransition(
+      "enter", M.mkAnd(M.mkEq(S.my(PC), M.mkInt(2)),
+                       M.mkLe(S.my(Mv), Serv)));
+  Enter.LocalUpd[PC] = M.mkInt(3);
+
+  Transition &Leave = S.addTransition("leave", M.mkEq(S.my(PC), M.mkInt(3)));
+  Leave.LocalUpd[PC] = M.mkInt(1);
+  Leave.GlobalUpd[Serv] = M.mkAdd(Serv, M.mkInt(1));
+
+  S.setSafe(M.mkLe(M.mkCard(T, M.mkEq(M.mkRead(PC, T), M.mkInt(3))),
+                   M.mkInt(1)));
+
+  S.CustomInit = [&S, PC, Mv](int64_t N) {
+    sys::ParamSystem::State St;
+    St.DomainSize = N;
+    for (Term G : S.globals())
+      St.Scalars[G] = 0;
+    St.Arrays[PC] = std::vector<int64_t>(static_cast<size_t>(N), 1);
+    St.Arrays[Mv] = std::vector<int64_t>(static_cast<size_t>(N), -1);
+    return std::vector<sys::ParamSystem::State>{St};
+  };
+
+  B.Shape = {3, {Sort::Int}};
+  synth::Formals F = synth::formalsFor(M, B.Shape);
+  B.QGuard = M.mkGe(F.Q[0], M.mkInt(0)); // Tickets are non-negative.
+  B.Explicit.NumThreads = 3;
+  B.Explicit.MaxStates = 6000; // Counters grow without bound; prefix only.
+  B.NeedsVenn = true;
+  B.Property = "#{t | pc(t) = 3} <= 1";
+  B.PaperCards =
+      "#{t | m(t) <= s /\\ pc(t) = 2}, #{t | pc(t) = 3}, #{t | m(t) = q}";
+  B.PaperTime = "20.9s";
+  return B;
+}
+
+// -- Filter lock (paper Fig. 2) ---------------------------------------------------------
+
+ProtocolBundle protocols::makeFilterLock(TermManager &M) {
+  ProtocolBundle B;
+  B.Sys = std::make_unique<ParamSystem>(M, "filter");
+  ParamSystem &S = *B.Sys;
+  Term N = S.addGlobal("n");
+  Term Lv = S.addLocal("lv"); // Current level of each thread.
+  Term T = M.mkVar("ti", Sort::Tid);
+  Term U = M.mkVar("u", Sort::Tid);
+  S.setSizeVar(N);
+
+  S.setInit(M.mkAnd(M.mkGe(N, M.mkInt(2)),
+                    M.mkForall({T}, M.mkEq(M.mkRead(Lv, T), M.mkInt(0)))));
+
+  // Fig. 2 line 5: a thread at level i < n-1 may advance to i+1 when either
+  // nobody is above i, or at least two threads sit at i. (The thread's
+  // level variable lv doubles as its loop counter i.)
+  Term I = S.my(Lv);
+  Term NoneAbove =
+      M.mkEq(M.mkCard(U, M.mkGt(M.mkRead(Lv, U), I)), M.mkInt(0));
+  Term TwoHere =
+      M.mkGe(M.mkCard(U, M.mkEq(M.mkRead(Lv, U), I)), M.mkInt(2));
+  Transition &Adv = S.addTransition(
+      "advance", M.mkAnd(M.mkLt(I, M.mkSub(N, M.mkInt(1))),
+                         M.mkOr(NoneAbove, TwoHere)));
+  Adv.LocalUpd[Lv] = M.mkAdd(I, M.mkInt(1));
+
+  S.setSafe(M.mkLe(
+      M.mkCard(T, M.mkEq(M.mkRead(Lv, T), M.mkSub(N, M.mkInt(1)))),
+      M.mkInt(1)));
+
+  S.CustomInit = [&S, Lv, N](int64_t Nv) {
+    sys::ParamSystem::State St;
+    St.DomainSize = Nv;
+    St.Scalars[N] = Nv;
+    St.Arrays[Lv] = std::vector<int64_t>(static_cast<size_t>(Nv), 0);
+    return std::vector<sys::ParamSystem::State>{St};
+  };
+
+  B.Shape = {1, {Sort::Int}};
+  synth::Formals F = synth::formalsFor(M, B.Shape);
+  B.QGuard = M.mkAnd(M.mkGe(F.Q[0], M.mkInt(0)),
+                     M.mkLe(F.Q[0], M.mkSub(N, M.mkInt(1))));
+  B.Explicit.NumThreads = 4;
+  B.NeedsVenn = true;
+  B.Property = "#{t | lv(t) = n-1} <= 1";
+  B.PaperCards = "#{t | lv(t) >= q}";
+  B.PaperTime = "27.5s";
+  return B;
+}
+
+// -- One-third rule (paper Fig. 3) ----------------------------------------------------------
+
+ProtocolBundle protocols::makeOneThird(TermManager &M) {
+  ProtocolBundle B;
+  B.Sys = std::make_unique<ParamSystem>(M, "one-third");
+  ParamSystem &S = *B.Sys;
+  Term N = S.addGlobal("n");
+  Term X = S.addLocal("x");     // Current candidate value.
+  Term Res = S.addLocal("res"); // Decision (-1 = undecided).
+  Term T = M.mkVar("ti", Sort::Tid);
+  S.setSizeVar(N);
+
+  S.setInit(M.mkAnd(
+      M.mkGe(N, M.mkInt(1)),
+      M.mkForall({T}, M.mkAnd(M.mkGe(M.mkRead(X, T), M.mkInt(0)),
+                              M.mkEq(M.mkRead(Res, T), M.mkInt(-1))))));
+
+  // Heard-of round, soundly abstracted. Symbolically the round is
+  // interleaved per process (the standard asynchronous reading of
+  // communication-closed rounds): a process that heard > 2n/3 of the
+  // others adopts a value w that (i) some process proposed and (ii) is
+  // forced whenever a value holds a two-thirds majority (with > 2n/3
+  // messages received, the majority value is the unique most-often
+  // received one); it decides iff > 2n/3 processes sent w. The explicit
+  // checker (CustomStepper below) exhaustively executes the *synchronous*
+  // round semantics, and the synthesized invariant is re-checked against
+  // those states, validating the abstraction (see DESIGN.md).
+  Term V = M.mkVar("v_val", Sort::Int);
+  auto CountX = [&](Term Val) {
+    Term U = M.mkVar("u", Sort::Tid);
+    return M.mkCard(U, M.mkEq(M.mkRead(X, U), Val));
+  };
+  auto TwoThirds = [&](Term K) {
+    return M.mkGt(M.mkMul(M.mkInt(3), K), M.mkMul(M.mkInt(2), N));
+  };
+
+  Transition &Upd = S.addTransition("update", M.mkTrue());
+  Term W = S.addChoice(Upd, "w");
+  Upd.Guard = M.mkAnd(
+      M.mkGe(CountX(W), M.mkInt(1)),
+      M.mkForall({V}, M.mkImplies(TwoThirds(CountX(V)), M.mkEq(W, V))));
+  Upd.LocalUpd[X] = W;
+
+  Transition &Dec = S.addTransition("decide", M.mkTrue());
+  Term WD = S.addChoice(Dec, "wd");
+  Dec.Guard = M.mkAnd(
+      {TwoThirds(CountX(WD)),
+       M.mkForall({V}, M.mkImplies(TwoThirds(CountX(V)), M.mkEq(WD, V)))});
+  Dec.LocalUpd[X] = WD;
+  Dec.LocalUpd[Res] = WD;
+
+  // Agreement: two decided processes agree.
+  Term Q1 = M.mkVar("p1", Sort::Tid), Q2 = M.mkVar("p2", Sort::Tid);
+  S.setSafe(M.mkForall(
+      {Q1, Q2},
+      M.mkImplies(M.mkAnd(M.mkGe(M.mkRead(Res, Q1), M.mkInt(0)),
+                          M.mkGe(M.mkRead(Res, Q2), M.mkInt(0))),
+                  M.mkEq(M.mkRead(Res, Q1), M.mkRead(Res, Q2)))));
+
+  S.CustomInit = [&S, X, Res, N](int64_t Nv) {
+    std::vector<sys::ParamSystem::State> Out;
+    // Enumerate initial proposals over {0, 1}.
+    for (int64_t Bits = 0; Bits < (1 << Nv); ++Bits) {
+      sys::ParamSystem::State St;
+      St.DomainSize = Nv;
+      St.Scalars[N] = Nv;
+      std::vector<int64_t> Xs, Rs;
+      for (int64_t I = 0; I < Nv; ++I) {
+        Xs.push_back((Bits >> I) & 1);
+        Rs.push_back(-1);
+      }
+      St.Arrays[X] = Xs;
+      St.Arrays[Res] = Rs;
+      Out.push_back(std::move(St));
+    }
+    return Out;
+  };
+
+  S.CustomStepper = [&S, X, Res, N](const sys::ParamSystem::State &St) {
+    int64_t Nv = St.DomainSize;
+    const std::vector<int64_t> &Xs = St.Arrays.at(X);
+    const std::vector<int64_t> &Rs = St.Arrays.at(Res);
+    std::map<int64_t, int64_t> Count;
+    for (int64_t V2 : Xs)
+      ++Count[V2];
+    // The value forced on updaters, if any (unique when it exists).
+    std::optional<int64_t> Forced;
+    for (auto &[Val, C] : Count)
+      if (3 * C > 2 * Nv)
+        Forced = Val;
+    // Per-process options: skip, or adopt w (forced or any proposed value)
+    // with or without deciding (deciding requires the 2/3 majority of w).
+    struct Opt {
+      int64_t Xv, Rv;
+    };
+    std::vector<std::vector<Opt>> PerProc(Nv);
+    for (int64_t Pi = 0; Pi < Nv; ++Pi) {
+      PerProc[Pi].push_back({Xs[Pi], Rs[Pi]}); // skip
+      std::vector<int64_t> Ws;
+      if (Forced)
+        Ws.push_back(*Forced);
+      else
+        for (auto &[Val, C] : Count)
+          Ws.push_back(Val);
+      for (int64_t W : Ws) {
+        PerProc[Pi].push_back({W, Rs[Pi]});
+        if (3 * Count[W] > 2 * Nv)
+          PerProc[Pi].push_back({W, W});
+      }
+    }
+    std::vector<sys::ParamSystem::State> Out;
+    std::vector<size_t> Pick(Nv, 0);
+    for (;;) {
+      sys::ParamSystem::State Nx = St;
+      std::vector<int64_t> &NX = Nx.Arrays[X];
+      std::vector<int64_t> &NR = Nx.Arrays[Res];
+      for (int64_t Pi = 0; Pi < Nv; ++Pi) {
+        NX[Pi] = PerProc[Pi][Pick[Pi]].Xv;
+        NR[Pi] = PerProc[Pi][Pick[Pi]].Rv;
+      }
+      Out.push_back(std::move(Nx));
+      int64_t I = 0;
+      while (I < Nv && ++Pick[I] == PerProc[I].size()) {
+        Pick[I] = 0;
+        ++I;
+      }
+      if (I == Nv)
+        break;
+    }
+    return Out;
+  };
+
+  B.Shape = {1, {Sort::Tid}};
+  B.Explicit.NumThreads = 3;
+  B.Explicit.MaxStates = 20000;
+  B.NeedsVenn = true;
+  B.Property = "agreement (+ validity, irrevocability via the invariant)";
+  B.PaperCards = "#{t | x(t) = x(q)}";
+  B.PaperTime = "0.8s";
+  return B;
+}

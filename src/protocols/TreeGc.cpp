@@ -1,0 +1,178 @@
+//===- protocols/TreeGc.cpp - tree traverse and garbage collection -------------===//
+//
+// Part of sharpie. The remaining Figure 6 upper-table benchmarks: the tree
+// traversal counting routine of [Farzan et al. 2014] and the tri-colour
+// mark-and-sweep garbage collector of paper Fig. 8.
+//
+//===----------------------------------------------------------------------===//
+
+#include "protocols/Protocols.h"
+
+using namespace sharpie;
+using namespace sharpie::protocols;
+using logic::Sort;
+using logic::Term;
+using logic::TermManager;
+using sys::ParamSystem;
+using sys::Transition;
+
+// -- tree traverse [Farzan et al. 2014] ---------------------------------------------
+//
+// Worker threads consume pending subtrees of a binary tree: an internal
+// node spawns two subtrees (nodes++, pending++ net), a leaf retires one
+// (leaves++, pending--). In any full binary tree, leaves = nodes + 1; the
+// traversal witnesses it when the work list drains. The paper proves this
+// cardinality-free; the invariant is the linear relation
+// leaves + pending = nodes + 1.
+
+ProtocolBundle protocols::makeTreeTraverse(TermManager &M) {
+  ProtocolBundle B;
+  B.Sys = std::make_unique<ParamSystem>(M, "tree-traverse");
+  ParamSystem &S = *B.Sys;
+  Term Nodes = S.addGlobal("nodes");
+  Term Leaves = S.addGlobal("leaves");
+  Term Pending = S.addGlobal("pending");
+  Term PC = S.addLocal("pc");
+  Term T = M.mkVar("ti", Sort::Tid);
+
+  S.setInit(M.mkAnd({M.mkEq(Nodes, M.mkInt(0)), M.mkEq(Leaves, M.mkInt(0)),
+                     M.mkEq(Pending, M.mkInt(1)),
+                     M.mkForall({T}, M.mkEq(M.mkRead(PC, T), M.mkInt(1)))}));
+  Transition &Internal = S.addTransition(
+      "internal", M.mkAnd(M.mkEq(S.my(PC), M.mkInt(1)),
+                          M.mkGe(Pending, M.mkInt(1))));
+  Internal.GlobalUpd[Nodes] = M.mkAdd(Nodes, M.mkInt(1));
+  Internal.GlobalUpd[Pending] = M.mkAdd(Pending, M.mkInt(1));
+  Transition &Leaf = S.addTransition(
+      "leaf", M.mkAnd(M.mkEq(S.my(PC), M.mkInt(1)),
+                      M.mkGe(Pending, M.mkInt(1))));
+  Leaf.GlobalUpd[Leaves] = M.mkAdd(Leaves, M.mkInt(1));
+  Leaf.GlobalUpd[Pending] = M.mkSub(Pending, M.mkInt(1));
+  S.setSafe(M.mkImplies(M.mkEq(Pending, M.mkInt(0)),
+                        M.mkEq(Leaves, M.mkAdd(Nodes, M.mkInt(1)))));
+
+  S.CustomInit = [&S, PC, Pending](int64_t N) {
+    sys::ParamSystem::State St;
+    St.DomainSize = N;
+    for (Term G : S.globals())
+      St.Scalars[G] = 0;
+    St.Scalars[Pending] = 1;
+    St.Arrays[PC] = std::vector<int64_t>(static_cast<size_t>(N), 1);
+    return std::vector<sys::ParamSystem::State>{St};
+  };
+  B.Shape = {0, {}};
+  B.Explicit.NumThreads = 2;
+  B.Explicit.MaxStates = 3000;
+  B.Property = "pending = 0 -> leaves = nodes + 1";
+  B.PaperTime = "4.2s";
+  B.PaperCards = "- (cardinality-free)";
+  return B;
+}
+
+// -- garbage collection (paper Fig. 8) ----------------------------------------------------
+//
+// Tri-colour mark-and-sweep: mutators grey white nodes under a lock; a
+// single marker thread (folded into globals) first greys white nodes and
+// then blackens grey ones, also under the lock. The colour array is
+// indexed by the parametric address space; WHITE=0, GRAY=1, BLACK=2. The
+// auxiliary global mono stays 1 as long as no write ever lightened a
+// node's colour -- monotonicity of the collector, which hinges on the
+// mutual exclusion that the property also asserts. The marker's
+// acquire/act/release is collapsed into one atomic step; this removes only
+// marker-holds-lock interleavings, in which no mutator can be in its
+// critical region (see DESIGN.md).
+
+ProtocolBundle protocols::makeGarbageCollection(TermManager &M) {
+  ProtocolBundle B;
+  B.Sys = std::make_unique<ParamSystem>(M, "garbage-collection");
+  ParamSystem &S = *B.Sys;
+  Term Lock = S.addGlobal("lock");   // 0 free, 1 held by a mutator.
+  Term Mono = S.addGlobal("mono");   // 1 while all writes darkened.
+  Term Phase = S.addGlobal("phase"); // Marker: 1 greying, 2 blackening.
+  Term PC = S.addLocal("pc");
+  Term Color = S.addLocal("color");
+  Term T = M.mkVar("ti", Sort::Tid);
+
+  S.setInit(M.mkAnd({M.mkEq(Lock, M.mkInt(0)), M.mkEq(Mono, M.mkInt(1)),
+                     M.mkEq(Phase, M.mkInt(1)),
+                     M.mkForall({T}, M.mkEq(M.mkRead(PC, T), M.mkInt(1)))}));
+
+  // Mutator: 1 idle; 2..4 critical region (acquire, write, release point).
+  Transition &Acq = S.addTransition(
+      "mut-acquire", M.mkAnd(M.mkEq(S.my(PC), M.mkInt(1)),
+                             M.mkEq(Lock, M.mkInt(0))));
+  Acq.GlobalUpd[Lock] = M.mkInt(1);
+  Acq.LocalUpd[PC] = M.mkInt(2);
+
+  Transition &Write = S.addTransition("mut-write",
+                                      M.mkEq(S.my(PC), M.mkInt(2)));
+  Term Addr = S.addTidChoice(Write, "addr");
+  Term Old = M.mkRead(Color, Addr);
+  // WHITE -> GRAY, anything else unchanged; mono tracks darkening.
+  Term NewColor = M.mkIte(M.mkEq(Old, M.mkInt(0)), M.mkInt(1), Old);
+  Write.Writes.push_back({Color, Addr, NewColor});
+  Write.GlobalUpd[Mono] =
+      M.mkIte(M.mkLt(NewColor, Old), M.mkInt(0), Mono);
+  Write.LocalUpd[PC] = M.mkInt(3);
+
+  Transition &Settle = S.addTransition("mut-settle",
+                                       M.mkEq(S.my(PC), M.mkInt(3)));
+  Settle.LocalUpd[PC] = M.mkInt(4);
+  Transition &Rel = S.addTransition("mut-release",
+                                    M.mkEq(S.my(PC), M.mkInt(4)));
+  Rel.GlobalUpd[Lock] = M.mkInt(0);
+  Rel.LocalUpd[PC] = M.mkInt(1);
+
+  // Marker, phase 1: grey some white node (atomic acquire/act/release,
+  // enabled only while the lock is free).
+  Transition &Grey = S.addTransition(
+      "marker-grey", M.mkAnd(M.mkEq(Lock, M.mkInt(0)),
+                             M.mkEq(Phase, M.mkInt(1))));
+  Term GAddr = S.addTidChoice(Grey, "gaddr");
+  Term GOld = M.mkRead(Color, GAddr);
+  Term GNew = M.mkIte(M.mkEq(GOld, M.mkInt(0)), M.mkInt(1), GOld);
+  Grey.Writes.push_back({Color, GAddr, GNew});
+  Grey.GlobalUpd[Mono] = M.mkIte(M.mkLt(GNew, GOld), M.mkInt(0), Mono);
+
+  // Marker finishes the greying sweep.
+  Transition &Flip = S.addTransition("marker-flip",
+                                     M.mkEq(Phase, M.mkInt(1)));
+  Flip.GlobalUpd[Phase] = M.mkInt(2);
+
+  // Marker, phase 2: blacken a grey node.
+  Transition &Black = S.addTransition(
+      "marker-blacken", M.mkAnd(M.mkEq(Lock, M.mkInt(0)),
+                                M.mkEq(Phase, M.mkInt(2))));
+  Term BAddr = S.addTidChoice(Black, "baddr");
+  Term BOld = M.mkRead(Color, BAddr);
+  Term BNew = M.mkIte(M.mkEq(BOld, M.mkInt(1)), M.mkInt(2), BOld);
+  Black.Writes.push_back({Color, BAddr, BNew});
+  Black.GlobalUpd[Mono] = M.mkIte(M.mkLt(BNew, BOld), M.mkInt(0), Mono);
+
+  // Property (paper Fig. 6): mutator mutual exclusion and monotonicity.
+  S.setSafe(M.mkAnd(
+      M.mkLe(M.mkCard(T, M.mkAnd(M.mkGe(M.mkRead(PC, T), M.mkInt(2)),
+                                 M.mkLe(M.mkRead(PC, T), M.mkInt(4)))),
+             M.mkInt(1)),
+      M.mkEq(Mono, M.mkInt(1))));
+
+  S.CustomInit = [&S, PC, Mono, Phase](int64_t N) {
+    sys::ParamSystem::State St;
+    St.DomainSize = N;
+    for (Term G : S.globals())
+      St.Scalars[G] = 0;
+    St.Scalars[Mono] = 1;
+    St.Scalars[Phase] = 1;
+    for (Term L : S.locals())
+      St.Arrays[L] = std::vector<int64_t>(static_cast<size_t>(N), 0);
+    St.Arrays[PC].assign(static_cast<size_t>(N), 1);
+    return std::vector<sys::ParamSystem::State>{St};
+  };
+  B.Shape = {1, {}};
+  B.Explicit.NumThreads = 3;
+  B.Explicit.MaxStates = 40000;
+  B.Property = "#{t | 2 <= pc(t) <= 4} <= 1 /\\ mono = 1";
+  B.PaperCards = "#{t | 2 <= pc(t) <= 4}";
+  B.PaperTime = "10.1s";
+  return B;
+}

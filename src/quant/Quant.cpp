@@ -1,0 +1,216 @@
+//===- quant/Quant.cpp - Quantifier elimination by instantiation ------------===//
+//
+// Part of sharpie. See Quant.h.
+//
+//===----------------------------------------------------------------------===//
+
+#include "quant/Quant.h"
+
+#include "logic/TermOps.h"
+
+using namespace sharpie;
+using namespace sharpie::quant;
+using logic::Kind;
+using logic::Sort;
+using logic::Subst;
+using logic::Term;
+using logic::TermManager;
+
+// -- Skolemization ------------------------------------------------------------
+
+namespace {
+
+/// Walks an NNF formula outside-in, replacing existential binders by fresh
+/// constants while no universal has been crossed.
+class Skolemizer {
+public:
+  Skolemizer(TermManager &M, SkolemResult &R) : M(M), R(R) {}
+
+  Term walk(Term T, bool UnderForall) {
+    const logic::Node *N = T.node();
+    switch (N->kind()) {
+    case Kind::And:
+    case Kind::Or: {
+      std::vector<Term> Kids;
+      Kids.reserve(N->numKids());
+      for (Term K : N->kids())
+        Kids.push_back(walk(K, UnderForall));
+      return N->kind() == Kind::And ? M.mkAnd(Kids) : M.mkOr(Kids);
+    }
+    case Kind::Exists: {
+      if (UnderForall) {
+        // Would need a skolem function; weaken (positive polarity) to true.
+        R.Complete = false;
+        return M.mkTrue();
+      }
+      Subst S;
+      for (Term B : N->binders()) {
+        Term C = M.freshVar("sk_" + B->name(), B.sort());
+        S[B] = C;
+        R.Skolems.push_back(C);
+      }
+      return walk(substitute(M, N->body(), S), UnderForall);
+    }
+    case Kind::Forall:
+      return M.mkForall(N->binders(), walk(N->body(), /*UnderForall=*/true));
+    default:
+      // Atom or negated atom: NNF guarantees no boolean structure below.
+      return T;
+    }
+  }
+
+private:
+  TermManager &M;
+  SkolemResult &R;
+};
+
+} // namespace
+
+SkolemResult sharpie::quant::skolemize(TermManager &M, Term T) {
+  SkolemResult R;
+  Term N = logic::toNnf(M, T);
+  R.Formula = Skolemizer(M, R).walk(N, /*UnderForall=*/false);
+  return R;
+}
+
+// -- Universal expansion --------------------------------------------------------
+
+namespace {
+
+class Expander {
+public:
+  Expander(TermManager &M, const std::vector<Term> &TidTerms,
+           const std::vector<Term> &IntTerms, const ExpandOptions &Opts,
+           ExpandResult &R)
+      : M(M), TidTerms(TidTerms), IntTerms(IntTerms), Opts(Opts), R(R) {}
+
+  Term walk(Term T) {
+    const logic::Node *N = T.node();
+    switch (N->kind()) {
+    case Kind::And:
+    case Kind::Or: {
+      std::vector<Term> Kids;
+      Kids.reserve(N->numKids());
+      for (Term K : N->kids())
+        Kids.push_back(walk(K));
+      return N->kind() == Kind::And ? M.mkAnd(Kids) : M.mkOr(Kids);
+    }
+    case Kind::Forall:
+      return expand(T);
+    case Kind::Exists:
+      assert(false && "expandForalls requires an existential-free formula");
+      return T;
+    default:
+      return T;
+    }
+  }
+
+private:
+  Term expand(Term Q) {
+    const logic::Node *N = Q.node();
+    const std::vector<Term> &Bs = N->binders();
+    // Estimate the instance count; weaken to true on budget overrun.
+    uint64_t Count = 1;
+    for (Term B : Bs) {
+      uint64_t DomSize =
+          B.sort() == Sort::Tid ? TidTerms.size() : IntTerms.size();
+      if (DomSize == 0) {
+        // No instance terms for this sort: nothing to say, weaken.
+        R.Complete = false;
+        return M.mkTrue();
+      }
+      Count *= DomSize;
+      if (Count + R.NumInstances > Opts.MaxInstantiations) {
+        R.Complete = false;
+        return M.mkTrue();
+      }
+    }
+    std::vector<Term> Instances;
+    Subst S;
+    enumerate(N, 0, S, Instances);
+    R.NumInstances += static_cast<unsigned>(Instances.size());
+    return M.mkAnd(Instances);
+  }
+
+  void enumerate(const logic::Node *N, size_t I, Subst &S,
+                 std::vector<Term> &Out) {
+    const std::vector<Term> &Bs = N->binders();
+    if (I == Bs.size()) {
+      // Recurse to expand nested universals inside the instantiated body.
+      Out.push_back(walk(substitute(M, N->body(), S)));
+      return;
+    }
+    Term B = Bs[I];
+    const std::vector<Term> &Dom =
+        B.sort() == Sort::Tid ? TidTerms : IntTerms;
+    for (Term D : Dom) {
+      S[B] = D;
+      enumerate(N, I + 1, S, Out);
+    }
+    S.erase(B);
+  }
+
+  TermManager &M;
+  const std::vector<Term> &TidTerms;
+  const std::vector<Term> &IntTerms;
+  const ExpandOptions &Opts;
+  ExpandResult &R;
+};
+
+} // namespace
+
+ExpandResult sharpie::quant::expandForalls(TermManager &M, Term T,
+                                           const std::vector<Term> &TidTerms,
+                                           const std::vector<Term> &IntTerms,
+                                           const ExpandOptions &Opts) {
+  ExpandResult R;
+  std::vector<Term> BoundedInt = IntTerms;
+  if (BoundedInt.size() > Opts.MaxIntTerms) {
+    BoundedInt.resize(Opts.MaxIntTerms);
+    R.Complete = false;
+  }
+  R.Formula = Expander(M, TidTerms, BoundedInt, Opts, R).walk(T);
+  return R;
+}
+
+// -- Index-term collection --------------------------------------------------------
+
+std::set<Term> sharpie::quant::tidIndexTerms(Term T) {
+  std::set<Term> Out;
+  for (Term V : logic::freeVars(T))
+    if (V.sort() == Sort::Tid)
+      Out.insert(V);
+  return Out;
+}
+
+std::set<Term> sharpie::quant::intIndexTerms(Term T) {
+  // Bare Int variables are deliberately excluded: in the array property
+  // fragment only read terms and literals act as index/pivot terms, and
+  // including the (numerous) auxiliary counter variables makes expansion
+  // blow up without adding provable facts.
+  std::set<Term> Out;
+  std::set<Term> FV = logic::freeVars(T);
+  auto IsGround = [&FV](Term S) {
+    for (Term V : logic::freeVars(S))
+      if (!FV.count(V))
+        return false;
+    return true;
+  };
+  std::set<Term> Candidates = logic::collectSubterms(T, [&](Term S) {
+    if (S.sort() != Sort::Int)
+      return false;
+    switch (S.kind()) {
+    case Kind::IntConst:
+      return true;
+    case Kind::Read:
+    case Kind::Sub:
+    case Kind::Add:
+      // Ground pivot terms only (no bound variables inside).
+      return IsGround(S);
+    default:
+      return false;
+    }
+  });
+  Out.insert(Candidates.begin(), Candidates.end());
+  return Out;
+}

@@ -1,0 +1,78 @@
+//===- quant/Quant.h - Quantifier elimination by instantiation --*- C++ -*-===//
+//
+// Part of sharpie. Reduces quantified satisfiability queries to ground ones
+// in the style of the array property fragment (Bradley-Manna-Sipma; paper
+// Sec. 5.1 and Remark 1):
+//
+//   * Existentials not below a universal are skolemized by fresh constants
+//     (equisatisfiable).
+//   * Universals are expanded into finite conjunctions over an index set of
+//     ground terms (a weakening, hence sound for proving unsatisfiability;
+//     complete within the array property fragment when the index set covers
+//     all ground index terms).
+//
+// All reductions preserve "Unsat implies Unsat": if the reduced formula is
+// unsatisfiable so is the original. When a step loses information (an
+// existential below a universal, or an expansion budget overrun), the
+// result is flagged incomplete; incompleteness can only make sharpie reject
+// invariants, never accept bad ones.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SHARPIE_QUANT_QUANT_H
+#define SHARPIE_QUANT_QUANT_H
+
+#include "logic/Term.h"
+
+#include <set>
+#include <vector>
+
+namespace sharpie {
+namespace quant {
+
+struct SkolemResult {
+  logic::Term Formula;               ///< NNF, existential-free formula.
+  std::vector<logic::Term> Skolems;  ///< Fresh constants introduced.
+  bool Complete = true;              ///< False if an exists sat below a forall
+                                     ///< and was weakened to true.
+};
+
+/// Converts \p T (a formula whose satisfiability is being checked) to NNF
+/// and replaces every existential that is not in the scope of a universal
+/// by fresh skolem constants. Existentials below universals would need
+/// skolem *functions*; they are weakened to true and flagged.
+SkolemResult skolemize(logic::TermManager &M, logic::Term T);
+
+struct ExpandOptions {
+  unsigned MaxInstantiations = 20000; ///< Total budget of binder instances.
+  unsigned MaxIntTerms = 24;          ///< Cap on Int-sorted index terms.
+};
+
+struct ExpandResult {
+  logic::Term Formula;   ///< Universal-free formula.
+  unsigned NumInstances = 0;
+  bool Complete = true;  ///< False if the budget truncated an expansion.
+};
+
+/// Expands every universal quantifier in the NNF, existential-free formula
+/// \p T into a conjunction of instances: Tid-sorted binders range over
+/// \p TidTerms, Int-sorted binders over \p IntTerms. Universals that exceed
+/// the budget are weakened to true (sound, flagged incomplete).
+ExpandResult expandForalls(logic::TermManager &M, logic::Term T,
+                           const std::vector<logic::Term> &TidTerms,
+                           const std::vector<logic::Term> &IntTerms,
+                           const ExpandOptions &Opts = {});
+
+/// Collects the Tid-sorted index set of \p T: all free Tid variables. (The
+/// term language has no compound Tid-sorted terms.)
+std::set<logic::Term> tidIndexTerms(logic::Term T);
+
+/// Collects candidate instance terms for Int-sorted universals in \p T:
+/// free Int variables, integer literals, and ground array reads occurring
+/// in \p T.
+std::set<logic::Term> intIndexTerms(logic::Term T);
+
+} // namespace quant
+} // namespace sharpie
+
+#endif // SHARPIE_QUANT_QUANT_H

@@ -1,0 +1,116 @@
+//===- smt/Rational.h - Exact rational arithmetic ---------------*- C++ -*-===//
+//
+// Part of sharpie. Small exact rationals over int64 with overflow
+// detection, used by the MiniSolver's simplex core. On overflow the
+// arithmetic raises a sticky flag that the solver turns into an Unknown
+// answer -- never a wrong one.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SHARPIE_SMT_RATIONAL_H
+#define SHARPIE_SMT_RATIONAL_H
+
+#include <cassert>
+#include <cstdint>
+#include <numeric>
+
+namespace sharpie {
+namespace smt {
+
+/// An exact rational Num/Den with Den > 0, normalized. Overflow in any
+/// operation sets the thread-local overflow flag (see rationalOverflowed).
+class Rational {
+public:
+  Rational() = default;
+  Rational(int64_t N) : Num(N) {}
+  Rational(int64_t N, int64_t D) : Num(N), Den(D) { normalize(); }
+
+  int64_t num() const { return Num; }
+  int64_t den() const { return Den; }
+
+  bool isInteger() const { return Den == 1; }
+  int64_t floor() const {
+    if (Num >= 0 || Num % Den == 0)
+      return Num / Den;
+    return Num / Den - 1;
+  }
+  int64_t ceil() const {
+    if (Num <= 0 || Num % Den == 0)
+      return Num / Den;
+    return Num / Den + 1;
+  }
+
+  static bool &overflowFlag() {
+    thread_local bool Flag = false;
+    return Flag;
+  }
+
+  Rational operator+(const Rational &O) const {
+    return Rational(addMul(mul(Num, O.Den), mul(O.Num, Den)),
+                    mul(Den, O.Den));
+  }
+  Rational operator-(const Rational &O) const {
+    return Rational(addMul(mul(Num, O.Den), -mul(O.Num, Den)),
+                    mul(Den, O.Den));
+  }
+  Rational operator*(const Rational &O) const {
+    return Rational(mul(Num, O.Num), mul(Den, O.Den));
+  }
+  Rational operator/(const Rational &O) const {
+    assert(O.Num != 0 && "division by zero");
+    int64_t N = mul(Num, O.Den);
+    int64_t D = mul(Den, O.Num);
+    return Rational(N, D);
+  }
+  Rational operator-() const { return Rational(-Num, Den); }
+
+  bool operator==(const Rational &O) const {
+    return Num == O.Num && Den == O.Den;
+  }
+  bool operator!=(const Rational &O) const { return !(*this == O); }
+  bool operator<(const Rational &O) const {
+    return mul(Num, O.Den) < mul(O.Num, Den);
+  }
+  bool operator<=(const Rational &O) const {
+    return mul(Num, O.Den) <= mul(O.Num, Den);
+  }
+  bool operator>(const Rational &O) const { return O < *this; }
+  bool operator>=(const Rational &O) const { return O <= *this; }
+
+  bool isZero() const { return Num == 0; }
+
+private:
+  void normalize() {
+    if (Den < 0) {
+      Num = -Num;
+      Den = -Den;
+    }
+    assert(Den != 0 && "zero denominator");
+    int64_t G = std::gcd(Num < 0 ? -Num : Num, Den);
+    if (G > 1) {
+      Num /= G;
+      Den /= G;
+    }
+  }
+
+  static int64_t mul(int64_t A, int64_t B) {
+    int64_t R;
+    if (__builtin_mul_overflow(A, B, &R))
+      overflowFlag() = true;
+    return R;
+  }
+  static int64_t addMul(int64_t A, int64_t B) {
+    int64_t R;
+    if (__builtin_add_overflow(A, B, &R))
+      overflowFlag() = true;
+    return R;
+  }
+
+  int64_t Num = 0;
+  int64_t Den = 1;
+};
+
+} // namespace smt
+} // namespace sharpie
+
+#endif // SHARPIE_SMT_RATIONAL_H

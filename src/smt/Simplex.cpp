@@ -1,0 +1,317 @@
+//===- smt/Simplex.cpp - Simplex for linear integer arithmetic ------------------===//
+//
+// Part of sharpie. See Simplex.h. The tableau follows Dutertre & de Moura:
+// every constraint gets a slack variable s = sum c_i x_i with bounds
+// derived from the relation; basic variables are defined by tableau rows
+// over the non-basic ones; a violated basic bound is repaired by pivoting
+// with Bland's rule (which guarantees termination).
+//
+//===----------------------------------------------------------------------===//
+
+#include "smt/Simplex.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+using namespace sharpie;
+using namespace sharpie::smt;
+
+namespace {
+
+struct Bounds {
+  std::optional<Rational> Lo, Hi;
+};
+
+/// Dense-tableau simplex instance.
+class Tableau {
+public:
+  Tableau(unsigned NumStructural,
+          const std::vector<LinearConstraint> &Constraints)
+      : NumStructural(NumStructural) {
+    unsigned Total = NumStructural + Constraints.size();
+    VarBounds.resize(Total);
+    Value.assign(Total, Rational(0));
+    IsBasic.assign(Total, false);
+    RowOf.assign(Total, UINT32_MAX);
+
+    // One row per constraint: slack = sum coeffs.
+    for (unsigned I = 0; I < Constraints.size(); ++I) {
+      const LinearConstraint &C = Constraints[I];
+      unsigned Slack = NumStructural + I;
+      std::vector<Rational> Row(Total, Rational(0));
+      for (const auto &[V, Coef] : C.Coeffs) {
+        assert(V < NumStructural && "constraint over unknown variable");
+        Row[V] = Coef;
+      }
+      Rows.push_back(std::move(Row));
+      BasicOf.push_back(Slack);
+      IsBasic[Slack] = true;
+      RowOf[Slack] = I;
+      if (C.IsEquality) {
+        VarBounds[Slack].Lo = C.Rhs;
+        VarBounds[Slack].Hi = C.Rhs;
+      } else {
+        VarBounds[Slack].Hi = C.Rhs;
+      }
+    }
+    recomputeBasics();
+  }
+
+  void setBound(unsigned V, std::optional<Rational> Lo,
+                std::optional<Rational> Hi) {
+    if (Lo && (!VarBounds[V].Lo || *Lo > *VarBounds[V].Lo))
+      VarBounds[V].Lo = Lo;
+    if (Hi && (!VarBounds[V].Hi || *Hi < *VarBounds[V].Hi))
+      VarBounds[V].Hi = Hi;
+  }
+
+  /// The core check loop. Returns Feasible/Infeasible/Unknown (overflow).
+  SimplexResult solve() {
+    Rational::overflowFlag() = false;
+    // Clamp non-basic variables into their bounds first.
+    for (unsigned V = 0; V < Value.size(); ++V) {
+      if (IsBasic[V])
+        continue;
+      if (VarBounds[V].Lo && Value[V] < *VarBounds[V].Lo)
+        updateNonBasic(V, *VarBounds[V].Lo);
+      if (VarBounds[V].Hi && Value[V] > *VarBounds[V].Hi)
+        updateNonBasic(V, *VarBounds[V].Hi);
+    }
+    unsigned Iters = 0;
+    for (;;) {
+      if (Rational::overflowFlag())
+        return SimplexResult::Unknown;
+      if (++Iters > 100000)
+        return SimplexResult::Unknown;
+      // Find the smallest basic variable violating a bound (Bland).
+      unsigned Bad = UINT32_MAX;
+      bool NeedsIncrease = false;
+      for (unsigned R = 0; R < Rows.size(); ++R) {
+        unsigned B = BasicOf[R];
+        if (VarBounds[B].Lo && Value[B] < *VarBounds[B].Lo) {
+          if (B < Bad) {
+            Bad = B;
+            NeedsIncrease = true;
+          }
+        } else if (VarBounds[B].Hi && Value[B] > *VarBounds[B].Hi) {
+          if (B < Bad) {
+            Bad = B;
+            NeedsIncrease = false;
+          }
+        }
+      }
+      if (Bad == UINT32_MAX)
+        return SimplexResult::Feasible;
+      unsigned R = RowOf[Bad];
+      // Find the smallest suitable non-basic variable to pivot with.
+      unsigned Pivot = UINT32_MAX;
+      for (unsigned V = 0; V < Value.size(); ++V) {
+        if (IsBasic[V] || Rows[R][V].isZero())
+          continue;
+        const Rational &A = Rows[R][V];
+        bool CanUse;
+        if (NeedsIncrease)
+          CanUse = (A > Rational(0) && canIncrease(V)) ||
+                   (A < Rational(0) && canDecrease(V));
+        else
+          CanUse = (A > Rational(0) && canDecrease(V)) ||
+                   (A < Rational(0) && canIncrease(V));
+        if (CanUse && V < Pivot)
+          Pivot = V;
+      }
+      if (Pivot == UINT32_MAX)
+        return SimplexResult::Infeasible;
+      Rational Target = NeedsIncrease ? *VarBounds[Bad].Lo
+                                      : *VarBounds[Bad].Hi;
+      pivotAndUpdate(Bad, Pivot, Target);
+    }
+  }
+
+  Rational value(unsigned V) const { return Value[V]; }
+
+private:
+  bool canIncrease(unsigned V) const {
+    return !VarBounds[V].Hi || Value[V] < *VarBounds[V].Hi;
+  }
+  bool canDecrease(unsigned V) const {
+    return !VarBounds[V].Lo || Value[V] > *VarBounds[V].Lo;
+  }
+
+  void recomputeBasics() {
+    for (unsigned R = 0; R < Rows.size(); ++R) {
+      Rational Sum(0);
+      for (unsigned V = 0; V < Value.size(); ++V)
+        if (!IsBasic[V] && !Rows[R][V].isZero())
+          Sum = Sum + Rows[R][V] * Value[V];
+      Value[BasicOf[R]] = Sum;
+    }
+  }
+
+  void updateNonBasic(unsigned V, Rational NewVal) {
+    Rational Delta = NewVal - Value[V];
+    Value[V] = NewVal;
+    for (unsigned R = 0; R < Rows.size(); ++R)
+      if (!Rows[R][V].isZero())
+        Value[BasicOf[R]] = Value[BasicOf[R]] + Rows[R][V] * Delta;
+  }
+
+  /// Pivots basic variable \p B (in row RowOf[B]) with non-basic \p N and
+  /// sets B's value to \p Target.
+  void pivotAndUpdate(unsigned B, unsigned N, Rational Target) {
+    unsigned R = RowOf[B];
+    Rational A = Rows[R][N];
+    Rational Theta = (Target - Value[B]) / A;
+    Value[B] = Target;
+    Value[N] = Value[N] + Theta;
+    for (unsigned R2 = 0; R2 < Rows.size(); ++R2)
+      if (R2 != R && !Rows[R2][N].isZero())
+        Value[BasicOf[R2]] =
+            Value[BasicOf[R2]] + Rows[R2][N] * Theta;
+
+    // Rewrite row R to define N: B = sum(row) => N = (B - rest)/A.
+    std::vector<Rational> &Row = Rows[R];
+    std::vector<Rational> NewRow(Row.size(), Rational(0));
+    for (unsigned V = 0; V < Row.size(); ++V) {
+      if (V == N)
+        continue;
+      if (!Row[V].isZero())
+        NewRow[V] = -(Row[V] / A);
+    }
+    NewRow[B] = Rational(1) / A;
+    Row = NewRow;
+    IsBasic[B] = false;
+    IsBasic[N] = true;
+    RowOf[N] = R;
+    RowOf[B] = UINT32_MAX;
+    BasicOf[R] = N;
+
+    // Substitute N out of all other rows.
+    for (unsigned R2 = 0; R2 < Rows.size(); ++R2) {
+      if (R2 == R)
+        continue;
+      Rational C = Rows[R2][N];
+      if (C.isZero())
+        continue;
+      for (unsigned V = 0; V < Row.size(); ++V) {
+        if (V == N) {
+          Rows[R2][V] = Rational(0);
+          continue;
+        }
+        if (!Row[V].isZero())
+          Rows[R2][V] = Rows[R2][V] + C * Row[V];
+      }
+    }
+  }
+
+  unsigned NumStructural;
+  std::vector<std::vector<Rational>> Rows;
+  std::vector<unsigned> BasicOf;
+  std::vector<Bounds> VarBounds;
+  std::vector<Rational> Value;
+  std::vector<bool> IsBasic;
+  std::vector<unsigned> RowOf;
+};
+
+} // namespace
+
+SimplexResult sharpie::smt::checkRationalFeasible(
+    unsigned NumVars, const std::vector<LinearConstraint> &Constraints,
+    std::vector<Rational> *ModelOut) {
+  Tableau T(NumVars, Constraints);
+  SimplexResult R = T.solve();
+  if (R == SimplexResult::Feasible && ModelOut) {
+    ModelOut->clear();
+    for (unsigned V = 0; V < NumVars; ++V)
+      ModelOut->push_back(T.value(V));
+  }
+  return R;
+}
+
+namespace {
+
+SimplexResult branchAndBound(unsigned NumVars,
+                             std::vector<LinearConstraint> Constraints,
+                             std::vector<int64_t> *ModelOut,
+                             unsigned &Budget, unsigned Depth) {
+  // The depth cap bounds the tableau growth along one branch (each level
+  // adds a constraint); deep branches signal an unbounded fractional ray.
+  if (Budget == 0 || Depth > 40)
+    return SimplexResult::Unknown;
+  --Budget;
+  std::vector<Rational> Model;
+  SimplexResult R = checkRationalFeasible(NumVars, Constraints, &Model);
+  if (R != SimplexResult::Feasible)
+    return R;
+  // Find a fractional variable.
+  unsigned Frac = UINT32_MAX;
+  for (unsigned V = 0; V < NumVars; ++V)
+    if (!Model[V].isInteger()) {
+      Frac = V;
+      break;
+    }
+  if (Frac == UINT32_MAX) {
+    if (ModelOut) {
+      ModelOut->clear();
+      for (unsigned V = 0; V < NumVars; ++V)
+        ModelOut->push_back(Model[V].num());
+    }
+    return SimplexResult::Feasible;
+  }
+  // Branch x <= floor / x >= ceil.
+  bool SawUnknown = false;
+  {
+    std::vector<LinearConstraint> Left = Constraints;
+    LinearConstraint C;
+    C.Coeffs[Frac] = Rational(1);
+    C.Rhs = Rational(Model[Frac].floor());
+    Left.push_back(C);
+    SimplexResult LR = branchAndBound(NumVars, std::move(Left), ModelOut,
+                                      Budget, Depth + 1);
+    if (LR == SimplexResult::Feasible)
+      return LR;
+    SawUnknown |= LR == SimplexResult::Unknown;
+  }
+  {
+    std::vector<LinearConstraint> Right = Constraints;
+    LinearConstraint C;
+    C.Coeffs[Frac] = Rational(-1);
+    C.Rhs = Rational(-Model[Frac].ceil());
+    Right.push_back(C);
+    SimplexResult RR = branchAndBound(NumVars, std::move(Right), ModelOut,
+                                      Budget, Depth + 1);
+    if (RR == SimplexResult::Feasible)
+      return RR;
+    SawUnknown |= RR == SimplexResult::Unknown;
+  }
+  return SawUnknown ? SimplexResult::Unknown : SimplexResult::Infeasible;
+}
+
+} // namespace
+
+SimplexResult sharpie::smt::checkIntegerFeasible(
+    unsigned NumVars, const std::vector<LinearConstraint> &Constraints,
+    std::vector<int64_t> *ModelOut, unsigned MaxBranchNodes) {
+  // GCD test: an equality with integral coefficients whose gcd does not
+  // divide the right-hand side has no integer solution. (Branch-and-bound
+  // alone cannot refute e.g. 3x + 3y = 7: it branches forever along the
+  // fractional ray.)
+  for (const LinearConstraint &C : Constraints) {
+    if (!C.IsEquality || C.Coeffs.empty())
+      continue;
+    bool AllInt = C.Rhs.isInteger();
+    int64_t G = 0;
+    for (const auto &[V, K] : C.Coeffs) {
+      (void)V;
+      if (!K.isInteger()) {
+        AllInt = false;
+        break;
+      }
+      G = std::gcd(G, K.num() < 0 ? -K.num() : K.num());
+    }
+    if (AllInt && G > 1 && C.Rhs.num() % G != 0)
+      return SimplexResult::Infeasible;
+  }
+  unsigned Budget = MaxBranchNodes;
+  return branchAndBound(NumVars, Constraints, ModelOut, Budget, 0);
+}

@@ -1,0 +1,53 @@
+//===- smt/Simplex.h - Simplex for linear integer arithmetic ----*- C++ -*-===//
+//
+// Part of sharpie. A from-scratch general simplex in the style of
+// Dutertre & de Moura (CAV 2006), over exact rationals, with
+// branch-and-bound for integer feasibility. This is the theory core of the
+// MiniSolver; all numeric variables of the combined theory are integers,
+// so strict bounds never arise (x < c is normalized to x <= c-1 upstream).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SHARPIE_SMT_SIMPLEX_H
+#define SHARPIE_SMT_SIMPLEX_H
+
+#include "smt/Rational.h"
+
+#include <map>
+#include <optional>
+#include <vector>
+
+namespace sharpie {
+namespace smt {
+
+/// Feasibility of a conjunction of linear constraints.
+enum class SimplexResult { Feasible, Infeasible, Unknown };
+
+/// A linear constraint sum_i Coeffs[i] * Var_i (<= | =) Rhs.
+struct LinearConstraint {
+  std::map<unsigned, Rational> Coeffs; ///< Variable id -> coefficient.
+  Rational Rhs;
+  bool IsEquality = false;
+};
+
+/// Checks feasibility of \p Constraints over \p NumVars integer variables.
+/// \p MaxBranchNodes bounds the branch-and-bound tree; overruns (and
+/// rational overflow) yield Unknown. On Feasible, \p ModelOut (if non-null)
+/// receives integer values for all variables.
+SimplexResult
+checkIntegerFeasible(unsigned NumVars,
+                     const std::vector<LinearConstraint> &Constraints,
+                     std::vector<int64_t> *ModelOut = nullptr,
+                     unsigned MaxBranchNodes = 2000);
+
+/// Rational-relaxation-only check (exposed for tests and for the
+/// branch-and-bound driver itself).
+SimplexResult
+checkRationalFeasible(unsigned NumVars,
+                      const std::vector<LinearConstraint> &Constraints,
+                      std::vector<Rational> *ModelOut = nullptr);
+
+} // namespace smt
+} // namespace sharpie
+
+#endif // SHARPIE_SMT_SIMPLEX_H

@@ -1,0 +1,82 @@
+//===- smt/SmtSolver.h - SMT back-end interface -----------------*- C++ -*-===//
+//
+// Part of sharpie. The quantifier-free SMT oracle used after ELIMCARD and
+// quantifier instantiation have reduced proof obligations to the
+// quantifier- and cardinality-free combined theory (paper Sec. 3, 5.1).
+// Two implementations exist: Z3Solver (libz3) and MiniSolver (from-scratch
+// DPLL(T), used for cross-checking).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SHARPIE_SMT_SMTSOLVER_H
+#define SHARPIE_SMT_SMTSOLVER_H
+
+#include "logic/Term.h"
+
+#include <memory>
+#include <optional>
+
+namespace sharpie {
+namespace smt {
+
+enum class SatResult { Sat, Unsat, Unknown };
+enum class Validity { Valid, Invalid, Unknown };
+
+const char *satResultName(SatResult R);
+
+/// A satisfying assignment handle. Valid only until the owning solver is
+/// mutated (add/pop) or destroyed.
+class SmtModel {
+public:
+  virtual ~SmtModel();
+
+  /// Evaluates a ground Int- or Tid-sorted term in the model. Returns
+  /// nullopt when the model cannot interpret the term.
+  virtual std::optional<int64_t> evalInt(logic::Term T) = 0;
+
+  /// Evaluates a ground formula in the model.
+  virtual std::optional<bool> evalBool(logic::Term T) = 0;
+};
+
+/// Incremental SMT solver interface over logic::Term.
+class SmtSolver {
+public:
+  virtual ~SmtSolver();
+
+  virtual void push() = 0;
+  virtual void pop() = 0;
+
+  /// Asserts formula \p T. Card terms must have been eliminated; quantifiers
+  /// are accepted (back ends may answer Unknown on them).
+  virtual void add(logic::Term T) = 0;
+
+  virtual SatResult check() = 0;
+
+  /// Returns the model after a Sat answer; nullptr otherwise.
+  virtual std::unique_ptr<SmtModel> model() = 0;
+
+  /// Sets a per-check soft timeout. 0 disables the timeout.
+  virtual void setTimeoutMs(unsigned Ms) = 0;
+
+  /// Number of check() calls, for benchmark statistics.
+  unsigned numChecks() const { return NumChecks; }
+
+protected:
+  unsigned NumChecks = 0;
+};
+
+/// Creates a Z3-backed solver over \p M. The manager must outlive the
+/// solver.
+std::unique_ptr<SmtSolver> makeZ3Solver(logic::TermManager &M);
+
+/// Creates the from-scratch MiniSolver (see smt/MiniSolver.h) over \p M.
+std::unique_ptr<SmtSolver> makeMiniSolver(logic::TermManager &M);
+
+/// Convenience: checks validity of \p T (i.e. unsatisfiability of its
+/// negation) under the solver's current assertions (push/pop scoped).
+Validity checkValid(SmtSolver &S, logic::TermManager &M, logic::Term T);
+
+} // namespace smt
+} // namespace sharpie
+
+#endif // SHARPIE_SMT_SMTSOLVER_H

@@ -1,0 +1,249 @@
+//===- smt/Z3Solver.cpp - Z3 back end ---------------------------------------===//
+//
+// Part of sharpie. Translates logic::Term into Z3 expressions. Sort mapping:
+// Int -> Int, Tid -> Int (thread identifiers are opaque indices; mapping to
+// Int only widens the model class and is sound for validity checking),
+// Array -> (Array Int Int).
+//
+//===----------------------------------------------------------------------===//
+
+#include "smt/SmtSolver.h"
+
+#include "logic/TermOps.h"
+
+#include <map>
+#include <z3++.h>
+
+using namespace sharpie;
+using namespace sharpie::smt;
+using logic::Kind;
+using logic::Sort;
+using logic::Term;
+
+const char *sharpie::smt::satResultName(SatResult R) {
+  switch (R) {
+  case SatResult::Sat:
+    return "sat";
+  case SatResult::Unsat:
+    return "unsat";
+  case SatResult::Unknown:
+    return "unknown";
+  }
+  return "?";
+}
+
+SmtModel::~SmtModel() = default;
+SmtSolver::~SmtSolver() = default;
+
+namespace {
+
+/// Translates terms to Z3 expressions with caching.
+class Z3Translator {
+public:
+  explicit Z3Translator(z3::context &C) : C(C) {}
+
+  z3::expr toZ3(Term T) {
+    auto It = Cache.find(T);
+    if (It != Cache.end())
+      return It->second;
+    z3::expr E = translate(T);
+    Cache.emplace(T, E);
+    return E;
+  }
+
+private:
+  z3::expr translate(Term T) {
+    const logic::Node *N = T.node();
+    switch (N->kind()) {
+    case Kind::Var:
+      return mkVar(T);
+    case Kind::IntConst:
+      return C.int_val(static_cast<int64_t>(N->value()));
+    case Kind::BoolConst:
+      return C.bool_val(N->value() != 0);
+    case Kind::Add: {
+      z3::expr E = toZ3(N->kid(0));
+      for (unsigned I = 1; I < N->numKids(); ++I)
+        E = E + toZ3(N->kid(I));
+      return E;
+    }
+    case Kind::Sub:
+      return toZ3(N->kid(0)) - toZ3(N->kid(1));
+    case Kind::Neg:
+      return -toZ3(N->kid(0));
+    case Kind::Mul:
+      return toZ3(N->kid(0)) * toZ3(N->kid(1));
+    case Kind::Ite:
+      return z3::ite(toZ3(N->kid(0)), toZ3(N->kid(1)), toZ3(N->kid(2)));
+    case Kind::Read:
+      return z3::select(toZ3(N->kid(0)), toZ3(N->kid(1)));
+    case Kind::Store:
+      return z3::store(toZ3(N->kid(0)), toZ3(N->kid(1)), toZ3(N->kid(2)));
+    case Kind::Eq:
+      return toZ3(N->kid(0)) == toZ3(N->kid(1));
+    case Kind::Le:
+      return toZ3(N->kid(0)) <= toZ3(N->kid(1));
+    case Kind::Lt:
+      return toZ3(N->kid(0)) < toZ3(N->kid(1));
+    case Kind::And: {
+      z3::expr_vector V(C);
+      for (Term K : N->kids())
+        V.push_back(toZ3(K));
+      return z3::mk_and(V);
+    }
+    case Kind::Or: {
+      z3::expr_vector V(C);
+      for (Term K : N->kids())
+        V.push_back(toZ3(K));
+      return z3::mk_or(V);
+    }
+    case Kind::Not:
+      return !toZ3(N->kid(0));
+    case Kind::Implies:
+      return z3::implies(toZ3(N->kid(0)), toZ3(N->kid(1)));
+    case Kind::Forall:
+    case Kind::Exists: {
+      z3::expr_vector Bound(C);
+      for (Term B : N->binders())
+        Bound.push_back(mkVar(B));
+      z3::expr Body = toZ3(N->body());
+      return N->kind() == Kind::Forall ? z3::forall(Bound, Body)
+                                       : z3::exists(Bound, Body);
+    }
+    case Kind::Card:
+      assert(false && "Card term reached the SMT back end; run ELIMCARD");
+      return C.int_val(0);
+    }
+    assert(false && "unhandled kind");
+    return C.int_val(0);
+  }
+
+  z3::expr mkVar(Term T) {
+    const std::string &Name = T->name();
+    switch (T.sort()) {
+    case Sort::Bool:
+      return C.bool_const(Name.c_str());
+    case Sort::Int:
+    case Sort::Tid:
+      return C.int_const(Name.c_str());
+    case Sort::Array:
+      return C.constant(Name.c_str(),
+                        C.array_sort(C.int_sort(), C.int_sort()));
+    }
+    assert(false && "unhandled sort");
+    return C.int_val(0);
+  }
+
+  z3::context &C;
+  std::map<Term, z3::expr> Cache;
+};
+
+class Z3Model final : public SmtModel {
+public:
+  Z3Model(z3::model Model, std::shared_ptr<Z3Translator> Tr)
+      : Model(std::move(Model)), Tr(std::move(Tr)) {}
+
+  std::optional<int64_t> evalInt(Term T) override {
+    try {
+      z3::expr E = Model.eval(Tr->toZ3(T), /*model_completion=*/true);
+      if (!E.is_numeral())
+        return std::nullopt;
+      return E.get_numeral_int64();
+    } catch (const z3::exception &) {
+      return std::nullopt;
+    }
+  }
+
+  std::optional<bool> evalBool(Term T) override {
+    try {
+      z3::expr E = Model.eval(Tr->toZ3(T), /*model_completion=*/true);
+      if (E.is_true())
+        return true;
+      if (E.is_false())
+        return false;
+      return std::nullopt;
+    } catch (const z3::exception &) {
+      return std::nullopt;
+    }
+  }
+
+private:
+  z3::model Model;
+  std::shared_ptr<Z3Translator> Tr;
+};
+
+class Z3SolverImpl final : public SmtSolver {
+public:
+  explicit Z3SolverImpl(logic::TermManager &M)
+      : M(M), Solver(Ctx), Tr(std::make_shared<Z3Translator>(Ctx)) {
+    (void)this->M;
+  }
+
+  void push() override { Solver.push(); }
+  void pop() override { Solver.pop(); }
+
+  void add(Term T) override {
+    assert(T.sort() == Sort::Bool && "asserting a non-formula");
+    Solver.add(Tr->toZ3(T));
+  }
+
+  SatResult check() override {
+    ++NumChecks;
+    try {
+      switch (Solver.check()) {
+      case z3::sat:
+        return SatResult::Sat;
+      case z3::unsat:
+        return SatResult::Unsat;
+      case z3::unknown:
+        return SatResult::Unknown;
+      }
+    } catch (const z3::exception &) {
+      return SatResult::Unknown;
+    }
+    return SatResult::Unknown;
+  }
+
+  std::unique_ptr<SmtModel> model() override {
+    try {
+      return std::make_unique<Z3Model>(Solver.get_model(), Tr);
+    } catch (const z3::exception &) {
+      return nullptr;
+    }
+  }
+
+  void setTimeoutMs(unsigned Ms) override {
+    z3::params P(Ctx);
+    P.set("timeout", Ms);
+    Solver.set(P);
+  }
+
+private:
+  logic::TermManager &M;
+  z3::context Ctx;
+  z3::solver Solver;
+  std::shared_ptr<Z3Translator> Tr;
+};
+
+} // namespace
+
+std::unique_ptr<SmtSolver> sharpie::smt::makeZ3Solver(logic::TermManager &M) {
+  return std::make_unique<Z3SolverImpl>(M);
+}
+
+Validity sharpie::smt::checkValid(SmtSolver &S, logic::TermManager &M,
+                                  Term T) {
+  S.push();
+  S.add(M.mkNot(T));
+  SatResult R = S.check();
+  S.pop();
+  switch (R) {
+  case SatResult::Unsat:
+    return Validity::Valid;
+  case SatResult::Sat:
+    return Validity::Invalid;
+  case SatResult::Unknown:
+    return Validity::Unknown;
+  }
+  return Validity::Unknown;
+}

@@ -1,0 +1,80 @@
+//===- synth/Grammar.h - Search-space grammars ------------------*- C++ -*-===//
+//
+// Part of sharpie. The paper's Horn solver searches for (i) the unknown
+// set-defining predicates s_i of the shape template and (ii) the scalar
+// part inv_0 relating cardinalities to program data (Sec. 6.1). This module
+// spans the same search space syntactically:
+//
+//   * enumerateSetBodies produces candidate set predicates over the bound
+//     thread variable, ranked so that predicates harvested from the safety
+//     property and from transition guards come first (these are where every
+//     inferred cardinality in the paper's tables comes from);
+//   * enumerateInvAtoms produces the candidate-atom pool from which the
+//     Houdini solver (Solve.h) assembles inv_0 as a maximal inductive
+//     conjunction: difference bounds over cardinality counters, globals and
+//     template quantifiers, threshold atoms (3k > 2n) for heard-of systems,
+//     and guarded per-thread atoms for quantified invariants.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SHARPIE_SYNTH_GRAMMAR_H
+#define SHARPIE_SYNTH_GRAMMAR_H
+
+#include "system/System.h"
+
+#include <string>
+#include <vector>
+
+namespace sharpie {
+namespace synth {
+
+/// The shape template of paper Sec. 6.1: the number of cardinality sets and
+/// the sorts of the universally quantified template variables.
+struct ShapeTemplate {
+  unsigned NumSets = 0;
+  std::vector<logic::Sort> Quantifiers; ///< Sort::Tid or Sort::Int each.
+};
+
+/// A candidate set-defining predicate.
+struct SetCandidate {
+  logic::Term Body;    ///< Over BoundVar, state, and the template formals.
+  int Rank = 0;        ///< Lower is tried earlier.
+  std::string Origin;  ///< "safety", "guard", "pc", "quantifier", ...
+};
+
+/// Formal variables of the invariant template shared by set bodies, atoms
+/// and instances.
+struct Formals {
+  logic::Term BoundVar;               ///< The set-comprehension variable t.
+  std::vector<logic::Term> Q;         ///< Template quantifier variables.
+  std::vector<logic::Term> K;         ///< One counter formal per set.
+};
+
+/// Creates the formal vocabulary for \p Shape (deterministic names).
+Formals makeFormals(logic::TermManager &M, const ShapeTemplate &Shape);
+
+/// Enumerates ranked candidate set bodies for \p Sys.
+std::vector<SetCandidate> enumerateSetBodies(const sys::ParamSystem &Sys,
+                                             const Formals &F);
+
+/// Enumerates the candidate atom pool for inv_0 over the formals \p F.
+/// Atoms are pre-state formulas; per-instance substitutions map the formals
+/// (and, for post-state occurrences, the state variables) to actuals.
+std::vector<logic::Term> enumerateInvAtoms(const sys::ParamSystem &Sys,
+                                           const Formals &F);
+
+/// All integer constants appearing in the system's formulas (guards,
+/// updates, init, safety), sorted. The workhorse constant pool of both
+/// grammars.
+std::vector<int64_t> systemConstants(const sys::ParamSystem &Sys);
+
+/// Per-local constant pools: the constants the system itself compares with
+/// or assigns to each local array. Keeps one local's sentinel values (the
+/// ticket lock's m = -1) out of another local's location atoms.
+std::map<logic::Term, std::vector<int64_t>>
+perLocalConstants(const sys::ParamSystem &Sys);
+
+} // namespace synth
+} // namespace sharpie
+
+#endif // SHARPIE_SYNTH_GRAMMAR_H

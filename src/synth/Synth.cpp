@@ -1,0 +1,815 @@
+//===- synth/Synth.cpp - The #Pi invariant synthesis driver -------------------===//
+//
+// Part of sharpie. See Synth.h.
+//
+//===----------------------------------------------------------------------===//
+
+#include "synth/Synth.h"
+
+#include "logic/TermOps.h"
+#include "quant/Quant.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace sharpie;
+using namespace sharpie::synth;
+using logic::Kind;
+using logic::Sort;
+using logic::Subst;
+using logic::Term;
+using logic::TermManager;
+using smt::SatResult;
+
+Formals sharpie::synth::formalsFor(TermManager &M,
+                                   const ShapeTemplate &Shape) {
+  return makeFormals(M, Shape); // Deterministic names: same vars each call.
+}
+
+namespace {
+
+/// One instantiated occurrence of the unknown inv_0 in a reduced clause.
+///
+/// The invariant is split as  InvGlobal AND forall q: QGuard -> (meas AND
+/// inv_0), where InvGlobal collects the atoms mentioning neither template
+/// quantifiers nor counters (e.g. "n >= 2"); without the split such facts
+/// would be trapped under the quantifier guard and unusable to discharge
+/// the guard itself.
+struct PlaceholderInst {
+  Term P;          ///< Opaque Bool variable in the ground formula.
+  Subst AtomSubst; ///< Formals (and state for post occurrences) -> actuals.
+  bool IsHead;     ///< The skolemized head occurrence (one per clause).
+  bool GlobalOnly; ///< Stands for InvGlobal rather than inv_0.
+};
+
+struct ReducedClause {
+  std::string Name;
+  Term Ground;
+  std::vector<PlaceholderInst> Insts;
+  bool HasHead = false;
+  bool IsSafety = false;
+};
+
+class Synthesizer {
+public:
+  Synthesizer(sys::ParamSystem &Sys, const SynthOptions &Opts)
+      : Sys(Sys), M(Sys.manager()), Opts(Opts),
+        F(makeFormals(M, Opts.Shape)),
+        Deadline(Opts.TimeBudgetSeconds > 0
+                     ? std::chrono::steady_clock::now() +
+                           std::chrono::duration_cast<
+                               std::chrono::steady_clock::duration>(
+                               std::chrono::duration<double>(
+                                   Opts.TimeBudgetSeconds))
+                     : std::chrono::steady_clock::time_point::max()) {}
+
+  bool outOfTime() const {
+    return std::chrono::steady_clock::now() > Deadline;
+  }
+
+  SynthResult run();
+
+private:
+  // -- Search-space assembly -------------------------------------------------
+  std::vector<std::vector<size_t>> rankTuples(
+      const std::vector<SetCandidate> &Cands) const;
+  std::vector<Term> prefilterAtoms(const std::vector<Term> &Pool,
+                                   const std::vector<Term> &SetBodies,
+                                   const std::vector<sys::ParamSystem::State>
+                                       &States) const;
+
+  // -- Clause construction (INSTQ + measurements + placeholders) ---------------
+  Term cardAt(const std::vector<Term> &SetBodies, size_t I,
+              const std::vector<Term> &Sigma, bool Post) const;
+  Term qGuardAt(const std::vector<Term> &Sigma) const;
+  void addInvInstance(const std::vector<Term> &SetBodies,
+                      const std::vector<Term> &Sigma, bool Post, bool IsHead,
+                      std::vector<Term> &Conj,
+                      std::vector<PlaceholderInst> &Insts);
+  std::vector<std::vector<Term>>
+  bodyInstances(const std::vector<Term> &HeadSk, bool IsTrans,
+                const std::vector<Term> &ExtraTids,
+                const std::vector<Term> &ExtraInts) const;
+  std::vector<ReducedClause>
+  buildClauses(const std::vector<Term> &SetBodies, smt::SmtSolver *Oracle);
+
+  // -- SOLVE (Houdini over the atom pool) ----------------------------------------
+  bool houdini(const std::vector<ReducedClause> &Clauses,
+               std::vector<Term> &Cand, std::string &Why);
+  bool isGlobalAtom(logic::Term A) const;
+  Term substitutedClause(const ReducedClause &C,
+                         const std::vector<Term> &Cand) const;
+
+  void minimizeAtoms(const std::vector<ReducedClause> &Clauses,
+                     std::vector<Term> &Cand);
+  Term closedInvariant(const std::vector<Term> &SetBodies,
+                       const std::vector<Term> &Atoms) const;
+  bool recheck(Term Inv, const std::vector<sys::ParamSystem::State> &States,
+               std::string &Why);
+
+  sys::ParamSystem &Sys;
+  TermManager &M;
+  SynthOptions Opts;
+  Formals F;
+  SynthStats Stats;
+  std::unique_ptr<smt::SmtSolver> Solver;
+  std::chrono::steady_clock::time_point Deadline;
+};
+
+// -- Tuple ranking ---------------------------------------------------------------
+
+std::vector<std::vector<size_t>>
+Synthesizer::rankTuples(const std::vector<SetCandidate> &Cands) const {
+  unsigned m = Opts.Shape.NumSets;
+  std::vector<std::vector<size_t>> Tuples;
+  if (m == 0) {
+    Tuples.push_back({});
+    return Tuples;
+  }
+  // Select the candidate pool with per-origin diversity: a strict global
+  // rank cut lets one prolific bucket (e.g. guard+pc conjunctions) crowd
+  // out the quantifier-relative sets that quantified templates need.
+  std::vector<size_t> Selected;
+  {
+    std::map<std::string, std::vector<size_t>> ByOrigin;
+    std::vector<std::string> OriginOrder;
+    for (size_t I = 0; I < Cands.size(); ++I) {
+      auto It = ByOrigin.find(Cands[I].Origin);
+      if (It == ByOrigin.end()) {
+        OriginOrder.push_back(Cands[I].Origin);
+        It = ByOrigin.emplace(Cands[I].Origin, std::vector<size_t>()).first;
+      }
+      It->second.push_back(I); // Cands is already rank-sorted.
+    }
+    for (size_t Round = 0; Selected.size() < Opts.MaxCandidateSets;
+         ++Round) {
+      bool Any = false;
+      for (const std::string &O : OriginOrder) {
+        const std::vector<size_t> &Bucket = ByOrigin[O];
+        if (Round < Bucket.size() &&
+            Selected.size() < Opts.MaxCandidateSets) {
+          Selected.push_back(Bucket[Round]);
+          Any = true;
+        }
+      }
+      if (!Any)
+        break;
+    }
+  }
+
+  // A set body "covers" a template quantifier if the quantifier occurs in
+  // it; tuples must jointly cover all template quantifiers, otherwise the
+  // declared shape is not exercised.
+  auto Covers = [&](size_t I, Term Q) {
+    return logic::freeVars(Cands[I].Body).count(Q) != 0;
+  };
+
+  std::vector<size_t> Idx(m);
+  std::function<void(size_t, size_t)> Rec = [&](size_t Pos, size_t Start) {
+    if (Pos == m) {
+      for (Term Q : F.Q) {
+        bool Covered = false;
+        for (size_t I : Idx)
+          if (Covers(I, Q))
+            Covered = true;
+        if (!Covered)
+          return;
+      }
+      Tuples.push_back(Idx);
+      return;
+    }
+    for (size_t I = Start; I < Selected.size(); ++I) {
+      Idx[Pos] = Selected[I];
+      Rec(Pos + 1, I + 1);
+    }
+  };
+  Rec(0, 0);
+  std::stable_sort(Tuples.begin(), Tuples.end(),
+                   [&](const std::vector<size_t> &A,
+                       const std::vector<size_t> &B) {
+                     int RA = 0, RB = 0;
+                     for (size_t I : A)
+                       RA += Cands[I].Rank;
+                     for (size_t I : B)
+                       RB += Cands[I].Rank;
+                     return RA < RB;
+                   });
+  if (Tuples.size() > Opts.MaxTuples)
+    Tuples.resize(Opts.MaxTuples);
+  return Tuples;
+}
+
+// -- Explicit pre-filter ------------------------------------------------------------
+
+std::vector<Term> Synthesizer::prefilterAtoms(
+    const std::vector<Term> &Pool, const std::vector<Term> &SetBodies,
+    const std::vector<sys::ParamSystem::State> &States) const {
+  std::vector<Term> Out;
+  // Bind counter formals to the cardinality terms themselves so the finite
+  // evaluator counts exactly.
+  Subst KSub;
+  for (size_t I = 0; I < SetBodies.size(); ++I)
+    KSub[F.K[I]] = M.mkCard(F.BoundVar, SetBodies[I]);
+  for (Term A : Pool) {
+    Term Inner = logic::substitute(M, A, KSub);
+    if (!Opts.QGuard.isNull())
+      Inner = M.mkImplies(Opts.QGuard, Inner);
+    Term Quantified = F.Q.empty() ? Inner : M.mkForall(F.Q, Inner);
+    bool Holds = true;
+    for (const sys::ParamSystem::State &S : States) {
+      logic::Evaluator Ev(S);
+      if (!Ev.evalBool(Quantified)) {
+        Holds = false;
+        break;
+      }
+    }
+    if (Holds)
+      Out.push_back(A);
+  }
+  return Out;
+}
+
+// -- Clause construction -------------------------------------------------------------
+
+Term Synthesizer::cardAt(const std::vector<Term> &SetBodies, size_t I,
+                         const std::vector<Term> &Sigma, bool Post) const {
+  Subst S;
+  for (size_t J = 0; J < F.Q.size(); ++J)
+    S[F.Q[J]] = Sigma[J];
+  if (Post)
+    for (const auto &[Pre, Prim] : Sys.primeSubst())
+      S[Pre] = Prim;
+  return M.mkCard(F.BoundVar, logic::substitute(M, SetBodies[I], S));
+}
+
+Term Synthesizer::qGuardAt(const std::vector<Term> &Sigma) const {
+  if (Opts.QGuard.isNull())
+    return M.mkTrue();
+  Subst S;
+  for (size_t J = 0; J < F.Q.size(); ++J)
+    S[F.Q[J]] = Sigma[J];
+  return logic::substitute(M, Opts.QGuard, S);
+}
+
+void Synthesizer::addInvInstance(const std::vector<Term> &SetBodies,
+                                 const std::vector<Term> &Sigma, bool Post,
+                                 bool IsHead, std::vector<Term> &Conj,
+                                 std::vector<PlaceholderInst> &Insts) {
+  PlaceholderInst Inst;
+  Inst.IsHead = IsHead;
+  Inst.GlobalOnly = false;
+  for (size_t I = 0; I < SetBodies.size(); ++I) {
+    Term KV = M.freshVar("k_inst", Sort::Int);
+    Conj.push_back(M.mkEq(cardAt(SetBodies, I, Sigma, Post), KV));
+    Inst.AtomSubst[F.K[I]] = KV;
+  }
+  for (size_t J = 0; J < F.Q.size(); ++J)
+    Inst.AtomSubst[F.Q[J]] = Sigma[J];
+  if (Post)
+    for (const auto &[Pre, Prim] : Sys.primeSubst())
+      Inst.AtomSubst[Pre] = Prim;
+  Term Guard = qGuardAt(Sigma);
+  Inst.P = M.freshVar(IsHead ? "P_head" : "P_body", Sort::Bool);
+  if (IsHead) {
+    // !Inv' = !InvGlobal' \/ exists q: QGuard /\ !inv_0; the measurement
+    // equations above are definitional and stay conjoined.
+    PlaceholderInst Glob;
+    Glob.IsHead = false;
+    Glob.GlobalOnly = true;
+    Glob.P = M.freshVar("P_head_glob", Sort::Bool);
+    if (Post)
+      Glob.AtomSubst = Sys.primeSubst();
+    Conj.push_back(M.mkOr(M.mkNot(Glob.P),
+                          M.mkAnd(Guard, M.mkNot(Inst.P))));
+    Insts.push_back(std::move(Glob));
+  } else {
+    // Body occurrence: the global part holds unconditionally (added once
+    // per clause), the quantified part under its instance guard.
+    bool HaveGlob = false;
+    for (const PlaceholderInst &Prev : Insts)
+      if (Prev.GlobalOnly && !Prev.IsHead && Prev.AtomSubst.empty() == !Post)
+        HaveGlob = true;
+    if (!HaveGlob) {
+      PlaceholderInst Glob;
+      Glob.IsHead = false;
+      Glob.GlobalOnly = true;
+      Glob.P = M.freshVar("P_body_glob", Sort::Bool);
+      if (Post)
+        Glob.AtomSubst = Sys.primeSubst();
+      Conj.push_back(Glob.P);
+      Insts.push_back(std::move(Glob));
+    }
+    Conj.push_back(M.mkImplies(Guard, Inst.P));
+  }
+  Insts.push_back(std::move(Inst));
+}
+
+std::vector<std::vector<Term>>
+Synthesizer::bodyInstances(const std::vector<Term> &HeadSk, bool IsTrans,
+                           const std::vector<Term> &ExtraTids,
+                           const std::vector<Term> &ExtraInts) const {
+  // Per-position candidate terms.
+  std::vector<std::vector<Term>> PerPos;
+  for (size_t J = 0; J < F.Q.size(); ++J) {
+    std::vector<Term> L;
+    // Every head skolem of matching sort: mutual-exclusion style proofs
+    // need the symmetric instance (q2, q1) as well as (q1, q2).
+    for (size_t J2 = 0; J2 < HeadSk.size(); ++J2)
+      if (F.Q[J2].sort() == F.Q[J].sort())
+        L.push_back(HeadSk[J2]);
+    if (F.Q[J].sort() == Sort::Tid) {
+      if (IsTrans && Sys.mode() == sys::Composition::Async)
+        L.push_back(Sys.self());
+      for (Term T : ExtraTids)
+        L.push_back(T);
+    } else {
+      for (Term T : ExtraInts)
+        L.push_back(T);
+      if (IsTrans) {
+        // Globals and their successors: unlock's s+1 is the ticket lock's
+        // pivotal instance of the per-ticket counting quantifier.
+        for (Term G : Sys.globals()) {
+          L.push_back(G);
+          L.push_back(M.mkAdd(G, M.mkInt(1)));
+        }
+        if (Sys.mode() == sys::Composition::Async)
+          for (Term Loc : Sys.locals()) {
+            L.push_back(M.mkRead(Loc, Sys.self()));
+            L.push_back(M.mkAdd(M.mkRead(Loc, Sys.self()), M.mkInt(1)));
+          }
+      }
+    }
+    // Deduplicate, preserving order.
+    std::vector<Term> U;
+    for (Term T : L)
+      if (std::find(U.begin(), U.end(), T) == U.end())
+        U.push_back(T);
+    PerPos.push_back(U);
+  }
+  // Bounded product.
+  std::vector<std::vector<Term>> Out;
+  std::vector<Term> Cur(F.Q.size());
+  std::function<void(size_t)> Rec = [&](size_t Pos) {
+    if (Out.size() >= Opts.MaxBodyInstances)
+      return;
+    if (Pos == F.Q.size()) {
+      Out.push_back(Cur);
+      return;
+    }
+    for (Term T : PerPos[Pos]) {
+      Cur[Pos] = T;
+      Rec(Pos + 1);
+    }
+  };
+  Rec(0);
+  return Out;
+}
+
+std::vector<ReducedClause>
+Synthesizer::buildClauses(const std::vector<Term> &SetBodies,
+                          smt::SmtSolver *Oracle) {
+  std::vector<ReducedClause> Out;
+  auto Externals = Sys.externalCounters();
+
+  // Template-quantifier instances live only inside placeholder
+  // substitutions, so the reduction cannot see them; hand them to the
+  // index sets explicitly (without this, a cardinality-free clause never
+  // instantiates the system's universals at the head skolems).
+  auto InstanceTerms = [&](const std::vector<PlaceholderInst> &Insts) {
+    std::vector<Term> Extra;
+    for (const PlaceholderInst &I : Insts)
+      for (Term Q : F.Q) {
+        auto It = I.AtomSubst.find(Q);
+        if (It != I.AtomSubst.end())
+          Extra.push_back(It->second);
+      }
+    return Extra;
+  };
+
+  auto MakeHeadSk = [&]() {
+    std::vector<Term> Sk;
+    for (Term Q : F.Q)
+      Sk.push_back(M.freshVar("q_hd", Q.sort()));
+    return Sk;
+  };
+
+  // Clause (a): init /\ !Inv.
+  {
+    ReducedClause C;
+    C.Name = "init";
+    C.HasHead = true;
+    std::vector<Term> Conj{Sys.init()};
+    std::vector<Term> HeadSk = MakeHeadSk();
+    addInvInstance(SetBodies, HeadSk, /*Post=*/false, /*IsHead=*/true, Conj,
+                   C.Insts);
+    engine::ReduceResult R =
+        engine::reduceToGround(M, M.mkAnd(Conj), Opts.Reduce, Oracle,
+                               Externals, InstanceTerms(C.Insts));
+    C.Ground = R.Ground;
+    if (Opts.Verbose)
+      std::printf("    [reduce] %-16s size=%-7zu inst=%-6u axioms=%-5u "
+                  "venn=%s/%u\n",
+                  C.Name.c_str(), logic::termSize(C.Ground), R.NumInstances,
+                  R.NumAxioms, R.VennApplied ? "yes" : "no",
+                  R.NumVennRegions);
+    Out.push_back(std::move(C));
+  }
+
+  // Clauses (b): Inv /\ next_T /\ !Inv' per transition.
+  for (const sys::Transition &T : Sys.transitions()) {
+    ReducedClause C;
+    C.Name = "ind:" + T.Name;
+    C.HasHead = true;
+    std::vector<Term> Conj{Sys.transitionFormula(T)};
+    std::vector<Term> HeadSk = MakeHeadSk();
+    addInvInstance(SetBodies, HeadSk, /*Post=*/true, /*IsHead=*/true, Conj,
+                   C.Insts);
+    for (const std::vector<Term> &Sigma :
+         bodyInstances(HeadSk, /*IsTrans=*/true, {}, {}))
+      addInvInstance(SetBodies, Sigma, /*Post=*/false, /*IsHead=*/false,
+                     Conj, C.Insts);
+    engine::ReduceResult R =
+        engine::reduceToGround(M, M.mkAnd(Conj), Opts.Reduce, Oracle,
+                               Externals, InstanceTerms(C.Insts));
+    C.Ground = R.Ground;
+    if (Opts.Verbose)
+      std::printf("    [reduce] %-16s size=%-7zu inst=%-6u axioms=%-5u "
+                  "venn=%s/%u\n",
+                  C.Name.c_str(), logic::termSize(C.Ground), R.NumInstances,
+                  R.NumAxioms, R.VennApplied ? "yes" : "no",
+                  R.NumVennRegions);
+    Out.push_back(std::move(C));
+  }
+
+  // Clause (c): Inv /\ !safe.
+  {
+    ReducedClause C;
+    C.Name = "safe";
+    C.IsSafety = true;
+    quant::SkolemResult NotSafe = quant::skolemize(M, M.mkNot(Sys.safe()));
+    std::vector<Term> Conj{NotSafe.Formula};
+    std::vector<Term> ExtraTids, ExtraInts;
+    for (Term Sk : NotSafe.Skolems)
+      (Sk.sort() == Sort::Tid ? ExtraTids : ExtraInts).push_back(Sk);
+    // Int-sorted ground subterms of the property (e.g. n-1 in the filter
+    // lock's property) are natural instance candidates.
+    for (Term S : logic::collectSubterms(Sys.safe(), [](Term X) {
+           return X.sort() == Sort::Int &&
+                  (X.kind() == Kind::Sub || X.kind() == Kind::Add ||
+                   X.kind() == Kind::IntConst);
+         })) {
+      std::set<Term> FV = logic::freeVars(S);
+      bool OnlyGlobals = true;
+      for (Term V : FV)
+        if (std::find(Sys.globals().begin(), Sys.globals().end(), V) ==
+            Sys.globals().end())
+          OnlyGlobals = false;
+      if (OnlyGlobals)
+        ExtraInts.push_back(S);
+    }
+    for (const std::vector<Term> &Sigma :
+         bodyInstances({}, /*IsTrans=*/false, ExtraTids, ExtraInts))
+      addInvInstance(SetBodies, Sigma, /*Post=*/false, /*IsHead=*/false,
+                     Conj, C.Insts);
+    engine::ReduceResult R =
+        engine::reduceToGround(M, M.mkAnd(Conj), Opts.Reduce, Oracle,
+                               Externals, InstanceTerms(C.Insts));
+    C.Ground = R.Ground;
+    if (Opts.Verbose)
+      std::printf("    [reduce] %-16s size=%-7zu inst=%-6u axioms=%-5u "
+                  "venn=%s/%u\n",
+                  C.Name.c_str(), logic::termSize(C.Ground), R.NumInstances,
+                  R.NumAxioms, R.VennApplied ? "yes" : "no",
+                  R.NumVennRegions);
+    Out.push_back(std::move(C));
+  }
+  return Out;
+}
+
+// -- SOLVE --------------------------------------------------------------------------
+
+bool Synthesizer::isGlobalAtom(Term A) const {
+  for (Term V : logic::freeVars(A)) {
+    if (std::find(F.Q.begin(), F.Q.end(), V) != F.Q.end())
+      return false;
+    if (std::find(F.K.begin(), F.K.end(), V) != F.K.end())
+      return false;
+  }
+  return true;
+}
+
+Term Synthesizer::substitutedClause(const ReducedClause &C,
+                                    const std::vector<Term> &Cand) const {
+  std::map<Term, Term> Rep;
+  for (const PlaceholderInst &I : C.Insts) {
+    std::vector<Term> As;
+    As.reserve(Cand.size());
+    for (Term A : Cand) {
+      if (I.GlobalOnly && !isGlobalAtom(A))
+        continue;
+      As.push_back(logic::substitute(M, A, I.AtomSubst));
+    }
+    Rep[I.P] = M.mkAnd(As);
+  }
+  return logic::replaceAll(M, C.Ground, Rep);
+}
+
+bool Synthesizer::houdini(const std::vector<ReducedClause> &Clauses,
+                          std::vector<Term> &Cand, std::string &Why) {
+  unsigned MaxIters = static_cast<unsigned>(Cand.size()) + 8;
+  for (unsigned Iter = 0; Iter < MaxIters; ++Iter) {
+    if (outOfTime()) {
+      Why = "time budget exhausted";
+      return false;
+    }
+    bool AllPassed = true;
+    for (const ReducedClause &C : Clauses) {
+      if (C.IsSafety)
+        continue;
+      Solver->push();
+      Solver->add(substitutedClause(C, Cand));
+      SatResult R = Solver->check();
+      ++Stats.SmtChecks;
+      if (R == SatResult::Unsat) {
+        Solver->pop();
+        continue;
+      }
+      if (R == SatResult::Unknown) {
+        Solver->pop();
+        Why = "smt unknown on " + C.Name;
+        return false;
+      }
+      std::unique_ptr<smt::SmtModel> Model = Solver->model();
+      const PlaceholderInst *Head = nullptr;
+      for (const PlaceholderInst &I : C.Insts)
+        if (I.IsHead)
+          Head = &I;
+      assert(Head && "inductive clause without head instance");
+      std::vector<Term> Kept;
+      for (Term A : Cand) {
+        std::optional<bool> V =
+            Model ? Model->evalBool(logic::substitute(M, A, Head->AtomSubst))
+                  : std::nullopt;
+        if (V.has_value() && !*V) {
+          if (Opts.Verbose)
+            std::printf("      [houdini] %s drops %s\n", C.Name.c_str(),
+                        logic::toString(A).c_str());
+          continue; // Refuted at the head: drop.
+        }
+        Kept.push_back(A);
+      }
+      Solver->pop();
+      if (Kept.size() == Cand.size()) {
+        Why = "stuck on " + C.Name + " (no atom refuted by model)";
+        return false;
+      }
+      Cand = std::move(Kept);
+      AllPassed = false;
+    }
+    if (AllPassed) {
+      if (Opts.Verbose) {
+        std::printf("      [houdini] fixpoint with %zu atoms:\n",
+                    Cand.size());
+        for (Term A : Cand)
+          std::printf("        %s\n", logic::toString(A).c_str());
+      }
+      // Fixpoint reached; check the safety clause.
+      for (const ReducedClause &C : Clauses) {
+        if (!C.IsSafety)
+          continue;
+        Solver->push();
+        Solver->add(substitutedClause(C, Cand));
+        SatResult R = Solver->check();
+        ++Stats.SmtChecks;
+        Solver->pop();
+        if (R == SatResult::Unsat)
+          return true;
+        Why = R == SatResult::Sat ? "fixpoint too weak for safety"
+                                  : "smt unknown on safety";
+        if (Opts.Verbose && std::getenv("SHARPIE_DUMP_SAFETY"))
+          std::printf("      [safety clause]\n%s\n",
+                      logic::toString(substitutedClause(C, Cand)).c_str());
+        return false;
+      }
+      return true; // No safety clause (not expected).
+    }
+  }
+  Why = "houdini iteration budget exhausted";
+  return false;
+}
+
+/// Greedily drops atoms whose removal keeps every clause (including
+/// safety) discharged. Yields the concise invariants the paper reports and
+/// shrinks the final re-check's instantiation.
+void Synthesizer::minimizeAtoms(const std::vector<ReducedClause> &Clauses,
+                                std::vector<Term> &Cand) {
+  auto AllPass = [&](const std::vector<Term> &Trial) {
+    for (const ReducedClause &C : Clauses) {
+      Solver->push();
+      Solver->add(substitutedClause(C, Trial));
+      SatResult R = Solver->check();
+      ++Stats.SmtChecks;
+      Solver->pop();
+      if (R != SatResult::Unsat)
+        return false;
+    }
+    return true;
+  };
+  for (size_t I = Cand.size(); I-- > 0;) {
+    if (outOfTime())
+      return;
+    std::vector<Term> Trial = Cand;
+    Trial.erase(Trial.begin() + I);
+    if (AllPass(Trial))
+      Cand = std::move(Trial);
+  }
+}
+
+// -- Output and re-checking -------------------------------------------------------------
+
+Term Synthesizer::closedInvariant(const std::vector<Term> &SetBodies,
+                                  const std::vector<Term> &Atoms) const {
+  Subst KSub;
+  for (size_t I = 0; I < SetBodies.size(); ++I)
+    KSub[F.K[I]] = M.mkCard(F.BoundVar, SetBodies[I]);
+  std::vector<Term> GlobalAs, QuantAs;
+  for (Term A : Atoms)
+    (isGlobalAtom(A) ? GlobalAs : QuantAs)
+        .push_back(logic::substitute(M, A, KSub));
+  Term Inner = M.mkAnd(QuantAs);
+  if (!Opts.QGuard.isNull())
+    Inner = M.mkImplies(Opts.QGuard, Inner);
+  Term Quant = F.Q.empty() ? Inner : M.mkForall(F.Q, Inner);
+  return M.mkAnd(M.mkAnd(GlobalAs), Quant);
+}
+
+bool Synthesizer::recheck(Term Inv,
+                          const std::vector<sys::ParamSystem::State> &States,
+                          std::string &Why) {
+  if (!explct::holdsInAll(States, Inv)) {
+    Why = "recheck: invariant fails on an explicit reachable state";
+    return false;
+  }
+  std::unique_ptr<smt::SmtSolver> Oracle = smt::makeZ3Solver(M);
+  for (const sys::Obligation &O : sys::safetyObligations(Sys, Inv)) {
+    engine::ReduceResult R = engine::reduceToGround(
+        M, O.Psi, Opts.Reduce, Oracle.get(), Sys.externalCounters());
+    std::unique_ptr<smt::SmtSolver> S = smt::makeZ3Solver(M);
+    S->setTimeoutMs(Opts.SmtTimeoutMs);
+    S->add(R.Ground);
+    ++Stats.SmtChecks;
+    if (S->check() != SatResult::Unsat) {
+      Why = "recheck: obligation " + O.Name + " not discharged";
+      if (Opts.Verbose)
+        std::printf("    recheck failed on %s (ground size %zu)\n",
+                    O.Name.c_str(), logic::termSize(R.Ground));
+      return false;
+    }
+  }
+  return true;
+}
+
+// -- Driver ---------------------------------------------------------------------------------
+
+SynthResult Synthesizer::run() {
+  auto Start = std::chrono::steady_clock::now();
+  auto Since = [](std::chrono::steady_clock::time_point T0) {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         T0)
+        .count();
+  };
+  SynthResult Res;
+
+  // Explicit exploration: counterexample detection + pre-filter states.
+  std::vector<sys::ParamSystem::State> States;
+  if (Opts.ExplicitPrefilter || Opts.StopOnExplicitCex) {
+    auto T0 = std::chrono::steady_clock::now();
+    explct::ExplicitResult ER = explct::explore(Sys, Opts.Explicit);
+    Stats.ExplicitStates = ER.NumStates;
+    if (Opts.Verbose)
+      std::printf("  [explicit] %u states in %.2fs\n", ER.NumStates,
+                  Since(T0));
+    if (!ER.Safe && Opts.StopOnExplicitCex) {
+      Res.Cex = ER.Cex;
+      Res.Note = "explicit counterexample with N=" +
+                 std::to_string(Opts.Explicit.NumThreads);
+      Res.Stats = Stats;
+      Res.Stats.Seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        Start)
+              .count();
+      return Res;
+    }
+    // Sample evenly up to the cap.
+    size_t Step = std::max<size_t>(1, ER.States.size() /
+                                          std::max(1u, Opts.MaxPrefilterStates));
+    for (size_t I = 0; I < ER.States.size(); I += Step)
+      States.push_back(std::move(ER.States[I]));
+  }
+
+  std::vector<SetCandidate> Cands = enumerateSetBodies(Sys, F);
+  std::vector<Term> Pool = enumerateInvAtoms(Sys, F);
+  Stats.AtomsInPool = static_cast<unsigned>(Pool.size());
+
+  Solver = smt::makeZ3Solver(M);
+  Solver->setTimeoutMs(Opts.SmtTimeoutMs);
+
+  std::vector<std::vector<Term>> TupleBodies;
+  if (!Opts.FixedSetBodies.empty()) {
+    assert(Opts.FixedSetBodies.size() == Opts.Shape.NumSets &&
+           "FixedSetBodies must match the shape");
+    TupleBodies.push_back(Opts.FixedSetBodies);
+  } else {
+    for (const std::vector<size_t> &Tuple : rankTuples(Cands)) {
+      std::vector<Term> Bodies;
+      for (size_t I : Tuple)
+        Bodies.push_back(Cands[I].Body);
+      TupleBodies.push_back(std::move(Bodies));
+    }
+  }
+
+  std::string LastWhy = "no candidate set tuple succeeded";
+  for (const std::vector<Term> &SetBodies : TupleBodies) {
+    if (outOfTime()) {
+      LastWhy = "time budget exhausted";
+      break;
+    }
+    ++Stats.TuplesTried;
+    if (Opts.Verbose) {
+      std::printf("  [tuple %u]", Stats.TuplesTried);
+      for (Term SB : SetBodies)
+        std::printf(" #{t | %s}", logic::toString(SB).c_str());
+      std::printf("\n");
+    }
+
+    std::vector<Term> Cand = Pool;
+    auto TPre = std::chrono::steady_clock::now();
+    if (Opts.ExplicitPrefilter && !States.empty())
+      Cand = prefilterAtoms(Pool, SetBodies, States);
+    double PreSec = Since(TPre);
+    Stats.AtomsAfterPrefilter = static_cast<unsigned>(Cand.size());
+    if (Opts.Verbose)
+      std::printf("    atoms: %zu of %zu survive the explicit pre-filter "
+                  "(%.2fs)\n",
+                  Cand.size(), Pool.size(), PreSec);
+
+    std::unique_ptr<smt::SmtSolver> Oracle = smt::makeZ3Solver(M);
+    auto TBuild = std::chrono::steady_clock::now();
+    std::vector<ReducedClause> Clauses = buildClauses(SetBodies, Oracle.get());
+    auto THou = std::chrono::steady_clock::now();
+    if (Opts.Verbose)
+      std::printf("    clauses built in %.2fs\n", Since(TBuild));
+
+    std::string Why;
+    bool HoudiniOk = houdini(Clauses, Cand, Why);
+    if (Opts.Verbose)
+      std::printf("    houdini %s in %.2fs\n", HoudiniOk ? "ok" : "failed",
+                  Since(THou));
+    if (!HoudiniOk) {
+      LastWhy = Why;
+      if (Opts.Verbose)
+        std::printf("    houdini failed: %s\n", Why.c_str());
+      continue;
+    }
+    if (Opts.MinimizeInvariant) {
+      auto TMin = std::chrono::steady_clock::now();
+      size_t Before = Cand.size();
+      minimizeAtoms(Clauses, Cand);
+      if (Opts.Verbose)
+        std::printf("    minimized %zu -> %zu atoms in %.2fs\n", Before,
+                    Cand.size(), Since(TMin));
+    }
+    Term Inv = closedInvariant(SetBodies, Cand);
+    auto TRe = std::chrono::steady_clock::now();
+    bool RecheckOk = !Opts.FinalRecheck || recheck(Inv, States, Why);
+    if (Opts.Verbose)
+      std::printf("    recheck %s in %.2fs\n", RecheckOk ? "ok" : "failed",
+                  Since(TRe));
+    if (!RecheckOk) {
+      LastWhy = Why;
+      continue;
+    }
+    Res.Verified = true;
+    Res.Invariant = Inv;
+    Res.SetBodies = SetBodies;
+    Res.Atoms = Cand;
+    Stats.AtomsInInvariant = static_cast<unsigned>(Cand.size());
+    break;
+  }
+  if (!Res.Verified)
+    Res.Note = LastWhy;
+  Res.Stats = Stats;
+  Res.Stats.Seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
+          .count();
+  return Res;
+}
+
+} // namespace
+
+SynthResult sharpie::synth::synthesize(sys::ParamSystem &Sys,
+                                       const SynthOptions &Opts) {
+  return Synthesizer(Sys, Opts).run();
+}

@@ -1,0 +1,115 @@
+//===- synth/Synth.h - The #Pi invariant synthesis driver -------*- C++ -*-===//
+//
+// Part of sharpie. Implements algorithm #Pi (paper Fig. 5): given a
+// parameterized system and a shape template (number of cardinality sets m
+// and universally quantified variables q_1..q_n), synthesize a safe
+// inductive invariant
+//
+//   forall q: QGuard -> ( /\_i #{t | s_i(t, q)} = k_i  /\  inv_0(k, g, q) ).
+//
+// Pipeline per candidate set tuple (s_1..s_m), drawn from the ranked
+// grammar of Grammar.h:
+//
+//   1. INSTQ: the template quantifiers are instantiated over a small set of
+//      relevant terms (head skolems, the mover, safety witnesses, local
+//      reads); each instance contributes "measurement" equations
+//      #{t|s_i(t,sigma)} = k_{i,sigma} and an opaque placeholder variable
+//      standing for inv_0 at that instance.
+//   2. The three Horn clauses (init / inductiveness per transition /
+//      safety) are reduced once to ground, cardinality-free formulas by
+//      engine/Reduce.h -- the expensive part, independent of inv_0.
+//   3. SOLVE: a Houdini-style fixpoint over the candidate atom pool finds
+//      the strongest conjunction closed under all clauses, seeded by an
+//      explicit-state pre-filter (atoms violated in a reachable state of a
+//      small instance are discarded before any SMT call); then the safety
+//      clause is checked.
+//   4. The resulting invariant is independently re-checked end to end
+//      (fresh reduction of the concrete invariant, plus evaluation on the
+//      explicit reachable states).
+//
+// The paper delegates step 3 to an off-the-shelf Horn solver over the
+// unknowns s_i and inv_0; enumerating s_i from the grammar and solving
+// inv_0 by Houdini realizes the same search space with predictable
+// performance (see DESIGN.md, "Faithfulness notes").
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SHARPIE_SYNTH_SYNTH_H
+#define SHARPIE_SYNTH_SYNTH_H
+
+#include "engine/Reduce.h"
+#include "explicit/Explicit.h"
+#include "synth/Grammar.h"
+#include "system/System.h"
+
+#include <optional>
+#include <string>
+
+namespace sharpie {
+namespace synth {
+
+struct SynthOptions {
+  ShapeTemplate Shape;
+  /// Optional guard on the Int-sorted template quantifiers, e.g.
+  /// 0 <= q <= n-1 for the filter lock's level quantifier. Built by the
+  /// caller over the formals returned by formalsFor().
+  logic::Term QGuard;
+
+  /// When non-empty, skip the set search and use exactly these set bodies
+  /// (over formalsFor()'s BoundVar/Q). Lets a user hand #Pi the paper's
+  /// templates verbatim, and the test suite pin known tuples.
+  std::vector<logic::Term> FixedSetBodies;
+
+  engine::ReduceOptions Reduce;          ///< Axiom/expansion configuration.
+  explct::ExplicitOptions Explicit;      ///< Pre-filter instance size.
+  bool ExplicitPrefilter = true;
+  bool StopOnExplicitCex = true;         ///< Bail out if the instance is unsafe.
+  unsigned MaxPrefilterStates = 400;
+  unsigned MaxTuples = 150;              ///< Set-tuple search budget.
+  unsigned MaxCandidateSets = 24;        ///< Top-ranked set bodies considered.
+  unsigned MaxBodyInstances = 12;        ///< INSTQ budget per clause.
+  unsigned SmtTimeoutMs = 30000;
+  /// Wall-clock budget for the whole synthesis run; 0 disables. Checked
+  /// between tuples and between Houdini iterations (coarse, not a hard
+  /// kill).
+  double TimeBudgetSeconds = 0;
+  bool FinalRecheck = true;
+  /// Greedily minimize the surviving atom set before output and re-check.
+  bool MinimizeInvariant = true;
+  bool Verbose = false;
+};
+
+struct SynthStats {
+  unsigned TuplesTried = 0;
+  unsigned SmtChecks = 0;
+  unsigned AtomsInPool = 0;
+  unsigned AtomsAfterPrefilter = 0;
+  unsigned AtomsInInvariant = 0;
+  unsigned ExplicitStates = 0;
+  double Seconds = 0;
+};
+
+struct SynthResult {
+  bool Verified = false;
+  /// The closed invariant formula (pre-state vocabulary), when Verified.
+  logic::Term Invariant;
+  /// The inferred cardinality set bodies, over the template formals.
+  std::vector<logic::Term> SetBodies;
+  /// The surviving inv_0 atoms, over the template formals.
+  std::vector<logic::Term> Atoms;
+  /// Set when the explicit checker found a real counterexample.
+  std::optional<explct::Counterexample> Cex;
+  SynthStats Stats;
+  std::string Note;
+};
+
+/// The formal variables a caller needs to phrase SynthOptions::QGuard.
+Formals formalsFor(logic::TermManager &M, const ShapeTemplate &Shape);
+
+/// Runs #Pi on \p Sys.
+SynthResult synthesize(sys::ParamSystem &Sys, const SynthOptions &Opts);
+
+} // namespace synth
+} // namespace sharpie
+
+#endif // SHARPIE_SYNTH_SYNTH_H

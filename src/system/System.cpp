@@ -1,0 +1,144 @@
+//===- system/System.cpp - Parameterized system models -----------------------===//
+//
+// Part of sharpie. See System.h.
+//
+//===----------------------------------------------------------------------===//
+
+#include "system/System.h"
+
+using namespace sharpie;
+using namespace sharpie::sys;
+using logic::Kind;
+using logic::Sort;
+using logic::Subst;
+using logic::Term;
+using logic::TermManager;
+
+ParamSystem::ParamSystem(TermManager &M, std::string Name, Composition Mode)
+    : M(M), SystemName(std::move(Name)), Mode(Mode),
+      Self(M.mkVar("self%" + SystemName, Sort::Tid)),
+      InitFormula(M.mkTrue()), SafeFormula(M.mkTrue()) {}
+
+Term ParamSystem::addGlobal(const std::string &Name) {
+  Term V = M.mkVar(Name, Sort::Int);
+  Term VP = M.mkVar(Name + "'", Sort::Int);
+  Globals.push_back(V);
+  Prime[V] = VP;
+  PostOf[V] = VP;
+  return V;
+}
+
+Term ParamSystem::addLocal(const std::string &Name) {
+  Term V = M.mkVar(Name, Sort::Array);
+  Term VP = M.mkVar(Name + "'", Sort::Array);
+  Locals.push_back(V);
+  Prime[V] = VP;
+  PostOf[V] = VP;
+  return V;
+}
+
+void ParamSystem::setSizeVar(Term N) {
+  assert(N.sort() == Sort::Int && "size variable must be an Int global");
+  SizeVar = N;
+}
+
+Term ParamSystem::my(Term Arr) const {
+  assert(Arr.sort() == Sort::Array && "my() expects a local array");
+  return M.mkRead(Arr, Self);
+}
+
+Term ParamSystem::post(Term V) const {
+  auto It = PostOf.find(V);
+  assert(It != PostOf.end() && "post() of an undeclared variable");
+  return It->second;
+}
+
+Transition &ParamSystem::addTransition(const std::string &Name, Term Guard) {
+  assert(Mode == Composition::Async && "addTransition on a sync system");
+  Transition T;
+  T.Name = Name;
+  T.Guard = Guard;
+  Transitions.push_back(std::move(T));
+  return Transitions.back();
+}
+
+Transition &ParamSystem::addSyncRound(const std::string &Name,
+                                      Term Relation) {
+  assert(Mode == Composition::Sync && "addSyncRound on an async system");
+  Transition T;
+  T.Name = Name;
+  T.Guard = M.mkTrue();
+  T.SyncRelation = Relation;
+  Transitions.push_back(std::move(T));
+  return Transitions.back();
+}
+
+Term ParamSystem::addChoice(Transition &T, const std::string &Name) {
+  Term C = M.freshVar("choice_" + Name, Sort::Int);
+  T.Choices.push_back(C);
+  return C;
+}
+
+Term ParamSystem::addTidChoice(Transition &T, const std::string &Name) {
+  Term C = M.freshVar("tchoice_" + Name, Sort::Tid);
+  T.TidChoices.push_back(C);
+  return C;
+}
+
+Term ParamSystem::transitionFormula(const Transition &T) const {
+  std::vector<Term> Conj;
+  if (Mode == Composition::Sync) {
+    assert(!T.SyncRelation.isNull() && "sync transition without relation");
+    // forall p: Relation[p]; globals framed unless updated.
+    Term P = M.freshVar("p_rnd", Sort::Tid);
+    Subst S;
+    S[Self] = P;
+    Conj.push_back(M.mkForall({P}, substitute(M, T.SyncRelation, S)));
+  } else {
+    Conj.push_back(T.Guard);
+    for (Term L : Locals) {
+      auto It = T.LocalUpd.find(L);
+      if (It != T.LocalUpd.end()) {
+        Conj.push_back(M.mkEq(post(L), M.mkStore(L, Self, It->second)));
+        continue;
+      }
+      const Transition::ArrayWrite *W = nullptr;
+      for (const Transition::ArrayWrite &AW : T.Writes)
+        if (AW.Arr == L) {
+          assert(!W && "at most one write per array per transition");
+          W = &AW;
+        }
+      if (W)
+        Conj.push_back(M.mkEq(post(L), M.mkStore(L, W->Idx, W->Val)));
+      else
+        Conj.push_back(M.mkEq(post(L), L));
+    }
+  }
+  for (Term G : Globals) {
+    auto It = T.GlobalUpd.find(G);
+    Conj.push_back(M.mkEq(post(G),
+                          It != T.GlobalUpd.end() ? It->second : G));
+  }
+  return M.mkAnd(Conj);
+}
+
+std::vector<std::pair<Term, Term>> ParamSystem::externalCounters() const {
+  std::vector<std::pair<Term, Term>> Out;
+  if (SizeVar)
+    Out.push_back({*SizeVar, M.mkTrue()});
+  return Out;
+}
+
+std::vector<Obligation> sharpie::sys::safetyObligations(const ParamSystem &Sys,
+                                                        Term Inv) {
+  TermManager &M = Sys.manager();
+  std::vector<Obligation> Out;
+  Out.push_back({"init", M.mkAnd(Sys.init(), M.mkNot(Inv))});
+  Term InvPost = substitute(M, Inv, Sys.primeSubst());
+  for (const Transition &T : Sys.transitions())
+    Out.push_back({"ind:" + T.Name,
+                   M.mkAnd({Inv, Sys.transitionFormula(T),
+                            M.mkNot(InvPost)})});
+  Out.push_back({"safe", M.mkAnd(Inv, M.mkNot(Sys.safe()))});
+  return Out;
+}

@@ -1,0 +1,184 @@
+//===- system/System.h - Parameterized system models ------------*- C++ -*-===//
+//
+// Part of sharpie. Models parameterized systems in the sense of paper
+// Sec. 4: a tuple of global integer variables, a tuple of local variables
+// modeled as arrays indexed by thread identifier, a constraint init(g, L),
+// a local transition relation next_T, and a safety constraint safe(g, L).
+//
+// Asynchronous systems (Eq. 1) pick one mover t' and perform a point-wise
+// update L' = L[t' <- l']; synchronous systems (the heard-of round model of
+// the one-third rule) constrain every thread's post-state with a universally
+// quantified per-thread relation. Guards and relations may freely use
+// cardinality terms (the filter lock's guard and the one-third rule's round
+// relation do).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SHARPIE_SYSTEM_SYSTEM_H
+#define SHARPIE_SYSTEM_SYSTEM_H
+
+#include "logic/Eval.h"
+#include "logic/Term.h"
+#include "logic/TermOps.h"
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace sharpie {
+namespace sys {
+
+enum class Composition { Async, Sync };
+
+/// One guarded command of an asynchronous system, executed by the mover
+/// thread; or, for synchronous systems, a whole-round relation.
+struct Transition {
+  std::string Name;
+  /// Enabling condition over pre-state globals and reads at self().
+  logic::Term Guard;
+  /// Global updates: variable -> post value term. Missing globals framed.
+  std::map<logic::Term, logic::Term> GlobalUpd;
+  /// Local updates: array -> post value term (for the mover). Missing
+  /// arrays framed.
+  std::map<logic::Term, logic::Term> LocalUpd;
+  /// Nondeterministic choice variables usable in Guard and updates. The
+  /// symbolic semantics leaves them unconstrained; the explicit checker
+  /// enumerates them (Int choices over [ChoiceLo, ChoiceHi], Tid choices
+  /// over the thread domain).
+  std::vector<logic::Term> Choices;
+  std::vector<logic::Term> TidChoices;
+  /// Point-wise writes at an arbitrary index (not necessarily the mover),
+  /// e.g. a garbage collector coloring a nondeterministically chosen
+  /// address: Arr[Idx] <- Val. At most one write per array per transition
+  /// (the locality the update axiom exploits).
+  struct ArrayWrite {
+    logic::Term Arr;
+    logic::Term Idx;
+    logic::Term Val;
+  };
+  std::vector<ArrayWrite> Writes;
+  /// Sync systems only: per-thread relation over pre and post state, with
+  /// the thread denoted by self(). Set via ParamSystem::addSyncRound.
+  logic::Term SyncRelation;
+};
+
+/// A parameterized protocol.
+class ParamSystem {
+public:
+  ParamSystem(logic::TermManager &M, std::string Name,
+              Composition Mode = Composition::Async);
+
+  logic::TermManager &manager() const { return M; }
+  const std::string &name() const { return SystemName; }
+  Composition mode() const { return Mode; }
+
+  // -- State ---------------------------------------------------------------
+
+  /// Declares a global integer variable.
+  logic::Term addGlobal(const std::string &Name);
+
+  /// Declares a per-thread local variable (an array Tid -> Int).
+  logic::Term addLocal(const std::string &Name);
+
+  /// Declares \p N (a previously added global) as the symbolic number of
+  /// threads, i.e. Def(N) = #{t | true}.
+  void setSizeVar(logic::Term N);
+  std::optional<logic::Term> sizeVar() const { return SizeVar; }
+
+  const std::vector<logic::Term> &globals() const { return Globals; }
+  const std::vector<logic::Term> &locals() const { return Locals; }
+
+  /// The designated Tid variable denoting the acting thread in guards,
+  /// updates and sync relations.
+  logic::Term self() const { return Self; }
+
+  /// Read of local array \p Arr at the acting thread.
+  logic::Term my(logic::Term Arr) const;
+
+  /// The post-state twin of a global or local variable.
+  logic::Term post(logic::Term V) const;
+
+  /// Substitution renaming every pre-state variable to its post twin.
+  const logic::Subst &primeSubst() const { return Prime; }
+
+  // -- Behaviour --------------------------------------------------------------
+
+  void setInit(logic::Term Init) { InitFormula = Init; }
+  void setSafe(logic::Term Safe) { SafeFormula = Safe; }
+  logic::Term init() const { return InitFormula; }
+  logic::Term safe() const { return SafeFormula; }
+
+  /// Adds an asynchronous guarded command. Returns it for further setup.
+  Transition &addTransition(const std::string &Name, logic::Term Guard);
+
+  /// Adds a synchronous round: \p Relation constrains pre and post state of
+  /// the thread denoted by self(); the round applies it to every thread.
+  Transition &addSyncRound(const std::string &Name, logic::Term Relation);
+
+  /// Creates a fresh nondeterministic Int choice for transition \p T.
+  logic::Term addChoice(Transition &T, const std::string &Name);
+
+  /// Creates a fresh nondeterministic Tid choice for transition \p T.
+  logic::Term addTidChoice(Transition &T, const std::string &Name);
+
+  const std::vector<Transition> &transitions() const { return Transitions; }
+
+  // -- Symbolic semantics -----------------------------------------------------
+
+  /// The full transition relation of \p T over pre and post state: guard,
+  /// updates as store equations at self(), and frame equalities. For sync
+  /// rounds: forall p: Relation[p] (plus global frame).
+  logic::Term transitionFormula(const Transition &T) const;
+
+  /// Pairs (K, Body) registering external cardinalities with the reduction
+  /// pipeline; nonempty iff a size variable is set.
+  std::vector<std::pair<logic::Term, logic::Term>> externalCounters() const;
+
+  // -- Explicit-state hook -------------------------------------------------------
+
+  using State = logic::FiniteModel;
+  /// Optional protocol-provided initial states for the explicit checker
+  /// (invoked with the instance size N). When absent, the all-zero state is
+  /// used and validated against init().
+  std::function<std::vector<State>(int64_t)> CustomInit;
+  /// Optional protocol-provided successor function for the explicit
+  /// checker (needed for sync rounds, whose generic inversion is hard).
+  std::function<std::vector<State>(const State &)> CustomStepper;
+
+  /// Hint for the explicit checker: inclusive range of values enumerated
+  /// for choice variables.
+  int64_t ChoiceLo = 0, ChoiceHi = 2;
+
+private:
+  logic::TermManager &M;
+  std::string SystemName;
+  Composition Mode;
+  std::vector<logic::Term> Globals;
+  std::vector<logic::Term> Locals;
+  std::optional<logic::Term> SizeVar;
+  logic::Term Self;
+  logic::Term InitFormula;
+  logic::Term SafeFormula;
+  std::vector<Transition> Transitions;
+  logic::Subst Prime;
+  std::map<logic::Term, logic::Term> PostOf;
+};
+
+/// A proof obligation: \p Psi must be unsatisfiable.
+struct Obligation {
+  std::string Name;
+  logic::Term Psi;
+};
+
+/// The three Horn clauses of the safety proof rule (paper Sec. 3) for a
+/// *concrete* invariant candidate: (a) init /\ !Inv, (b) per transition
+/// Inv /\ next /\ !Inv', (c) Inv /\ !safe. All must be unsat.
+std::vector<Obligation> safetyObligations(const ParamSystem &Sys,
+                                          logic::Term Inv);
+
+} // namespace sys
+} // namespace sharpie
+
+#endif // SHARPIE_SYSTEM_SYSTEM_H

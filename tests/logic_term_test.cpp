@@ -1,0 +1,186 @@
+//===- tests/logic_term_test.cpp - Term AST unit tests ----------------------===//
+//
+// Part of sharpie. Unit tests for hash-consing, builder normalization,
+// substitution, free variables, NNF, and printing.
+//
+//===----------------------------------------------------------------------===//
+
+#include "logic/Term.h"
+#include "logic/TermOps.h"
+
+#include <gtest/gtest.h>
+
+using namespace sharpie::logic;
+
+namespace {
+
+class TermTest : public ::testing::Test {
+protected:
+  TermManager M;
+  Term X = M.mkVar("x", Sort::Int);
+  Term Y = M.mkVar("y", Sort::Int);
+  Term T = M.mkVar("t", Sort::Tid);
+  Term U = M.mkVar("u", Sort::Tid);
+  Term F = M.mkVar("f", Sort::Array);
+};
+
+TEST_F(TermTest, HashConsingGivesPointerEquality) {
+  Term A = M.mkAdd(X, Y);
+  Term B = M.mkAdd(X, Y);
+  EXPECT_EQ(A, B);
+  EXPECT_EQ(A.node(), B.node());
+}
+
+TEST_F(TermTest, VariablesAreUniquePerName) {
+  EXPECT_EQ(M.mkVar("x", Sort::Int), X);
+  Term Fresh1 = M.freshVar("x", Sort::Int);
+  Term Fresh2 = M.freshVar("x", Sort::Int);
+  EXPECT_NE(Fresh1, Fresh2);
+  EXPECT_NE(Fresh1, X);
+}
+
+TEST_F(TermTest, AddFoldsConstantsAndFlattens) {
+  Term A = M.mkAdd({M.mkInt(2), X, M.mkInt(3)});
+  // 2 + x + 3 contains a single folded constant 5.
+  ASSERT_EQ(A.kind(), Kind::Add);
+  int64_t ConstSum = 0;
+  for (Term K : A->kids())
+    if (K.kind() == Kind::IntConst)
+      ConstSum += K->value();
+  EXPECT_EQ(ConstSum, 5);
+  Term Nested = M.mkAdd(A, Y);
+  EXPECT_EQ(Nested.kind(), Kind::Add);
+  for (Term K : Nested->kids())
+    EXPECT_NE(K.kind(), Kind::Add) << "Add must be flattened";
+}
+
+TEST_F(TermTest, ArithmeticIdentities) {
+  EXPECT_EQ(M.mkSub(X, M.mkInt(0)), X);
+  EXPECT_EQ(M.mkSub(X, X), M.mkInt(0));
+  EXPECT_EQ(M.mkMul(M.mkInt(1), X), X);
+  EXPECT_EQ(M.mkMul(M.mkInt(0), X), M.mkInt(0));
+  EXPECT_EQ(M.mkNeg(M.mkNeg(X)), X);
+  EXPECT_EQ(M.mkNeg(M.mkInt(7)), M.mkInt(-7));
+}
+
+TEST_F(TermTest, BooleanIdentities) {
+  Term P = M.mkLe(X, Y);
+  EXPECT_EQ(M.mkAnd(P, M.mkTrue()), P);
+  EXPECT_EQ(M.mkAnd(P, M.mkFalse()), M.mkFalse());
+  EXPECT_EQ(M.mkOr(P, M.mkTrue()), M.mkTrue());
+  EXPECT_EQ(M.mkOr(P, M.mkFalse()), P);
+  EXPECT_EQ(M.mkNot(M.mkNot(P)), P);
+  EXPECT_EQ(M.mkAnd(P, P), P);
+  EXPECT_EQ(M.mkImplies(P, P), M.mkTrue());
+}
+
+TEST_F(TermTest, ComparisonFolding) {
+  EXPECT_EQ(M.mkLe(M.mkInt(1), M.mkInt(2)), M.mkTrue());
+  EXPECT_EQ(M.mkLt(M.mkInt(2), M.mkInt(2)), M.mkFalse());
+  EXPECT_EQ(M.mkEq(M.mkInt(3), M.mkInt(3)), M.mkTrue());
+  EXPECT_EQ(M.mkEq(X, X), M.mkTrue());
+  EXPECT_EQ(M.mkGe(X, Y), M.mkLe(Y, X));
+  EXPECT_EQ(M.mkGt(X, Y), M.mkLt(Y, X));
+}
+
+TEST_F(TermTest, EqIsCanonicallyOrdered) {
+  EXPECT_EQ(M.mkEq(X, Y), M.mkEq(Y, X));
+}
+
+TEST_F(TermTest, ReadOverStoreSameIndexFolds) {
+  Term St = M.mkStore(F, T, X);
+  EXPECT_EQ(M.mkRead(St, T), X);
+  // Different symbolic index must not fold.
+  EXPECT_EQ(M.mkRead(St, U).kind(), Kind::Read);
+}
+
+TEST_F(TermTest, FreeVarsSeeThroughBinders) {
+  Term Body = M.mkEq(M.mkRead(F, T), X);
+  Term Q = M.mkForall({T}, Body);
+  std::set<Term> FV = freeVars(Q);
+  EXPECT_TRUE(FV.count(F));
+  EXPECT_TRUE(FV.count(X));
+  EXPECT_FALSE(FV.count(T));
+}
+
+TEST_F(TermTest, CardBindsItsVariable) {
+  Term C = M.mkCard(T, M.mkEq(M.mkRead(F, T), M.mkInt(2)));
+  EXPECT_EQ(C.sort(), Sort::Int);
+  std::set<Term> FV = freeVars(C);
+  EXPECT_TRUE(FV.count(F));
+  EXPECT_FALSE(FV.count(T));
+}
+
+TEST_F(TermTest, SubstituteReplacesFreeOnly) {
+  Term Body = M.mkEq(M.mkRead(F, T), X);
+  Term Q = M.mkForall({T}, Body);
+  Subst S;
+  S[X] = M.mkInt(5);
+  Term R = substitute(M, Q, S);
+  EXPECT_EQ(R, M.mkForall({T}, M.mkEq(M.mkRead(F, T), M.mkInt(5))));
+  // Substituting the bound variable is a no-op.
+  Subst S2;
+  S2[T] = U;
+  EXPECT_EQ(substitute(M, Q, S2), Q);
+}
+
+TEST_F(TermTest, SubstituteAvoidsCapture) {
+  // Substituting u -> t under "forall t" must rename the binder so the
+  // free t of the replacement is not captured.
+  Term G = M.mkVar("g", Sort::Array);
+  Term Q2 = M.mkForall({T}, M.mkEq(M.mkRead(F, T), M.mkRead(G, U)));
+  Subst S3;
+  S3[U] = T; // replacement mentions the bound variable t
+  Term R = substitute(M, Q2, S3);
+  ASSERT_EQ(R.kind(), Kind::Forall);
+  Term NewBinder = R->binders()[0];
+  EXPECT_NE(NewBinder, T) << "binder must be renamed to avoid capture";
+  std::set<Term> FV = freeVars(R);
+  EXPECT_TRUE(FV.count(T)) << "t must now occur free (from g(t))";
+}
+
+TEST_F(TermTest, NnfPushesNegations) {
+  Term P = M.mkLe(X, Y);
+  Term Q = M.mkLt(Y, X);
+  Term Phi = M.mkNot(M.mkAnd(P, M.mkImplies(Q, P)));
+  Term N = toNnf(M, Phi);
+  EXPECT_FALSE(containsKind(N, Kind::Implies));
+  // NNF is logically equivalent: ~(P /\ (Q -> P)) == ~P \/ (Q /\ ~P).
+  EXPECT_EQ(N, M.mkOr(M.mkNot(P), M.mkAnd(Q, M.mkNot(P))));
+}
+
+TEST_F(TermTest, NnfFlipsQuantifiers) {
+  Term Phi = M.mkNot(M.mkForall({T}, M.mkEq(M.mkRead(F, T), M.mkInt(1))));
+  Term N = toNnf(M, Phi);
+  ASSERT_EQ(N.kind(), Kind::Exists);
+  EXPECT_EQ(N->body(),
+            M.mkNot(M.mkEq(M.mkRead(F, T), M.mkInt(1))));
+}
+
+TEST_F(TermTest, PrinterProducesPaperSyntax) {
+  Term C = M.mkCard(T, M.mkEq(M.mkRead(F, T), M.mkInt(2)));
+  EXPECT_EQ(toString(C), "#{t | (f(t) = 2)}");
+  Term Q = M.mkForall({T, U}, M.mkImplies(M.mkEq(M.mkRead(F, T),
+                                                 M.mkRead(F, U)),
+                                          M.mkEq(T, U)));
+  EXPECT_EQ(toString(Q),
+            "(forall t,u. ((f(t) = f(u)) -> (t = u)))");
+}
+
+TEST_F(TermTest, CollectSubtermsFindsCards) {
+  Term C = M.mkCard(T, M.mkEq(M.mkRead(F, T), M.mkInt(2)));
+  Term Phi = M.mkLe(C, X);
+  std::set<Term> Cards =
+      collectSubterms(Phi, [](Term S) { return S.kind() == Kind::Card; });
+  ASSERT_EQ(Cards.size(), 1u);
+  EXPECT_EQ(*Cards.begin(), C);
+}
+
+TEST_F(TermTest, ForallMergesNestedBinders) {
+  Term Inner = M.mkForall({U}, M.mkEq(T, U));
+  Term Outer = M.mkForall({T}, Inner);
+  ASSERT_EQ(Outer.kind(), Kind::Forall);
+  EXPECT_EQ(Outer->binders().size(), 2u);
+}
+
+} // namespace

@@ -1,0 +1,192 @@
+//===- tests/reduce_test.cpp - ELIMCARD + instantiation pipeline tests -------===//
+//
+// Part of sharpie. Exercises the reduction pipeline on the worked examples
+// of the paper: Sec. 3 (increment program), Sec. 5 Example 1 (axiom
+// instantiation), Sec. 5.2 Example 2 (Venn decomposition), and Sec. 5.3
+// Example 3 (documented incompletenesses).
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/Reduce.h"
+#include "logic/TermOps.h"
+
+#include <gtest/gtest.h>
+
+using namespace sharpie;
+using namespace sharpie::logic;
+using sharpie::smt::SatResult;
+
+namespace {
+
+class ReduceTest : public ::testing::Test {
+protected:
+  /// Reduces Psi and reports the SMT verdict on the ground residue.
+  SatResult checkSat(Term Psi, bool Venn = false,
+                     std::vector<std::pair<Term, Term>> External = {}) {
+    engine::ReduceOptions Opts;
+    Opts.Card.Venn = Venn;
+    std::unique_ptr<smt::SmtSolver> Oracle = smt::makeZ3Solver(M);
+    engine::ReduceResult R =
+        engine::reduceToGround(M, Psi, Opts, Oracle.get(), External);
+    std::unique_ptr<smt::SmtSolver> S = smt::makeZ3Solver(M);
+    S->add(R.Ground);
+    return S->check();
+  }
+
+  TermManager M;
+  Term T = M.mkVar("t", Sort::Tid);
+  Term J = M.mkVar("j", Sort::Tid);
+  Term F = M.mkVar("f", Sort::Array);
+  Term G = M.mkVar("g", Sort::Array);
+  Term KV = M.mkVar("k", Sort::Int);
+  Term LV = M.mkVar("l", Sort::Int);
+};
+
+// Paper Sec. 5, Example 1, first formula:
+// (forall t: f(t) = 1) /\ #{t | f(t) >= 2} = k /\ k >= 1 is unsat.
+TEST_F(ReduceTest, Example1EmptySetAxiom) {
+  Term Card = M.mkCard(T, M.mkGe(M.mkRead(F, T), M.mkInt(2)));
+  Term Psi = M.mkAnd({M.mkForall({T}, M.mkEq(M.mkRead(F, T), M.mkInt(1))),
+                      M.mkEq(Card, KV), M.mkGe(KV, M.mkInt(1))});
+  EXPECT_EQ(checkSat(Psi), SatResult::Unsat);
+}
+
+// Same setup but k = 0 is satisfiable: the reduction must not over-prune.
+TEST_F(ReduceTest, Example1SatisfiableVariant) {
+  Term Card = M.mkCard(T, M.mkGe(M.mkRead(F, T), M.mkInt(2)));
+  Term Psi = M.mkAnd({M.mkForall({T}, M.mkEq(M.mkRead(F, T), M.mkInt(1))),
+                      M.mkEq(Card, KV), M.mkEq(KV, M.mkInt(0))});
+  EXPECT_EQ(checkSat(Psi), SatResult::Sat);
+}
+
+// Paper Sec. 5, Example 1, second formula (update axiom):
+// #{t|f(t)=2}=k /\ #{t|g(t)=2}=l /\ f(j)=1 /\ g=f[j<-2] /\ l<=k is unsat,
+// because the update axiom derives l = k + 1.
+TEST_F(ReduceTest, Example1UpdateAxiom) {
+  Term CardF = M.mkCard(T, M.mkEq(M.mkRead(F, T), M.mkInt(2)));
+  Term CardG = M.mkCard(T, M.mkEq(M.mkRead(G, T), M.mkInt(2)));
+  Term Psi = M.mkAnd({M.mkEq(CardF, KV), M.mkEq(CardG, LV),
+                      M.mkEq(M.mkRead(F, J), M.mkInt(1)),
+                      M.mkEq(G, M.mkStore(F, J, M.mkInt(2))),
+                      M.mkLe(LV, KV)});
+  EXPECT_EQ(checkSat(Psi), SatResult::Unsat);
+}
+
+// Update in the other direction: when the updated position was already in
+// the set and leaves it, l = k - 1, so l >= k is unsat.
+TEST_F(ReduceTest, UpdateAxiomRemoval) {
+  Term CardF = M.mkCard(T, M.mkEq(M.mkRead(F, T), M.mkInt(2)));
+  Term CardG = M.mkCard(T, M.mkEq(M.mkRead(G, T), M.mkInt(2)));
+  Term Psi = M.mkAnd({M.mkEq(CardF, KV), M.mkEq(CardG, LV),
+                      M.mkEq(M.mkRead(F, J), M.mkInt(2)),
+                      M.mkEq(G, M.mkStore(F, J, M.mkInt(0))),
+                      M.mkGe(LV, KV)});
+  EXPECT_EQ(checkSat(Psi), SatResult::Unsat);
+}
+
+// CARD>0 derived rule: a set with a known member has positive cardinality.
+TEST_F(ReduceTest, InhabitedSetPositive) {
+  Term Card = M.mkCard(T, M.mkGe(M.mkRead(F, T), M.mkInt(2)));
+  Term Psi = M.mkAnd({M.mkEq(Card, KV),
+                      M.mkEq(M.mkRead(F, J), M.mkInt(5)),
+                      M.mkLe(KV, M.mkInt(0))});
+  EXPECT_EQ(checkSat(Psi), SatResult::Unsat);
+}
+
+// CARD<= between sets: {f(t) >= 3} is a subset of {f(t) >= 2}.
+TEST_F(ReduceTest, SubsetMonotone) {
+  Term C3 = M.mkCard(T, M.mkGe(M.mkRead(F, T), M.mkInt(3)));
+  Term C2 = M.mkCard(T, M.mkGe(M.mkRead(F, T), M.mkInt(2)));
+  Term Psi = M.mkAnd({M.mkEq(C3, KV), M.mkEq(C2, LV), M.mkGt(KV, LV)});
+  EXPECT_EQ(checkSat(Psi), SatResult::Unsat);
+}
+
+// CARD<: a strict witness (a member of the superset that is not in the
+// subset) forces a strict inequality.
+TEST_F(ReduceTest, StrictSubsetStrictCount) {
+  Term C3 = M.mkCard(T, M.mkGe(M.mkRead(F, T), M.mkInt(3)));
+  Term C2 = M.mkCard(T, M.mkGe(M.mkRead(F, T), M.mkInt(2)));
+  Term Psi = M.mkAnd({M.mkEq(C3, KV), M.mkEq(C2, LV),
+                      M.mkEq(M.mkRead(F, J), M.mkInt(2)), // in C2 \ C3
+                      M.mkGe(KV, LV)});
+  EXPECT_EQ(checkSat(Psi), SatResult::Unsat);
+}
+
+// Paper Sec. 5.2, Example 2 (one-third rule argument): two sets that each
+// hold more than two thirds of n processes cannot be disjoint. Requires the
+// Venn decomposition; the order axioms alone cannot refute it.
+TEST_F(ReduceTest, Example2VennDecomposition) {
+  Term N = M.mkVar("n", Sort::Int);
+  Term A = M.mkEq(M.mkRead(F, T), M.mkInt(1));
+  Term B = M.mkEq(M.mkRead(G, T), M.mkInt(1));
+  Term CardA = M.mkCard(T, A);
+  Term CardB = M.mkCard(T, B);
+  Term CardAB = M.mkCard(T, M.mkAnd(A, B));
+  // 3*#A > 2n /\ 3*#B > 2n /\ #Omega = n /\ #(A /\ B) = 0.
+  Term Psi = M.mkAnd({M.mkGt(M.mkMul(M.mkInt(3), CardA),
+                             M.mkMul(M.mkInt(2), N)),
+                      M.mkGt(M.mkMul(M.mkInt(3), CardB),
+                             M.mkMul(M.mkInt(2), N)),
+                      M.mkEq(CardAB, M.mkInt(0))});
+  std::vector<std::pair<Term, Term>> Omega = {{N, M.mkTrue()}};
+  EXPECT_EQ(checkSat(Psi, /*Venn=*/true, Omega), SatResult::Unsat);
+  // Without Venn the order axioms are too weak (paper Sec. 5.2).
+  EXPECT_EQ(checkSat(Psi, /*Venn=*/false, Omega), SatResult::Sat);
+}
+
+// Paper Sec. 5.3, Example 3: the swap-induced equality between #{f=1} and
+// #{g=1} is *not* derivable -- the axiomatization deliberately trades this
+// completeness for tractability. The test documents the limitation.
+TEST_F(ReduceTest, Example3SwapLimitation) {
+  Term I = M.mkVar("i", Sort::Tid);
+  Term CardF = M.mkCard(T, M.mkEq(M.mkRead(F, T), M.mkInt(1)));
+  Term CardG = M.mkCard(T, M.mkEq(M.mkRead(G, T), M.mkInt(1)));
+  Term Swap = M.mkAnd(
+      {M.mkNe(I, J),
+       M.mkForall({T}, M.mkImplies(M.mkAnd(M.mkNe(T, I), M.mkNe(T, J)),
+                                   M.mkAnd(M.mkEq(M.mkRead(F, T),
+                                                  M.mkRead(G, T)),
+                                           M.mkEq(M.mkRead(G, T),
+                                                  M.mkInt(1))))),
+       M.mkEq(M.mkRead(F, I), M.mkInt(1)), M.mkEq(M.mkRead(G, I), M.mkInt(2)),
+       M.mkEq(M.mkRead(F, J), M.mkInt(2)), M.mkEq(M.mkRead(G, J), M.mkInt(1))});
+  Term Psi = M.mkAnd({Swap, M.mkEq(CardF, KV), M.mkEq(CardG, LV),
+                      M.mkNe(KV, LV)});
+  // Semantically unsat, but the axioms cannot refute it.
+  EXPECT_EQ(checkSat(Psi), SatResult::Sat);
+}
+
+// Paper Sec. 3: the increment program. inv = (#{t | pc(t) >= 2} <= a).
+// All three Horn clauses hold under the reduction.
+TEST_F(ReduceTest, Section3IncrementProgram) {
+  Term PC = M.mkVar("pc", Sort::Array);
+  Term PCp = M.mkVar("pc_post", Sort::Array);
+  Term AV = M.mkVar("a", Sort::Int);
+  Term APp = M.mkVar("a_post", Sort::Int);
+  Term Mover = M.mkVar("mover", Sort::Tid);
+  auto Inv = [&](Term Arr, Term Scalar) {
+    return M.mkLe(M.mkCard(T, M.mkGe(M.mkRead(Arr, T), M.mkInt(2))), Scalar);
+  };
+
+  // (a) init => inv: (forall t: pc(t)=1) /\ a=0 /\ !inv is unsat.
+  Term Init = M.mkAnd(M.mkForall({T}, M.mkEq(M.mkRead(PC, T), M.mkInt(1))),
+                      M.mkEq(AV, M.mkInt(0)));
+  EXPECT_EQ(checkSat(M.mkAnd(Init, M.mkNot(Inv(PC, AV)))), SatResult::Unsat);
+
+  // (b) inv /\ next => inv': counterexample query is unsat.
+  Term Next = M.mkAnd({M.mkEq(M.mkRead(PC, Mover), M.mkInt(1)),
+                       M.mkEq(PCp, M.mkStore(PC, Mover, M.mkInt(2))),
+                       M.mkEq(APp, M.mkAdd(AV, M.mkInt(1)))});
+  EXPECT_EQ(checkSat(M.mkAnd({Inv(PC, AV), Next, M.mkNot(Inv(PCp, APp))})),
+            SatResult::Unsat);
+
+  // (c) inv => safe: inv /\ (exists t: pc(t) > 1) /\ a <= 0 is unsat.
+  Term Unsafe = M.mkAnd(M.mkExists({T}, M.mkGt(M.mkRead(PC, T), M.mkInt(1))),
+                        M.mkLe(AV, M.mkInt(0)));
+  EXPECT_EQ(checkSat(M.mkAnd(Inv(PC, AV), Unsafe)), SatResult::Unsat);
+
+  // Sanity: dropping the invariant from (c) must leave it satisfiable.
+  EXPECT_EQ(checkSat(Unsafe), SatResult::Sat);
+}
+
+} // namespace

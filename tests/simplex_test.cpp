@@ -1,0 +1,156 @@
+//===- tests/simplex_test.cpp - Simplex and branch-and-bound tests -------------===//
+//
+// Part of sharpie. Unit and property tests for the MiniSolver's simplex
+// core: hand-picked feasibility cases plus randomized cross-validation
+// against brute-force enumeration on a bounded cube.
+//
+//===----------------------------------------------------------------------===//
+
+#include "smt/Simplex.h"
+
+#include <gtest/gtest.h>
+#include <random>
+
+using namespace sharpie::smt;
+
+namespace {
+
+LinearConstraint le(std::map<unsigned, int64_t> Cs, int64_t Rhs) {
+  LinearConstraint C;
+  for (auto &[V, K] : Cs)
+    C.Coeffs[V] = Rational(K);
+  C.Rhs = Rational(Rhs);
+  return C;
+}
+
+LinearConstraint eq(std::map<unsigned, int64_t> Cs, int64_t Rhs) {
+  LinearConstraint C = le(std::move(Cs), Rhs);
+  C.IsEquality = true;
+  return C;
+}
+
+TEST(Simplex, TrivialFeasible) {
+  // x <= 5, -x <= -3  (i.e. 3 <= x <= 5).
+  std::vector<int64_t> Model;
+  auto R = checkIntegerFeasible(1, {le({{0, 1}}, 5), le({{0, -1}}, -3)},
+                                &Model);
+  ASSERT_EQ(R, SimplexResult::Feasible);
+  EXPECT_GE(Model[0], 3);
+  EXPECT_LE(Model[0], 5);
+}
+
+TEST(Simplex, TrivialInfeasible) {
+  // x <= 2 and x >= 3.
+  auto R = checkIntegerFeasible(1, {le({{0, 1}}, 2), le({{0, -1}}, -3)});
+  EXPECT_EQ(R, SimplexResult::Infeasible);
+}
+
+TEST(Simplex, RationalFeasibleIntegerInfeasible) {
+  // 2x = 1: rational solution 1/2, no integer solution.
+  EXPECT_EQ(checkRationalFeasible(1, {eq({{0, 2}}, 1)}),
+            SimplexResult::Feasible);
+  EXPECT_EQ(checkIntegerFeasible(1, {eq({{0, 2}}, 1)}),
+            SimplexResult::Infeasible);
+}
+
+TEST(Simplex, EqualityChain) {
+  // x + y = 10, x - y = 4  =>  x = 7, y = 3.
+  std::vector<int64_t> Model;
+  auto R = checkIntegerFeasible(
+      2, {eq({{0, 1}, {1, 1}}, 10), eq({{0, 1}, {1, -1}}, 4)}, &Model);
+  ASSERT_EQ(R, SimplexResult::Feasible);
+  EXPECT_EQ(Model[0], 7);
+  EXPECT_EQ(Model[1], 3);
+}
+
+TEST(Simplex, BranchAndBoundSplits) {
+  // 3x + 3y = 7 has rational solutions but no integer ones.
+  EXPECT_EQ(checkIntegerFeasible(2, {eq({{0, 3}, {1, 3}}, 7)}),
+            SimplexResult::Infeasible);
+}
+
+TEST(Simplex, PigeonholeStyle) {
+  // a + b + c = 7, each in [0,2]: infeasible (max 6).
+  std::vector<LinearConstraint> Cs{eq({{0, 1}, {1, 1}, {2, 1}}, 7)};
+  for (unsigned V = 0; V < 3; ++V) {
+    Cs.push_back(le({{V, 1}}, 2));
+    Cs.push_back(le({{V, -1}}, 0));
+  }
+  EXPECT_EQ(checkIntegerFeasible(3, Cs), SimplexResult::Infeasible);
+}
+
+/// Property: against brute force on the cube [-4,4]^3. If brute force
+/// finds a point, simplex must not claim Infeasible; if simplex claims
+/// Infeasible, brute force must find nothing. (Feasible answers may use
+/// points outside the cube, so only these two directions are checkable.)
+class SimplexRandomTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(SimplexRandomTest, AgreesWithBruteForce) {
+  std::mt19937 Rng(GetParam() * 7919 + 13);
+  std::uniform_int_distribution<int> Coef(-3, 3), Rhs(-6, 6), NumC(2, 6);
+  std::uniform_int_distribution<int> IsEq(0, 4);
+
+  std::vector<LinearConstraint> Cs;
+  int N = NumC(Rng);
+  for (int I = 0; I < N; ++I) {
+    LinearConstraint C;
+    for (unsigned V = 0; V < 3; ++V) {
+      int K = Coef(Rng);
+      if (K != 0)
+        C.Coeffs[V] = Rational(K);
+    }
+    C.Rhs = Rational(Rhs(Rng));
+    C.IsEquality = IsEq(Rng) == 0;
+    Cs.push_back(std::move(C));
+  }
+  // Bound all variables into the cube so Feasible results are checkable
+  // against brute force in both directions.
+  for (unsigned V = 0; V < 3; ++V) {
+    Cs.push_back(le({{V, 1}}, 4));
+    Cs.push_back(le({{V, -1}}, 4));
+  }
+
+  bool BruteFeasible = false;
+  for (int64_t X = -4; X <= 4 && !BruteFeasible; ++X)
+    for (int64_t Y = -4; Y <= 4 && !BruteFeasible; ++Y)
+      for (int64_t Z = -4; Z <= 4 && !BruteFeasible; ++Z) {
+        bool Ok = true;
+        for (const LinearConstraint &C : Cs) {
+          Rational Sum(0);
+          auto Get = [&](unsigned V) {
+            auto It = C.Coeffs.find(V);
+            return It == C.Coeffs.end() ? Rational(0) : It->second;
+          };
+          Sum = Get(0) * Rational(X) + Get(1) * Rational(Y) +
+                Get(2) * Rational(Z);
+          if (C.IsEquality ? !(Sum == C.Rhs) : !(Sum <= C.Rhs)) {
+            Ok = false;
+            break;
+          }
+        }
+        BruteFeasible |= Ok;
+      }
+
+  std::vector<int64_t> Model;
+  SimplexResult R = checkIntegerFeasible(3, Cs, &Model);
+  ASSERT_NE(R, SimplexResult::Unknown);
+  EXPECT_EQ(R == SimplexResult::Feasible, BruteFeasible)
+      << "simplex and brute force disagree (seed " << GetParam() << ")";
+  if (R == SimplexResult::Feasible) {
+    // The model must satisfy every constraint.
+    for (const LinearConstraint &C : Cs) {
+      Rational Sum(0);
+      for (auto &[V, K] : C.Coeffs)
+        Sum = Sum + K * Rational(Model[V]);
+      if (C.IsEquality)
+        EXPECT_TRUE(Sum == C.Rhs);
+      else
+        EXPECT_TRUE(Sum <= C.Rhs);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplexRandomTest,
+                         ::testing::Range(0u, 120u));
+
+} // namespace

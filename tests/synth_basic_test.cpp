@@ -1,0 +1,69 @@
+//===- tests/synth_basic_test.cpp - End-to-end synthesis smoke tests ----------===//
+//
+// Part of sharpie. Runs the full #Pi pipeline on the small Figure 6
+// upper-table protocols and on the Sec. 3 increment program.
+//
+//===----------------------------------------------------------------------===//
+
+#include "protocols/Protocols.h"
+#include "logic/TermOps.h"
+
+#include <gtest/gtest.h>
+
+using namespace sharpie;
+using namespace sharpie::protocols;
+
+namespace {
+
+synth::SynthResult runBundle(ProtocolBundle &B, bool Verbose = false) {
+  synth::SynthOptions Opts;
+  Opts.Shape = B.Shape;
+  Opts.QGuard = B.QGuard;
+  Opts.Reduce.Card.Venn = B.NeedsVenn;
+  Opts.Explicit = B.Explicit;
+  Opts.Verbose = Verbose;
+  return synth::synthesize(*B.Sys, Opts);
+}
+
+TEST(SynthBasic, ExplicitCheckerValidatesModels) {
+  // Each correct model must be safe for small instances.
+  for (BundleFactory Make :
+       {makeIncrement, makeIntro, makeBluetooth, makeCache}) {
+    logic::TermManager M;
+    ProtocolBundle B = Make(M);
+    explct::ExplicitResult R = explct::explore(*B.Sys, B.Explicit);
+    EXPECT_TRUE(R.Safe) << B.Sys->name();
+    EXPECT_GT(R.NumStates, 1u) << B.Sys->name();
+  }
+}
+
+TEST(SynthBasic, Increment) {
+  logic::TermManager M;
+  ProtocolBundle B = makeIncrement(M);
+  synth::SynthResult R = runBundle(B);
+  EXPECT_TRUE(R.Verified) << R.Note;
+  ASSERT_EQ(R.SetBodies.size(), 1u);
+}
+
+TEST(SynthBasic, Intro) {
+  logic::TermManager M;
+  ProtocolBundle B = makeIntro(M);
+  synth::SynthResult R = runBundle(B);
+  EXPECT_TRUE(R.Verified) << R.Note;
+}
+
+TEST(SynthBasic, Bluetooth) {
+  logic::TermManager M;
+  ProtocolBundle B = makeBluetooth(M);
+  synth::SynthResult R = runBundle(B);
+  EXPECT_TRUE(R.Verified) << R.Note;
+}
+
+TEST(SynthBasic, Cache) {
+  logic::TermManager M;
+  ProtocolBundle B = makeCache(M);
+  synth::SynthResult R = runBundle(B);
+  EXPECT_TRUE(R.Verified) << R.Note;
+}
+
+} // namespace

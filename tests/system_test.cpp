@@ -1,0 +1,123 @@
+//===- tests/system_test.cpp - ParamSystem modeling-layer tests ----------------===//
+//
+// Part of sharpie. Unit tests for the system layer: priming, transition
+// relation construction (stores at the mover, frames, sync rounds, array
+// writes at arbitrary indices), and the safety proof rule.
+//
+//===----------------------------------------------------------------------===//
+
+#include "smt/SmtSolver.h"
+#include "system/System.h"
+#include "logic/TermOps.h"
+
+#include <gtest/gtest.h>
+
+using namespace sharpie;
+using namespace sharpie::logic;
+using sys::ParamSystem;
+using sys::Transition;
+
+namespace {
+
+TEST(System, PrimingCreatesTwins) {
+  TermManager M;
+  ParamSystem S(M, "sys");
+  Term G = S.addGlobal("g");
+  Term L = S.addLocal("l");
+  EXPECT_EQ(S.post(G), M.mkVar("g'", Sort::Int));
+  EXPECT_EQ(S.post(L), M.mkVar("l'", Sort::Array));
+  EXPECT_EQ(S.primeSubst().at(G), S.post(G));
+}
+
+TEST(System, AsyncTransitionBuildsStoresAndFrames) {
+  TermManager M;
+  ParamSystem S(M, "sys");
+  Term G = S.addGlobal("g");
+  Term H = S.addGlobal("h");
+  Term L = S.addLocal("l");
+  Term K = S.addLocal("k");
+  Transition &T = S.addTransition("t", M.mkEq(S.my(L), M.mkInt(1)));
+  T.GlobalUpd[G] = M.mkAdd(G, M.mkInt(1));
+  T.LocalUpd[L] = M.mkInt(2);
+  Term Rel = S.transitionFormula(T);
+  // Updated local becomes a store at self; untouched one is framed.
+  EXPECT_TRUE(containsKind(Rel, Kind::Store));
+  std::set<Term> Eqs = collectSubterms(Rel, [&](Term X) {
+    return X.kind() == Kind::Eq && X->kid(0).sort() == Sort::Array;
+  });
+  bool FoundFrame = false, FoundStore = false;
+  for (Term E : Eqs) {
+    if (E == M.mkEq(S.post(K), K))
+      FoundFrame = true;
+    if (E == M.mkEq(S.post(L), M.mkStore(L, S.self(), M.mkInt(2))))
+      FoundStore = true;
+  }
+  EXPECT_TRUE(FoundFrame);
+  EXPECT_TRUE(FoundStore);
+  // Untouched global framed, updated one equated to its new value.
+  std::set<Term> FV = freeVars(Rel);
+  EXPECT_TRUE(FV.count(S.post(H)));
+  EXPECT_TRUE(FV.count(S.post(G)));
+}
+
+TEST(System, ArrayWriteAtChosenIndex) {
+  TermManager M;
+  ParamSystem S(M, "sys");
+  Term L = S.addLocal("color");
+  Transition &T = S.addTransition("w", M.mkTrue());
+  Term Addr = S.addTidChoice(T, "addr");
+  T.Writes.push_back({L, Addr, M.mkInt(1)});
+  Term Rel = S.transitionFormula(T);
+  std::set<Term> Stores =
+      collectSubterms(Rel, [](Term X) { return X.kind() == Kind::Store; });
+  ASSERT_EQ(Stores.size(), 1u);
+  EXPECT_EQ(Stores.begin()->node()->kid(1), Addr);
+}
+
+TEST(System, SyncRoundQuantifiesTheRelation) {
+  TermManager M;
+  ParamSystem S(M, "sys", sys::Composition::Sync);
+  Term L = S.addLocal("x");
+  Term Rel = M.mkEq(M.mkRead(S.post(L), S.self()), M.mkRead(L, S.self()));
+  S.addSyncRound("round", Rel);
+  Term F = S.transitionFormula(S.transitions()[0]);
+  EXPECT_TRUE(containsKind(F, Kind::Forall));
+  // self() must have been replaced by the round-quantified variable.
+  EXPECT_FALSE(freeVars(F).count(S.self()));
+}
+
+TEST(System, SafetyObligationsFollowTheProofRule) {
+  TermManager M;
+  ParamSystem S(M, "sys");
+  Term G = S.addGlobal("g");
+  S.setInit(M.mkEq(G, M.mkInt(0)));
+  S.setSafe(M.mkGe(G, M.mkInt(0)));
+  Transition &T = S.addTransition("inc", M.mkTrue());
+  T.GlobalUpd[G] = M.mkAdd(G, M.mkInt(1));
+  Term Inv = M.mkGe(G, M.mkInt(0));
+  std::vector<sys::Obligation> Obs = sys::safetyObligations(S, Inv);
+  ASSERT_EQ(Obs.size(), 3u); // init, one transition, safe.
+  EXPECT_EQ(Obs[0].Name, "init");
+  EXPECT_EQ(Obs[1].Name, "ind:inc");
+  EXPECT_EQ(Obs[2].Name, "safe");
+  // All three must be unsat (the invariant is inductive and sufficient).
+  for (const sys::Obligation &O : Obs) {
+    std::unique_ptr<sharpie::smt::SmtSolver> Solver = sharpie::smt::makeZ3Solver(M);
+    Solver->add(O.Psi);
+    EXPECT_EQ(Solver->check(), sharpie::smt::SatResult::Unsat) << O.Name;
+  }
+}
+
+TEST(System, ExternalCountersDeclareOmega) {
+  TermManager M;
+  ParamSystem S(M, "sys");
+  Term N = S.addGlobal("n");
+  EXPECT_TRUE(S.externalCounters().empty());
+  S.setSizeVar(N);
+  auto Ext = S.externalCounters();
+  ASSERT_EQ(Ext.size(), 1u);
+  EXPECT_EQ(Ext[0].first, N);
+  EXPECT_EQ(Ext[0].second, M.mkTrue());
+}
+
+} // namespace

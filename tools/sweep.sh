@@ -1,0 +1,16 @@
+#!/bin/sh
+# Part of sharpie. Runs #Pi on every registered benchmark with a per-run
+# timeout and prints one status line each -- the quick health check used
+# during development (the bench/ binaries print the full paper tables).
+BIN=${BIN:-build/examples/example_run_protocol}
+TIMEOUT=${TIMEOUT:-120}
+for name in $($BIN --list); do
+  start=$(date +%s%N)
+  out=$(timeout "$TIMEOUT" "$BIN" "$name" 2>&1)
+  code=$?
+  end=$(date +%s%N)
+  ms=$(( (end - start) / 1000000 ))
+  status=$(printf '%s' "$out" | grep -oE 'VERIFIED|UNSAFE|NOT VERIFIED' | head -1)
+  [ $code -eq 124 ] && status=TIMEOUT
+  printf '%-22s %-14s %6dms\n' "$name" "${status:-ERROR}" "$ms"
+done

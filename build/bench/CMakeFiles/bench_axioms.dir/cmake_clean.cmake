@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_axioms.dir/bench_axioms.cpp.o"
+  "CMakeFiles/bench_axioms.dir/bench_axioms.cpp.o.d"
+  "bench_axioms"
+  "bench_axioms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_axioms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_lower.dir/bench_fig6_lower.cpp.o"
+  "CMakeFiles/bench_fig6_lower.dir/bench_fig6_lower.cpp.o.d"
+  "bench_fig6_lower"
+  "bench_fig6_lower.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_lower.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

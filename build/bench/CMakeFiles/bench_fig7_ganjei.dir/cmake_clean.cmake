@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_ganjei.dir/bench_fig7_ganjei.cpp.o"
+  "CMakeFiles/bench_fig7_ganjei.dir/bench_fig7_ganjei.cpp.o.d"
+  "bench_fig7_ganjei"
+  "bench_fig7_ganjei.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_ganjei.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_upper.dir/bench_fig9_upper.cpp.o"
+  "CMakeFiles/bench_fig9_upper.dir/bench_fig9_upper.cpp.o.d"
+  "bench_fig9_upper"
+  "bench_fig9_upper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_upper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_garbage_collection.dir/garbage_collection.cpp.o"
+  "CMakeFiles/example_garbage_collection.dir/garbage_collection.cpp.o.d"
+  "example_garbage_collection"
+  "example_garbage_collection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_garbage_collection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

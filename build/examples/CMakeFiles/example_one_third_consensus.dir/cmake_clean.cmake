@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_one_third_consensus.dir/one_third_consensus.cpp.o"
+  "CMakeFiles/example_one_third_consensus.dir/one_third_consensus.cpp.o.d"
+  "example_one_third_consensus"
+  "example_one_third_consensus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_one_third_consensus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

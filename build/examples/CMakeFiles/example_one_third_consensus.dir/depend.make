@@ -1,0 +1,2 @@
+# Empty dependencies file for example_one_third_consensus.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_run_protocol.dir/run_protocol.cpp.o"
+  "CMakeFiles/example_run_protocol.dir/run_protocol.cpp.o.d"
+  "example_run_protocol"
+  "example_run_protocol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_run_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_run_protocol_fixed.dir/run_protocol_fixed.cpp.o"
+  "CMakeFiles/example_run_protocol_fixed.dir/run_protocol_fixed.cpp.o.d"
+  "example_run_protocol_fixed"
+  "example_run_protocol_fixed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_run_protocol_fixed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

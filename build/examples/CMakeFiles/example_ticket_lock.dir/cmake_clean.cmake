@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_ticket_lock.dir/ticket_lock.cpp.o"
+  "CMakeFiles/example_ticket_lock.dir/ticket_lock.cpp.o.d"
+  "example_ticket_lock"
+  "example_ticket_lock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_ticket_lock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/CounterAbs.cpp" "src/CMakeFiles/sharpie.dir/baselines/CounterAbs.cpp.o" "gcc" "src/CMakeFiles/sharpie.dir/baselines/CounterAbs.cpp.o.d"
+  "/root/repo/src/baselines/IntervalAI.cpp" "src/CMakeFiles/sharpie.dir/baselines/IntervalAI.cpp.o" "gcc" "src/CMakeFiles/sharpie.dir/baselines/IntervalAI.cpp.o.d"
+  "/root/repo/src/card/Card.cpp" "src/CMakeFiles/sharpie.dir/card/Card.cpp.o" "gcc" "src/CMakeFiles/sharpie.dir/card/Card.cpp.o.d"
+  "/root/repo/src/engine/Reduce.cpp" "src/CMakeFiles/sharpie.dir/engine/Reduce.cpp.o" "gcc" "src/CMakeFiles/sharpie.dir/engine/Reduce.cpp.o.d"
+  "/root/repo/src/explicit/Explicit.cpp" "src/CMakeFiles/sharpie.dir/explicit/Explicit.cpp.o" "gcc" "src/CMakeFiles/sharpie.dir/explicit/Explicit.cpp.o.d"
+  "/root/repo/src/logic/Eval.cpp" "src/CMakeFiles/sharpie.dir/logic/Eval.cpp.o" "gcc" "src/CMakeFiles/sharpie.dir/logic/Eval.cpp.o.d"
+  "/root/repo/src/logic/Term.cpp" "src/CMakeFiles/sharpie.dir/logic/Term.cpp.o" "gcc" "src/CMakeFiles/sharpie.dir/logic/Term.cpp.o.d"
+  "/root/repo/src/logic/TermOps.cpp" "src/CMakeFiles/sharpie.dir/logic/TermOps.cpp.o" "gcc" "src/CMakeFiles/sharpie.dir/logic/TermOps.cpp.o.d"
+  "/root/repo/src/protocols/Bakery.cpp" "src/CMakeFiles/sharpie.dir/protocols/Bakery.cpp.o" "gcc" "src/CMakeFiles/sharpie.dir/protocols/Bakery.cpp.o.d"
+  "/root/repo/src/protocols/Basic.cpp" "src/CMakeFiles/sharpie.dir/protocols/Basic.cpp.o" "gcc" "src/CMakeFiles/sharpie.dir/protocols/Basic.cpp.o.d"
+  "/root/repo/src/protocols/CaseStudies.cpp" "src/CMakeFiles/sharpie.dir/protocols/CaseStudies.cpp.o" "gcc" "src/CMakeFiles/sharpie.dir/protocols/CaseStudies.cpp.o.d"
+  "/root/repo/src/protocols/Ganjei.cpp" "src/CMakeFiles/sharpie.dir/protocols/Ganjei.cpp.o" "gcc" "src/CMakeFiles/sharpie.dir/protocols/Ganjei.cpp.o.d"
+  "/root/repo/src/protocols/Sanchez.cpp" "src/CMakeFiles/sharpie.dir/protocols/Sanchez.cpp.o" "gcc" "src/CMakeFiles/sharpie.dir/protocols/Sanchez.cpp.o.d"
+  "/root/repo/src/protocols/TreeGc.cpp" "src/CMakeFiles/sharpie.dir/protocols/TreeGc.cpp.o" "gcc" "src/CMakeFiles/sharpie.dir/protocols/TreeGc.cpp.o.d"
+  "/root/repo/src/quant/Quant.cpp" "src/CMakeFiles/sharpie.dir/quant/Quant.cpp.o" "gcc" "src/CMakeFiles/sharpie.dir/quant/Quant.cpp.o.d"
+  "/root/repo/src/smt/MiniSolver.cpp" "src/CMakeFiles/sharpie.dir/smt/MiniSolver.cpp.o" "gcc" "src/CMakeFiles/sharpie.dir/smt/MiniSolver.cpp.o.d"
+  "/root/repo/src/smt/Simplex.cpp" "src/CMakeFiles/sharpie.dir/smt/Simplex.cpp.o" "gcc" "src/CMakeFiles/sharpie.dir/smt/Simplex.cpp.o.d"
+  "/root/repo/src/smt/Z3Solver.cpp" "src/CMakeFiles/sharpie.dir/smt/Z3Solver.cpp.o" "gcc" "src/CMakeFiles/sharpie.dir/smt/Z3Solver.cpp.o.d"
+  "/root/repo/src/synth/Grammar.cpp" "src/CMakeFiles/sharpie.dir/synth/Grammar.cpp.o" "gcc" "src/CMakeFiles/sharpie.dir/synth/Grammar.cpp.o.d"
+  "/root/repo/src/synth/Synth.cpp" "src/CMakeFiles/sharpie.dir/synth/Synth.cpp.o" "gcc" "src/CMakeFiles/sharpie.dir/synth/Synth.cpp.o.d"
+  "/root/repo/src/system/System.cpp" "src/CMakeFiles/sharpie.dir/system/System.cpp.o" "gcc" "src/CMakeFiles/sharpie.dir/system/System.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/card_soundness_test.dir/card_soundness_test.cpp.o"
+  "CMakeFiles/card_soundness_test.dir/card_soundness_test.cpp.o.d"
+  "card_soundness_test"
+  "card_soundness_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/card_soundness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

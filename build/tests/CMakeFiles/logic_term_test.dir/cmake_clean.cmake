@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logic_term_test.dir/logic_term_test.cpp.o"
+  "CMakeFiles/logic_term_test.dir/logic_term_test.cpp.o.d"
+  "logic_term_test"
+  "logic_term_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logic_term_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

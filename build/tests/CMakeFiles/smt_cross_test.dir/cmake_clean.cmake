@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smt_cross_test.dir/smt_cross_test.cpp.o"
+  "CMakeFiles/smt_cross_test.dir/smt_cross_test.cpp.o.d"
+  "smt_cross_test"
+  "smt_cross_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smt_cross_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

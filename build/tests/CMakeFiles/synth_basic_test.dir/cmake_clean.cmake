@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synth_basic_test.dir/synth_basic_test.cpp.o"
+  "CMakeFiles/synth_basic_test.dir/synth_basic_test.cpp.o.d"
+  "synth_basic_test"
+  "synth_basic_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synth_basic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synth_casestudies_test.dir/synth_casestudies_test.cpp.o"
+  "CMakeFiles/synth_casestudies_test.dir/synth_casestudies_test.cpp.o.d"
+  "synth_casestudies_test"
+  "synth_casestudies_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synth_casestudies_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ticket_manual_test.dir/ticket_manual_test.cpp.o"
+  "CMakeFiles/ticket_manual_test.dir/ticket_manual_test.cpp.o.d"
+  "ticket_manual_test"
+  "ticket_manual_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ticket_manual_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -7,6 +7,12 @@
 // shape (which rows verify, which rows are buggy, relative effort) is the
 // reproduction target (see EXPERIMENTS.md).
 //
+// Two environment variables make the harness scriptable (tools/sweep.sh):
+//   SHARPIE_WORKERS     worker count for the parallel search (default 1,
+//                       "max" = one per hardware thread);
+//   SHARPIE_BENCH_JSON  path to append one JSON line per row to, carrying
+//                       the verdict, timings, and SynthStats counters.
+//
 //===----------------------------------------------------------------------===//
 
 #ifndef SHARPIE_BENCH_BENCHSUPPORT_H
@@ -16,6 +22,8 @@
 #include "protocols/Protocols.h"
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -31,7 +39,60 @@ struct RowResult {
   std::string Cards;      ///< Inferred cardinalities (ours).
   std::string PaperTime;
   std::string ComparatorTime;
+  synth::SynthStats Stats;
 };
+
+/// Worker count for bench runs: SHARPIE_WORKERS (number, or "max" for one
+/// per hardware thread). Defaults to 1 so timing baselines stay serial
+/// unless a sweep asks otherwise.
+inline unsigned benchWorkers() {
+  const char *Env = std::getenv("SHARPIE_WORKERS");
+  if (!Env || !*Env)
+    return 1;
+  if (std::strcmp(Env, "max") == 0)
+    return 0; // SynthOptions: 0 = hardware concurrency.
+  long V = std::strtol(Env, nullptr, 10);
+  return V > 0 ? static_cast<unsigned>(V) : 1;
+}
+
+inline std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  for (char C : S) {
+    if (C == '"' || C == '\\')
+      Out += '\\';
+    Out += C;
+  }
+  return Out;
+}
+
+/// Appends one machine-readable line for \p Row to $SHARPIE_BENCH_JSON, if
+/// set. One self-contained JSON object per line (JSONL), so concurrent
+/// tables can share a file and jq/python can stream it.
+inline void emitJsonRow(const RowResult &Row) {
+  const char *Path = std::getenv("SHARPIE_BENCH_JSON");
+  if (!Path || !*Path)
+    return;
+  std::FILE *Fp = std::fopen(Path, "a");
+  if (!Fp)
+    return;
+  const synth::SynthStats &S = Row.Stats;
+  std::fprintf(
+      Fp,
+      "{\"protocol\":\"%s\",\"workers\":%u,\"expected_safe\":%s,"
+      "\"verified\":%s,\"found_cex\":%s,\"seconds\":%.3f,"
+      "\"tuples_tried\":%u,\"smt_checks\":%u,\"cache_hits\":%u,"
+      "\"cache_misses\":%u,\"worker_utilization\":%.3f,"
+      "\"prefilter_seconds\":%.3f,\"reduce_seconds\":%.3f,"
+      "\"houdini_seconds\":%.3f,\"recheck_seconds\":%.3f,"
+      "\"cards\":\"%s\"}\n",
+      jsonEscape(Row.Name).c_str(), S.NumWorkers,
+      Row.Expected ? "true" : "false", Row.Verified ? "true" : "false",
+      Row.FoundCex ? "true" : "false", Row.Seconds, S.TuplesTried,
+      S.SmtChecks, S.CacheHits, S.CacheMisses, S.WorkerUtilization,
+      S.PrefilterSeconds, S.ReduceSeconds, S.HoudiniSeconds,
+      S.RecheckSeconds, jsonEscape(Row.Cards).c_str());
+  std::fclose(Fp);
+}
 
 inline RowResult runBundle(const std::string &Name,
                            const protocols::BundleFactory &Make,
@@ -44,6 +105,7 @@ inline RowResult runBundle(const std::string &Name,
   Opts.Reduce.Card.Venn = B.NeedsVenn;
   Opts.Explicit = B.Explicit;
   Opts.TimeBudgetSeconds = TimeBudgetSeconds;
+  Opts.NumWorkers = benchWorkers();
   synth::SynthResult R = synth::synthesize(*B.Sys, Opts);
 
   RowResult Row;
@@ -54,6 +116,7 @@ inline RowResult runBundle(const std::string &Name,
   Row.Seconds = R.Stats.Seconds;
   Row.PaperTime = B.PaperTime;
   Row.ComparatorTime = B.ComparatorTime;
+  Row.Stats = R.Stats;
   for (size_t I = 0; I < R.SetBodies.size(); ++I) {
     if (I)
       Row.Cards += ", ";
@@ -61,6 +124,7 @@ inline RowResult runBundle(const std::string &Name,
   }
   if (Row.Cards.empty())
     Row.Cards = "-";
+  emitJsonRow(Row);
   return Row;
 }
 

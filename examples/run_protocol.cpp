@@ -2,11 +2,13 @@
 //
 // Part of sharpie. Command-line driver over the whole benchmark suite:
 //
-//   example_run_protocol <name> [--verbose] [--threads N]
+//   example_run_protocol <name> [--verbose] [--workers N] [--json]
 //
 // Prints the synthesized invariant (inferred cardinalities + scalar part)
 // or the explicit counterexample for buggy variants. `--list` shows all
-// benchmark names.
+// benchmark names. `--workers N` sets the parallel search width (0 = one
+// worker per hardware thread, 1 = serial); `--json` appends a
+// machine-readable result line to stdout.
 //
 //===----------------------------------------------------------------------===//
 
@@ -14,6 +16,7 @@
 #include "protocols/Protocols.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <map>
 #include <string>
@@ -75,10 +78,16 @@ static std::map<std::string, BundleFactory> registry() {
 
 int main(int argc, char **argv) {
   bool Verbose = false;
+  bool Json = false;
+  unsigned Workers = 1;
   std::string Name;
   for (int I = 1; I < argc; ++I) {
     if (!std::strcmp(argv[I], "--verbose"))
       Verbose = true;
+    else if (!std::strcmp(argv[I], "--json"))
+      Json = true;
+    else if (!std::strcmp(argv[I], "--workers") && I + 1 < argc)
+      Workers = static_cast<unsigned>(std::strtol(argv[++I], nullptr, 10));
     else if (!std::strcmp(argv[I], "--list")) {
       for (const auto &[K, V] : registry())
         std::printf("%s\n", K.c_str());
@@ -89,7 +98,9 @@ int main(int argc, char **argv) {
   std::map<std::string, BundleFactory> R = registry();
   auto It = R.find(Name);
   if (It == R.end()) {
-    std::fprintf(stderr, "usage: %s <name> [--verbose]; --list for names\n",
+    std::fprintf(stderr,
+                 "usage: %s <name> [--verbose] [--workers N] [--json]; "
+                 "--list for names\n",
                  argv[0]);
     return 2;
   }
@@ -105,7 +116,20 @@ int main(int argc, char **argv) {
   Opts.Reduce.Card.Venn = B.NeedsVenn;
   Opts.Explicit = B.Explicit;
   Opts.Verbose = Verbose;
+  Opts.NumWorkers = Workers;
   synth::SynthResult Res = synth::synthesize(*B.Sys, Opts);
+
+  if (Json) {
+    const synth::SynthStats &S = Res.Stats;
+    std::printf("{\"protocol\":\"%s\",\"workers\":%u,\"verified\":%s,"
+                "\"found_cex\":%s,\"seconds\":%.3f,\"tuples_tried\":%u,"
+                "\"smt_checks\":%u,\"cache_hits\":%u,\"cache_misses\":%u,"
+                "\"worker_utilization\":%.3f}\n",
+                Name.c_str(), S.NumWorkers, Res.Verified ? "true" : "false",
+                Res.Cex ? "true" : "false", S.Seconds, S.TuplesTried,
+                S.SmtChecks, S.CacheHits, S.CacheMisses,
+                S.WorkerUtilization);
+  }
 
   if (Res.Verified) {
     std::printf("VERIFIED in %.2fs (%u tuples, %u SMT checks)\n",

@@ -1,0 +1,69 @@
+//===- engine/Pool.cpp - Fixed thread pool and cancellation -------------------===//
+//
+// Part of sharpie. See Pool.h.
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/Pool.h"
+
+using namespace sharpie;
+using namespace sharpie::engine;
+
+ThreadPool::ThreadPool(unsigned NumThreads) {
+  if (NumThreads == 0)
+    NumThreads = 1;
+  Threads.reserve(NumThreads);
+  for (unsigned I = 0; I < NumThreads; ++I)
+    Threads.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> L(Mu);
+    Shutdown = true;
+  }
+  JobReady.notify_all();
+  for (std::thread &T : Threads)
+    T.join();
+}
+
+void ThreadPool::submit(std::function<void()> Job) {
+  {
+    std::unique_lock<std::mutex> L(Mu);
+    Jobs.push(std::move(Job));
+    ++Pending;
+  }
+  JobReady.notify_one();
+}
+
+void ThreadPool::wait() {
+  std::unique_lock<std::mutex> L(Mu);
+  AllIdle.wait(L, [this] { return Pending == 0; });
+}
+
+void ThreadPool::workerLoop() {
+  for (;;) {
+    std::function<void()> Job;
+    {
+      std::unique_lock<std::mutex> L(Mu);
+      JobReady.wait(L, [this] { return Shutdown || !Jobs.empty(); });
+      if (Jobs.empty())
+        return; // Shutdown with a drained queue.
+      Job = std::move(Jobs.front());
+      Jobs.pop();
+    }
+    Job();
+    {
+      std::unique_lock<std::mutex> L(Mu);
+      if (--Pending == 0)
+        AllIdle.notify_all();
+    }
+  }
+}
+
+unsigned ThreadPool::effectiveWorkers(unsigned NumWorkers) {
+  if (NumWorkers != 0)
+    return NumWorkers;
+  unsigned HW = std::thread::hardware_concurrency();
+  return HW == 0 ? 1 : HW;
+}

@@ -150,3 +150,75 @@ ReduceResult sharpie::engine::reduceToGround(
          "cardinality term survived the reduction");
   return Res;
 }
+
+// -- Reduction cache ---------------------------------------------------------
+
+namespace {
+inline uint64_t hashMix(uint64_t H, uint64_t V) {
+  // splitmix64-style mixing; good avalanche for composite keys.
+  H ^= V + 0x9e3779b97f4a7c15ULL + (H << 6) + (H >> 2);
+  return H;
+}
+} // namespace
+
+uint64_t sharpie::engine::reduceOptionsFingerprint(const ReduceOptions &O) {
+  uint64_t H = 0;
+  H = hashMix(H, O.Card.Pairwise);
+  H = hashMix(H, O.Card.Update);
+  H = hashMix(H, O.Card.Venn);
+  H = hashMix(H, O.Card.MaxVennRegions);
+  H = hashMix(H, O.Card.MaxVennPreds);
+  H = hashMix(H, O.Card.MaxDefs);
+  H = hashMix(H, O.Expand.MaxInstantiations);
+  H = hashMix(H, O.Expand.MaxIntTerms);
+  H = hashMix(H, O.MaxRounds);
+  H = hashMix(H, O.MaxWitnessInstances);
+  return H;
+}
+
+uint64_t sharpie::engine::ReduceCache::keyFor(
+    Term Psi, const ReduceOptions &Opts,
+    const std::vector<std::pair<Term, Term>> &ExternalCounters,
+    const std::vector<Term> &ExtraIndexTerms) {
+  uint64_t H = hashMix(0, Psi.isNull() ? ~0ULL : Psi.id());
+  H = hashMix(H, reduceOptionsFingerprint(Opts));
+  for (const auto &[K, Body] : ExternalCounters) {
+    H = hashMix(H, K.id());
+    H = hashMix(H, Body.id());
+  }
+  for (Term E : ExtraIndexTerms)
+    H = hashMix(H, E.id());
+  return H;
+}
+
+const ReduceResult *sharpie::engine::ReduceCache::lookup(uint64_t Key) {
+  auto It = Entries.find(Key);
+  if (It == Entries.end()) {
+    ++Misses;
+    return nullptr;
+  }
+  ++Hits;
+  return &It->second;
+}
+
+void sharpie::engine::ReduceCache::insert(uint64_t Key, ReduceResult R) {
+  Entries.emplace(Key, std::move(R));
+}
+
+ReduceResult sharpie::engine::reduceToGroundCached(
+    ReduceCache *Cache, TermManager &M, Term Psi, const ReduceOptions &Opts,
+    smt::SmtSolver *VennOracle,
+    const std::vector<std::pair<Term, Term>> &ExternalCounters,
+    const std::vector<Term> &ExtraIndexTerms) {
+  if (!Cache)
+    return reduceToGround(M, Psi, Opts, VennOracle, ExternalCounters,
+                          ExtraIndexTerms);
+  uint64_t Key =
+      ReduceCache::keyFor(Psi, Opts, ExternalCounters, ExtraIndexTerms);
+  if (const ReduceResult *Hit = Cache->lookup(Key))
+    return *Hit;
+  ReduceResult R = reduceToGround(M, Psi, Opts, VennOracle, ExternalCounters,
+                                  ExtraIndexTerms);
+  Cache->insert(Key, R);
+  return R;
+}

@@ -25,6 +25,7 @@
 #include "quant/Quant.h"
 #include "smt/SmtSolver.h"
 
+#include <cstdint>
 #include <map>
 #include <optional>
 
@@ -55,6 +56,43 @@ struct ReduceResult {
   std::map<logic::Term, logic::Term> CardVars;
 };
 
+/// A stable fingerprint of every knob that changes reduceToGround's output
+/// for a fixed input term. Part of the reduction-cache key: results cached
+/// under one axiom configuration must not be served under another.
+uint64_t reduceOptionsFingerprint(const ReduceOptions &Opts);
+
+/// Memoizes reduceToGround results. The cache key combines the hash-consed
+/// id of the input formula (which already encodes the full clause: the
+/// transition, the set-tuple measurements, and the placeholder wiring, so
+/// equal ids mean equal obligations within one TermManager), the ids of the
+/// external counters and extra index terms, and the axiom-configuration
+/// fingerprint. A cache is bound to the single TermManager whose term ids
+/// it stores; in the parallel search every worker owns one, so no locking
+/// is needed. Entries pin their ReduceResult terms alive through the
+/// manager, making hits a pure lookup.
+class ReduceCache {
+public:
+  /// Returns the cached result for the key, or nullptr. Counts a hit or a
+  /// miss accordingly.
+  const ReduceResult *lookup(uint64_t Key);
+  void insert(uint64_t Key, ReduceResult R);
+
+  /// Builds the cache key for a reduceToGround call.
+  static uint64_t
+  keyFor(logic::Term Psi, const ReduceOptions &Opts,
+         const std::vector<std::pair<logic::Term, logic::Term>>
+             &ExternalCounters,
+         const std::vector<logic::Term> &ExtraIndexTerms);
+
+  unsigned hits() const { return Hits; }
+  unsigned misses() const { return Misses; }
+
+private:
+  std::map<uint64_t, ReduceResult> Entries;
+  unsigned Hits = 0;
+  unsigned Misses = 0;
+};
+
 /// Reduces the satisfiability obligation \p Psi to a ground formula.
 /// \p VennOracle is used to enumerate Venn regions when Opts.Card.Venn is
 /// set (it must be a solver over the same TermManager, and its assertion
@@ -71,6 +109,17 @@ reduceToGround(logic::TermManager &M, logic::Term Psi,
                const std::vector<std::pair<logic::Term, logic::Term>>
                    &ExternalCounters = {},
                const std::vector<logic::Term> &ExtraIndexTerms = {});
+
+/// Memoizing front end to reduceToGround. \p Cache may be null (plain
+/// call). On a hit the cached ReduceResult is returned without touching
+/// the oracle; on a miss the reduction runs and the result is stored.
+ReduceResult
+reduceToGroundCached(ReduceCache *Cache, logic::TermManager &M,
+                     logic::Term Psi, const ReduceOptions &Opts,
+                     smt::SmtSolver *VennOracle,
+                     const std::vector<std::pair<logic::Term, logic::Term>>
+                         &ExternalCounters = {},
+                     const std::vector<logic::Term> &ExtraIndexTerms = {});
 
 } // namespace engine
 } // namespace sharpie

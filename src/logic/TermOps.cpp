@@ -482,3 +482,85 @@ std::string sharpie::logic::toString(Term T) {
   print(OS, T);
   return OS.str();
 }
+
+Term sharpie::logic::TermTranslator::operator()(Term T) {
+  if (T.isNull())
+    return T;
+  auto It = Memo.find(T);
+  if (It != Memo.end())
+    return It->second;
+  const Node *N = T.node();
+  std::vector<Term> Kids;
+  Kids.reserve(N->numKids());
+  for (Term K : N->kids())
+    Kids.push_back((*this)(K));
+  Term Out;
+  switch (N->kind()) {
+  case Kind::Var:
+    Out = Dst.mkVar(N->name(), N->sort());
+    break;
+  case Kind::IntConst:
+    Out = Dst.mkInt(N->value());
+    break;
+  case Kind::BoolConst:
+    Out = Dst.mkBool(N->value() != 0);
+    break;
+  case Kind::Add:
+    Out = Dst.mkAdd(std::move(Kids));
+    break;
+  case Kind::Sub:
+    Out = Dst.mkSub(Kids[0], Kids[1]);
+    break;
+  case Kind::Neg:
+    Out = Dst.mkNeg(Kids[0]);
+    break;
+  case Kind::Mul:
+    Out = Dst.mkMul(Kids[0], Kids[1]);
+    break;
+  case Kind::Ite:
+    Out = Dst.mkIte(Kids[0], Kids[1], Kids[2]);
+    break;
+  case Kind::Read:
+    Out = Dst.mkRead(Kids[0], Kids[1]);
+    break;
+  case Kind::Store:
+    Out = Dst.mkStore(Kids[0], Kids[1], Kids[2]);
+    break;
+  case Kind::Eq:
+    Out = Dst.mkEq(Kids[0], Kids[1]);
+    break;
+  case Kind::Le:
+    Out = Dst.mkLe(Kids[0], Kids[1]);
+    break;
+  case Kind::Lt:
+    Out = Dst.mkLt(Kids[0], Kids[1]);
+    break;
+  case Kind::And:
+    Out = Dst.mkAnd(std::move(Kids));
+    break;
+  case Kind::Or:
+    Out = Dst.mkOr(std::move(Kids));
+    break;
+  case Kind::Not:
+    Out = Dst.mkNot(Kids[0]);
+    break;
+  case Kind::Implies:
+    Out = Dst.mkImplies(Kids[0], Kids[1]);
+    break;
+  case Kind::Forall:
+  case Kind::Exists: {
+    std::vector<Term> Vars;
+    Vars.reserve(N->binders().size());
+    for (Term B : N->binders())
+      Vars.push_back((*this)(B));
+    Out = N->kind() == Kind::Forall ? Dst.mkForall(std::move(Vars), Kids[0])
+                                    : Dst.mkExists(std::move(Vars), Kids[0]);
+    break;
+  }
+  case Kind::Card:
+    Out = Dst.mkCard((*this)(N->binders()[0]), Kids[0]);
+    break;
+  }
+  Memo.emplace(T, Out);
+  return Out;
+}

@@ -49,6 +49,29 @@ Term replaceAll(TermManager &M, Term T, const std::map<Term, Term> &Map);
 /// Int-sorted and opaque to NNF); their bodies are *not* normalized.
 Term toNnf(TermManager &M, Term T);
 
+/// Structurally clones terms from one TermManager into another. Variables
+/// map by (name, sort) via mkVar, so two translations of overlapping terms
+/// agree, and a round trip through a third manager is the identity on
+/// names. Nodes are rebuilt through the destination's builders (the same
+/// normalizations both managers apply, so shapes are preserved) and
+/// memoized, keeping the translation linear in the source DAG.
+///
+/// The translator only reads the source manager; many translators may read
+/// the same source concurrently, which is how per-worker managers are
+/// seeded from the shared system without locking (see DESIGN.md, "Parallel
+/// search & determinism").
+class TermTranslator {
+public:
+  explicit TermTranslator(TermManager &Dst) : Dst(Dst) {}
+
+  /// Translates \p T (from any foreign manager) into the destination.
+  Term operator()(Term T);
+
+private:
+  TermManager &Dst;
+  std::unordered_map<Term, Term, TermHash> Memo;
+};
+
 /// Renders \p T in a compact, paper-style syntax, e.g.
 /// "#{t | pc(t) = 2} <= a" or "forall t. pc(t) = 1".
 std::string toString(Term T);

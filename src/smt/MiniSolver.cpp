@@ -31,6 +31,7 @@
 #include "smt/Simplex.h"
 
 #include <algorithm>
+#include <chrono>
 #include <map>
 
 using namespace sharpie;
@@ -103,7 +104,7 @@ public:
 
   SatResult check() override;
   std::unique_ptr<SmtModel> model() override;
-  void setTimeoutMs(unsigned) override {}
+  void setTimeoutMs(unsigned Ms) override { TimeoutMs = Ms; }
 
 private:
   friend class MiniModel;
@@ -157,6 +158,17 @@ private:
   std::vector<int8_t> BoolModel;
   bool HaveModel = false;
   bool TheoryUnknown = false; ///< Simplex budget/overflow hit.
+
+  // Soft per-check timeout (0 = none). The CDCL loop polls the deadline
+  // every few iterations and answers Unknown past it -- the same contract
+  // as Z3's soft timeout, so SynthOptions.SmtTimeoutMs is honored by both
+  // back ends.
+  unsigned TimeoutMs = 0;
+  std::chrono::steady_clock::time_point CheckDeadline;
+  bool pastDeadline() const {
+    return TimeoutMs != 0 &&
+           std::chrono::steady_clock::now() > CheckDeadline;
+  }
 };
 
 // -- Lowering ---------------------------------------------------------------------
@@ -641,7 +653,10 @@ SatResult MiniSolverImpl::solve() {
   };
 
   uint64_t Conflicts = 0;
+  uint64_t Iters = 0;
   for (;;) {
+    if ((++Iters & 63) == 0 && pastDeadline())
+      return SatResult::Unknown;
     size_t ConflictClause = SIZE_MAX;
     if (!Propagate(ConflictClause)) {
       if (S.decisionLevel() == 0)
@@ -698,6 +713,8 @@ SatResult MiniSolverImpl::solve() {
 
 SatResult MiniSolverImpl::check() {
   ++NumChecks;
+  CheckDeadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(TimeoutMs);
   // Reset per-check state.
   NumVarOf.clear();
   NumVarTerm.clear();

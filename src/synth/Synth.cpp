@@ -2,17 +2,35 @@
 //
 // Part of sharpie. See Synth.h.
 //
+// The set-tuple search (the outer loop of paper Fig. 5) runs either
+// serially or across a fixed worker pool (SynthOptions::NumWorkers). Each
+// worker owns a full private copy of the world -- TermManager, cloned
+// ParamSystem, SMT solver, reduction cache -- so the hash-consing tables
+// and solver state need no locks; the only shared mutable state is the
+// atomic tuple cursor, the best-verified-rank watermark, and the
+// mutex-guarded per-rank outcome table. Results merge by rank: the
+// lowest-ranked verified tuple wins, exactly what the serial search would
+// have returned, so the invariant is independent of thread timing (see
+// DESIGN.md, "Parallel search & determinism").
+//
 //===----------------------------------------------------------------------===//
 
 #include "synth/Synth.h"
 
+#include "engine/Pool.h"
 #include "logic/TermOps.h"
 #include "quant/Quant.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cassert>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <set>
 
 using namespace sharpie;
 using namespace sharpie::synth;
@@ -29,6 +47,11 @@ Formals sharpie::synth::formalsFor(TermManager &M,
 }
 
 namespace {
+
+double secondsSince(std::chrono::steady_clock::time_point T0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - T0)
+      .count();
+}
 
 /// One instantiated occurrence of the unknown inv_0 in a reduced clause.
 ///
@@ -69,9 +92,24 @@ public:
     return std::chrono::steady_clock::now() > Deadline;
   }
 
+  /// True when this tuple attempt should stop early: the time budget ran
+  /// out, or (parallel search) a lower-ranked tuple already verified.
+  bool aborted() const {
+    return outOfTime() || (ExternAbort && ExternAbort());
+  }
+
   SynthResult run();
 
 private:
+  /// Everything a finished tuple attempt produces, in this synthesizer's
+  /// own TermManager.
+  struct TupleOutcome {
+    bool Verified = false;
+    std::vector<Term> Atoms;
+    Term Invariant;
+    std::string Why;
+  };
+
   // -- Search-space assembly -------------------------------------------------
   std::vector<std::vector<size_t>> rankTuples(
       const std::vector<SetCandidate> &Cands) const;
@@ -80,12 +118,39 @@ private:
                                    const std::vector<sys::ParamSystem::State>
                                        &States) const;
 
+  // -- Per-tuple pipeline (prefilter -> reduce -> Houdini -> recheck) -----------
+  TupleOutcome tryTuple(const std::vector<Term> &SetBodies,
+                        const std::vector<Term> &Pool,
+                        const std::vector<sys::ParamSystem::State> &States);
+
+  // -- Serial / parallel drivers over the ranked tuples ------------------------
+  void runSerial(const std::vector<std::vector<Term>> &TupleBodies,
+                 const std::vector<Term> &Pool,
+                 const std::vector<sys::ParamSystem::State> &States,
+                 SynthResult &Res);
+  void runParallel(unsigned Workers,
+                   const std::vector<std::vector<Term>> &TupleBodies,
+                   const std::vector<Term> &Pool,
+                   const std::vector<sys::ParamSystem::State> &States,
+                   SynthResult &Res);
+
   // -- Clause construction (INSTQ + measurements + placeholders) ---------------
+  /// Deterministic clause-local variables: the same (clause, position)
+  /// always names the same variable, so rebuilding a clause for the same
+  /// set tuple yields the pointer-identical formula and the reduction
+  /// cache can key on the term id. '$' keeps the namespace disjoint from
+  /// protocol variables and freshVar's "!" names.
+  Term clauseVar(const char *Base, const std::string &CN, unsigned &Ctr,
+                 Sort S) {
+    return M.mkVar(std::string(Base) + "$" + CN + "$" + std::to_string(Ctr++),
+                   S);
+  }
   Term cardAt(const std::vector<Term> &SetBodies, size_t I,
               const std::vector<Term> &Sigma, bool Post) const;
   Term qGuardAt(const std::vector<Term> &Sigma) const;
   void addInvInstance(const std::vector<Term> &SetBodies,
                       const std::vector<Term> &Sigma, bool Post, bool IsHead,
+                      const std::string &CN, unsigned &Ctr,
                       std::vector<Term> &Conj,
                       std::vector<PlaceholderInst> &Insts);
   std::vector<std::vector<Term>>
@@ -116,6 +181,15 @@ private:
   SynthStats Stats;
   std::unique_ptr<smt::SmtSolver> Solver;
   std::chrono::steady_clock::time_point Deadline;
+  /// Memoizes reduceToGround per (clause formula, axiom config); owned by
+  /// this synthesizer, hence by one TermManager and one thread.
+  engine::ReduceCache RCache;
+  /// Parallel search: set on worker synthesizers to abandon tuples that a
+  /// lower-ranked verified tuple has made irrelevant.
+  std::function<bool()> ExternAbort;
+  /// The skolemized negated safety property, computed once per synthesizer
+  /// (it does not depend on the set tuple).
+  std::optional<quant::SkolemResult> NotSafeSk;
 };
 
 // -- Tuple ranking ---------------------------------------------------------------
@@ -255,13 +329,14 @@ Term Synthesizer::qGuardAt(const std::vector<Term> &Sigma) const {
 
 void Synthesizer::addInvInstance(const std::vector<Term> &SetBodies,
                                  const std::vector<Term> &Sigma, bool Post,
-                                 bool IsHead, std::vector<Term> &Conj,
+                                 bool IsHead, const std::string &CN,
+                                 unsigned &Ctr, std::vector<Term> &Conj,
                                  std::vector<PlaceholderInst> &Insts) {
   PlaceholderInst Inst;
   Inst.IsHead = IsHead;
   Inst.GlobalOnly = false;
   for (size_t I = 0; I < SetBodies.size(); ++I) {
-    Term KV = M.freshVar("k_inst", Sort::Int);
+    Term KV = clauseVar("k_inst", CN, Ctr, Sort::Int);
     Conj.push_back(M.mkEq(cardAt(SetBodies, I, Sigma, Post), KV));
     Inst.AtomSubst[F.K[I]] = KV;
   }
@@ -271,14 +346,14 @@ void Synthesizer::addInvInstance(const std::vector<Term> &SetBodies,
     for (const auto &[Pre, Prim] : Sys.primeSubst())
       Inst.AtomSubst[Pre] = Prim;
   Term Guard = qGuardAt(Sigma);
-  Inst.P = M.freshVar(IsHead ? "P_head" : "P_body", Sort::Bool);
+  Inst.P = clauseVar(IsHead ? "P_head" : "P_body", CN, Ctr, Sort::Bool);
   if (IsHead) {
     // !Inv' = !InvGlobal' \/ exists q: QGuard /\ !inv_0; the measurement
     // equations above are definitional and stay conjoined.
     PlaceholderInst Glob;
     Glob.IsHead = false;
     Glob.GlobalOnly = true;
-    Glob.P = M.freshVar("P_head_glob", Sort::Bool);
+    Glob.P = clauseVar("P_head_glob", CN, Ctr, Sort::Bool);
     if (Post)
       Glob.AtomSubst = Sys.primeSubst();
     Conj.push_back(M.mkOr(M.mkNot(Glob.P),
@@ -295,7 +370,7 @@ void Synthesizer::addInvInstance(const std::vector<Term> &SetBodies,
       PlaceholderInst Glob;
       Glob.IsHead = false;
       Glob.GlobalOnly = true;
-      Glob.P = M.freshVar("P_body_glob", Sort::Bool);
+      Glob.P = clauseVar("P_body_glob", CN, Ctr, Sort::Bool);
       if (Post)
         Glob.AtomSubst = Sys.primeSubst();
       Conj.push_back(Glob.P);
@@ -388,25 +463,17 @@ Synthesizer::buildClauses(const std::vector<Term> &SetBodies,
     return Extra;
   };
 
-  auto MakeHeadSk = [&]() {
+  auto MakeHeadSk = [&](const std::string &CN, unsigned &Ctr) {
     std::vector<Term> Sk;
     for (Term Q : F.Q)
-      Sk.push_back(M.freshVar("q_hd", Q.sort()));
+      Sk.push_back(clauseVar("q_hd", CN, Ctr, Q.sort()));
     return Sk;
   };
 
-  // Clause (a): init /\ !Inv.
-  {
-    ReducedClause C;
-    C.Name = "init";
-    C.HasHead = true;
-    std::vector<Term> Conj{Sys.init()};
-    std::vector<Term> HeadSk = MakeHeadSk();
-    addInvInstance(SetBodies, HeadSk, /*Post=*/false, /*IsHead=*/true, Conj,
-                   C.Insts);
-    engine::ReduceResult R =
-        engine::reduceToGround(M, M.mkAnd(Conj), Opts.Reduce, Oracle,
-                               Externals, InstanceTerms(C.Insts));
+  auto Reduce = [&](ReducedClause &C, const std::vector<Term> &Conj) {
+    engine::ReduceResult R = engine::reduceToGroundCached(
+        &RCache, M, M.mkAnd(Conj), Opts.Reduce, Oracle, Externals,
+        InstanceTerms(C.Insts));
     C.Ground = R.Ground;
     if (Opts.Verbose)
       std::printf("    [reduce] %-16s size=%-7zu inst=%-6u axioms=%-5u "
@@ -414,6 +481,19 @@ Synthesizer::buildClauses(const std::vector<Term> &SetBodies,
                   C.Name.c_str(), logic::termSize(C.Ground), R.NumInstances,
                   R.NumAxioms, R.VennApplied ? "yes" : "no",
                   R.NumVennRegions);
+  };
+
+  // Clause (a): init /\ !Inv.
+  {
+    ReducedClause C;
+    C.Name = "init";
+    C.HasHead = true;
+    unsigned Ctr = 0;
+    std::vector<Term> Conj{Sys.init()};
+    std::vector<Term> HeadSk = MakeHeadSk(C.Name, Ctr);
+    addInvInstance(SetBodies, HeadSk, /*Post=*/false, /*IsHead=*/true,
+                   C.Name, Ctr, Conj, C.Insts);
+    Reduce(C, Conj);
     Out.push_back(std::move(C));
   }
 
@@ -422,24 +502,16 @@ Synthesizer::buildClauses(const std::vector<Term> &SetBodies,
     ReducedClause C;
     C.Name = "ind:" + T.Name;
     C.HasHead = true;
+    unsigned Ctr = 0;
     std::vector<Term> Conj{Sys.transitionFormula(T)};
-    std::vector<Term> HeadSk = MakeHeadSk();
-    addInvInstance(SetBodies, HeadSk, /*Post=*/true, /*IsHead=*/true, Conj,
-                   C.Insts);
+    std::vector<Term> HeadSk = MakeHeadSk(C.Name, Ctr);
+    addInvInstance(SetBodies, HeadSk, /*Post=*/true, /*IsHead=*/true,
+                   C.Name, Ctr, Conj, C.Insts);
     for (const std::vector<Term> &Sigma :
          bodyInstances(HeadSk, /*IsTrans=*/true, {}, {}))
       addInvInstance(SetBodies, Sigma, /*Post=*/false, /*IsHead=*/false,
-                     Conj, C.Insts);
-    engine::ReduceResult R =
-        engine::reduceToGround(M, M.mkAnd(Conj), Opts.Reduce, Oracle,
-                               Externals, InstanceTerms(C.Insts));
-    C.Ground = R.Ground;
-    if (Opts.Verbose)
-      std::printf("    [reduce] %-16s size=%-7zu inst=%-6u axioms=%-5u "
-                  "venn=%s/%u\n",
-                  C.Name.c_str(), logic::termSize(C.Ground), R.NumInstances,
-                  R.NumAxioms, R.VennApplied ? "yes" : "no",
-                  R.NumVennRegions);
+                     C.Name, Ctr, Conj, C.Insts);
+    Reduce(C, Conj);
     Out.push_back(std::move(C));
   }
 
@@ -448,10 +520,15 @@ Synthesizer::buildClauses(const std::vector<Term> &SetBodies,
     ReducedClause C;
     C.Name = "safe";
     C.IsSafety = true;
-    quant::SkolemResult NotSafe = quant::skolemize(M, M.mkNot(Sys.safe()));
-    std::vector<Term> Conj{NotSafe.Formula};
+    unsigned Ctr = 0;
+    // The safety skolemization is tuple-independent; doing it once keeps
+    // the clause formula pointer-identical across tuples with equal
+    // bodies, which is what lets the reduction cache hit.
+    if (!NotSafeSk)
+      NotSafeSk = quant::skolemize(M, M.mkNot(Sys.safe()));
+    std::vector<Term> Conj{NotSafeSk->Formula};
     std::vector<Term> ExtraTids, ExtraInts;
-    for (Term Sk : NotSafe.Skolems)
+    for (Term Sk : NotSafeSk->Skolems)
       (Sk.sort() == Sort::Tid ? ExtraTids : ExtraInts).push_back(Sk);
     // Int-sorted ground subterms of the property (e.g. n-1 in the filter
     // lock's property) are natural instance candidates.
@@ -472,17 +549,8 @@ Synthesizer::buildClauses(const std::vector<Term> &SetBodies,
     for (const std::vector<Term> &Sigma :
          bodyInstances({}, /*IsTrans=*/false, ExtraTids, ExtraInts))
       addInvInstance(SetBodies, Sigma, /*Post=*/false, /*IsHead=*/false,
-                     Conj, C.Insts);
-    engine::ReduceResult R =
-        engine::reduceToGround(M, M.mkAnd(Conj), Opts.Reduce, Oracle,
-                               Externals, InstanceTerms(C.Insts));
-    C.Ground = R.Ground;
-    if (Opts.Verbose)
-      std::printf("    [reduce] %-16s size=%-7zu inst=%-6u axioms=%-5u "
-                  "venn=%s/%u\n",
-                  C.Name.c_str(), logic::termSize(C.Ground), R.NumInstances,
-                  R.NumAxioms, R.VennApplied ? "yes" : "no",
-                  R.NumVennRegions);
+                     C.Name, Ctr, Conj, C.Insts);
+    Reduce(C, Conj);
     Out.push_back(std::move(C));
   }
   return Out;
@@ -518,16 +586,24 @@ Term Synthesizer::substitutedClause(const ReducedClause &C,
 
 bool Synthesizer::houdini(const std::vector<ReducedClause> &Clauses,
                           std::vector<Term> &Cand, std::string &Why) {
+  auto Bail = [&](std::string &W) {
+    W = outOfTime() ? "time budget exhausted"
+                    : "superseded by a lower-ranked tuple";
+    return false;
+  };
   unsigned MaxIters = static_cast<unsigned>(Cand.size()) + 8;
   for (unsigned Iter = 0; Iter < MaxIters; ++Iter) {
-    if (outOfTime()) {
-      Why = "time budget exhausted";
-      return false;
-    }
+    if (aborted())
+      return Bail(Why);
     bool AllPassed = true;
     for (const ReducedClause &C : Clauses) {
       if (C.IsSafety)
         continue;
+      // Cancellation must be prompt under parallelism: the budget is
+      // polled between the SMT checks of one iteration, not only between
+      // iterations.
+      if (aborted())
+        return Bail(Why);
       Solver->push();
       Solver->add(substitutedClause(C, Cand));
       SatResult R = Solver->check();
@@ -618,7 +694,7 @@ void Synthesizer::minimizeAtoms(const std::vector<ReducedClause> &Clauses,
     return true;
   };
   for (size_t I = Cand.size(); I-- > 0;) {
-    if (outOfTime())
+    if (aborted())
       return;
     std::vector<Term> Trial = Cand;
     Trial.erase(Trial.begin() + I);
@@ -653,9 +729,11 @@ bool Synthesizer::recheck(Term Inv,
     return false;
   }
   std::unique_ptr<smt::SmtSolver> Oracle = smt::makeZ3Solver(M);
+  Oracle->setTimeoutMs(Opts.SmtTimeoutMs);
   for (const sys::Obligation &O : sys::safetyObligations(Sys, Inv)) {
-    engine::ReduceResult R = engine::reduceToGround(
-        M, O.Psi, Opts.Reduce, Oracle.get(), Sys.externalCounters());
+    engine::ReduceResult R = engine::reduceToGroundCached(
+        &RCache, M, O.Psi, Opts.Reduce, Oracle.get(),
+        Sys.externalCounters());
     std::unique_ptr<smt::SmtSolver> S = smt::makeZ3Solver(M);
     S->setTimeoutMs(Opts.SmtTimeoutMs);
     S->add(R.Ground);
@@ -671,15 +749,302 @@ bool Synthesizer::recheck(Term Inv,
   return true;
 }
 
+// -- Per-tuple pipeline ----------------------------------------------------------------
+
+Synthesizer::TupleOutcome
+Synthesizer::tryTuple(const std::vector<Term> &SetBodies,
+                      const std::vector<Term> &Pool,
+                      const std::vector<sys::ParamSystem::State> &States) {
+  TupleOutcome Out;
+  ++Stats.TuplesTried;
+
+  std::vector<Term> Cand = Pool;
+  auto TPre = std::chrono::steady_clock::now();
+  if (Opts.ExplicitPrefilter && !States.empty())
+    Cand = prefilterAtoms(Pool, SetBodies, States);
+  double PreSec = secondsSince(TPre);
+  Stats.PrefilterSeconds += PreSec;
+  Stats.AtomsAfterPrefilter = static_cast<unsigned>(Cand.size());
+  if (Opts.Verbose)
+    std::printf("    atoms: %zu of %zu survive the explicit pre-filter "
+                "(%.2fs)\n",
+                Cand.size(), Pool.size(), PreSec);
+
+  std::unique_ptr<smt::SmtSolver> Oracle = smt::makeZ3Solver(M);
+  Oracle->setTimeoutMs(Opts.SmtTimeoutMs);
+  auto TBuild = std::chrono::steady_clock::now();
+  std::vector<ReducedClause> Clauses = buildClauses(SetBodies, Oracle.get());
+  Stats.ReduceSeconds += secondsSince(TBuild);
+  auto THou = std::chrono::steady_clock::now();
+  if (Opts.Verbose)
+    std::printf("    clauses built in %.2fs\n", secondsSince(TBuild));
+
+  bool HoudiniOk = houdini(Clauses, Cand, Out.Why);
+  if (Opts.Verbose)
+    std::printf("    houdini %s in %.2fs\n", HoudiniOk ? "ok" : "failed",
+                secondsSince(THou));
+  if (!HoudiniOk) {
+    Stats.HoudiniSeconds += secondsSince(THou);
+    if (Opts.Verbose)
+      std::printf("    houdini failed: %s\n", Out.Why.c_str());
+    return Out;
+  }
+  if (Opts.MinimizeInvariant) {
+    auto TMin = std::chrono::steady_clock::now();
+    size_t Before = Cand.size();
+    minimizeAtoms(Clauses, Cand);
+    if (Opts.Verbose)
+      std::printf("    minimized %zu -> %zu atoms in %.2fs\n", Before,
+                  Cand.size(), secondsSince(TMin));
+  }
+  Stats.HoudiniSeconds += secondsSince(THou);
+
+  Term Inv = closedInvariant(SetBodies, Cand);
+  auto TRe = std::chrono::steady_clock::now();
+  bool RecheckOk = !Opts.FinalRecheck || recheck(Inv, States, Out.Why);
+  Stats.RecheckSeconds += secondsSince(TRe);
+  if (Opts.Verbose)
+    std::printf("    recheck %s in %.2fs\n", RecheckOk ? "ok" : "failed",
+                secondsSince(TRe));
+  if (!RecheckOk)
+    return Out;
+
+  Out.Verified = true;
+  Out.Invariant = Inv;
+  Out.Atoms = std::move(Cand);
+  return Out;
+}
+
+// -- Serial driver ---------------------------------------------------------------------
+
+void Synthesizer::runSerial(
+    const std::vector<std::vector<Term>> &TupleBodies,
+    const std::vector<Term> &Pool,
+    const std::vector<sys::ParamSystem::State> &States, SynthResult &Res) {
+  std::string LastWhy = "no candidate set tuple succeeded";
+  for (const std::vector<Term> &SetBodies : TupleBodies) {
+    if (outOfTime()) {
+      LastWhy = "time budget exhausted";
+      break;
+    }
+    if (Opts.Verbose) {
+      std::printf("  [tuple %u]", Stats.TuplesTried + 1);
+      for (Term SB : SetBodies)
+        std::printf(" #{t | %s}", logic::toString(SB).c_str());
+      std::printf("\n");
+    }
+    TupleOutcome O = tryTuple(SetBodies, Pool, States);
+    if (!O.Verified) {
+      LastWhy = O.Why;
+      continue;
+    }
+    Res.Verified = true;
+    Res.Invariant = O.Invariant;
+    Res.SetBodies = SetBodies;
+    Res.Atoms = std::move(O.Atoms);
+    Stats.AtomsInInvariant = static_cast<unsigned>(Res.Atoms.size());
+    break;
+  }
+  if (!Res.Verified)
+    Res.Note = LastWhy;
+}
+
+// -- Parallel driver -------------------------------------------------------------------
+
+void Synthesizer::runParallel(
+    unsigned Workers, const std::vector<std::vector<Term>> &TupleBodies,
+    const std::vector<Term> &Pool,
+    const std::vector<sys::ParamSystem::State> &States, SynthResult &Res) {
+  auto SearchStart = std::chrono::steady_clock::now();
+  Stats.NumWorkers = Workers;
+
+  /// Shared per-rank outcome table. A rank is Done once some worker fully
+  /// processed it, Skipped when it was claimed after a lower rank had
+  /// already verified (such ranks can never win).
+  struct RankSlot {
+    bool Done = false;
+    bool Skipped = false;
+    bool Verified = false;
+    unsigned Worker = 0;
+    std::string Why;
+    std::vector<Term> Atoms; ///< In the processing worker's manager.
+    Term Invariant;          ///< Likewise.
+  };
+  std::vector<RankSlot> Slots(TupleBodies.size());
+  std::mutex SlotsMu;
+  std::atomic<size_t> Cursor{0};
+  std::atomic<size_t> BestVerified{SIZE_MAX};
+  engine::CancellationToken Cancel;
+
+  /// Per-worker world; kept alive past pool shutdown so the winning
+  /// tuple's terms can be translated back into the main manager.
+  struct WorkerCtx {
+    std::unique_ptr<TermManager> M;
+    std::unique_ptr<sys::ParamSystem> Sys;
+    std::unique_ptr<Synthesizer> Synth;
+    double BusySeconds = 0;
+  };
+  std::vector<WorkerCtx> Ctxs(Workers);
+
+  auto WorkerMain = [&](unsigned W) {
+    auto TSetup = std::chrono::steady_clock::now();
+    WorkerCtx &C = Ctxs[W];
+    C.M = std::make_unique<TermManager>();
+    C.Sys = Sys.cloneInto(*C.M);
+    logic::TermTranslator Tr(*C.M);
+    SynthOptions WOpts = Opts;
+    WOpts.QGuard = Tr(Opts.QGuard);
+    WOpts.FixedSetBodies.clear();
+    WOpts.NumWorkers = 1;
+    C.Synth = std::make_unique<Synthesizer>(*C.Sys, WOpts);
+    C.Synth->Deadline = Deadline; // One budget for the whole search.
+    C.Synth->Solver = smt::makeZ3Solver(*C.M);
+    C.Synth->Solver->setTimeoutMs(Opts.SmtTimeoutMs);
+    std::vector<Term> WPool;
+    WPool.reserve(Pool.size());
+    for (Term A : Pool)
+      WPool.push_back(Tr(A));
+    std::vector<sys::ParamSystem::State> WStates;
+    WStates.reserve(States.size());
+    for (const sys::ParamSystem::State &S : States) {
+      sys::ParamSystem::State WS;
+      WS.DomainSize = S.DomainSize;
+      WS.IntBound = S.IntBound;
+      for (const auto &[V, Val] : S.Scalars)
+        WS.Scalars[Tr(V)] = Val;
+      for (const auto &[A, Vals] : S.Arrays)
+        WS.Arrays[Tr(A)] = Vals;
+      WStates.push_back(std::move(WS));
+    }
+    C.BusySeconds += secondsSince(TSetup);
+
+    for (;;) {
+      size_t Rank = Cursor.fetch_add(1);
+      if (Rank >= TupleBodies.size())
+        break;
+      if (Cancel.cancelled() || C.Synth->outOfTime())
+        break;
+      if (Rank > BestVerified.load()) {
+        std::lock_guard<std::mutex> L(SlotsMu);
+        Slots[Rank].Skipped = true;
+        continue;
+      }
+      C.Synth->ExternAbort = [&BestVerified, &Cancel, Rank] {
+        return BestVerified.load() < Rank || Cancel.cancelled();
+      };
+      std::vector<Term> WBodies;
+      WBodies.reserve(TupleBodies[Rank].size());
+      for (Term B : TupleBodies[Rank])
+        WBodies.push_back(Tr(B));
+      if (Opts.Verbose) {
+        std::printf("  [w%u tuple %zu]", W, Rank + 1);
+        for (Term SB : WBodies)
+          std::printf(" #{t | %s}", logic::toString(SB).c_str());
+        std::printf("\n");
+      }
+      auto T0 = std::chrono::steady_clock::now();
+      TupleOutcome O = C.Synth->tryTuple(WBodies, WPool, WStates);
+      C.BusySeconds += secondsSince(T0);
+      if (O.Verified) {
+        size_t Cur = BestVerified.load();
+        while (Rank < Cur &&
+               !BestVerified.compare_exchange_weak(Cur, Rank)) {
+        }
+      }
+      bool AllBelowBestDone = false;
+      {
+        std::lock_guard<std::mutex> L(SlotsMu);
+        RankSlot &S = Slots[Rank];
+        S.Done = true;
+        S.Verified = O.Verified;
+        S.Worker = W;
+        S.Why = std::move(O.Why);
+        S.Atoms = std::move(O.Atoms);
+        S.Invariant = O.Invariant;
+        size_t BV = BestVerified.load();
+        if (BV != SIZE_MAX) {
+          AllBelowBestDone = true;
+          for (size_t I = 0; I < BV; ++I)
+            if (!Slots[I].Done)
+              AllBelowBestDone = false;
+        }
+      }
+      // Once every rank below the best verified one has completed (and
+      // failed -- otherwise the watermark would be lower), the winner is
+      // decided; everything still in flight is wasted work.
+      if (AllBelowBestDone)
+        Cancel.cancel();
+    }
+  };
+
+  {
+    engine::ThreadPool TP(Workers);
+    for (unsigned W = 0; W < Workers; ++W)
+      TP.submit([&WorkerMain, W] { WorkerMain(W); });
+    TP.wait();
+  } // Joins all workers; Ctxs stay alive below.
+
+  // Deterministic merge: the lowest-ranked verified tuple wins, which is
+  // exactly the serial search's answer whenever every lower rank completed.
+  size_t Winner = SIZE_MAX;
+  for (size_t R = 0; R < Slots.size(); ++R)
+    if (Slots[R].Done && Slots[R].Verified) {
+      Winner = R;
+      break;
+    }
+  if (Winner != SIZE_MAX) {
+    RankSlot &S = Slots[Winner];
+    WorkerCtx &C = Ctxs[S.Worker];
+    logic::TermTranslator Back(M);
+    Res.Verified = true;
+    Res.SetBodies = TupleBodies[Winner]; // Main-manager originals.
+    Res.Atoms.clear();
+    for (Term A : S.Atoms)
+      Res.Atoms.push_back(Back(A));
+    Res.Invariant = Back(S.Invariant);
+    Stats.AtomsInInvariant = static_cast<unsigned>(Res.Atoms.size());
+    (void)C;
+  } else {
+    // Prefer the most informative failure: the last processed rank's Why,
+    // falling back to the budget/default notes.
+    std::string Why;
+    for (const RankSlot &S : Slots)
+      if (S.Done && !S.Why.empty())
+        Why = S.Why;
+    if (Why.empty())
+      Why = outOfTime() ? "time budget exhausted"
+                        : "no candidate set tuple succeeded";
+    Res.Note = Why;
+  }
+
+  // Fold worker stats into the driver's.
+  double Busy = 0;
+  for (WorkerCtx &C : Ctxs) {
+    if (!C.Synth)
+      continue;
+    const SynthStats &WS = C.Synth->Stats;
+    Stats.TuplesTried += WS.TuplesTried;
+    Stats.SmtChecks += WS.SmtChecks;
+    Stats.PrefilterSeconds += WS.PrefilterSeconds;
+    Stats.ReduceSeconds += WS.ReduceSeconds;
+    Stats.HoudiniSeconds += WS.HoudiniSeconds;
+    Stats.RecheckSeconds += WS.RecheckSeconds;
+    Stats.CacheHits += C.Synth->RCache.hits();
+    Stats.CacheMisses += C.Synth->RCache.misses();
+    if (Winner != SIZE_MAX && Slots[Winner].Worker ==
+                                  static_cast<unsigned>(&C - Ctxs.data()))
+      Stats.AtomsAfterPrefilter = WS.AtomsAfterPrefilter;
+    Busy += C.BusySeconds;
+  }
+  double Wall = secondsSince(SearchStart);
+  Stats.WorkerUtilization =
+      Wall > 0 ? Busy / (static_cast<double>(Workers) * Wall) : 1.0;
+}
+
 // -- Driver ---------------------------------------------------------------------------------
 
 SynthResult Synthesizer::run() {
   auto Start = std::chrono::steady_clock::now();
-  auto Since = [](std::chrono::steady_clock::time_point T0) {
-    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                         T0)
-        .count();
-  };
   SynthResult Res;
 
   // Explicit exploration: counterexample detection + pre-filter states.
@@ -688,21 +1053,20 @@ SynthResult Synthesizer::run() {
     auto T0 = std::chrono::steady_clock::now();
     explct::ExplicitResult ER = explct::explore(Sys, Opts.Explicit);
     Stats.ExplicitStates = ER.NumStates;
+    Stats.ExplicitSeconds = secondsSince(T0);
     if (Opts.Verbose)
       std::printf("  [explicit] %u states in %.2fs\n", ER.NumStates,
-                  Since(T0));
+                  secondsSince(T0));
     if (!ER.Safe && Opts.StopOnExplicitCex) {
       Res.Cex = ER.Cex;
       Res.Note = "explicit counterexample with N=" +
                  std::to_string(Opts.Explicit.NumThreads);
       Res.Stats = Stats;
-      Res.Stats.Seconds =
-          std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                        Start)
-              .count();
+      Res.Stats.Seconds = secondsSince(Start);
       return Res;
     }
-    // Sample evenly up to the cap.
+    // Sample evenly up to the cap. This reachable-state set is computed
+    // once and shared read-only by every search worker.
     size_t Step = std::max<size_t>(1, ER.States.size() /
                                           std::max(1u, Opts.MaxPrefilterStates));
     for (size_t I = 0; I < ER.States.size(); I += Step)
@@ -730,80 +1094,18 @@ SynthResult Synthesizer::run() {
     }
   }
 
-  std::string LastWhy = "no candidate set tuple succeeded";
-  for (const std::vector<Term> &SetBodies : TupleBodies) {
-    if (outOfTime()) {
-      LastWhy = "time budget exhausted";
-      break;
-    }
-    ++Stats.TuplesTried;
-    if (Opts.Verbose) {
-      std::printf("  [tuple %u]", Stats.TuplesTried);
-      for (Term SB : SetBodies)
-        std::printf(" #{t | %s}", logic::toString(SB).c_str());
-      std::printf("\n");
-    }
+  unsigned Workers = engine::ThreadPool::effectiveWorkers(Opts.NumWorkers);
+  Workers = static_cast<unsigned>(
+      std::min<size_t>(Workers, std::max<size_t>(1, TupleBodies.size())));
+  if (Workers > 1 && !outOfTime())
+    runParallel(Workers, TupleBodies, Pool, States, Res);
+  else
+    runSerial(TupleBodies, Pool, States, Res);
 
-    std::vector<Term> Cand = Pool;
-    auto TPre = std::chrono::steady_clock::now();
-    if (Opts.ExplicitPrefilter && !States.empty())
-      Cand = prefilterAtoms(Pool, SetBodies, States);
-    double PreSec = Since(TPre);
-    Stats.AtomsAfterPrefilter = static_cast<unsigned>(Cand.size());
-    if (Opts.Verbose)
-      std::printf("    atoms: %zu of %zu survive the explicit pre-filter "
-                  "(%.2fs)\n",
-                  Cand.size(), Pool.size(), PreSec);
-
-    std::unique_ptr<smt::SmtSolver> Oracle = smt::makeZ3Solver(M);
-    auto TBuild = std::chrono::steady_clock::now();
-    std::vector<ReducedClause> Clauses = buildClauses(SetBodies, Oracle.get());
-    auto THou = std::chrono::steady_clock::now();
-    if (Opts.Verbose)
-      std::printf("    clauses built in %.2fs\n", Since(TBuild));
-
-    std::string Why;
-    bool HoudiniOk = houdini(Clauses, Cand, Why);
-    if (Opts.Verbose)
-      std::printf("    houdini %s in %.2fs\n", HoudiniOk ? "ok" : "failed",
-                  Since(THou));
-    if (!HoudiniOk) {
-      LastWhy = Why;
-      if (Opts.Verbose)
-        std::printf("    houdini failed: %s\n", Why.c_str());
-      continue;
-    }
-    if (Opts.MinimizeInvariant) {
-      auto TMin = std::chrono::steady_clock::now();
-      size_t Before = Cand.size();
-      minimizeAtoms(Clauses, Cand);
-      if (Opts.Verbose)
-        std::printf("    minimized %zu -> %zu atoms in %.2fs\n", Before,
-                    Cand.size(), Since(TMin));
-    }
-    Term Inv = closedInvariant(SetBodies, Cand);
-    auto TRe = std::chrono::steady_clock::now();
-    bool RecheckOk = !Opts.FinalRecheck || recheck(Inv, States, Why);
-    if (Opts.Verbose)
-      std::printf("    recheck %s in %.2fs\n", RecheckOk ? "ok" : "failed",
-                  Since(TRe));
-    if (!RecheckOk) {
-      LastWhy = Why;
-      continue;
-    }
-    Res.Verified = true;
-    Res.Invariant = Inv;
-    Res.SetBodies = SetBodies;
-    Res.Atoms = Cand;
-    Stats.AtomsInInvariant = static_cast<unsigned>(Cand.size());
-    break;
-  }
-  if (!Res.Verified)
-    Res.Note = LastWhy;
+  Stats.CacheHits += RCache.hits();
+  Stats.CacheMisses += RCache.misses();
   Res.Stats = Stats;
-  Res.Stats.Seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
-          .count();
+  Res.Stats.Seconds = secondsSince(Start);
   return Res;
 }
 

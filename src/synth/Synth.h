@@ -69,9 +69,17 @@ struct SynthOptions {
   unsigned MaxCandidateSets = 24;        ///< Top-ranked set bodies considered.
   unsigned MaxBodyInstances = 12;        ///< INSTQ budget per clause.
   unsigned SmtTimeoutMs = 30000;
+  /// Parallel set-tuple search width: 0 = one worker per hardware thread,
+  /// 1 = today's serial search, N = exactly N workers. Each worker owns a
+  /// private TermManager, SMT solver and reduction state (no shared-state
+  /// locking); candidate tuples are claimed from an atomic cursor and
+  /// results are merged by rank (first-verified-by-rank wins), so the
+  /// outcome is independent of thread timing. See DESIGN.md, "Parallel
+  /// search & determinism".
+  unsigned NumWorkers = 0;
   /// Wall-clock budget for the whole synthesis run; 0 disables. Checked
-  /// between tuples and between Houdini iterations (coarse, not a hard
-  /// kill).
+  /// between tuples, between Houdini iterations, and between the SMT
+  /// checks inside one Houdini iteration (coarse, not a hard kill).
   double TimeBudgetSeconds = 0;
   bool FinalRecheck = true;
   /// Greedily minimize the surviving atom set before output and re-check.
@@ -87,6 +95,23 @@ struct SynthStats {
   unsigned AtomsInInvariant = 0;
   unsigned ExplicitStates = 0;
   double Seconds = 0;
+
+  // -- Parallel-search observability ----------------------------------------
+  /// Effective worker count of the search (1 for the serial path).
+  unsigned NumWorkers = 1;
+  /// Reduction-cache hits/misses, summed over all workers.
+  unsigned CacheHits = 0;
+  unsigned CacheMisses = 0;
+  /// Per-phase busy time, summed over all workers (so in a parallel run
+  /// the phases can exceed Seconds, which stays wall-clock).
+  double ExplicitSeconds = 0;
+  double PrefilterSeconds = 0;
+  double ReduceSeconds = 0;
+  double HoudiniSeconds = 0;
+  double RecheckSeconds = 0;
+  /// Busy worker-seconds divided by workers * search wall time; 1.0 means
+  /// every worker was processing tuples the whole search.
+  double WorkerUtilization = 1.0;
 };
 
 struct SynthResult {

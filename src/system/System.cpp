@@ -122,6 +122,41 @@ Term ParamSystem::transitionFormula(const Transition &T) const {
   return M.mkAnd(Conj);
 }
 
+std::unique_ptr<ParamSystem> ParamSystem::cloneInto(
+    logic::TermManager &Dst) const {
+  auto Out = std::make_unique<ParamSystem>(Dst, SystemName, Mode);
+  logic::TermTranslator Tr(Dst);
+  for (Term G : Globals)
+    Out->addGlobal(G->name());
+  for (Term L : Locals)
+    Out->addLocal(L->name());
+  if (SizeVar)
+    Out->setSizeVar(Tr(*SizeVar));
+  Out->setInit(Tr(InitFormula));
+  Out->setSafe(Tr(SafeFormula));
+  for (const Transition &T : Transitions) {
+    Transition NT;
+    NT.Name = T.Name;
+    NT.Guard = Tr(T.Guard);
+    for (const auto &[V, U] : T.GlobalUpd)
+      NT.GlobalUpd[Tr(V)] = Tr(U);
+    for (const auto &[V, U] : T.LocalUpd)
+      NT.LocalUpd[Tr(V)] = Tr(U);
+    for (Term C : T.Choices)
+      NT.Choices.push_back(Tr(C));
+    for (Term C : T.TidChoices)
+      NT.TidChoices.push_back(Tr(C));
+    for (const Transition::ArrayWrite &W : T.Writes)
+      NT.Writes.push_back({Tr(W.Arr), Tr(W.Idx), Tr(W.Val)});
+    if (!T.SyncRelation.isNull())
+      NT.SyncRelation = Tr(T.SyncRelation);
+    Out->Transitions.push_back(std::move(NT));
+  }
+  Out->ChoiceLo = ChoiceLo;
+  Out->ChoiceHi = ChoiceHi;
+  return Out;
+}
+
 std::vector<std::pair<Term, Term>> ParamSystem::externalCounters() const {
   std::vector<std::pair<Term, Term>> Out;
   if (SizeVar)

@@ -151,6 +151,15 @@ public:
   /// for choice variables.
   int64_t ChoiceLo = 0, ChoiceHi = 2;
 
+  /// Rebuilds this system inside another TermManager. All formulas are
+  /// structurally translated (variables correspond by name), so the clone
+  /// is observationally identical for the symbolic pipeline. CustomInit and
+  /// CustomStepper are NOT cloned: they close over terms of the original
+  /// manager, and the explicit checker runs once on the original system
+  /// (parallel workers only consume its states). The destination manager
+  /// must outlive the clone.
+  std::unique_ptr<ParamSystem> cloneInto(logic::TermManager &Dst) const;
+
 private:
   logic::TermManager &M;
   std::string SystemName;

@@ -1,0 +1,115 @@
+//===- tests/reduce_cache_test.cpp - Reduction memoization tests --------------===//
+//
+// Part of sharpie. The ReduceCache memoizes reduceToGround per (input
+// formula id, axiom configuration, counters, extra index terms). Because
+// terms are hash-consed, rebuilding the same obligation yields the same
+// id and must hit; changing any axiom knob or auxiliary input must miss.
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/Reduce.h"
+#include "logic/TermOps.h"
+
+#include <gtest/gtest.h>
+
+using namespace sharpie;
+using namespace sharpie::logic;
+
+namespace {
+
+class ReduceCacheTest : public ::testing::Test {
+protected:
+  Term obligation() {
+    Term Card = M.mkCard(T, M.mkGe(M.mkRead(F, T), M.mkInt(2)));
+    return M.mkAnd({M.mkForall({T}, M.mkEq(M.mkRead(F, T), M.mkInt(1))),
+                    M.mkEq(Card, KV), M.mkGe(KV, M.mkInt(1))});
+  }
+
+  engine::ReduceResult reduce(engine::ReduceCache &Cache,
+                              const engine::ReduceOptions &Opts,
+                              Term Psi) {
+    std::unique_ptr<smt::SmtSolver> Oracle = smt::makeZ3Solver(M);
+    return engine::reduceToGroundCached(&Cache, M, Psi, Opts, Oracle.get());
+  }
+
+  TermManager M;
+  Term T = M.mkVar("t", Sort::Tid);
+  Term F = M.mkVar("f", Sort::Array);
+  Term KV = M.mkVar("k", Sort::Int);
+};
+
+TEST_F(ReduceCacheTest, RepeatedObligationHits) {
+  engine::ReduceCache Cache;
+  engine::ReduceOptions Opts;
+  engine::ReduceResult R1 = reduce(Cache, Opts, obligation());
+  EXPECT_EQ(Cache.hits(), 0u);
+  EXPECT_EQ(Cache.misses(), 1u);
+
+  // Rebuilding the obligation from scratch hash-conses to the same term,
+  // so the second reduction is a pure lookup with an identical result.
+  engine::ReduceResult R2 = reduce(Cache, Opts, obligation());
+  EXPECT_EQ(Cache.hits(), 1u);
+  EXPECT_EQ(Cache.misses(), 1u);
+  EXPECT_EQ(R1.Ground, R2.Ground);
+  EXPECT_EQ(R1.NumAxioms, R2.NumAxioms);
+  EXPECT_EQ(R1.NumInstances, R2.NumInstances);
+}
+
+TEST_F(ReduceCacheTest, AxiomConfigChangeMisses) {
+  engine::ReduceCache Cache;
+  engine::ReduceOptions Opts;
+  reduce(Cache, Opts, obligation());
+
+  // Any knob that changes the reduction's output must change the key.
+  engine::ReduceOptions VennOpts = Opts;
+  VennOpts.Card.Venn = true;
+  reduce(Cache, VennOpts, obligation());
+  EXPECT_EQ(Cache.hits(), 0u);
+  EXPECT_EQ(Cache.misses(), 2u);
+
+  engine::ReduceOptions RoundOpts = Opts;
+  RoundOpts.MaxRounds = Opts.MaxRounds + 1;
+  reduce(Cache, RoundOpts, obligation());
+  EXPECT_EQ(Cache.misses(), 3u);
+
+  // The original configuration still hits its old entry.
+  reduce(Cache, Opts, obligation());
+  EXPECT_EQ(Cache.hits(), 1u);
+  EXPECT_EQ(Cache.misses(), 3u);
+}
+
+TEST_F(ReduceCacheTest, DistinctObligationsMiss) {
+  engine::ReduceCache Cache;
+  engine::ReduceOptions Opts;
+  reduce(Cache, Opts, obligation());
+  reduce(Cache, Opts, M.mkAnd(obligation(), M.mkGe(KV, M.mkInt(2))));
+  EXPECT_EQ(Cache.hits(), 0u);
+  EXPECT_EQ(Cache.misses(), 2u);
+}
+
+TEST_F(ReduceCacheTest, ExternalCountersPartOfKey) {
+  engine::ReduceCache Cache;
+  engine::ReduceOptions Opts;
+  Term N = M.mkVar("n", Sort::Int);
+  std::unique_ptr<smt::SmtSolver> Oracle = smt::makeZ3Solver(M);
+  engine::reduceToGroundCached(&Cache, M, obligation(), Opts, Oracle.get());
+  engine::reduceToGroundCached(&Cache, M, obligation(), Opts, Oracle.get(),
+                               {{N, M.mkTrue()}});
+  EXPECT_EQ(Cache.hits(), 0u);
+  EXPECT_EQ(Cache.misses(), 2u);
+
+  // Same counters again: hit.
+  engine::reduceToGroundCached(&Cache, M, obligation(), Opts, Oracle.get(),
+                               {{N, M.mkTrue()}});
+  EXPECT_EQ(Cache.hits(), 1u);
+}
+
+TEST_F(ReduceCacheTest, NullCacheIsPlainCall) {
+  engine::ReduceOptions Opts;
+  std::unique_ptr<smt::SmtSolver> Oracle = smt::makeZ3Solver(M);
+  engine::ReduceResult R = engine::reduceToGroundCached(
+      nullptr, M, obligation(), Opts, Oracle.get());
+  EXPECT_FALSE(R.Ground.isNull());
+}
+
+} // namespace

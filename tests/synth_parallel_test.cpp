@@ -1,0 +1,109 @@
+//===- tests/synth_parallel_test.cpp - Parallel-search determinism ------------===//
+//
+// Part of sharpie. The parallel set-tuple search must be a pure
+// performance feature: for any worker count, the synthesized invariant
+// (set bodies and atoms) must be the one the serial search finds, because
+// results merge by rank and the per-tuple pipeline is deterministic. See
+// DESIGN.md, "Parallel search & determinism".
+//
+//===----------------------------------------------------------------------===//
+
+#include "logic/TermOps.h"
+#include "protocols/Protocols.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+using namespace sharpie;
+using namespace sharpie::protocols;
+
+namespace {
+
+struct RunOutput {
+  bool Verified = false;
+  std::vector<std::string> SetBodies;
+  std::vector<std::string> Atoms;
+  std::string Note;
+  synth::SynthStats Stats;
+};
+
+/// Runs a bundle with the given worker count and renders the result to
+/// strings, so runs over distinct TermManagers compare structurally.
+RunOutput runWith(BundleFactory Make, unsigned NumWorkers) {
+  logic::TermManager M;
+  ProtocolBundle B = Make(M);
+  synth::SynthOptions Opts;
+  Opts.Shape = B.Shape;
+  Opts.QGuard = B.QGuard;
+  Opts.Reduce.Card.Venn = B.NeedsVenn;
+  Opts.Explicit = B.Explicit;
+  Opts.NumWorkers = NumWorkers;
+  synth::SynthResult R = synth::synthesize(*B.Sys, Opts);
+  RunOutput Out;
+  Out.Verified = R.Verified;
+  for (logic::Term S : R.SetBodies)
+    Out.SetBodies.push_back(logic::toString(S));
+  for (logic::Term A : R.Atoms)
+    Out.Atoms.push_back(logic::toString(A));
+  Out.Note = R.Note;
+  Out.Stats = R.Stats;
+  return Out;
+}
+
+void expectIdentical(BundleFactory Make, const char *Name) {
+  RunOutput Serial = runWith(Make, 1);
+  RunOutput Par = runWith(Make, 4);
+  ASSERT_TRUE(Serial.Verified) << Name << ": " << Serial.Note;
+  ASSERT_TRUE(Par.Verified) << Name << ": " << Par.Note;
+  EXPECT_EQ(Serial.SetBodies, Par.SetBodies) << Name;
+  // The search clamps workers to the tuple count, so 4 is an upper bound
+  // (ticket_mutex has a single coverage-satisfying tuple, for instance).
+  EXPECT_GE(Par.Stats.NumWorkers, 1u) << Name;
+  EXPECT_LE(Par.Stats.NumWorkers, 4u) << Name;
+  EXPECT_EQ(Serial.Stats.NumWorkers, 1u) << Name;
+  EXPECT_EQ(Serial.Atoms, Par.Atoms) << Name;
+}
+
+TEST(SynthParallel, TicketMutexIdenticalInvariant) {
+  expectIdentical(makeTicketMutex, "ticket_mutex");
+}
+
+TEST(SynthParallel, TicketLockIdenticalInvariant) {
+  expectIdentical(makeTicketLock, "ticket_lock");
+}
+
+TEST(SynthParallel, OneThirdIdenticalInvariant) {
+  expectIdentical(makeOneThird, "one_third");
+}
+
+// The serial path with NumWorkers=1 must not report parallel machinery.
+TEST(SynthParallel, SerialStatsStayHonest) {
+  RunOutput Serial = runWith(makeTicketMutex, 1);
+  ASSERT_TRUE(Serial.Verified) << Serial.Note;
+  EXPECT_EQ(Serial.Stats.NumWorkers, 1u);
+  EXPECT_DOUBLE_EQ(Serial.Stats.WorkerUtilization, 1.0);
+  EXPECT_GT(Serial.Stats.TuplesTried, 0u);
+}
+
+// Oversubscription beyond the tuple count must clamp, not deadlock. The
+// increment program has two candidate tuples (the first fails, the second
+// verifies), so this genuinely runs multiple workers and exercises the
+// rank merge; it is also the fast case the ThreadSanitizer ctest entry
+// runs (tests/CMakeLists.txt).
+TEST(SynthParallel, MoreWorkersThanTuples) {
+  logic::TermManager M;
+  ProtocolBundle B = makeIncrement(M);
+  synth::SynthOptions Opts;
+  Opts.Shape = B.Shape;
+  Opts.QGuard = B.QGuard;
+  Opts.Explicit = B.Explicit;
+  Opts.NumWorkers = 64;
+  synth::SynthResult R = synth::synthesize(*B.Sys, Opts);
+  EXPECT_TRUE(R.Verified) << R.Note;
+  EXPECT_GE(R.Stats.NumWorkers, 2u);
+  EXPECT_LE(R.Stats.NumWorkers, 64u);
+}
+
+} // namespace

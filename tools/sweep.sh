@@ -1,9 +1,46 @@
 #!/bin/sh
-# Part of sharpie. Runs #Pi on every registered benchmark with a per-run
-# timeout and prints one status line each -- the quick health check used
-# during development (the bench/ binaries print the full paper tables).
+# Part of sharpie. Two modes:
+#
+#   tools/sweep.sh             quick health check: runs #Pi on every
+#                              registered benchmark with a per-run timeout
+#                              and prints one status line each;
+#   tools/sweep.sh --bench-pr1 parallel-search benchmark: runs a protocol
+#                              selection with NumWorkers in {1, max} and
+#                              writes BENCH_PR1.json (one JSON object per
+#                              protocol/worker-count run, carrying seconds,
+#                              SMT check counts, and cache hit rates).
+#
+# BIN points at the example_run_protocol binary, TIMEOUT is per run.
 BIN=${BIN:-build/examples/example_run_protocol}
 TIMEOUT=${TIMEOUT:-120}
+
+if [ "$1" = "--bench-pr1" ]; then
+  OUT=${OUT:-BENCH_PR1.json}
+  # Multi-tuple protocols where the set-tuple search dominates, plus the
+  # single-tuple ticket-mutex as a no-parallelism-available control.
+  PROTOS=${PROTOS:-"ticket one-third filter ticket-mutex"}
+  MAXW=${MAXW:-$(nproc 2>/dev/null || echo 4)}
+  # First line records the host so speedup numbers are interpretable: on a
+  # single-core machine workers interleave and "max" degenerates to 1.
+  printf '{"meta":{"nproc":%s,"max_workers":%s}}\n' \
+    "$(nproc 2>/dev/null || echo 0)" "$MAXW" > "$OUT"
+  for name in $PROTOS; do
+    for w in 1 "$MAXW"; do
+      line=$(timeout "$TIMEOUT" "$BIN" "$name" --workers "$w" --json \
+             | grep '^{' | head -1)
+      if [ -n "$line" ]; then
+        printf '%s\n' "$line" >> "$OUT"
+      else
+        printf '{"protocol":"%s","workers":%s,"error":"timeout"}\n' \
+          "$name" "$w" >> "$OUT"
+      fi
+      printf '%-14s workers=%-3s %s\n' "$name" "$w" "${line:-TIMEOUT}"
+    done
+  done
+  echo "wrote $OUT"
+  exit 0
+fi
+
 for name in $($BIN --list); do
   start=$(date +%s%N)
   out=$(timeout "$TIMEOUT" "$BIN" "$name" 2>&1)

@@ -3,15 +3,19 @@
 // Part of sharpie. Command-line driver over the whole benchmark suite:
 //
 //   example_run_protocol <name> [--verbose] [--workers N] [--json]
+//   example_run_protocol --protocol <file.sharpie> [same flags]
 //
 // Prints the synthesized invariant (inferred cardinalities + scalar part)
 // or the explicit counterexample for buggy variants. `--list` shows all
 // benchmark names. `--workers N` sets the parallel search width (0 = one
 // worker per hardware thread, 1 = serial); `--json` appends a
-// machine-readable result line to stdout.
+// machine-readable result line to stdout. `--protocol` elaborates a
+// textual protocol through the frontend instead of a built-in bundle;
+// frontend failures exit 3 like the sharpie driver.
 //
 //===----------------------------------------------------------------------===//
 
+#include "front/Front.h"
 #include "logic/TermOps.h"
 #include "protocols/Protocols.h"
 
@@ -81,6 +85,7 @@ int main(int argc, char **argv) {
   bool Json = false;
   unsigned Workers = 1;
   std::string Name;
+  std::string ProtocolFile;
   for (int I = 1; I < argc; ++I) {
     if (!std::strcmp(argv[I], "--verbose"))
       Verbose = true;
@@ -88,6 +93,8 @@ int main(int argc, char **argv) {
       Json = true;
     else if (!std::strcmp(argv[I], "--workers") && I + 1 < argc)
       Workers = static_cast<unsigned>(std::strtol(argv[++I], nullptr, 10));
+    else if (!std::strcmp(argv[I], "--protocol") && I + 1 < argc)
+      ProtocolFile = argv[++I];
     else if (!std::strcmp(argv[I], "--list")) {
       for (const auto &[K, V] : registry())
         std::printf("%s\n", K.c_str());
@@ -95,18 +102,35 @@ int main(int argc, char **argv) {
     } else
       Name = argv[I];
   }
-  std::map<std::string, BundleFactory> R = registry();
-  auto It = R.find(Name);
-  if (It == R.end()) {
-    std::fprintf(stderr,
-                 "usage: %s <name> [--verbose] [--workers N] [--json]; "
-                 "--list for names\n",
-                 argv[0]);
-    return 2;
-  }
 
   logic::TermManager M;
-  ProtocolBundle B = It->second(M);
+  ProtocolBundle B;
+  if (!ProtocolFile.empty()) {
+    front::LoadResult L = front::loadProtocolFile(M, ProtocolFile);
+    if (!L.ok()) {
+      std::fprintf(stderr, "%s\n", L.Error->render().c_str());
+      return 3;
+    }
+    B.Sys = std::move(L.Bundle->Sys);
+    B.Shape = L.Bundle->Shape;
+    B.QGuard = L.Bundle->QGuard;
+    B.Explicit = L.Bundle->Explicit;
+    B.ExpectSafe = L.Bundle->ExpectSafe;
+    B.NeedsVenn = L.Bundle->NeedsVenn;
+    B.Property = L.Bundle->Property;
+    Name = B.Sys->name();
+  } else {
+    std::map<std::string, BundleFactory> R = registry();
+    auto It = R.find(Name);
+    if (It == R.end()) {
+      std::fprintf(stderr,
+                   "usage: %s <name> [--verbose] [--workers N] [--json]; "
+                   "%s --protocol <file.sharpie>; --list for names\n",
+                   argv[0], argv[0]);
+      return 2;
+    }
+    B = It->second(M);
+  }
   std::printf("== %s ==\nproperty: %s\n", B.Sys->name().c_str(),
               B.Property.c_str());
 

@@ -1,0 +1,135 @@
+//===- front/Ast.h - Untyped syntax tree of .sharpie files ------*- C++ -*-===//
+//
+// Part of sharpie. The parser produces this untyped tree; all name
+// resolution and sort checking happens in the lowering pass (Lower.cpp),
+// which turns it into logic::Terms inside a sys::ParamSystem. Every node
+// carries the source location of its first token for diagnostics.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SHARPIE_FRONT_AST_H
+#define SHARPIE_FRONT_AST_H
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace sharpie {
+namespace front {
+
+struct Loc {
+  int Line = 0, Col = 0;
+};
+
+enum class ExKind : uint8_t {
+  IntLit,  ///< IntVal.
+  BoolLit, ///< BoolVal.
+  Name,    ///< Ident (resolved during lowering). Post=true for name'.
+  SelfRef, ///< The acting thread.
+  Read,    ///< Ident "[" Kids[0] "]". Post=true for name'[i].
+  Card,    ///< #{Binders[0] | Kids[0]}.
+  Quant,   ///< forall/exists Binders. Kids[0]. IsForall selects.
+  Binary,  ///< Op over Kids[0], Kids[1].
+  Unary,   ///< Op over Kids[0]  ("!" or "-").
+  Ite,     ///< ite(Kids[0], Kids[1], Kids[2]).
+};
+
+/// A bound variable with an optional sort annotation (default tid).
+struct Binder {
+  std::string Name;
+  bool IsInt = false;
+  Loc L;
+};
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Expr {
+  ExKind K = ExKind::IntLit;
+  Loc L;
+  int64_t IntVal = 0;
+  bool BoolVal = false;
+  bool IsForall = true;
+  bool Post = false;      ///< Name/Read refer to the post-state twin.
+  std::string Name;       ///< Name/Read target.
+  std::string Op;         ///< Binary/Unary operator spelling.
+  std::vector<Binder> Binders;
+  std::vector<ExprPtr> Kids;
+};
+
+/// `target := value;` or `target[index] := value;`.
+struct UpdateStmt {
+  Loc L;
+  std::string Target;
+  bool HasIndex = false;
+  ExprPtr Index; ///< Null for scalar targets.
+  ExprPtr Value;
+};
+
+struct ChoiceDecl {
+  Loc L;
+  std::string Name;
+  bool IsInt = true;
+};
+
+/// An async `transition` or a sync `round` (IsRound).
+struct TransitionAst {
+  Loc L;
+  std::string Name;
+  bool IsRound = false;
+  ExprPtr Guard;    ///< Null means true.
+  ExprPtr Relation; ///< Rounds only.
+  Loc RelationLoc;
+  std::vector<ChoiceDecl> Choices;
+  std::vector<UpdateStmt> Updates;
+};
+
+struct TemplateAst {
+  Loc L;
+  unsigned NumSets = 0;
+  std::vector<Binder> Quantifiers;
+  ExprPtr Guard; ///< QGuard over the quantifier names; null = none.
+};
+
+struct StartAssign {
+  Loc L;
+  std::string Name;
+  int64_t Value = 0;
+};
+
+struct CheckAst {
+  Loc L;
+  std::optional<int64_t> Threads, MaxStates, IntBound;
+  std::optional<std::pair<int64_t, int64_t>> ChoiceRange;
+  bool HasStart = false;
+  std::vector<StartAssign> Start;
+};
+
+struct VarDecl {
+  Loc L;
+  std::string Name;
+  bool IsLocal = false;
+  bool IsSize = false; ///< `size n;` - global n is #threads.
+};
+
+struct ProtocolAst {
+  Loc L;
+  std::string Name;
+  bool Sync = false;
+  std::vector<VarDecl> Vars;
+  ExprPtr Init; ///< Null means true.
+  ExprPtr Safe; ///< Null means true.
+  std::vector<TransitionAst> Transitions;
+  std::optional<TemplateAst> Template;
+  std::optional<CheckAst> Check;
+  bool ExpectSafe = true;
+  bool NeedsVenn = false;
+  std::string Property;
+};
+
+} // namespace front
+} // namespace sharpie
+
+#endif // SHARPIE_FRONT_AST_H

@@ -1,0 +1,78 @@
+//===- front/Front.cpp - Frontend entry points ----------------------------===//
+//
+// Part of sharpie. Ties lexer, parser and lowering together and funnels
+// every failure mode - including I/O errors and stray exceptions from
+// lower layers - into the single Diagnostic type, so drivers can always
+// exit with code 3 and a rendered message.
+//
+//===----------------------------------------------------------------------===//
+
+#include "front/Front.h"
+#include "front/Lexer.h"
+#include "front/Lower.h"
+#include "front/Parser.h"
+
+#include <fstream>
+#include <sstream>
+
+using namespace sharpie;
+using namespace sharpie::front;
+
+std::string Diagnostic::render() const {
+  std::string Out = File;
+  if (Line > 0) {
+    Out += ":" + std::to_string(Line) + ":" + std::to_string(Col);
+  }
+  Out += ": error: " + Message;
+  if (Line > 0 && !SourceLine.empty()) {
+    Out += "\n  " + SourceLine + "\n  ";
+    for (int I = 1; I < Col; ++I)
+      Out += ' ';
+    Out += '^';
+  }
+  return Out;
+}
+
+FrontBundle sharpie::front::parseProtocol(logic::TermManager &M,
+                                          const std::string &Source,
+                                          const std::string &FileName) {
+  Lexer Lx(Source, FileName);
+  Parser Ps(Lx);
+  ProtocolAst Ast = Ps.parseProtocol();
+  return lowerProtocol(M, Ast, Lx);
+}
+
+static LoadResult guarded(logic::TermManager &M, const std::string &Source,
+                          const std::string &FileName) {
+  LoadResult R;
+  try {
+    R.Bundle = parseProtocol(M, Source, FileName);
+  } catch (const FrontError &E) {
+    R.Error = E.diagnostic();
+  } catch (const std::exception &E) {
+    R.Error = Diagnostic{FileName, 0, 0,
+                         std::string("internal error: ") + E.what(), ""};
+  } catch (...) {
+    R.Error = Diagnostic{FileName, 0, 0, "internal error", ""};
+  }
+  return R;
+}
+
+LoadResult sharpie::front::loadProtocolString(logic::TermManager &M,
+                                              const std::string &Source,
+                                              const std::string &FileName) {
+  return guarded(M, Source, FileName);
+}
+
+LoadResult sharpie::front::loadProtocolFile(logic::TermManager &M,
+                                            const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In) {
+    LoadResult R;
+    R.Error = Diagnostic{Path, 0, 0, "cannot open file", ""};
+    return R;
+  }
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  return guarded(M, Buf.str(), Path);
+}

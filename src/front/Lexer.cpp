@@ -1,0 +1,404 @@
+//===- front/Lexer.cpp - Tokens of the .sharpie language ------------------===//
+//
+// Part of sharpie.
+//
+//===----------------------------------------------------------------------===//
+
+#include "front/Lexer.h"
+#include "front/Front.h"
+
+#include <cctype>
+#include <map>
+
+using namespace sharpie;
+using namespace sharpie::front;
+
+const char *sharpie::front::tokName(Tok T) {
+  switch (T) {
+  case Tok::Ident:
+    return "identifier";
+  case Tok::IntLit:
+    return "integer literal";
+  case Tok::StringLit:
+    return "string literal";
+  case Tok::KwProtocol:
+    return "'protocol'";
+  case Tok::KwSync:
+    return "'sync'";
+  case Tok::KwGlobal:
+    return "'global'";
+  case Tok::KwLocal:
+    return "'local'";
+  case Tok::KwSize:
+    return "'size'";
+  case Tok::KwInit:
+    return "'init'";
+  case Tok::KwSafe:
+    return "'safe'";
+  case Tok::KwUnsafe:
+    return "'unsafe'";
+  case Tok::KwTransition:
+    return "'transition'";
+  case Tok::KwRound:
+    return "'round'";
+  case Tok::KwRelation:
+    return "'relation'";
+  case Tok::KwGuard:
+    return "'guard'";
+  case Tok::KwChoice:
+    return "'choice'";
+  case Tok::KwTemplate:
+    return "'template'";
+  case Tok::KwSets:
+    return "'sets'";
+  case Tok::KwCheck:
+    return "'check'";
+  case Tok::KwThreads:
+    return "'threads'";
+  case Tok::KwMaxStates:
+    return "'max_states'";
+  case Tok::KwIntBound:
+    return "'int_bound'";
+  case Tok::KwChoiceRange:
+    return "'choice_range'";
+  case Tok::KwStart:
+    return "'start'";
+  case Tok::KwExpect:
+    return "'expect'";
+  case Tok::KwVenn:
+    return "'venn'";
+  case Tok::KwProperty:
+    return "'property'";
+  case Tok::KwForall:
+    return "'forall'";
+  case Tok::KwExists:
+    return "'exists'";
+  case Tok::KwTrue:
+    return "'true'";
+  case Tok::KwFalse:
+    return "'false'";
+  case Tok::KwSelf:
+    return "'self'";
+  case Tok::KwIte:
+    return "'ite'";
+  case Tok::KwInt:
+    return "'int'";
+  case Tok::KwTid:
+    return "'tid'";
+  case Tok::LBrace:
+    return "'{'";
+  case Tok::RBrace:
+    return "'}'";
+  case Tok::LParen:
+    return "'('";
+  case Tok::RParen:
+    return "')'";
+  case Tok::LBrack:
+    return "'['";
+  case Tok::RBrack:
+    return "']'";
+  case Tok::Semi:
+    return "';'";
+  case Tok::Colon:
+    return "':'";
+  case Tok::Comma:
+    return "','";
+  case Tok::Dot:
+    return "'.'";
+  case Tok::DotDot:
+    return "'..'";
+  case Tok::Pipe:
+    return "'|'";
+  case Tok::Hash:
+    return "'#'";
+  case Tok::Prime:
+    return "'''";
+  case Tok::Assign:
+    return "':='";
+  case Tok::Implies:
+    return "'==>'";
+  case Tok::AndAnd:
+    return "'&&'";
+  case Tok::OrOr:
+    return "'||'";
+  case Tok::Bang:
+    return "'!'";
+  case Tok::EqEq:
+    return "'=='";
+  case Tok::NotEq:
+    return "'!='";
+  case Tok::Le:
+    return "'<='";
+  case Tok::Lt:
+    return "'<'";
+  case Tok::Ge:
+    return "'>='";
+  case Tok::Gt:
+    return "'>'";
+  case Tok::Plus:
+    return "'+'";
+  case Tok::Minus:
+    return "'-'";
+  case Tok::Star:
+    return "'*'";
+  case Tok::End:
+    return "end of input";
+  }
+  return "?";
+}
+
+static const std::map<std::string, Tok> &keywords() {
+  static const std::map<std::string, Tok> KW = {
+      {"protocol", Tok::KwProtocol},
+      {"sync", Tok::KwSync},
+      {"global", Tok::KwGlobal},
+      {"local", Tok::KwLocal},
+      {"size", Tok::KwSize},
+      {"init", Tok::KwInit},
+      {"safe", Tok::KwSafe},
+      {"unsafe", Tok::KwUnsafe},
+      {"transition", Tok::KwTransition},
+      {"round", Tok::KwRound},
+      {"relation", Tok::KwRelation},
+      {"guard", Tok::KwGuard},
+      {"choice", Tok::KwChoice},
+      {"template", Tok::KwTemplate},
+      {"sets", Tok::KwSets},
+      {"check", Tok::KwCheck},
+      {"threads", Tok::KwThreads},
+      {"max_states", Tok::KwMaxStates},
+      {"int_bound", Tok::KwIntBound},
+      {"choice_range", Tok::KwChoiceRange},
+      {"start", Tok::KwStart},
+      {"expect", Tok::KwExpect},
+      {"venn", Tok::KwVenn},
+      {"property", Tok::KwProperty},
+      {"forall", Tok::KwForall},
+      {"exists", Tok::KwExists},
+      {"true", Tok::KwTrue},
+      {"false", Tok::KwFalse},
+      {"self", Tok::KwSelf},
+      {"ite", Tok::KwIte},
+      {"int", Tok::KwInt},
+      {"tid", Tok::KwTid},
+  };
+  return KW;
+}
+
+Lexer::Lexer(const std::string &Source, const std::string &FileName)
+    : FileName(FileName) {
+  std::string Cur;
+  for (char C : Source) {
+    if (C == '\n') {
+      Lines.push_back(Cur);
+      Cur.clear();
+    } else
+      Cur.push_back(C);
+  }
+  Lines.push_back(Cur);
+  run(Source);
+}
+
+std::string Lexer::lineText(int Line) const {
+  if (Line < 1 || Line > static_cast<int>(Lines.size()))
+    return "";
+  return Lines[static_cast<size_t>(Line - 1)];
+}
+
+void Lexer::run(const std::string &S) {
+  size_t I = 0, N = S.size();
+  int Line = 1, Col = 1;
+  auto Fail = [&](int L, int C, const std::string &Msg) {
+    throw FrontError(Diagnostic{FileName, L, C, Msg, lineText(L)});
+  };
+  auto Advance = [&](char C) {
+    if (C == '\n') {
+      ++Line;
+      Col = 1;
+    } else
+      ++Col;
+    ++I;
+  };
+  auto Push = [&](Tok K, int L, int C, std::string Text = "",
+                  int64_t V = 0) {
+    Token T;
+    T.K = K;
+    T.Text = std::move(Text);
+    T.IntVal = V;
+    T.Line = L;
+    T.Col = C;
+    Tokens.push_back(std::move(T));
+  };
+  while (I < N) {
+    char C = S[I];
+    int L0 = Line, C0 = Col;
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      Advance(C);
+      continue;
+    }
+    if (C == '/' && I + 1 < N && S[I + 1] == '/') {
+      while (I < N && S[I] != '\n')
+        Advance(S[I]);
+      continue;
+    }
+    if (C == '/' && I + 1 < N && S[I + 1] == '*') {
+      Advance(S[I]);
+      Advance(S[I]);
+      bool Closed = false;
+      while (I < N) {
+        if (S[I] == '*' && I + 1 < N && S[I + 1] == '/') {
+          Advance(S[I]);
+          Advance(S[I]);
+          Closed = true;
+          break;
+        }
+        Advance(S[I]);
+      }
+      if (!Closed)
+        Fail(L0, C0, "unterminated block comment");
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+      std::string Id;
+      while (I < N && (std::isalnum(static_cast<unsigned char>(S[I])) ||
+                       S[I] == '_')) {
+        Id.push_back(S[I]);
+        Advance(S[I]);
+      }
+      auto It = keywords().find(Id);
+      if (It != keywords().end())
+        Push(It->second, L0, C0, Id);
+      else
+        Push(Tok::Ident, L0, C0, Id);
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(C))) {
+      int64_t V = 0;
+      while (I < N && std::isdigit(static_cast<unsigned char>(S[I]))) {
+        int64_t D = S[I] - '0';
+        if (V > (INT64_MAX - D) / 10)
+          Fail(L0, C0, "integer literal out of range");
+        V = V * 10 + D;
+        Advance(S[I]);
+      }
+      Push(Tok::IntLit, L0, C0, "", V);
+      continue;
+    }
+    if (C == '"') {
+      Advance(C);
+      std::string Text;
+      bool Closed = false;
+      while (I < N) {
+        if (S[I] == '"') {
+          Advance(S[I]);
+          Closed = true;
+          break;
+        }
+        if (S[I] == '\n')
+          break;
+        Text.push_back(S[I]);
+        Advance(S[I]);
+      }
+      if (!Closed)
+        Fail(L0, C0, "unterminated string literal");
+      Push(Tok::StringLit, L0, C0, Text);
+      continue;
+    }
+    auto Two = [&](char A, char B) {
+      return C == A && I + 1 < N && S[I + 1] == B;
+    };
+    if (C == '=' && I + 2 < N && S[I + 1] == '=' && S[I + 2] == '>') {
+      Advance(S[I]);
+      Advance(S[I]);
+      Advance(S[I]);
+      Push(Tok::Implies, L0, C0);
+      continue;
+    }
+    struct Pair {
+      char A, B;
+      Tok K;
+    };
+    static const Pair Pairs[] = {
+        {':', '=', Tok::Assign}, {'=', '=', Tok::EqEq}, {'!', '=', Tok::NotEq},
+        {'<', '=', Tok::Le},     {'>', '=', Tok::Ge},   {'&', '&', Tok::AndAnd},
+        {'|', '|', Tok::OrOr},   {'.', '.', Tok::DotDot},
+    };
+    bool Matched = false;
+    for (const Pair &P : Pairs)
+      if (Two(P.A, P.B)) {
+        Advance(S[I]);
+        Advance(S[I]);
+        Push(P.K, L0, C0);
+        Matched = true;
+        break;
+      }
+    if (Matched)
+      continue;
+    Tok K;
+    switch (C) {
+    case '{':
+      K = Tok::LBrace;
+      break;
+    case '}':
+      K = Tok::RBrace;
+      break;
+    case '(':
+      K = Tok::LParen;
+      break;
+    case ')':
+      K = Tok::RParen;
+      break;
+    case '[':
+      K = Tok::LBrack;
+      break;
+    case ']':
+      K = Tok::RBrack;
+      break;
+    case ';':
+      K = Tok::Semi;
+      break;
+    case ':':
+      K = Tok::Colon;
+      break;
+    case ',':
+      K = Tok::Comma;
+      break;
+    case '.':
+      K = Tok::Dot;
+      break;
+    case '|':
+      K = Tok::Pipe;
+      break;
+    case '#':
+      K = Tok::Hash;
+      break;
+    case '\'':
+      K = Tok::Prime;
+      break;
+    case '!':
+      K = Tok::Bang;
+      break;
+    case '<':
+      K = Tok::Lt;
+      break;
+    case '>':
+      K = Tok::Gt;
+      break;
+    case '+':
+      K = Tok::Plus;
+      break;
+    case '-':
+      K = Tok::Minus;
+      break;
+    case '*':
+      K = Tok::Star;
+      break;
+    default:
+      Fail(L0, C0, std::string("stray character '") + C + "' in input");
+      return; // unreachable
+    }
+    Advance(C);
+    Push(K, L0, C0);
+  }
+  Push(Tok::End, Line, Col);
+}

@@ -1,0 +1,125 @@
+//===- front/Lexer.h - Tokens of the .sharpie language ----------*- C++ -*-===//
+//
+// Part of sharpie. Hand-written lexer for the protocol language. Tracks
+// 1-based line/column positions and keeps the source split into lines so
+// diagnostics can quote the offending line.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SHARPIE_FRONT_LEXER_H
+#define SHARPIE_FRONT_LEXER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sharpie {
+namespace front {
+
+enum class Tok : uint8_t {
+  // Literals and names.
+  Ident,
+  IntLit,
+  StringLit,
+  // Structural keywords.
+  KwProtocol,
+  KwSync,
+  KwGlobal,
+  KwLocal,
+  KwSize,
+  KwInit,
+  KwSafe,
+  KwUnsafe,
+  KwTransition,
+  KwRound,
+  KwRelation,
+  KwGuard,
+  KwChoice,
+  KwTemplate,
+  KwSets,
+  KwCheck,
+  KwThreads,
+  KwMaxStates,
+  KwIntBound,
+  KwChoiceRange,
+  KwStart,
+  KwExpect,
+  KwVenn,
+  KwProperty,
+  // Expression keywords.
+  KwForall,
+  KwExists,
+  KwTrue,
+  KwFalse,
+  KwSelf,
+  KwIte,
+  KwInt,
+  KwTid,
+  // Punctuation and operators.
+  LBrace,
+  RBrace,
+  LParen,
+  RParen,
+  LBrack,
+  RBrack,
+  Semi,
+  Colon,
+  Comma,
+  Dot,
+  DotDot,
+  Pipe,
+  Hash,
+  Prime,
+  Assign,  // :=
+  Implies, // ==>
+  AndAnd,
+  OrOr,
+  Bang,
+  EqEq,
+  NotEq,
+  Le,
+  Lt,
+  Ge,
+  Gt,
+  Plus,
+  Minus,
+  Star,
+  End, // end of input
+};
+
+/// Printable spelling of a token kind ("';'", "identifier", ...).
+const char *tokName(Tok T);
+
+struct Token {
+  Tok K = Tok::End;
+  std::string Text;   ///< Identifier spelling / string literal contents.
+  int64_t IntVal = 0; ///< For IntLit.
+  int Line = 1, Col = 1;
+};
+
+/// Tokenizes \p Source completely. Throws FrontError on lexical errors
+/// (stray characters, unterminated strings or comments, overflowing
+/// integer literals).
+class Lexer {
+public:
+  Lexer(const std::string &Source, const std::string &FileName);
+
+  const std::vector<Token> &tokens() const { return Tokens; }
+  const std::vector<std::string> &lines() const { return Lines; }
+  const std::string &file() const { return FileName; }
+
+  /// The text of 1-based line \p Line ("" when out of range).
+  std::string lineText(int Line) const;
+
+private:
+  void run(const std::string &Source);
+
+  std::string FileName;
+  std::vector<Token> Tokens;
+  std::vector<std::string> Lines;
+};
+
+} // namespace front
+} // namespace sharpie
+
+#endif // SHARPIE_FRONT_LEXER_H

@@ -1,0 +1,460 @@
+//===- front/Lower.cpp - AST -> ParamSystem elaboration -------------------===//
+//
+// Part of sharpie.
+//
+//===----------------------------------------------------------------------===//
+
+#include "front/Lower.h"
+
+#include "logic/TermOps.h"
+
+#include <map>
+
+using namespace sharpie;
+using namespace sharpie::front;
+using logic::Sort;
+using logic::Term;
+using logic::TermManager;
+
+namespace {
+
+/// Lower-case sort spelling for messages ("int", "tid", "bool", "array").
+const char *sortWord(Sort S) {
+  switch (S) {
+  case Sort::Bool:
+    return "bool";
+  case Sort::Int:
+    return "int";
+  case Sort::Tid:
+    return "tid";
+  case Sort::Array:
+    return "array";
+  }
+  return "?";
+}
+
+/// Lexical scoping context for one expression.
+struct ExprCtx {
+  bool AllowSelf = false;
+  bool AllowPost = false;
+  bool TemplateScope = false; ///< Resolve template quantifiers, not locals.
+  const std::map<std::string, Term> *Choices = nullptr;
+};
+
+class Lowerer {
+public:
+  Lowerer(TermManager &M, const ProtocolAst &P, const Lexer &Lx)
+      : M(M), P(P), Lx(Lx) {}
+
+  FrontBundle run();
+
+private:
+  [[noreturn]] void fail(Loc L, const std::string &Msg) const {
+    throw FrontError(
+        Diagnostic{Lx.file(), L.Line, L.Col, Msg, Lx.lineText(L.Line)});
+  }
+
+  Term lower(const Expr &E, const ExprCtx &C);
+  Term lowerBool(const Expr &E, const ExprCtx &C, const char *What);
+  void pushBinder(const Binder &B, std::vector<Term> &Vars);
+  void popBinders(size_t Count);
+  void lowerTransition(const TransitionAst &T);
+  void lowerTemplate(const TemplateAst &T, FrontBundle &B);
+  void lowerCheck(const CheckAst &C, FrontBundle &B);
+
+  TermManager &M;
+  const ProtocolAst &P;
+  const Lexer &Lx;
+  std::unique_ptr<sys::ParamSystem> Sys;
+  std::map<std::string, Term> Globals;
+  std::map<std::string, Term> Locals;
+  /// Template quantifier name -> formal (set by lowerTemplate).
+  std::map<std::string, Term> TemplateQ;
+  /// Innermost-last stack of quantifier/card binders.
+  std::vector<std::pair<std::string, Term>> Bound;
+};
+
+FrontBundle Lowerer::run() {
+  FrontBundle B;
+  Sys = std::make_unique<sys::ParamSystem>(
+      M, P.Name, P.Sync ? sys::Composition::Sync : sys::Composition::Async);
+
+  for (const VarDecl &D : P.Vars) {
+    if (Globals.count(D.Name) || Locals.count(D.Name))
+      fail(D.L, "duplicate declaration of '" + D.Name + "'");
+    if (D.IsLocal)
+      Locals[D.Name] = Sys->addLocal(D.Name);
+    else {
+      Term G = Sys->addGlobal(D.Name);
+      Globals[D.Name] = G;
+      if (D.IsSize) {
+        if (Sys->sizeVar())
+          fail(D.L, "duplicate 'size' declaration ('" +
+                        (*Sys->sizeVar())->name() + "' is already the size)");
+        Sys->setSizeVar(G);
+      }
+    }
+  }
+
+  ExprCtx StateCtx; // init/safe: plain state formulas.
+  if (P.Init)
+    Sys->setInit(lowerBool(*P.Init, StateCtx, "init"));
+  if (P.Safe)
+    Sys->setSafe(lowerBool(*P.Safe, StateCtx, "safe"));
+
+  for (const TransitionAst &T : P.Transitions)
+    lowerTransition(T);
+
+  if (P.Template)
+    lowerTemplate(*P.Template, B);
+  if (P.Check)
+    lowerCheck(*P.Check, B);
+
+  B.ExpectSafe = P.ExpectSafe;
+  B.NeedsVenn = P.NeedsVenn;
+  B.Property = P.Property;
+  B.Sys = std::move(Sys);
+  return B;
+}
+
+// -- Expressions --------------------------------------------------------------
+
+Term Lowerer::lowerBool(const Expr &E, const ExprCtx &C, const char *What) {
+  Term T = lower(E, C);
+  if (T.sort() != Sort::Bool)
+    fail(E.L, std::string(What) + " must be a formula, got sort " +
+                  sortWord(T.sort()));
+  return T;
+}
+
+void Lowerer::pushBinder(const Binder &B, std::vector<Term> &Vars) {
+  if (Globals.count(B.Name) || Locals.count(B.Name))
+    fail(B.L, "binder '" + B.Name + "' shadows a declared variable");
+  for (const auto &[Name, V] : Bound)
+    if (Name == B.Name)
+      fail(B.L, "binder '" + B.Name + "' shadows an outer binder");
+  Term V = M.mkVar(B.Name, B.IsInt ? Sort::Int : Sort::Tid);
+  Bound.emplace_back(B.Name, V);
+  Vars.push_back(V);
+}
+
+void Lowerer::popBinders(size_t Count) {
+  Bound.resize(Bound.size() - Count);
+}
+
+Term Lowerer::lower(const Expr &E, const ExprCtx &C) {
+  switch (E.K) {
+  case ExKind::IntLit:
+    return M.mkInt(E.IntVal);
+  case ExKind::BoolLit:
+    return M.mkBool(E.BoolVal);
+  case ExKind::SelfRef:
+    if (!C.AllowSelf)
+      fail(E.L, "'self' is only allowed inside a transition or round");
+    return Sys->self();
+  case ExKind::Name: {
+    if (E.Post) {
+      if (!C.AllowPost)
+        fail(E.L, "post-state '" + E.Name +
+                      "'' is only allowed inside a round relation");
+      auto G = Globals.find(E.Name);
+      if (G != Globals.end())
+        return Sys->post(G->second);
+      if (Locals.count(E.Name))
+        fail(E.L, "post-state local '" + E.Name +
+                      "'' needs an index, e.g. " + E.Name + "'[self]");
+      fail(E.L, "unknown variable '" + E.Name + "'");
+    }
+    for (auto It = Bound.rbegin(); It != Bound.rend(); ++It)
+      if (It->first == E.Name)
+        return It->second;
+    if (C.Choices) {
+      auto It = C.Choices->find(E.Name);
+      if (It != C.Choices->end())
+        return It->second;
+    }
+    if (C.TemplateScope) {
+      auto It = TemplateQ.find(E.Name);
+      if (It != TemplateQ.end())
+        return It->second;
+    }
+    if (auto It = Globals.find(E.Name); It != Globals.end())
+      return It->second;
+    if (Locals.count(E.Name))
+      fail(E.L, "local array '" + E.Name +
+                    "' cannot be used without an index");
+    fail(E.L, "unknown variable '" + E.Name + "'");
+  }
+  case ExKind::Read: {
+    auto It = Locals.find(E.Name);
+    if (It == Locals.end()) {
+      if (Globals.count(E.Name))
+        fail(E.L, "'" + E.Name + "' is a global and cannot be indexed");
+      fail(E.L, "unknown variable '" + E.Name + "'");
+    }
+    if (E.Post && !C.AllowPost)
+      fail(E.L, "post-state '" + E.Name +
+                    "'' is only allowed inside a round relation");
+    Term Idx = lower(*E.Kids[0], C);
+    if (Idx.sort() != Sort::Tid)
+      fail(E.Kids[0]->L, "array index must be a thread identifier, got " +
+                             std::string(sortWord(Idx.sort())));
+    Term Arr = E.Post ? Sys->post(It->second) : It->second;
+    return M.mkRead(Arr, Idx);
+  }
+  case ExKind::Card: {
+    const Binder &B = E.Binders[0];
+    if (B.IsInt)
+      fail(B.L, "cardinality must bind a thread variable ('" + B.Name +
+                    "' is declared int)");
+    std::vector<Term> Vars;
+    pushBinder(B, Vars);
+    Term Body = lowerBool(*E.Kids[0], C, "cardinality body");
+    popBinders(1);
+    return M.mkCard(Vars[0], Body);
+  }
+  case ExKind::Quant: {
+    std::vector<Term> Vars;
+    for (const Binder &B : E.Binders)
+      pushBinder(B, Vars);
+    Term Body = lowerBool(*E.Kids[0], C, "quantifier body");
+    popBinders(E.Binders.size());
+    return E.IsForall ? M.mkForall(Vars, Body) : M.mkExists(Vars, Body);
+  }
+  case ExKind::Ite: {
+    Term Cond = lowerBool(*E.Kids[0], C, "ite condition");
+    Term Then = lower(*E.Kids[1], C);
+    Term Else = lower(*E.Kids[2], C);
+    if (Then.sort() != Sort::Int || Else.sort() != Sort::Int)
+      fail(E.L, "ite branches must be int, got " +
+                    std::string(sortWord(Then.sort())) + " and " +
+                    sortWord(Else.sort()));
+    return M.mkIte(Cond, Then, Else);
+  }
+  case ExKind::Unary: {
+    Term A = lower(*E.Kids[0], C);
+    if (E.Op == "!") {
+      if (A.sort() != Sort::Bool)
+        fail(E.L, "operator '!' expects a bool operand, got " +
+                      std::string(sortWord(A.sort())));
+      return M.mkNot(A);
+    }
+    if (A.sort() != Sort::Int)
+      fail(E.L, "operator '-' expects an int operand, got " +
+                    std::string(sortWord(A.sort())));
+    return M.mkNeg(A);
+  }
+  case ExKind::Binary: {
+    Term A = lower(*E.Kids[0], C);
+    Term B = lower(*E.Kids[1], C);
+    const std::string &Op = E.Op;
+    auto WantBool = [&]() {
+      if (A.sort() != Sort::Bool || B.sort() != Sort::Bool)
+        fail(E.L, "operator '" + Op + "' expects bool operands, got " +
+                      sortWord(A.sort()) + " and " + sortWord(B.sort()));
+    };
+    auto WantInt = [&]() {
+      if (A.sort() != Sort::Int || B.sort() != Sort::Int)
+        fail(E.L, "operator '" + Op + "' expects int operands, got " +
+                      sortWord(A.sort()) + " and " + sortWord(B.sort()));
+    };
+    if (Op == "&&") {
+      WantBool();
+      return M.mkAnd(A, B);
+    }
+    if (Op == "||") {
+      WantBool();
+      return M.mkOr(A, B);
+    }
+    if (Op == "==>") {
+      WantBool();
+      return M.mkImplies(A, B);
+    }
+    if (Op == "==" || Op == "!=") {
+      if (A.sort() != B.sort() ||
+          (A.sort() != Sort::Int && A.sort() != Sort::Tid))
+        fail(E.L, "operands of '" + Op +
+                      "' must both be int or both tid, got " +
+                      sortWord(A.sort()) + " and " + sortWord(B.sort()));
+      return Op == "==" ? M.mkEq(A, B) : M.mkNe(A, B);
+    }
+    if (Op == "<=" || Op == "<" || Op == ">=" || Op == ">") {
+      WantInt();
+      if (Op == "<=")
+        return M.mkLe(A, B);
+      if (Op == "<")
+        return M.mkLt(A, B);
+      if (Op == ">=")
+        return M.mkGe(A, B);
+      return M.mkGt(A, B);
+    }
+    if (Op == "+") {
+      WantInt();
+      return M.mkAdd(A, B);
+    }
+    if (Op == "-") {
+      WantInt();
+      return M.mkSub(A, B);
+    }
+    // "*"
+    WantInt();
+    if (A.kind() != logic::Kind::IntConst && B.kind() != logic::Kind::IntConst)
+      fail(E.L, "operator '*' needs a constant operand (the theory is "
+                "linear arithmetic)");
+    return M.mkMul(A, B);
+  }
+  }
+  fail(E.L, "internal: unhandled expression kind");
+}
+
+// -- Transitions and rounds ---------------------------------------------------
+
+void Lowerer::lowerTransition(const TransitionAst &T) {
+  std::map<std::string, Term> Choices;
+  sys::Transition &Tr = T.IsRound ? Sys->addSyncRound(T.Name, M.mkTrue())
+                                  : Sys->addTransition(T.Name, M.mkTrue());
+  for (const ChoiceDecl &C : T.Choices) {
+    if (Globals.count(C.Name) || Locals.count(C.Name))
+      fail(C.L, "choice '" + C.Name + "' shadows a declared variable");
+    if (Choices.count(C.Name))
+      fail(C.L, "duplicate choice '" + C.Name + "' in transition '" +
+                    T.Name + "'");
+    Choices[C.Name] = C.IsInt ? Sys->addChoice(Tr, C.Name)
+                              : Sys->addTidChoice(Tr, C.Name);
+  }
+
+  ExprCtx C;
+  C.AllowSelf = true;
+  C.Choices = &Choices;
+
+  if (T.IsRound) {
+    if (!T.Relation)
+      fail(T.L, "round '" + T.Name + "' needs a 'relation' entry");
+    ExprCtx RC = C;
+    RC.AllowPost = true;
+    Tr.SyncRelation = lowerBool(*T.Relation, RC, "relation");
+  } else if (T.Guard) {
+    Tr.Guard = lowerBool(*T.Guard, C, "guard");
+  }
+
+  for (const UpdateStmt &U : T.Updates) {
+    Term Val = lower(*U.Value, C);
+    if (auto It = Globals.find(U.Target); It != Globals.end()) {
+      if (U.HasIndex)
+        fail(U.L, "'" + U.Target + "' is a global and cannot be indexed");
+      if (Val.sort() != Sort::Int)
+        fail(U.Value->L, "update of '" + U.Target + "' must be int, got " +
+                             std::string(sortWord(Val.sort())));
+      if (Tr.GlobalUpd.count(It->second))
+        fail(U.L, "duplicate update of '" + U.Target + "' in '" + T.Name +
+                      "'");
+      Tr.GlobalUpd[It->second] = Val;
+      continue;
+    }
+    auto It = Locals.find(U.Target);
+    if (It == Locals.end())
+      fail(U.L, "assignment to undeclared variable '" + U.Target + "'");
+    if (T.IsRound)
+      fail(U.L, "'" + U.Target + "' is a per-thread array; in a round, "
+                                 "update it inside the relation via '" +
+                    U.Target + "''");
+    if (!U.HasIndex)
+      fail(U.L, "'" + U.Target + "' is a per-thread array; write '" +
+                    U.Target + "[self] := ...'");
+    if (Val.sort() != Sort::Int)
+      fail(U.Value->L, "update of '" + U.Target + "' must be int, got " +
+                           std::string(sortWord(Val.sort())));
+    bool Conflicts = Tr.LocalUpd.count(It->second) > 0;
+    for (const sys::Transition::ArrayWrite &W : Tr.Writes)
+      Conflicts = Conflicts || W.Arr == It->second;
+    if (Conflicts)
+      fail(U.L, "conflicting updates to '" + U.Target + "' in '" + T.Name +
+                    "' (one write per array per transition)");
+    if (U.Index->K == ExKind::SelfRef) {
+      Tr.LocalUpd[It->second] = Val;
+    } else {
+      Term Idx = lower(*U.Index, C);
+      if (Idx.sort() != Sort::Tid)
+        fail(U.Index->L, "array index must be a thread identifier, got " +
+                             std::string(sortWord(Idx.sort())));
+      Tr.Writes.push_back({It->second, Idx, Val});
+    }
+  }
+}
+
+// -- Template and check sections ----------------------------------------------
+
+void Lowerer::lowerTemplate(const TemplateAst &T, FrontBundle &B) {
+  B.Shape.NumSets = T.NumSets;
+  for (const Binder &Q : T.Quantifiers)
+    B.Shape.Quantifiers.push_back(Q.IsInt ? Sort::Int : Sort::Tid);
+  synth::Formals F = synth::makeFormals(M, B.Shape);
+  for (size_t I = 0; I < T.Quantifiers.size(); ++I) {
+    const Binder &Q = T.Quantifiers[I];
+    if (Globals.count(Q.Name) || Locals.count(Q.Name))
+      fail(Q.L, "template quantifier '" + Q.Name +
+                    "' shadows a declared variable");
+    if (TemplateQ.count(Q.Name))
+      fail(Q.L, "duplicate template quantifier '" + Q.Name + "'");
+    TemplateQ[Q.Name] = F.Q[I];
+  }
+  if (T.Guard) {
+    ExprCtx C;
+    C.TemplateScope = true;
+    B.QGuard = lowerBool(*T.Guard, C, "template guard");
+  }
+}
+
+void Lowerer::lowerCheck(const CheckAst &C, FrontBundle &B) {
+  if (C.Threads)
+    B.Explicit.NumThreads = *C.Threads;
+  if (C.MaxStates)
+    B.Explicit.MaxStates = static_cast<unsigned>(*C.MaxStates);
+  if (C.IntBound)
+    B.Explicit.IntBound = *C.IntBound;
+  if (C.ChoiceRange) {
+    Sys->ChoiceLo = C.ChoiceRange->first;
+    Sys->ChoiceHi = C.ChoiceRange->second;
+  }
+  if (!C.HasStart)
+    return;
+
+  // The `start` block defines one uniform initial state for the explicit
+  // checker: every global its assigned value (default 0; a declared size
+  // variable defaults to the instance size N), every local the assigned
+  // value at all threads (default 0).
+  std::map<std::string, int64_t> Values;
+  for (const StartAssign &A : C.Start) {
+    if (!Globals.count(A.Name) && !Locals.count(A.Name))
+      fail(A.L, "unknown variable '" + A.Name + "'");
+    if (Values.count(A.Name))
+      fail(A.L, "duplicate start value for '" + A.Name + "'");
+    Values[A.Name] = A.Value;
+  }
+  sys::ParamSystem *S = Sys.get();
+  Sys->CustomInit = [S, Values](int64_t N) {
+    sys::ParamSystem::State St;
+    St.DomainSize = N;
+    for (Term G : S->globals()) {
+      auto It = Values.find(G->name());
+      int64_t V = It != Values.end() ? It->second : 0;
+      if (It == Values.end() && S->sizeVar() && *S->sizeVar() == G)
+        V = N;
+      St.Scalars[G] = V;
+    }
+    for (Term L : S->locals()) {
+      auto It = Values.find(L->name());
+      St.Arrays[L] = std::vector<int64_t>(
+          static_cast<size_t>(N), It != Values.end() ? It->second : 0);
+    }
+    return std::vector<sys::ParamSystem::State>{St};
+  };
+}
+
+} // namespace
+
+FrontBundle sharpie::front::lowerProtocol(TermManager &M,
+                                          const ProtocolAst &P,
+                                          const Lexer &Lx) {
+  return Lowerer(M, P, Lx).run();
+}

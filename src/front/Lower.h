@@ -1,0 +1,34 @@
+//===- front/Lower.h - AST -> ParamSystem elaboration -----------*- C++ -*-===//
+//
+// Part of sharpie. Lowers a parsed ProtocolAst into a FrontBundle:
+// declarations become ParamSystem globals/locals, expressions become
+// logic::Terms (fully sort-checked here, since the TermManager builders
+// assert rather than report), transitions become guarded commands with
+// global/local updates, point-wise array writes and nondet choices, rounds
+// become sync relations over primed state, the template block becomes a
+// synth::ShapeTemplate plus QGuard over synth::makeFormals' formals, and
+// the check block configures the explicit instance (including a uniform
+// CustomInit built from the `start` assignments). See DESIGN.md,
+// "Protocol language", for the lowering rules.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SHARPIE_FRONT_LOWER_H
+#define SHARPIE_FRONT_LOWER_H
+
+#include "front/Ast.h"
+#include "front/Front.h"
+#include "front/Lexer.h"
+
+namespace sharpie {
+namespace front {
+
+/// Elaborates \p P into \p M. Throws FrontError on any semantic error;
+/// \p Lx supplies the file name and source lines for diagnostics.
+FrontBundle lowerProtocol(logic::TermManager &M, const ProtocolAst &P,
+                          const Lexer &Lx);
+
+} // namespace front
+} // namespace sharpie
+
+#endif // SHARPIE_FRONT_LOWER_H

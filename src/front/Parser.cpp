@@ -1,0 +1,616 @@
+//===- front/Parser.cpp - Recursive-descent .sharpie parser ---------------===//
+//
+// Part of sharpie.
+//
+//===----------------------------------------------------------------------===//
+
+#include "front/Parser.h"
+#include "front/Front.h"
+
+using namespace sharpie;
+using namespace sharpie::front;
+
+static Loc locOf(const Token &T) { return Loc{T.Line, T.Col}; }
+
+/// "identifier 'foo'" / "';'" / "end of input" - the actual-token half of
+/// an "expected X, got Y" message.
+static std::string describe(const Token &T) {
+  if (T.K == Tok::Ident)
+    return "identifier '" + T.Text + "'";
+  if (T.K == Tok::IntLit)
+    return "integer literal " + std::to_string(T.IntVal);
+  return tokName(T.K);
+}
+
+const Token &Parser::peek(unsigned Ahead) const {
+  size_t I = Pos + Ahead;
+  if (I >= Ts.size())
+    I = Ts.size() - 1; // The End token.
+  return Ts[I];
+}
+
+const Token &Parser::advance() {
+  const Token &T = peek();
+  if (Pos + 1 < Ts.size())
+    ++Pos;
+  return T;
+}
+
+void Parser::fail(const Token &T, const std::string &Msg) const {
+  throw FrontError(
+      Diagnostic{Lx.file(), T.Line, T.Col, Msg, Lx.lineText(T.Line)});
+}
+
+const Token &Parser::expect(Tok K) {
+  if (!at(K))
+    fail(peek(), std::string("expected ") + tokName(K) + ", got " +
+                     describe(peek()));
+  return advance();
+}
+
+// -- Items --------------------------------------------------------------------
+
+ProtocolAst Parser::parseProtocol() {
+  ProtocolAst P;
+  P.L = locOf(peek());
+  expect(Tok::KwProtocol);
+  P.Name = expect(Tok::Ident).Text;
+  if (at(Tok::KwSync)) {
+    advance();
+    P.Sync = true;
+  }
+  expect(Tok::LBrace);
+  while (!at(Tok::RBrace)) {
+    if (at(Tok::End))
+      fail(peek(), "unexpected end of input inside 'protocol' (missing '}')");
+    parseItem(P);
+  }
+  expect(Tok::RBrace);
+  if (!at(Tok::End))
+    fail(peek(), "expected end of input after protocol, got " +
+                     describe(peek()));
+  return P;
+}
+
+void Parser::parseItem(ProtocolAst &P) {
+  const Token &T = peek();
+  switch (T.K) {
+  case Tok::KwGlobal:
+  case Tok::KwLocal:
+  case Tok::KwSize:
+    parseVarDecl(P);
+    return;
+  case Tok::KwInit: {
+    advance();
+    expect(Tok::Colon);
+    if (P.Init)
+      fail(T, "duplicate 'init' section");
+    P.Init = parseExpr();
+    expect(Tok::Semi);
+    return;
+  }
+  case Tok::KwSafe: {
+    advance();
+    expect(Tok::Colon);
+    if (P.Safe)
+      fail(T, "duplicate 'safe' section");
+    P.Safe = parseExpr();
+    expect(Tok::Semi);
+    return;
+  }
+  case Tok::KwTransition:
+  case Tok::KwRound: {
+    bool IsRound = T.K == Tok::KwRound;
+    if (IsRound && !P.Sync)
+      fail(T, "'round' requires a sync protocol (declare 'protocol " +
+                  P.Name + " sync')");
+    if (!IsRound && P.Sync)
+      fail(T, "'transition' is not allowed in a sync protocol; use 'round'");
+    TransitionAst Tr = parseTransition(IsRound);
+    for (const TransitionAst &Prev : P.Transitions)
+      if (Prev.Name == Tr.Name)
+        fail(T, "duplicate transition '" + Tr.Name + "'");
+    P.Transitions.push_back(std::move(Tr));
+    return;
+  }
+  case Tok::KwTemplate: {
+    if (P.Template)
+      fail(T, "duplicate 'template' section");
+    P.Template = parseTemplate();
+    return;
+  }
+  case Tok::KwCheck: {
+    if (P.Check)
+      fail(T, "duplicate 'check' section");
+    P.Check = parseCheck();
+    return;
+  }
+  case Tok::KwExpect: {
+    advance();
+    if (at(Tok::KwSafe))
+      P.ExpectSafe = true;
+    else if (at(Tok::KwUnsafe))
+      P.ExpectSafe = false;
+    else
+      fail(peek(), "expected 'safe' or 'unsafe' after 'expect', got " +
+                       describe(peek()));
+    advance();
+    expect(Tok::Semi);
+    return;
+  }
+  case Tok::KwVenn: {
+    advance();
+    P.NeedsVenn = true;
+    expect(Tok::Semi);
+    return;
+  }
+  case Tok::KwProperty: {
+    advance();
+    P.Property = expect(Tok::StringLit).Text;
+    expect(Tok::Semi);
+    return;
+  }
+  default:
+    fail(T, "expected a protocol item (declaration, init, safe, transition, "
+            "template, check, expect, venn, property), got " +
+                describe(T));
+  }
+}
+
+void Parser::parseVarDecl(ProtocolAst &P) {
+  VarDecl D;
+  D.L = locOf(peek());
+  Tok K = advance().K;
+  D.IsLocal = K == Tok::KwLocal;
+  D.IsSize = K == Tok::KwSize;
+  D.Name = expect(Tok::Ident).Text;
+  expect(Tok::Semi);
+  P.Vars.push_back(std::move(D));
+}
+
+TransitionAst Parser::parseTransition(bool IsRound) {
+  TransitionAst Tr;
+  Tr.L = locOf(peek());
+  advance(); // 'transition' / 'round'
+  Tr.IsRound = IsRound;
+  Tr.Name = expect(Tok::Ident).Text;
+  expect(Tok::LBrace);
+  while (!at(Tok::RBrace)) {
+    const Token &T = peek();
+    switch (T.K) {
+    case Tok::KwGuard: {
+      if (IsRound)
+        fail(T, "'guard' is not allowed in a round; put the condition in "
+                "the relation");
+      advance();
+      expect(Tok::Colon);
+      ExprPtr G = parseExpr();
+      expect(Tok::Semi);
+      if (!Tr.Guard)
+        Tr.Guard = std::move(G);
+      else {
+        // Multiple guard lines conjoin.
+        auto And = std::make_unique<Expr>();
+        And->K = ExKind::Binary;
+        And->L = Tr.Guard->L;
+        And->Op = "&&";
+        And->Kids.push_back(std::move(Tr.Guard));
+        And->Kids.push_back(std::move(G));
+        Tr.Guard = std::move(And);
+      }
+      break;
+    }
+    case Tok::KwRelation: {
+      if (!IsRound)
+        fail(T, "'relation' is only allowed in a round");
+      advance();
+      expect(Tok::Colon);
+      if (Tr.Relation)
+        fail(T, "duplicate 'relation' in round '" + Tr.Name + "'");
+      Tr.RelationLoc = locOf(T);
+      Tr.Relation = parseExpr();
+      expect(Tok::Semi);
+      break;
+    }
+    case Tok::KwChoice: {
+      if (IsRound)
+        fail(T, "'choice' is not allowed in a round");
+      advance();
+      ChoiceDecl C;
+      C.L = locOf(peek());
+      C.Name = expect(Tok::Ident).Text;
+      expect(Tok::Colon);
+      if (at(Tok::KwInt))
+        C.IsInt = true;
+      else if (at(Tok::KwTid))
+        C.IsInt = false;
+      else
+        fail(peek(), "expected 'int' or 'tid' as choice sort, got " +
+                         describe(peek()));
+      advance();
+      expect(Tok::Semi);
+      Tr.Choices.push_back(std::move(C));
+      break;
+    }
+    case Tok::Ident: {
+      UpdateStmt U;
+      U.L = locOf(T);
+      U.Target = advance().Text;
+      if (at(Tok::LBrack)) {
+        advance();
+        U.HasIndex = true;
+        U.Index = parseExpr();
+        expect(Tok::RBrack);
+      }
+      expect(Tok::Assign);
+      U.Value = parseExpr();
+      expect(Tok::Semi);
+      Tr.Updates.push_back(std::move(U));
+      break;
+    }
+    case Tok::End:
+      fail(T, "unexpected end of input inside '" + Tr.Name +
+                  "' (missing '}')");
+    default:
+      fail(T, std::string("expected a ") +
+                  (IsRound ? "round item (relation or an update)"
+                           : "transition item (guard, choice, or an update)") +
+                  ", got " + describe(T));
+    }
+  }
+  expect(Tok::RBrace);
+  return Tr;
+}
+
+TemplateAst Parser::parseTemplate() {
+  TemplateAst T;
+  T.L = locOf(peek());
+  advance(); // 'template'
+  expect(Tok::LBrace);
+  bool HaveSets = false;
+  while (!at(Tok::RBrace)) {
+    const Token &Tk = peek();
+    switch (Tk.K) {
+    case Tok::KwSets: {
+      advance();
+      expect(Tok::Colon);
+      if (HaveSets)
+        fail(Tk, "duplicate 'sets' entry in template");
+      const Token &N = expect(Tok::IntLit);
+      T.NumSets = static_cast<unsigned>(N.IntVal);
+      HaveSets = true;
+      expect(Tok::Semi);
+      break;
+    }
+    case Tok::KwForall: {
+      advance();
+      T.Quantifiers.push_back(parseBinder(/*DefaultInt=*/false));
+      expect(Tok::Semi);
+      break;
+    }
+    case Tok::KwGuard: {
+      advance();
+      expect(Tok::Colon);
+      if (T.Guard)
+        fail(Tk, "duplicate 'guard' entry in template");
+      T.Guard = parseExpr();
+      expect(Tok::Semi);
+      break;
+    }
+    case Tok::End:
+      fail(Tk, "unexpected end of input inside 'template' (missing '}')");
+    default:
+      fail(Tk, "expected a template item (sets, forall, guard), got " +
+                   describe(Tk));
+    }
+  }
+  expect(Tok::RBrace);
+  return T;
+}
+
+CheckAst Parser::parseCheck() {
+  CheckAst C;
+  C.L = locOf(peek());
+  advance(); // 'check'
+  expect(Tok::LBrace);
+  auto IntEntry = [&](std::optional<int64_t> &Slot, const char *What) {
+    const Token &T = peek();
+    advance();
+    expect(Tok::Colon);
+    if (Slot)
+      fail(T, std::string("duplicate '") + What + "' entry in check");
+    Slot = parseIntArg();
+    expect(Tok::Semi);
+  };
+  while (!at(Tok::RBrace)) {
+    const Token &Tk = peek();
+    switch (Tk.K) {
+    case Tok::KwThreads:
+      IntEntry(C.Threads, "threads");
+      break;
+    case Tok::KwMaxStates:
+      IntEntry(C.MaxStates, "max_states");
+      break;
+    case Tok::KwIntBound:
+      IntEntry(C.IntBound, "int_bound");
+      break;
+    case Tok::KwChoiceRange: {
+      advance();
+      expect(Tok::Colon);
+      if (C.ChoiceRange)
+        fail(Tk, "duplicate 'choice_range' entry in check");
+      int64_t Lo = parseIntArg();
+      expect(Tok::DotDot);
+      int64_t Hi = parseIntArg();
+      C.ChoiceRange = {Lo, Hi};
+      expect(Tok::Semi);
+      break;
+    }
+    case Tok::KwStart: {
+      advance();
+      if (C.HasStart)
+        fail(Tk, "duplicate 'start' block in check");
+      C.HasStart = true;
+      expect(Tok::LBrace);
+      while (!at(Tok::RBrace)) {
+        StartAssign A;
+        A.L = locOf(peek());
+        A.Name = expect(Tok::Ident).Text;
+        expect(Tok::Assign);
+        A.Value = parseIntArg();
+        expect(Tok::Semi);
+        C.Start.push_back(std::move(A));
+      }
+      expect(Tok::RBrace);
+      break;
+    }
+    case Tok::End:
+      fail(Tk, "unexpected end of input inside 'check' (missing '}')");
+    default:
+      fail(Tk, "expected a check item (threads, max_states, int_bound, "
+               "choice_range, start), got " +
+                   describe(Tk));
+    }
+  }
+  expect(Tok::RBrace);
+  return C;
+}
+
+Binder Parser::parseBinder(bool DefaultInt) {
+  Binder B;
+  B.L = locOf(peek());
+  B.Name = expect(Tok::Ident).Text;
+  B.IsInt = DefaultInt;
+  if (at(Tok::Colon)) {
+    advance();
+    if (at(Tok::KwInt))
+      B.IsInt = true;
+    else if (at(Tok::KwTid))
+      B.IsInt = false;
+    else
+      fail(peek(),
+           "expected 'int' or 'tid' as binder sort, got " + describe(peek()));
+    advance();
+  }
+  return B;
+}
+
+int64_t Parser::parseIntArg() {
+  bool Negate = false;
+  if (at(Tok::Minus)) {
+    advance();
+    Negate = true;
+  }
+  const Token &T = expect(Tok::IntLit);
+  return Negate ? -T.IntVal : T.IntVal;
+}
+
+// -- Expressions --------------------------------------------------------------
+
+ExprPtr Parser::parseExpr() {
+  if (at(Tok::KwForall) || at(Tok::KwExists)) {
+    auto E = std::make_unique<Expr>();
+    E->K = ExKind::Quant;
+    E->L = locOf(peek());
+    E->IsForall = at(Tok::KwForall);
+    advance();
+    E->Binders.push_back(parseBinder(false));
+    while (at(Tok::Comma)) {
+      advance();
+      E->Binders.push_back(parseBinder(false));
+    }
+    expect(Tok::Dot);
+    E->Kids.push_back(parseExpr()); // Body extends as far right as possible.
+    return E;
+  }
+  ExprPtr L = parseOr();
+  if (at(Tok::Implies)) {
+    auto E = std::make_unique<Expr>();
+    E->K = ExKind::Binary;
+    E->L = locOf(peek());
+    E->Op = "==>";
+    advance();
+    E->Kids.push_back(std::move(L));
+    E->Kids.push_back(parseExpr()); // Right-associative.
+    return E;
+  }
+  return L;
+}
+
+ExprPtr Parser::parseOr() {
+  ExprPtr L = parseAnd();
+  while (at(Tok::OrOr)) {
+    auto E = std::make_unique<Expr>();
+    E->K = ExKind::Binary;
+    E->L = locOf(peek());
+    E->Op = "||";
+    advance();
+    E->Kids.push_back(std::move(L));
+    E->Kids.push_back(parseAnd());
+    L = std::move(E);
+  }
+  return L;
+}
+
+ExprPtr Parser::parseAnd() {
+  ExprPtr L = parseCmp();
+  while (at(Tok::AndAnd)) {
+    auto E = std::make_unique<Expr>();
+    E->K = ExKind::Binary;
+    E->L = locOf(peek());
+    E->Op = "&&";
+    advance();
+    E->Kids.push_back(std::move(L));
+    E->Kids.push_back(parseCmp());
+    L = std::move(E);
+  }
+  return L;
+}
+
+ExprPtr Parser::parseCmp() {
+  ExprPtr L = parseAdd();
+  const char *Op = nullptr;
+  switch (peek().K) {
+  case Tok::EqEq:
+    Op = "==";
+    break;
+  case Tok::NotEq:
+    Op = "!=";
+    break;
+  case Tok::Le:
+    Op = "<=";
+    break;
+  case Tok::Lt:
+    Op = "<";
+    break;
+  case Tok::Ge:
+    Op = ">=";
+    break;
+  case Tok::Gt:
+    Op = ">";
+    break;
+  default:
+    return L;
+  }
+  auto E = std::make_unique<Expr>();
+  E->K = ExKind::Binary;
+  E->L = locOf(peek());
+  E->Op = Op;
+  advance();
+  E->Kids.push_back(std::move(L));
+  E->Kids.push_back(parseAdd());
+  return E;
+}
+
+ExprPtr Parser::parseAdd() {
+  ExprPtr L = parseMul();
+  while (at(Tok::Plus) || at(Tok::Minus)) {
+    auto E = std::make_unique<Expr>();
+    E->K = ExKind::Binary;
+    E->L = locOf(peek());
+    E->Op = at(Tok::Plus) ? "+" : "-";
+    advance();
+    E->Kids.push_back(std::move(L));
+    E->Kids.push_back(parseMul());
+    L = std::move(E);
+  }
+  return L;
+}
+
+ExprPtr Parser::parseMul() {
+  ExprPtr L = parseUnary();
+  while (at(Tok::Star)) {
+    auto E = std::make_unique<Expr>();
+    E->K = ExKind::Binary;
+    E->L = locOf(peek());
+    E->Op = "*";
+    advance();
+    E->Kids.push_back(std::move(L));
+    E->Kids.push_back(parseUnary());
+    L = std::move(E);
+  }
+  return L;
+}
+
+ExprPtr Parser::parseUnary() {
+  if (at(Tok::KwForall) || at(Tok::KwExists))
+    return parseExpr(); // Quantifier as an operand; body extends right.
+  if (at(Tok::Bang) || at(Tok::Minus)) {
+    auto E = std::make_unique<Expr>();
+    E->K = ExKind::Unary;
+    E->L = locOf(peek());
+    E->Op = at(Tok::Bang) ? "!" : "-";
+    advance();
+    E->Kids.push_back(parseUnary());
+    return E;
+  }
+  return parsePrimary();
+}
+
+ExprPtr Parser::parsePrimary() {
+  const Token &T = peek();
+  auto E = std::make_unique<Expr>();
+  E->L = locOf(T);
+  switch (T.K) {
+  case Tok::IntLit:
+    E->K = ExKind::IntLit;
+    E->IntVal = T.IntVal;
+    advance();
+    return E;
+  case Tok::KwTrue:
+  case Tok::KwFalse:
+    E->K = ExKind::BoolLit;
+    E->BoolVal = T.K == Tok::KwTrue;
+    advance();
+    return E;
+  case Tok::KwSelf:
+    E->K = ExKind::SelfRef;
+    advance();
+    return E;
+  case Tok::KwIte: {
+    advance();
+    E->K = ExKind::Ite;
+    expect(Tok::LParen);
+    E->Kids.push_back(parseExpr());
+    expect(Tok::Comma);
+    E->Kids.push_back(parseExpr());
+    expect(Tok::Comma);
+    E->Kids.push_back(parseExpr());
+    expect(Tok::RParen);
+    return E;
+  }
+  case Tok::LParen: {
+    advance();
+    ExprPtr Inner = parseExpr();
+    expect(Tok::RParen);
+    return Inner;
+  }
+  case Tok::Hash: {
+    advance();
+    E->K = ExKind::Card;
+    expect(Tok::LBrace);
+    E->Binders.push_back(parseBinder(false));
+    expect(Tok::Pipe);
+    E->Kids.push_back(parseExpr());
+    expect(Tok::RBrace);
+    return E;
+  }
+  case Tok::Ident: {
+    E->Name = advance().Text;
+    if (at(Tok::Prime)) {
+      advance();
+      E->Post = true;
+    }
+    if (at(Tok::LBrack)) {
+      advance();
+      E->K = ExKind::Read;
+      E->Kids.push_back(parseExpr());
+      expect(Tok::RBrack);
+    } else
+      E->K = ExKind::Name;
+    return E;
+  }
+  default:
+    fail(T, "expected an expression, got " + describe(T));
+  }
+}

@@ -1,0 +1,60 @@
+//===- front/Parser.h - Recursive-descent .sharpie parser -------*- C++ -*-===//
+//
+// Part of sharpie. Grammar (see DESIGN.md, "Protocol language", for the
+// full EBNF). The parser is a plain recursive-descent over the token
+// stream; it builds the untyped AST of Ast.h and reports every syntax
+// error as a FrontError.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SHARPIE_FRONT_PARSER_H
+#define SHARPIE_FRONT_PARSER_H
+
+#include "front/Ast.h"
+#include "front/Lexer.h"
+
+namespace sharpie {
+namespace front {
+
+class Parser {
+public:
+  explicit Parser(const Lexer &Lx) : Lx(Lx), Ts(Lx.tokens()) {}
+
+  /// Parses one complete protocol; input must be exhausted afterwards.
+  ProtocolAst parseProtocol();
+
+private:
+  const Token &peek(unsigned Ahead = 0) const;
+  const Token &advance();
+  bool at(Tok K) const { return peek().K == K; }
+  const Token &expect(Tok K);
+  [[noreturn]] void fail(const Token &T, const std::string &Msg) const;
+
+  // Items.
+  void parseItem(ProtocolAst &P);
+  void parseVarDecl(ProtocolAst &P);
+  TransitionAst parseTransition(bool IsRound);
+  TemplateAst parseTemplate();
+  CheckAst parseCheck();
+
+  // Expressions, lowest to highest precedence.
+  ExprPtr parseExpr();    // quantifiers + implication (right-assoc)
+  ExprPtr parseOr();
+  ExprPtr parseAnd();
+  ExprPtr parseCmp();
+  ExprPtr parseAdd();
+  ExprPtr parseMul();
+  ExprPtr parseUnary();
+  ExprPtr parsePrimary();
+  Binder parseBinder(bool DefaultInt);
+  int64_t parseIntArg(); // possibly negated integer literal
+
+  const Lexer &Lx;
+  const std::vector<Token> &Ts;
+  size_t Pos = 0;
+};
+
+} // namespace front
+} // namespace sharpie
+
+#endif // SHARPIE_FRONT_PARSER_H

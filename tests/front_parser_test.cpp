@@ -1,0 +1,227 @@
+//===- tests/front_parser_test.cpp - .sharpie parser + lowering units ---------===//
+//
+// Part of sharpie. Positive tests of the protocol language: lowering is
+// checked *structurally* - the expected terms are built by hand in the
+// same TermManager, so hash-consing makes equality exact pointer
+// equality, with no dependence on printer output.
+//
+//===----------------------------------------------------------------------===//
+
+#include "front/Front.h"
+#include "logic/TermOps.h"
+
+#include <gtest/gtest.h>
+
+using namespace sharpie;
+using logic::Sort;
+using logic::Term;
+using logic::TermManager;
+
+namespace {
+
+front::FrontBundle mustLoad(TermManager &M, const std::string &Src) {
+  front::LoadResult R = front::loadProtocolString(M, Src);
+  EXPECT_TRUE(R.ok()) << (R.Error ? R.Error->render() : "");
+  if (!R.ok())
+    throw std::runtime_error("load failed");
+  return std::move(*R.Bundle);
+}
+
+TEST(FrontParser, IncrementLowersToTheExactTerms) {
+  TermManager M;
+  front::FrontBundle B = mustLoad(M, R"(
+    protocol increment {
+      global a;
+      local pc;
+      init: a == 0 && forall t. pc[t] == 1;
+      safe: forall t. pc[t] >= 2 ==> a > 0;
+      transition inc {
+        guard: pc[self] == 1;
+        a := a + 1;
+        pc[self] := 2;
+      }
+      template { sets: 1; }
+      check { threads: 3; start { pc := 1; } }
+    }
+  )");
+  sys::ParamSystem &S = *B.Sys;
+  EXPECT_EQ(S.name(), "increment");
+  EXPECT_EQ(S.mode(), sys::Composition::Async);
+  ASSERT_EQ(S.globals().size(), 1u);
+  ASSERT_EQ(S.locals().size(), 1u);
+  Term A = S.globals()[0], PC = S.locals()[0];
+  EXPECT_EQ(A->name(), "a");
+  EXPECT_EQ(PC->name(), "pc");
+
+  Term T = M.mkVar("t", Sort::Tid);
+  EXPECT_EQ(S.init(),
+            M.mkAnd(M.mkEq(A, M.mkInt(0)),
+                    M.mkForall({T}, M.mkEq(M.mkRead(PC, T), M.mkInt(1)))));
+  EXPECT_EQ(S.safe(),
+            M.mkForall({T}, M.mkImplies(M.mkGe(M.mkRead(PC, T), M.mkInt(2)),
+                                        M.mkGt(A, M.mkInt(0)))));
+
+  ASSERT_EQ(S.transitions().size(), 1u);
+  const sys::Transition &Inc = S.transitions()[0];
+  EXPECT_EQ(Inc.Name, "inc");
+  EXPECT_EQ(Inc.Guard, M.mkEq(S.my(PC), M.mkInt(1)));
+  EXPECT_EQ(Inc.GlobalUpd.at(A), M.mkAdd(A, M.mkInt(1)));
+  EXPECT_EQ(Inc.LocalUpd.at(PC), M.mkInt(2));
+
+  EXPECT_EQ(B.Shape.NumSets, 1u);
+  EXPECT_TRUE(B.Shape.Quantifiers.empty());
+  EXPECT_TRUE(B.QGuard.isNull());
+  EXPECT_EQ(B.Explicit.NumThreads, 3);
+  EXPECT_TRUE(B.ExpectSafe);
+  EXPECT_FALSE(B.NeedsVenn);
+
+  // The start block builds one uniform initial state.
+  ASSERT_TRUE(S.CustomInit);
+  std::vector<sys::ParamSystem::State> Init = S.CustomInit(4);
+  ASSERT_EQ(Init.size(), 1u);
+  EXPECT_EQ(Init[0].DomainSize, 4);
+  EXPECT_EQ(Init[0].Scalars.at(A), 0);
+  EXPECT_EQ(Init[0].Arrays.at(PC), (std::vector<int64_t>{1, 1, 1, 1}));
+}
+
+TEST(FrontParser, CardGuardsChoicesAndWrites) {
+  TermManager M;
+  front::FrontBundle B = mustLoad(M, R"(
+    protocol gc_like {
+      global mono;
+      local color;
+      init: mono == 1 && forall t. color[t] == 0;
+      safe: mono == 1;
+      transition write {
+        guard: #{u | color[u] >= 2} == 0;
+        choice addr : tid;
+        choice v : int;
+        color[addr] := ite(color[addr] == 0, v, color[addr]);
+      }
+      check { choice_range: 0 .. 2; }
+    }
+  )");
+  sys::ParamSystem &S = *B.Sys;
+  Term Mono = S.globals()[0], Color = S.locals()[0];
+  const sys::Transition &W = S.transitions()[0];
+  ASSERT_EQ(W.TidChoices.size(), 1u);
+  ASSERT_EQ(W.Choices.size(), 1u);
+  Term Addr = W.TidChoices[0], V = W.Choices[0];
+
+  Term U = M.mkVar("u", Sort::Tid);
+  EXPECT_EQ(W.Guard,
+            M.mkEq(M.mkCard(U, M.mkGe(M.mkRead(Color, U), M.mkInt(2))),
+                   M.mkInt(0)));
+  ASSERT_EQ(W.Writes.size(), 1u);
+  EXPECT_EQ(W.Writes[0].Arr, Color);
+  EXPECT_EQ(W.Writes[0].Idx, Addr);
+  EXPECT_EQ(W.Writes[0].Val,
+            M.mkIte(M.mkEq(M.mkRead(Color, Addr), M.mkInt(0)), V,
+                    M.mkRead(Color, Addr)));
+  EXPECT_EQ(S.ChoiceLo, 0);
+  EXPECT_EQ(S.ChoiceHi, 2);
+  (void)Mono;
+}
+
+TEST(FrontParser, SyncRoundsLowerToPrimedRelations) {
+  TermManager M;
+  front::FrontBundle B = mustLoad(M, R"(
+    protocol lockstep sync {
+      global g;
+      local x;
+      init: g == 0 && forall t. x[t] == 0;
+      safe: forall t. x[t] >= 0;
+      round step {
+        relation: x'[self] == x[self] + 1;
+        g := g + 1;
+      }
+    }
+  )");
+  sys::ParamSystem &S = *B.Sys;
+  EXPECT_EQ(S.mode(), sys::Composition::Sync);
+  Term G = S.globals()[0], X = S.locals()[0];
+  const sys::Transition &R = S.transitions()[0];
+  ASSERT_FALSE(R.SyncRelation.isNull());
+  EXPECT_EQ(R.SyncRelation,
+            M.mkEq(M.mkRead(S.post(X), S.self()),
+                   M.mkAdd(M.mkRead(X, S.self()), M.mkInt(1))));
+  EXPECT_EQ(R.GlobalUpd.at(G), M.mkAdd(G, M.mkInt(1)));
+}
+
+TEST(FrontParser, TemplateBlockBuildsShapeAndQGuard) {
+  TermManager M;
+  front::FrontBundle B = mustLoad(M, R"(
+    protocol shaped {
+      global n;
+      local lv;
+      init: forall t. lv[t] == 0;
+      safe: true;
+      template {
+        sets: 2;
+        forall q : int;
+        forall p;
+        guard: q >= 0 && q <= n - 1;
+      }
+    }
+  )");
+  EXPECT_EQ(B.Shape.NumSets, 2u);
+  ASSERT_EQ(B.Shape.Quantifiers.size(), 2u);
+  EXPECT_EQ(B.Shape.Quantifiers[0], Sort::Int);
+  EXPECT_EQ(B.Shape.Quantifiers[1], Sort::Tid); // Default binder sort.
+  synth::Formals F = synth::makeFormals(M, B.Shape);
+  Term N = B.Sys->globals()[0];
+  EXPECT_EQ(B.QGuard,
+            M.mkAnd(M.mkGe(F.Q[0], M.mkInt(0)),
+                    M.mkLe(F.Q[0], M.mkSub(N, M.mkInt(1)))));
+}
+
+TEST(FrontParser, SizeVarAndMetadata) {
+  TermManager M;
+  front::FrontBundle B = mustLoad(M, R"(
+    protocol sized {
+      size n;
+      local lv;
+      init: n >= 2 && forall t. lv[t] == 0;
+      safe: #{t | lv[t] == n - 1} <= 1;
+      transition adv {
+        guard: lv[self] < n - 1;
+        lv[self] := lv[self] + 1;
+      }
+      check { threads: 4; start { lv := 0; } }
+      venn;
+      property "top level is exclusive";
+      expect unsafe;
+    }
+  )");
+  sys::ParamSystem &S = *B.Sys;
+  ASSERT_TRUE(S.sizeVar().has_value());
+  EXPECT_EQ((*S.sizeVar())->name(), "n");
+  EXPECT_TRUE(B.NeedsVenn);
+  EXPECT_FALSE(B.ExpectSafe);
+  EXPECT_EQ(B.Property, "top level is exclusive");
+  // The size variable defaults to the instance size in the start state.
+  std::vector<sys::ParamSystem::State> Init = S.CustomInit(5);
+  EXPECT_EQ(Init[0].Scalars.at(*S.sizeVar()), 5);
+}
+
+TEST(FrontParser, QuantifierBodyExtendsRight) {
+  TermManager M;
+  front::FrontBundle B = mustLoad(M, R"(
+    protocol assoc {
+      global a;
+      local pc;
+      init: a == 0 && forall t. pc[t] == 1 && a == 0;
+      safe: true;
+    }
+  )");
+  Term A = B.Sys->globals()[0], PC = B.Sys->locals()[0];
+  Term T = M.mkVar("t", Sort::Tid);
+  // The quantifier body swallows the trailing conjunct.
+  EXPECT_EQ(B.Sys->init(),
+            M.mkAnd(M.mkEq(A, M.mkInt(0)),
+                    M.mkForall({T}, M.mkAnd(M.mkEq(M.mkRead(PC, T),
+                                                   M.mkInt(1)),
+                                            M.mkEq(A, M.mkInt(0))))));
+}
+
+} // namespace

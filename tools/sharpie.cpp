@@ -1,0 +1,165 @@
+//===- tools/sharpie.cpp - The sharpie CLI --------------------------------===//
+//
+// Part of sharpie. Loads a `.sharpie` protocol file, runs the full #Pi
+// pipeline on it, and prints the synthesized invariant or the
+// explicit-state counterexample trace.
+//
+//   sharpie <file.sharpie> [--workers N] [--json] [--verbose]
+//           [--time-budget SECONDS] [--max-tuples N]
+//
+// Exit codes (deterministic, scriptable):
+//   0  verified safe (invariant printed)
+//   1  unsafe (explicit counterexample printed)
+//   2  unknown: search or time budget exhausted without a verdict
+//   3  frontend error (parse/elaboration/I-O), message on stderr
+//
+//===----------------------------------------------------------------------===//
+
+#include "front/Front.h"
+#include "logic/TermOps.h"
+#include "synth/Synth.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+using namespace sharpie;
+
+namespace {
+
+void usage(const char *Argv0) {
+  std::fprintf(stderr,
+               "usage: %s <file.sharpie> [--workers N] [--json] [--verbose]"
+               " [--time-budget SECONDS] [--max-tuples N]\n"
+               "exit codes: 0 safe, 1 unsafe, 2 unknown/budget, 3 error\n",
+               Argv0);
+}
+
+double secondsSince(std::chrono::steady_clock::time_point T0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - T0)
+      .count();
+}
+
+int run(int argc, char **argv) {
+  std::string File;
+  bool Json = false, Verbose = false;
+  unsigned Workers = 1;
+  double TimeBudget = 0;
+  unsigned MaxTuples = 0;
+  for (int I = 1; I < argc; ++I) {
+    if (!std::strcmp(argv[I], "--json"))
+      Json = true;
+    else if (!std::strcmp(argv[I], "--verbose"))
+      Verbose = true;
+    else if (!std::strcmp(argv[I], "--workers") && I + 1 < argc)
+      Workers = static_cast<unsigned>(std::strtol(argv[++I], nullptr, 10));
+    else if (!std::strcmp(argv[I], "--time-budget") && I + 1 < argc)
+      TimeBudget = std::strtod(argv[++I], nullptr);
+    else if (!std::strcmp(argv[I], "--max-tuples") && I + 1 < argc)
+      MaxTuples = static_cast<unsigned>(std::strtol(argv[++I], nullptr, 10));
+    else if (!std::strcmp(argv[I], "--help") || !std::strcmp(argv[I], "-h")) {
+      usage(argv[0]);
+      return 0;
+    } else if (argv[I][0] == '-') {
+      std::fprintf(stderr, "error: unknown option '%s'\n", argv[I]);
+      usage(argv[0]);
+      return 3;
+    } else if (File.empty())
+      File = argv[I];
+    else {
+      std::fprintf(stderr, "error: more than one input file\n");
+      usage(argv[0]);
+      return 3;
+    }
+  }
+  if (File.empty()) {
+    usage(argv[0]);
+    return 3;
+  }
+
+  auto T0 = std::chrono::steady_clock::now();
+  logic::TermManager M;
+  front::LoadResult L = front::loadProtocolFile(M, File);
+  if (!L.ok()) {
+    std::fprintf(stderr, "%s\n", L.Error->render().c_str());
+    return 3;
+  }
+  double ParseSeconds = secondsSince(T0);
+  front::FrontBundle &B = *L.Bundle;
+
+  std::printf("== %s ==\n", B.Sys->name().c_str());
+  if (!B.Property.empty())
+    std::printf("property: %s\n", B.Property.c_str());
+
+  synth::SynthOptions Opts;
+  Opts.Shape = B.Shape;
+  Opts.QGuard = B.QGuard;
+  Opts.Reduce.Card.Venn = B.NeedsVenn;
+  Opts.Explicit = B.Explicit;
+  Opts.Verbose = Verbose;
+  Opts.NumWorkers = Workers;
+  Opts.TimeBudgetSeconds = TimeBudget;
+  if (MaxTuples)
+    Opts.MaxTuples = MaxTuples;
+
+  auto T1 = std::chrono::steady_clock::now();
+  synth::SynthResult Res = synth::synthesize(*B.Sys, Opts);
+  double SynthSeconds = secondsSince(T1);
+
+  if (Json) {
+    const synth::SynthStats &S = Res.Stats;
+    std::printf(
+        "{\"protocol\":\"%s\",\"file\":\"%s\",\"workers\":%u,"
+        "\"verified\":%s,\"found_cex\":%s,\"parse_seconds\":%.6f,"
+        "\"synth_seconds\":%.3f,\"seconds\":%.3f,\"tuples_tried\":%u,"
+        "\"smt_checks\":%u,\"cache_hits\":%u,\"cache_misses\":%u,"
+        "\"worker_utilization\":%.3f}\n",
+        B.Sys->name().c_str(), File.c_str(), S.NumWorkers,
+        Res.Verified ? "true" : "false", Res.Cex ? "true" : "false",
+        ParseSeconds, SynthSeconds, S.Seconds, S.TuplesTried, S.SmtChecks,
+        S.CacheHits, S.CacheMisses, S.WorkerUtilization);
+  }
+
+  if (Res.Verified) {
+    std::printf("VERIFIED in %.2fs (%u tuples, %u SMT checks; parse %.1fms)\n",
+                Res.Stats.Seconds, Res.Stats.TuplesTried, Res.Stats.SmtChecks,
+                ParseSeconds * 1e3);
+    std::printf("inferred cardinalities:\n");
+    for (logic::Term S : Res.SetBodies)
+      std::printf("  #{t | %s}\n", logic::toString(S).c_str());
+    std::printf("invariant atoms (%zu):\n", Res.Atoms.size());
+    for (logic::Term A : Res.Atoms)
+      std::printf("  %s\n", logic::toString(A).c_str());
+    return 0;
+  }
+  if (Res.Cex) {
+    std::printf("UNSAFE: explicit counterexample (%zu steps):\n",
+                Res.Cex->TransitionNames.size());
+    for (const std::string &S : Res.Cex->TransitionNames)
+      std::printf("  %s\n", S.c_str());
+    if (B.ExpectSafe)
+      std::printf("note: protocol declares 'expect safe'\n");
+    return 1;
+  }
+  std::printf("UNKNOWN after %.2fs: %s\n", Res.Stats.Seconds,
+              Res.Note.c_str());
+  return 2;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  // The frontend never lets exceptions escape, but keep the driver
+  // airtight: any stray throw still exits with code 3 and a message.
+  try {
+    return run(argc, argv);
+  } catch (const std::exception &E) {
+    std::fprintf(stderr, "error: %s\n", E.what());
+    return 3;
+  } catch (...) {
+    std::fprintf(stderr, "error: unknown failure\n");
+    return 3;
+  }
+}

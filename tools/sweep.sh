@@ -8,11 +8,37 @@
 #                              selection with NumWorkers in {1, max} and
 #                              writes BENCH_PR1.json (one JSON object per
 #                              protocol/worker-count run, carrying seconds,
-#                              SMT check counts, and cache hit rates).
+#                              SMT check counts, and cache hit rates);
+#   tools/sweep.sh --bench-pr2 frontend benchmark: runs the sharpie driver
+#                              on every examples/protocols/*.sharpie file
+#                              and writes BENCH_PR2.json (one JSON object
+#                              per file, carrying parse+lower and synthesis
+#                              wall times).
 #
-# BIN points at the example_run_protocol binary, TIMEOUT is per run.
+# BIN points at the example_run_protocol binary, SHARPIE_BIN at the
+# sharpie driver, TIMEOUT is per run.
 BIN=${BIN:-build/examples/example_run_protocol}
+SHARPIE_BIN=${SHARPIE_BIN:-build/tools/sharpie}
 TIMEOUT=${TIMEOUT:-120}
+
+if [ "$1" = "--bench-pr2" ]; then
+  OUT=${OUT:-BENCH_PR2.json}
+  PROTODIR=${PROTODIR:-examples/protocols}
+  printf '{"meta":{"nproc":%s,"protodir":"%s"}}\n' \
+    "$(nproc 2>/dev/null || echo 0)" "$PROTODIR" > "$OUT"
+  for f in "$PROTODIR"/*.sharpie; do
+    line=$(timeout "$TIMEOUT" "$SHARPIE_BIN" "$f" --json 2>/dev/null \
+           | grep '^{' | head -1)
+    if [ -n "$line" ]; then
+      printf '%s\n' "$line" >> "$OUT"
+    else
+      printf '{"file":"%s","error":"timeout"}\n' "$f" >> "$OUT"
+    fi
+    printf '%-44s %s\n' "$f" "${line:-TIMEOUT}"
+  done
+  echo "wrote $OUT"
+  exit 0
+fi
 
 if [ "$1" = "--bench-pr1" ]; then
   OUT=${OUT:-BENCH_PR1.json}

@@ -11,14 +11,19 @@
 // worker per hardware thread, 1 = serial); `--json` appends a
 // machine-readable result line to stdout. `--protocol` elaborates a
 // textual protocol through the frontend instead of a built-in bundle;
-// frontend failures exit 3 like the sharpie driver.
+// frontend failures exit 3 like the sharpie driver. The shared
+// observability flags (--trace-out, --events-out, --log-level, --stats;
+// SHARPIE_TRACE / SHARPIE_EVENTS / SHARPIE_LOG_LEVEL in the environment)
+// work exactly as in tools/sharpie.cpp.
 //
 //===----------------------------------------------------------------------===//
 
 #include "front/Front.h"
 #include "logic/TermOps.h"
+#include "obs/Cli.h"
 #include "protocols/Protocols.h"
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -86,8 +91,16 @@ int main(int argc, char **argv) {
   unsigned Workers = 1;
   std::string Name;
   std::string ProtocolFile;
+  obs::CliObs Obs;
+  Obs.readEnv(); // Flags below override the environment.
   for (int I = 1; I < argc; ++I) {
-    if (!std::strcmp(argv[I], "--verbose"))
+    std::string ObsErr;
+    if (Obs.parseArg(argc, argv, I, ObsErr)) {
+      if (!ObsErr.empty()) {
+        std::fprintf(stderr, "error: %s\n", ObsErr.c_str());
+        return 2;
+      }
+    } else if (!std::strcmp(argv[I], "--verbose"))
       Verbose = true;
     else if (!std::strcmp(argv[I], "--json"))
       Json = true;
@@ -102,11 +115,17 @@ int main(int argc, char **argv) {
     } else
       Name = argv[I];
   }
+  if (Verbose &&
+      static_cast<int>(Obs.Level) < static_cast<int>(obs::LogLevel::Debug))
+    Obs.Level = obs::LogLevel::Debug;
+  std::unique_ptr<obs::Tracer> Tracer = Obs.makeTracer();
 
+  auto T0 = std::chrono::steady_clock::now();
   logic::TermManager M;
   ProtocolBundle B;
   if (!ProtocolFile.empty()) {
-    front::LoadResult L = front::loadProtocolFile(M, ProtocolFile);
+    front::LoadResult L = front::loadProtocolFile(
+        M, ProtocolFile, Tracer ? Tracer->worker(0) : nullptr);
     if (!L.ok()) {
       std::fprintf(stderr, "%s\n", L.Error->render().c_str());
       return 3;
@@ -139,20 +158,33 @@ int main(int argc, char **argv) {
   Opts.QGuard = B.QGuard;
   Opts.Reduce.Card.Venn = B.NeedsVenn;
   Opts.Explicit = B.Explicit;
+  Opts.Trace = Tracer.get();
   Opts.Verbose = Verbose;
   Opts.NumWorkers = Workers;
+  auto T1 = std::chrono::steady_clock::now();
   synth::SynthResult Res = synth::synthesize(*B.Sys, Opts);
+  auto Since = [](std::chrono::steady_clock::time_point T) {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - T)
+        .count();
+  };
+  double SynthSeconds = Since(T1);
+  double TotalSeconds = Since(T0);
+
+  if (Tracer) {
+    std::string Err;
+    if (!Obs.writeOutputs(*Tracer, Err))
+      std::fprintf(stderr, "warning: %s\n", Err.c_str());
+  }
+  if (Obs.Stats)
+    std::fprintf(stderr, "%s",
+                 synth::renderStatsTable(Res.Stats, SynthSeconds).c_str());
 
   if (Json) {
-    const synth::SynthStats &S = Res.Stats;
-    std::printf("{\"protocol\":\"%s\",\"workers\":%u,\"verified\":%s,"
-                "\"found_cex\":%s,\"seconds\":%.3f,\"tuples_tried\":%u,"
-                "\"smt_checks\":%u,\"cache_hits\":%u,\"cache_misses\":%u,"
-                "\"worker_utilization\":%.3f}\n",
-                Name.c_str(), S.NumWorkers, Res.Verified ? "true" : "false",
-                Res.Cex ? "true" : "false", S.Seconds, S.TuplesTried,
-                S.SmtChecks, S.CacheHits, S.CacheMisses,
-                S.WorkerUtilization);
+    std::printf("{\"protocol\":\"%s\",\"verified\":%s,\"found_cex\":%s,"
+                "\"synth_seconds\":%.3f,\"total_seconds\":%.3f,%s}\n",
+                Name.c_str(), Res.Verified ? "true" : "false",
+                Res.Cex ? "true" : "false", SynthSeconds, TotalSeconds,
+                synth::statsJsonFields(Res.Stats).c_str());
   }
 
   if (Res.Verified) {

@@ -144,21 +144,30 @@ AxiomEngine::emitNew(const std::vector<Term> &UpdateEqs) {
   }
   for (size_t I = 0; I < N; ++I) {
     const CardDef &A = Reg.defs()[I];
-    if (EmittedUnary.insert(A.K.id()).second)
+    if (EmittedUnary.insert(A.K.id()).second) {
+      size_t B0 = Out.size();
       emitUnary(A, Out);
+      Stats.NumUnary += static_cast<unsigned>(Out.size() - B0);
+    }
     for (size_t J = 0; J < N; ++J) {
       if (I == J)
         continue;
       const CardDef &B = Reg.defs()[J];
       if (Opts.Pairwise &&
-          EmittedPairs.insert({A.K.id(), B.K.id()}).second)
+          EmittedPairs.insert({A.K.id(), B.K.id()}).second) {
+        size_t B0 = Out.size();
         emitPair(A, B, Out);
+        Stats.NumPairwise += static_cast<unsigned>(Out.size() - B0);
+      }
       if (Opts.Update)
         emitUpdate(A, B, UpdateEqs, Out);
     }
   }
-  if (Opts.Venn && Reg.defs().size() > VennDefsCovered)
+  if (Opts.Venn && Reg.defs().size() > VennDefsCovered) {
+    size_t B0 = Out.size();
     emitVenn(Out);
+    Stats.NumVennAxioms += static_cast<unsigned>(Out.size() - B0);
+  }
   Stats.NumAxioms += static_cast<unsigned>(Out.size());
   return Out;
 }
@@ -325,6 +334,7 @@ void AxiomEngine::emitUpdate(const CardDef &A, const CardDef &B,
                         M.mkEq(B.K, M.mkAdd({A.K, DPlus, M.mkNeg(DMinus)}))});
     Out.push_back(M.mkImplies(M.mkAnd(Guards), Rel));
     ++Stats.NumUpdateMatches;
+    ++Stats.NumUpdate;
   }
 }
 
@@ -342,6 +352,7 @@ void AxiomEngine::emitCover(const CardDef &A, const CardDef &B,
     Out.push_back(M.mkOr(
         M.mkAnd({A.at(M, W), M.mkNot(B.at(M, W)), M.mkNot(C.at(M, W))}),
         M.mkLe(A.K, M.mkAdd(B.K, C.K))));
+    ++Stats.NumCover;
   }
 }
 

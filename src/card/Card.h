@@ -108,6 +108,15 @@ struct AxiomStats {
   unsigned NumVennRegions = 0;
   bool VennApplied = false;
   bool Complete = true; ///< False if MaxDefs or MaxVennRegions truncated.
+
+  // Per-rule instance counts (sum <= NumAxioms only because NumAxioms also
+  // counts Venn sum equations): exported as obs counters so a trace shows
+  // which CARD schema dominates an obligation's reduction.
+  unsigned NumUnary = 0;    ///< CARD>=0 / CARD_0 / CARD>0.
+  unsigned NumPairwise = 0; ///< CARD<= / CARD< / CARD-DISJOINT.
+  unsigned NumUpdate = 0;   ///< CARD-UPD.
+  unsigned NumCover = 0;    ///< CARD-COVER.
+  unsigned NumVennAxioms = 0; ///< Venn region variables' sum equations.
 };
 
 /// Generates cardinality axiom instances incrementally. Create one engine

@@ -19,7 +19,9 @@ ReduceResult sharpie::engine::reduceToGround(
     TermManager &M, Term Psi, const ReduceOptions &Opts,
     smt::SmtSolver *VennOracle,
     const std::vector<std::pair<Term, Term>> &ExternalCounters,
-    const std::vector<Term> &ExtraIndexTerms) {
+    const std::vector<Term> &ExtraIndexTerms, obs::TraceBuffer *Trace) {
+  obs::Span Sp(Trace, "reduce");
+  auto T0 = std::chrono::steady_clock::now();
   ReduceResult Res;
 
   quant::SkolemResult SK = quant::skolemize(M, Psi);
@@ -148,6 +150,19 @@ ReduceResult sharpie::engine::reduceToGround(
   Res.Ground = logic::replaceAll(M, Expanded, Res.CardVars);
   assert(!logic::containsKind(Res.Ground, Kind::Card) &&
          "cardinality term survived the reduction");
+  if (Trace) {
+    const card::AxiomStats &AS = AE.stats();
+    Trace->counter("card_axioms.unary", AS.NumUnary);
+    Trace->counter("card_axioms.pairwise", AS.NumPairwise);
+    Trace->counter("card_axioms.update", AS.NumUpdate);
+    Trace->counter("card_axioms.cover", AS.NumCover);
+    Trace->counter("card_axioms.venn", AS.NumVennAxioms);
+    Trace->counter("quant_instances", Res.NumInstances);
+    Trace->sample("reduce_ms",
+                  std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - T0)
+                      .count());
+  }
   return Res;
 }
 
@@ -209,16 +224,21 @@ ReduceResult sharpie::engine::reduceToGroundCached(
     ReduceCache *Cache, TermManager &M, Term Psi, const ReduceOptions &Opts,
     smt::SmtSolver *VennOracle,
     const std::vector<std::pair<Term, Term>> &ExternalCounters,
-    const std::vector<Term> &ExtraIndexTerms) {
+    const std::vector<Term> &ExtraIndexTerms, obs::TraceBuffer *Trace) {
   if (!Cache)
     return reduceToGround(M, Psi, Opts, VennOracle, ExternalCounters,
-                          ExtraIndexTerms);
+                          ExtraIndexTerms, Trace);
   uint64_t Key =
       ReduceCache::keyFor(Psi, Opts, ExternalCounters, ExtraIndexTerms);
-  if (const ReduceResult *Hit = Cache->lookup(Key))
+  if (const ReduceResult *Hit = Cache->lookup(Key)) {
+    if (Trace)
+      Trace->counter("reduce_cache_hits", 1);
     return *Hit;
+  }
+  if (Trace)
+    Trace->counter("reduce_cache_misses", 1);
   ReduceResult R = reduceToGround(M, Psi, Opts, VennOracle, ExternalCounters,
-                                  ExtraIndexTerms);
+                                  ExtraIndexTerms, Trace);
   Cache->insert(Key, R);
   return R;
 }

@@ -22,6 +22,7 @@
 #define SHARPIE_ENGINE_REDUCE_H
 
 #include "card/Card.h"
+#include "obs/Obs.h"
 #include "quant/Quant.h"
 #include "smt/SmtSolver.h"
 
@@ -70,6 +71,18 @@ uint64_t reduceOptionsFingerprint(const ReduceOptions &Opts);
 /// it stores; in the parallel search every worker owns one, so no locking
 /// is needed. Entries pin their ReduceResult terms alive through the
 /// manager, making hits a pure lookup.
+///
+/// When do hits occur? NOT within one synthesis run: the ranked tuple
+/// enumeration is duplicate-free and every clause formula embeds its
+/// tuple's measurement terms, so each of a run's reduction inputs is
+/// distinct by construction and a single run reports CacheHits == 0 (the
+/// all-zero cache_hits columns of BENCH_PR1/PR2 are expected, not a
+/// keying bug). The cache pays off exactly when the same obligation is
+/// rebuilt: re-verifying a protocol in the same TermManager (deterministic
+/// clause-variable naming makes the clauses pointer-identical -- share a
+/// cache across runs via SynthOptions::ReuseReduceCache), or re-reducing a
+/// pinned FixedSetBodies tuple. tests/reduce_cache_test.cpp pins both the
+/// zero-hit single-run expectation and the cross-run hit path.
 class ReduceCache {
 public:
   /// Returns the cached result for the key, or nullptr. Counts a hit or a
@@ -102,24 +115,28 @@ private:
 /// \p ExtraIndexTerms are additional instantiation terms (Tid- or
 /// Int-sorted) merged into the index sets -- e.g. template-quantifier
 /// instances that appear only inside placeholder substitutions and hence
-/// not in \p Psi itself.
+/// not in \p Psi itself. \p Trace, when non-null, receives a "reduce"
+/// span, a latency sample ("reduce_ms") and per-CARD-rule axiom counters.
 ReduceResult
 reduceToGround(logic::TermManager &M, logic::Term Psi,
                const ReduceOptions &Opts, smt::SmtSolver *VennOracle,
                const std::vector<std::pair<logic::Term, logic::Term>>
                    &ExternalCounters = {},
-               const std::vector<logic::Term> &ExtraIndexTerms = {});
+               const std::vector<logic::Term> &ExtraIndexTerms = {},
+               obs::TraceBuffer *Trace = nullptr);
 
 /// Memoizing front end to reduceToGround. \p Cache may be null (plain
 /// call). On a hit the cached ReduceResult is returned without touching
 /// the oracle; on a miss the reduction runs and the result is stored.
+/// \p Trace additionally counts "reduce_cache_hits"/"reduce_cache_misses".
 ReduceResult
 reduceToGroundCached(ReduceCache *Cache, logic::TermManager &M,
                      logic::Term Psi, const ReduceOptions &Opts,
                      smt::SmtSolver *VennOracle,
                      const std::vector<std::pair<logic::Term, logic::Term>>
                          &ExternalCounters = {},
-                     const std::vector<logic::Term> &ExtraIndexTerms = {});
+                     const std::vector<logic::Term> &ExtraIndexTerms = {},
+                     obs::TraceBuffer *Trace = nullptr);
 
 } // namespace engine
 } // namespace sharpie

@@ -112,7 +112,11 @@ private:
 } // namespace
 
 ExplicitResult sharpie::explct::explore(const ParamSystem &Sys,
-                                        const ExplicitOptions &Opts) {
+                                        const ExplicitOptions &Opts,
+                                        obs::TraceBuffer *Trace) {
+  obs::Span Sp(Trace, "explicit", [&] {
+    return "N=" + std::to_string(Opts.NumThreads);
+  });
   ExplicitResult Res;
 
   std::vector<FiniteModel> Initials;
@@ -203,6 +207,18 @@ ExplicitResult sharpie::explct::explore(const ParamSystem &Sys,
   Res.States.reserve(Nodes.size());
   for (Node &N : Nodes)
     Res.States.push_back(std::move(N.S));
+  if (Trace) {
+    Trace->counter("explicit_states", Res.NumStates);
+    if (Res.Cex)
+      Trace->instant("explicit_cex",
+                     Res.Cex->TransitionNames.empty()
+                         ? std::string("initial state")
+                         : Res.Cex->TransitionNames.back(),
+                     static_cast<int64_t>(Res.Cex->TransitionNames.size()));
+    SHARPIE_LOGF(Trace, obs::LogLevel::Debug,
+                 "explicit: %u states, exhausted=%d, safe=%d", Res.NumStates,
+                 Res.Exhausted ? 1 : 0, Res.Safe ? 1 : 0);
+  }
   return Res;
 }
 

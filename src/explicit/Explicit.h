@@ -21,6 +21,7 @@
 #ifndef SHARPIE_EXPLICIT_EXPLICIT_H
 #define SHARPIE_EXPLICIT_EXPLICIT_H
 
+#include "obs/Obs.h"
 #include "system/System.h"
 
 #include <cstdint>
@@ -56,8 +57,11 @@ struct ExplicitResult {
 /// against Sys.init()). Successors come from Sys.CustomStepper if set,
 /// otherwise from the generic asynchronous interpretation of the guarded
 /// commands (choice variables enumerated over [Sys.ChoiceLo, Sys.ChoiceHi]).
+/// \p Trace, when non-null, receives an "explicit" span, the
+/// "explicit_states" counter and an instant event on a counterexample.
 ExplicitResult explore(const sys::ParamSystem &Sys,
-                       const ExplicitOptions &Opts = {});
+                       const ExplicitOptions &Opts = {},
+                       obs::TraceBuffer *Trace = nullptr);
 
 /// Evaluates formula \p Phi in every state of \p States; returns false on
 /// the first violation. Used to cross-check synthesized invariants.

@@ -35,18 +35,23 @@ std::string Diagnostic::render() const {
 
 FrontBundle sharpie::front::parseProtocol(logic::TermManager &M,
                                           const std::string &Source,
-                                          const std::string &FileName) {
+                                          const std::string &FileName,
+                                          obs::TraceBuffer *Trace) {
+  obs::Span Sp(Trace, "parse", [&] { return FileName; });
   Lexer Lx(Source, FileName);
   Parser Ps(Lx);
   ProtocolAst Ast = Ps.parseProtocol();
-  return lowerProtocol(M, Ast, Lx);
+  FrontBundle B = lowerProtocol(M, Ast, Lx);
+  SHARPIE_LOGF(Trace, obs::LogLevel::Debug, "parse: %s ok", FileName.c_str());
+  return B;
 }
 
 static LoadResult guarded(logic::TermManager &M, const std::string &Source,
-                          const std::string &FileName) {
+                          const std::string &FileName,
+                          obs::TraceBuffer *Trace) {
   LoadResult R;
   try {
-    R.Bundle = parseProtocol(M, Source, FileName);
+    R.Bundle = parseProtocol(M, Source, FileName, Trace);
   } catch (const FrontError &E) {
     R.Error = E.diagnostic();
   } catch (const std::exception &E) {
@@ -60,12 +65,14 @@ static LoadResult guarded(logic::TermManager &M, const std::string &Source,
 
 LoadResult sharpie::front::loadProtocolString(logic::TermManager &M,
                                               const std::string &Source,
-                                              const std::string &FileName) {
-  return guarded(M, Source, FileName);
+                                              const std::string &FileName,
+                                              obs::TraceBuffer *Trace) {
+  return guarded(M, Source, FileName, Trace);
 }
 
 LoadResult sharpie::front::loadProtocolFile(logic::TermManager &M,
-                                            const std::string &Path) {
+                                            const std::string &Path,
+                                            obs::TraceBuffer *Trace) {
   std::ifstream In(Path, std::ios::binary);
   if (!In) {
     LoadResult R;
@@ -74,5 +81,5 @@ LoadResult sharpie::front::loadProtocolFile(logic::TermManager &M,
   }
   std::ostringstream Buf;
   Buf << In.rdbuf();
-  return guarded(M, Buf.str(), Path);
+  return guarded(M, Buf.str(), Path, Trace);
 }

@@ -20,6 +20,7 @@
 #define SHARPIE_FRONT_FRONT_H
 
 #include "explicit/Explicit.h"
+#include "obs/Obs.h"
 #include "synth/Grammar.h"
 #include "system/System.h"
 
@@ -72,8 +73,10 @@ struct FrontBundle {
 };
 
 /// Parses and elaborates \p Source into \p M. Throws FrontError.
+/// \p Trace, when non-null, receives a "parse" span named after the file.
 FrontBundle parseProtocol(logic::TermManager &M, const std::string &Source,
-                          const std::string &FileName);
+                          const std::string &FileName,
+                          obs::TraceBuffer *Trace = nullptr);
 
 /// Result of the non-throwing loaders: exactly one of Bundle/Error is set.
 struct LoadResult {
@@ -84,11 +87,13 @@ struct LoadResult {
 
 /// Reads \p Path and elaborates it. Never throws: I/O failures, frontend
 /// errors and any stray exception all land in LoadResult::Error.
-LoadResult loadProtocolFile(logic::TermManager &M, const std::string &Path);
+LoadResult loadProtocolFile(logic::TermManager &M, const std::string &Path,
+                            obs::TraceBuffer *Trace = nullptr);
 
 /// Same, over an in-memory string (used by the tests).
 LoadResult loadProtocolString(logic::TermManager &M, const std::string &Source,
-                              const std::string &FileName = "<string>");
+                              const std::string &FileName = "<string>",
+                              obs::TraceBuffer *Trace = nullptr);
 
 } // namespace front
 } // namespace sharpie

@@ -1,0 +1,151 @@
+//===- obs/Export.cpp - Trace sinks: Chrome trace, JSONL, skeleton ------------===//
+//
+// Part of sharpie. See Export.h.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Export.h"
+
+#include <set>
+
+using namespace sharpie;
+using namespace sharpie::obs;
+
+std::string sharpie::obs::jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+void sharpie::obs::writeChromeTrace(const Tracer &T, FILE *Out) {
+  std::vector<Event> Events = T.mergedEvents();
+  std::fprintf(Out, "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+  bool First = true;
+  auto Sep = [&] {
+    std::fprintf(Out, First ? "\n" : ",\n");
+    First = false;
+  };
+  // Name each worker's track; ranks appear in ascending order so Perfetto
+  // lists the driver (rank 0) first.
+  std::set<uint32_t> Ranks;
+  for (const Event &E : Events)
+    Ranks.insert(E.Worker);
+  for (uint32_t R : Ranks) {
+    Sep();
+    std::fprintf(Out,
+                 "{\"ph\":\"M\",\"pid\":1,\"tid\":%u,\"name\":"
+                 "\"thread_name\",\"args\":{\"name\":\"worker %u\"}}",
+                 R, R);
+  }
+  for (const Event &E : Events) {
+    Sep();
+    switch (E.Kind) {
+    case EventKind::SpanBegin:
+      std::fprintf(Out,
+                   "{\"ph\":\"B\",\"pid\":1,\"tid\":%u,\"ts\":%.3f,"
+                   "\"cat\":\"sharpie\",\"name\":\"%s\"",
+                   E.Worker, E.TimeUs, jsonEscape(E.Name).c_str());
+      if (!E.Detail.empty())
+        std::fprintf(Out, ",\"args\":{\"detail\":\"%s\"}",
+                     jsonEscape(E.Detail).c_str());
+      std::fprintf(Out, "}");
+      break;
+    case EventKind::SpanEnd:
+      std::fprintf(Out,
+                   "{\"ph\":\"E\",\"pid\":1,\"tid\":%u,\"ts\":%.3f,"
+                   "\"cat\":\"sharpie\",\"name\":\"%s\"}",
+                   E.Worker, E.TimeUs, jsonEscape(E.Name).c_str());
+      break;
+    case EventKind::Counter:
+      // Per-worker counter tracks: suffix the name with the rank so the
+      // running totals do not overwrite each other in the viewer.
+      std::fprintf(Out,
+                   "{\"ph\":\"C\",\"pid\":1,\"tid\":%u,\"ts\":%.3f,"
+                   "\"name\":\"%s (w%u)\",\"args\":{\"value\":%lld}}",
+                   E.Worker, E.TimeUs, jsonEscape(E.Name).c_str(), E.Worker,
+                   static_cast<long long>(E.Value));
+      break;
+    case EventKind::Instant:
+      std::fprintf(Out,
+                   "{\"ph\":\"i\",\"pid\":1,\"tid\":%u,\"ts\":%.3f,"
+                   "\"s\":\"t\",\"name\":\"%s\",\"args\":{\"detail\":\"%s\","
+                   "\"value\":%lld}}",
+                   E.Worker, E.TimeUs, jsonEscape(E.Name).c_str(),
+                   jsonEscape(E.Detail).c_str(),
+                   static_cast<long long>(E.Value));
+      break;
+    }
+  }
+  std::fprintf(Out, "\n]}\n");
+}
+
+void sharpie::obs::writeJsonl(const Tracer &T, FILE *Out) {
+  for (const Event &E : T.mergedEvents()) {
+    const char *Kind = E.Kind == EventKind::SpanBegin  ? "begin"
+                       : E.Kind == EventKind::SpanEnd  ? "end"
+                       : E.Kind == EventKind::Counter  ? "counter"
+                                                       : "instant";
+    std::fprintf(Out,
+                 "{\"kind\":\"%s\",\"worker\":%u,\"name\":\"%s\","
+                 "\"detail\":\"%s\",\"value\":%lld,\"ts_us\":%.3f}\n",
+                 Kind, E.Worker, jsonEscape(E.Name).c_str(),
+                 jsonEscape(E.Detail).c_str(),
+                 static_cast<long long>(E.Value), E.TimeUs);
+  }
+}
+
+std::vector<std::string> sharpie::obs::eventSkeleton(const Tracer &T) {
+  std::vector<std::string> Out;
+  for (const Event &E : T.mergedEvents()) {
+    std::string L;
+    switch (E.Kind) {
+    case EventKind::SpanBegin:
+      L = "B w" + std::to_string(E.Worker) + " " + E.Name;
+      if (!E.Detail.empty())
+        L += " | " + E.Detail;
+      break;
+    case EventKind::SpanEnd:
+      L = "E w" + std::to_string(E.Worker) + " " + E.Name;
+      break;
+    case EventKind::Counter:
+      L = "C w" + std::to_string(E.Worker) + " " + E.Name + " = " +
+          std::to_string(E.Value);
+      break;
+    case EventKind::Instant:
+      L = "I w" + std::to_string(E.Worker) + " " + E.Name;
+      if (!E.Detail.empty())
+        L += " | " + E.Detail;
+      L += " = " + std::to_string(E.Value);
+      break;
+    }
+    Out.push_back(std::move(L));
+  }
+  return Out;
+}

@@ -1,0 +1,50 @@
+//===- obs/Export.h - Trace sinks: Chrome trace, JSONL, skeleton -*- C++ -*-===//
+//
+// Part of sharpie. Serializers over a finished Tracer (all workers joined):
+//
+//   * writeChromeTrace: Chrome trace-event format ("traceEvents" array of
+//     B/E/C/i phases), loadable in Perfetto (ui.perfetto.dev) and
+//     chrome://tracing. One track (tid) per worker rank, nested spans for
+//     tuple -> Houdini iteration -> SMT check; ts is microseconds since
+//     the tracer epoch.
+//   * writeJsonl: one JSON object per event per line -- the stable stream
+//     format for ad-hoc scripting (jq-friendly).
+//   * eventSkeleton: the deterministic projection of the merged stream
+//     (kind, worker, name, detail, counter value -- no timestamps), one
+//     line per event. The golden-trace test pins this exactly.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SHARPIE_OBS_EXPORT_H
+#define SHARPIE_OBS_EXPORT_H
+
+#include "obs/Obs.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace sharpie {
+namespace obs {
+
+/// Escapes \p S for inclusion in a JSON string literal (quotes, backslash,
+/// control characters).
+std::string jsonEscape(const std::string &S);
+
+/// Writes the Chrome trace-event JSON document for \p T to \p Out.
+void writeChromeTrace(const Tracer &T, FILE *Out);
+
+/// Writes the merged event stream as JSON Lines to \p Out.
+void writeJsonl(const Tracer &T, FILE *Out);
+
+/// The deterministic skeleton of the merged stream:
+///   "B w<rank> <name>[ | <detail>]"   span begin
+///   "E w<rank> <name>"                span end
+///   "C w<rank> <name> = <total>"      counter (running total)
+///   "I w<rank> <name>[ | <detail>][ = <value>]"  instant
+std::vector<std::string> eventSkeleton(const Tracer &T);
+
+} // namespace obs
+} // namespace sharpie
+
+#endif // SHARPIE_OBS_EXPORT_H

@@ -1,0 +1,189 @@
+//===- obs/Obs.cpp - Structured tracing & metrics for #Pi ---------------------===//
+//
+// Part of sharpie. See Obs.h.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Obs.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdarg>
+
+using namespace sharpie;
+using namespace sharpie::obs;
+
+const char *sharpie::obs::logLevelName(LogLevel L) {
+  switch (L) {
+  case LogLevel::Quiet:
+    return "quiet";
+  case LogLevel::Info:
+    return "info";
+  case LogLevel::Debug:
+    return "debug";
+  case LogLevel::Trace:
+    return "trace";
+  }
+  return "?";
+}
+
+std::optional<LogLevel> sharpie::obs::parseLogLevel(std::string_view Name) {
+  if (Name == "quiet")
+    return LogLevel::Quiet;
+  if (Name == "info")
+    return LogLevel::Info;
+  if (Name == "debug")
+    return LogLevel::Debug;
+  if (Name == "trace")
+    return LogLevel::Trace;
+  return std::nullopt;
+}
+
+const int64_t *MetricsSummary::counter(std::string_view Name) const {
+  for (const auto &[N, V] : Counters)
+    if (N == Name)
+      return &V;
+  return nullptr;
+}
+
+const HistSummary *MetricsSummary::hist(std::string_view Name) const {
+  for (const auto &[N, H] : Hists)
+    if (N == Name)
+      return &H;
+  return nullptr;
+}
+
+// -- TraceBuffer -------------------------------------------------------------
+
+bool TraceBuffer::eventsEnabled() const { return T.Cfg.CollectEvents; }
+
+void TraceBuffer::begin(const char *Name, std::string Detail) {
+  if (!eventsEnabled())
+    return;
+  Events.push_back({EventKind::SpanBegin, Worker, Name, std::move(Detail), 0,
+                    T.microsSinceEpoch()});
+}
+
+void TraceBuffer::end(const char *Name) {
+  if (!eventsEnabled())
+    return;
+  Events.push_back(
+      {EventKind::SpanEnd, Worker, Name, {}, 0, T.microsSinceEpoch()});
+}
+
+void TraceBuffer::counter(const char *Name, int64_t Delta) {
+  int64_t Total = (Counters[Name] += Delta);
+  if (!eventsEnabled())
+    return;
+  Events.push_back(
+      {EventKind::Counter, Worker, Name, {}, Total, T.microsSinceEpoch()});
+}
+
+void TraceBuffer::sample(const char *Name, double Value) {
+  Hists[Name].push_back(Value);
+}
+
+void TraceBuffer::instant(const char *Name, std::string Detail,
+                          int64_t Value) {
+  if (!eventsEnabled())
+    return;
+  Events.push_back({EventKind::Instant, Worker, Name, std::move(Detail),
+                    Value, T.microsSinceEpoch()});
+}
+
+bool TraceBuffer::logEnabled(LogLevel L) const {
+  return static_cast<int>(L) <= static_cast<int>(T.Cfg.Level) &&
+         L != LogLevel::Quiet;
+}
+
+void TraceBuffer::logf(LogLevel L, const char *Fmt, ...) {
+  if (!logEnabled(L))
+    return;
+  char Buf[4096];
+  va_list Ap;
+  va_start(Ap, Fmt);
+  std::vsnprintf(Buf, sizeof(Buf), Fmt, Ap);
+  va_end(Ap);
+  T.writeLogLine(L, Worker, Buf);
+}
+
+// -- Tracer ------------------------------------------------------------------
+
+Tracer::Tracer(TracerConfig Cfg)
+    : Cfg(Cfg), Epoch(std::chrono::steady_clock::now()) {}
+
+Tracer::~Tracer() = default;
+
+TraceBuffer *Tracer::worker(unsigned Rank) {
+  std::lock_guard<std::mutex> L(Mu);
+  std::unique_ptr<TraceBuffer> &B = Buffers[Rank];
+  if (!B)
+    B.reset(new TraceBuffer(*this, Rank));
+  return B.get();
+}
+
+double Tracer::microsSinceEpoch() const {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - Epoch)
+      .count();
+}
+
+void Tracer::writeLogLine(LogLevel L, unsigned Worker, const char *Text) {
+  std::lock_guard<std::mutex> Lk(Mu);
+  FILE *Out = Cfg.LogStream ? Cfg.LogStream : stderr;
+  std::fprintf(Out, "[%c w%u] %s\n", std::toupper(logLevelName(L)[0]), Worker,
+               Text);
+  std::fflush(Out);
+}
+
+std::vector<Event> Tracer::mergedEvents() const {
+  std::lock_guard<std::mutex> L(Mu);
+  std::vector<Event> Out;
+  for (const auto &[Rank, B] : Buffers) // std::map: ascending rank order.
+    Out.insert(Out.end(), B->Events.begin(), B->Events.end());
+  return Out;
+}
+
+namespace {
+
+HistSummary summarize(std::vector<double> Samples) {
+  HistSummary S;
+  S.Count = Samples.size();
+  if (Samples.empty())
+    return S;
+  std::sort(Samples.begin(), Samples.end());
+  S.Min = Samples.front();
+  S.Max = Samples.back();
+  for (double V : Samples)
+    S.Sum += V;
+  auto Pct = [&](double P) {
+    size_t I = static_cast<size_t>(P * static_cast<double>(Samples.size() - 1));
+    return Samples[I];
+  };
+  S.P50 = Pct(0.50);
+  S.P90 = Pct(0.90);
+  S.P99 = Pct(0.99);
+  return S;
+}
+
+} // namespace
+
+MetricsSummary Tracer::metrics() const {
+  std::lock_guard<std::mutex> L(Mu);
+  std::map<std::string, int64_t> Counters;
+  std::map<std::string, std::vector<double>> Hists;
+  for (const auto &[Rank, B] : Buffers) {
+    for (const auto &[N, V] : B->Counters)
+      Counters[N] += V;
+    for (const auto &[N, Samples] : B->Hists) {
+      std::vector<double> &Dst = Hists[N];
+      Dst.insert(Dst.end(), Samples.begin(), Samples.end());
+    }
+  }
+  MetricsSummary Out;
+  for (auto &[N, V] : Counters)
+    Out.Counters.emplace_back(N, V);
+  for (auto &[N, Samples] : Hists)
+    Out.Hists.emplace_back(N, summarize(std::move(Samples)));
+  return Out;
+}

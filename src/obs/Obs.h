@@ -1,0 +1,214 @@
+//===- obs/Obs.h - Structured tracing & metrics for #Pi ---------*- C++ -*-===//
+//
+// Part of sharpie. The pipeline's one observability channel: a Tracer owns
+// one TraceBuffer per search worker; code holding a buffer emits
+//
+//   * RAII spans (obs::Span) nesting tuple -> Houdini iteration -> SMT
+//     check, exported as Chrome trace-event / Perfetto tracks;
+//   * counters (reduction-cache hits, axiom instantiations per CARD rule,
+//     atoms dropped per Houdini iteration), merged across workers;
+//   * histograms (SMT-check latency per phase, reduction latency),
+//     summarized into count/min/max/percentiles;
+//   * a leveled human log (quiet < info < debug < trace) replacing the old
+//     scattered `Opts.Verbose` fprintf calls.
+//
+// Determinism rules (mirroring the parallel-search design, DESIGN.md):
+// every event carries the *rank* of the worker that produced it, buffers
+// are strictly thread-local (no lock on the hot path), and the merged
+// stream orders buffers by rank, events within a buffer by emission order.
+// Timestamps are recorded for the trace exporters but are excluded from
+// the deterministic skeleton the golden tests pin (obs/Export.h).
+//
+// Zero-overhead path: all emission goes through a nullable TraceBuffer
+// pointer. With no tracer configured the pointer is null and every span,
+// counter, histogram and log macro reduces to one branch -- no allocation,
+// no lock, no clock read (verified by bench/bench_obs.cpp).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SHARPIE_OBS_OBS_H
+#define SHARPIE_OBS_OBS_H
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace sharpie {
+namespace obs {
+
+/// Human-log verbosity. Events and metrics are independent of the level;
+/// the level only gates the textual log sink.
+enum class LogLevel : int { Quiet = 0, Info = 1, Debug = 2, Trace = 3 };
+
+const char *logLevelName(LogLevel L);
+/// Parses "quiet" | "info" | "debug" | "trace" (case-sensitive).
+std::optional<LogLevel> parseLogLevel(std::string_view Name);
+
+enum class EventKind : uint8_t { SpanBegin, SpanEnd, Counter, Instant };
+
+/// One buffered trace event. Name is a static string literal (span/counter
+/// identity); Detail carries deterministic, human-readable arguments.
+/// TimeUs is wall time relative to the tracer epoch -- nondeterministic,
+/// used only by the trace exporters.
+struct Event {
+  EventKind Kind;
+  uint32_t Worker;
+  const char *Name;
+  std::string Detail;
+  int64_t Value = 0;
+  double TimeUs = 0;
+};
+
+/// Five-number summary of a histogram, produced at merge time.
+struct HistSummary {
+  uint64_t Count = 0;
+  double Min = 0, Max = 0, Sum = 0;
+  double P50 = 0, P90 = 0, P99 = 0;
+  double mean() const { return Count ? Sum / static_cast<double>(Count) : 0; }
+};
+
+/// Counters summed and histograms merged over all workers, sorted by name
+/// so the summary itself is deterministic.
+struct MetricsSummary {
+  std::vector<std::pair<std::string, int64_t>> Counters;
+  std::vector<std::pair<std::string, HistSummary>> Hists;
+
+  const int64_t *counter(std::string_view Name) const;
+  const HistSummary *hist(std::string_view Name) const;
+};
+
+class Tracer;
+
+/// Per-worker event/metric buffer. Strictly single-owner: exactly one
+/// thread (the worker of the given rank) may emit into it; the tracer
+/// merges buffers only after the owning threads joined.
+class TraceBuffer {
+public:
+  unsigned rank() const { return Worker; }
+
+  /// True when span/counter/instant events are buffered (a trace or event
+  /// sink is attached). Metrics (counters/histograms) are always recorded.
+  bool eventsEnabled() const;
+
+  void begin(const char *Name, std::string Detail = {});
+  void end(const char *Name);
+  /// Adds \p Delta to counter \p Name; the buffered event carries the
+  /// post-update running total (what Chrome's counter track displays).
+  void counter(const char *Name, int64_t Delta);
+  /// Records a histogram sample (e.g. an SMT check latency in ms).
+  /// Samples never enter the event stream: their values are wall-clock
+  /// dependent and would break the deterministic skeleton.
+  void sample(const char *Name, double Value);
+  void instant(const char *Name, std::string Detail = {}, int64_t Value = 0);
+
+  /// True when a message at \p L would be written by the log sink.
+  bool logEnabled(LogLevel L) const;
+  /// printf-style leveled log line, written immediately (mutex-guarded in
+  /// the tracer) and prefixed with the level and worker rank.
+  void logf(LogLevel L, const char *Fmt, ...)
+      __attribute__((format(printf, 3, 4)));
+
+private:
+  friend class Tracer;
+  TraceBuffer(Tracer &T, unsigned Worker) : T(T), Worker(Worker) {}
+
+  Tracer &T;
+  unsigned Worker;
+  std::vector<Event> Events;
+  std::map<std::string, int64_t> Counters;
+  std::map<std::string, std::vector<double>> Hists;
+};
+
+struct TracerConfig {
+  LogLevel Level = LogLevel::Quiet; ///< Human-log threshold.
+  bool CollectEvents = false;       ///< Buffer events for trace export.
+  FILE *LogStream = nullptr;        ///< Log sink; nullptr means stderr.
+};
+
+/// Owns the per-worker buffers and the log sink. Thread-safe operations:
+/// worker() registration and log-line writing. Merging (mergedEvents,
+/// metrics) must only run after every emitting thread has joined.
+class Tracer {
+public:
+  explicit Tracer(TracerConfig Cfg = {});
+  ~Tracer();
+
+  Tracer(const Tracer &) = delete;
+  Tracer &operator=(const Tracer &) = delete;
+
+  /// Returns the buffer for worker \p Rank, creating it on first use.
+  /// The pointer is stable for the tracer's lifetime.
+  TraceBuffer *worker(unsigned Rank);
+
+  const TracerConfig &config() const { return Cfg; }
+
+  /// All events, buffers ordered by worker rank, events within a buffer in
+  /// emission order -- the deterministic merge.
+  std::vector<Event> mergedEvents() const;
+
+  /// Counters summed and histograms merged over all workers.
+  MetricsSummary metrics() const;
+
+  /// Microseconds since the tracer was created (the trace epoch).
+  double microsSinceEpoch() const;
+
+private:
+  friend class TraceBuffer;
+  void writeLogLine(LogLevel L, unsigned Worker, const char *Text);
+
+  TracerConfig Cfg;
+  std::chrono::steady_clock::time_point Epoch;
+  mutable std::mutex Mu; ///< Guards Buffers registration and log writes.
+  std::map<unsigned, std::unique_ptr<TraceBuffer>> Buffers;
+};
+
+/// RAII span. Null buffer => complete no-op (single branch per endpoint).
+/// The lazy-detail constructor only renders the detail string when events
+/// are actually buffered, keeping the disabled path allocation-free.
+class Span {
+public:
+  Span(TraceBuffer *B, const char *Name) : B(B), Name(Name) {
+    if (B)
+      B->begin(Name);
+  }
+  template <typename DetailFn>
+  Span(TraceBuffer *B, const char *Name, DetailFn &&Detail) : B(B), Name(Name) {
+    if (B)
+      B->begin(Name, B->eventsEnabled() ? Detail() : std::string());
+  }
+  ~Span() {
+    if (B)
+      B->end(Name);
+  }
+
+  Span(const Span &) = delete;
+  Span &operator=(const Span &) = delete;
+
+private:
+  TraceBuffer *B;
+  const char *Name;
+};
+
+} // namespace obs
+} // namespace sharpie
+
+/// Leveled log with zero-cost gating: the format arguments are not
+/// evaluated unless the buffer exists and the level is enabled, so
+/// expensive renderings (logic::toString of a whole clause) stay behind
+/// the check.
+#define SHARPIE_LOGF(TB, LVL, ...)                                             \
+  do {                                                                         \
+    ::sharpie::obs::TraceBuffer *ObsTB_ = (TB);                                \
+    if (ObsTB_ && ObsTB_->logEnabled(LVL))                                     \
+      ObsTB_->logf(LVL, __VA_ARGS__);                                          \
+  } while (0)
+
+#endif // SHARPIE_OBS_OBS_H

@@ -12,7 +12,9 @@
 #define SHARPIE_SMT_SMTSOLVER_H
 
 #include "logic/Term.h"
+#include "obs/Obs.h"
 
+#include <chrono>
 #include <memory>
 #include <optional>
 
@@ -75,6 +77,28 @@ std::unique_ptr<SmtSolver> makeMiniSolver(logic::TermManager &M);
 /// Convenience: checks validity of \p T (i.e. unsatisfiability of its
 /// negation) under the solver's current assertions (push/pop scoped).
 Validity checkValid(SmtSolver &S, logic::TermManager &M, logic::Term T);
+
+/// Instrumented check(): wraps the call in an "smt_check" span on \p Trace
+/// (no-op when null), samples the latency into the global "smt_ms"
+/// histogram and, when \p PhaseHist is non-null, into that per-phase
+/// histogram too (e.g. "smt_ms.houdini"). \p Detail annotates the span.
+inline SatResult checkTraced(SmtSolver &S, obs::TraceBuffer *Trace,
+                             const char *PhaseHist = nullptr,
+                             const char *Detail = "") {
+  if (!Trace)
+    return S.check();
+  obs::Span Sp(Trace, "smt_check", [&] { return std::string(Detail); });
+  auto T0 = std::chrono::steady_clock::now();
+  SatResult R = S.check();
+  double Ms = std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - T0)
+                  .count();
+  Trace->sample("smt_ms", Ms);
+  if (PhaseHist)
+    Trace->sample(PhaseHist, Ms);
+  Trace->counter("smt_checks", 1);
+  return R;
+}
 
 } // namespace smt
 } // namespace sharpie

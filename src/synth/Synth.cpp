@@ -26,7 +26,6 @@
 #include <cassert>
 #include <chrono>
 #include <cstdio>
-#include <cstdlib>
 #include <functional>
 #include <map>
 #include <mutex>
@@ -183,7 +182,17 @@ private:
   std::chrono::steady_clock::time_point Deadline;
   /// Memoizes reduceToGround per (clause formula, axiom config); owned by
   /// this synthesizer, hence by one TermManager and one thread.
-  engine::ReduceCache RCache;
+  engine::ReduceCache OwnRCache;
+  /// Points at OwnRCache, or at Opts.ReuseReduceCache when the caller
+  /// shares a cache across runs (serial path; bound to the same manager).
+  engine::ReduceCache *RC = &OwnRCache;
+  /// This synthesizer's trace buffer: rank 0 for the driver and the serial
+  /// search, rank W+1 on parallel worker W. Null => zero-overhead path.
+  obs::TraceBuffer *TB = nullptr;
+  /// The tracer the run reports into (driver only): Opts.Trace, or the
+  /// internal Verbose-mapped one.
+  obs::Tracer *TraceSink = nullptr;
+  std::unique_ptr<obs::Tracer> OwnTracer;
   /// Parallel search: set on worker synthesizers to abandon tuples that a
   /// lower-ranked verified tuple has made irrelevant.
   std::function<bool()> ExternAbort;
@@ -471,16 +480,15 @@ Synthesizer::buildClauses(const std::vector<Term> &SetBodies,
   };
 
   auto Reduce = [&](ReducedClause &C, const std::vector<Term> &Conj) {
+    obs::Span Sp(TB, "reduce_clause", [&] { return C.Name; });
     engine::ReduceResult R = engine::reduceToGroundCached(
-        &RCache, M, M.mkAnd(Conj), Opts.Reduce, Oracle, Externals,
-        InstanceTerms(C.Insts));
+        RC, M, M.mkAnd(Conj), Opts.Reduce, Oracle, Externals,
+        InstanceTerms(C.Insts), TB);
     C.Ground = R.Ground;
-    if (Opts.Verbose)
-      std::printf("    [reduce] %-16s size=%-7zu inst=%-6u axioms=%-5u "
-                  "venn=%s/%u\n",
-                  C.Name.c_str(), logic::termSize(C.Ground), R.NumInstances,
-                  R.NumAxioms, R.VennApplied ? "yes" : "no",
-                  R.NumVennRegions);
+    SHARPIE_LOGF(TB, obs::LogLevel::Debug,
+                 "[reduce] %-16s size=%-7zu inst=%-6u axioms=%-5u venn=%s/%u",
+                 C.Name.c_str(), logic::termSize(C.Ground), R.NumInstances,
+                 R.NumAxioms, R.VennApplied ? "yes" : "no", R.NumVennRegions);
   };
 
   // Clause (a): init /\ !Inv.
@@ -595,6 +603,10 @@ bool Synthesizer::houdini(const std::vector<ReducedClause> &Clauses,
   for (unsigned Iter = 0; Iter < MaxIters; ++Iter) {
     if (aborted())
       return Bail(Why);
+    obs::Span IterSp(TB, "houdini_iter", [&] {
+      return "iter=" + std::to_string(Iter) +
+             " atoms=" + std::to_string(Cand.size());
+    });
     bool AllPassed = true;
     for (const ReducedClause &C : Clauses) {
       if (C.IsSafety)
@@ -606,7 +618,8 @@ bool Synthesizer::houdini(const std::vector<ReducedClause> &Clauses,
         return Bail(Why);
       Solver->push();
       Solver->add(substitutedClause(C, Cand));
-      SatResult R = Solver->check();
+      SatResult R =
+          smt::checkTraced(*Solver, TB, "smt_ms.houdini", C.Name.c_str());
       ++Stats.SmtChecks;
       if (R == SatResult::Unsat) {
         Solver->pop();
@@ -629,9 +642,8 @@ bool Synthesizer::houdini(const std::vector<ReducedClause> &Clauses,
             Model ? Model->evalBool(logic::substitute(M, A, Head->AtomSubst))
                   : std::nullopt;
         if (V.has_value() && !*V) {
-          if (Opts.Verbose)
-            std::printf("      [houdini] %s drops %s\n", C.Name.c_str(),
-                        logic::toString(A).c_str());
+          SHARPIE_LOGF(TB, obs::LogLevel::Debug, "[houdini] %s drops %s",
+                       C.Name.c_str(), logic::toString(A).c_str());
           continue; // Refuted at the head: drop.
         }
         Kept.push_back(A);
@@ -641,15 +653,20 @@ bool Synthesizer::houdini(const std::vector<ReducedClause> &Clauses,
         Why = "stuck on " + C.Name + " (no atom refuted by model)";
         return false;
       }
+      if (TB) {
+        int64_t Dropped = static_cast<int64_t>(Cand.size() - Kept.size());
+        TB->counter("houdini_atoms_dropped", Dropped);
+        TB->instant("houdini_drop", C.Name, Dropped);
+      }
       Cand = std::move(Kept);
       AllPassed = false;
     }
     if (AllPassed) {
-      if (Opts.Verbose) {
-        std::printf("      [houdini] fixpoint with %zu atoms:\n",
-                    Cand.size());
+      if (TB && TB->logEnabled(obs::LogLevel::Debug)) {
+        TB->logf(obs::LogLevel::Debug, "[houdini] fixpoint with %zu atoms",
+                 Cand.size());
         for (Term A : Cand)
-          std::printf("        %s\n", logic::toString(A).c_str());
+          TB->logf(obs::LogLevel::Debug, "  %s", logic::toString(A).c_str());
       }
       // Fixpoint reached; check the safety clause.
       for (const ReducedClause &C : Clauses) {
@@ -657,16 +674,19 @@ bool Synthesizer::houdini(const std::vector<ReducedClause> &Clauses,
           continue;
         Solver->push();
         Solver->add(substitutedClause(C, Cand));
-        SatResult R = Solver->check();
+        SatResult R =
+            smt::checkTraced(*Solver, TB, "smt_ms.safety", C.Name.c_str());
         ++Stats.SmtChecks;
         Solver->pop();
         if (R == SatResult::Unsat)
           return true;
         Why = R == SatResult::Sat ? "fixpoint too weak for safety"
                                   : "smt unknown on safety";
-        if (Opts.Verbose && std::getenv("SHARPIE_DUMP_SAFETY"))
-          std::printf("      [safety clause]\n%s\n",
-                      logic::toString(substitutedClause(C, Cand)).c_str());
+        // The failing safety clause is large; it renders only at the most
+        // verbose level (--log-level trace), replacing the old
+        // SHARPIE_DUMP_SAFETY environment hack.
+        SHARPIE_LOGF(TB, obs::LogLevel::Trace, "[safety clause] %s",
+                     logic::toString(substitutedClause(C, Cand)).c_str());
         return false;
       }
       return true; // No safety clause (not expected).
@@ -685,7 +705,8 @@ void Synthesizer::minimizeAtoms(const std::vector<ReducedClause> &Clauses,
     for (const ReducedClause &C : Clauses) {
       Solver->push();
       Solver->add(substitutedClause(C, Trial));
-      SatResult R = Solver->check();
+      SatResult R =
+          smt::checkTraced(*Solver, TB, "smt_ms.minimize", C.Name.c_str());
       ++Stats.SmtChecks;
       Solver->pop();
       if (R != SatResult::Unsat)
@@ -732,17 +753,18 @@ bool Synthesizer::recheck(Term Inv,
   Oracle->setTimeoutMs(Opts.SmtTimeoutMs);
   for (const sys::Obligation &O : sys::safetyObligations(Sys, Inv)) {
     engine::ReduceResult R = engine::reduceToGroundCached(
-        &RCache, M, O.Psi, Opts.Reduce, Oracle.get(),
-        Sys.externalCounters());
+        RC, M, O.Psi, Opts.Reduce, Oracle.get(), Sys.externalCounters(), {},
+        TB);
     std::unique_ptr<smt::SmtSolver> S = smt::makeZ3Solver(M);
     S->setTimeoutMs(Opts.SmtTimeoutMs);
     S->add(R.Ground);
     ++Stats.SmtChecks;
-    if (S->check() != SatResult::Unsat) {
+    if (smt::checkTraced(*S, TB, "smt_ms.recheck", O.Name.c_str()) !=
+        SatResult::Unsat) {
       Why = "recheck: obligation " + O.Name + " not discharged";
-      if (Opts.Verbose)
-        std::printf("    recheck failed on %s (ground size %zu)\n",
-                    O.Name.c_str(), logic::termSize(R.Ground));
+      SHARPIE_LOGF(TB, obs::LogLevel::Debug,
+                   "recheck failed on %s (ground size %zu)", O.Name.c_str(),
+                   logic::termSize(R.Ground));
       return false;
     }
   }
@@ -755,57 +777,79 @@ Synthesizer::TupleOutcome
 Synthesizer::tryTuple(const std::vector<Term> &SetBodies,
                       const std::vector<Term> &Pool,
                       const std::vector<sys::ParamSystem::State> &States) {
+  obs::Span TupleSp(TB, "tuple", [&] {
+    std::string D;
+    for (Term SB : SetBodies)
+      D += (D.empty() ? "" : " ") + ("#{t | " + logic::toString(SB) + "}");
+    return D;
+  });
   TupleOutcome Out;
   ++Stats.TuplesTried;
+  if (TB)
+    TB->counter("tuples_tried", 1);
 
   std::vector<Term> Cand = Pool;
   auto TPre = std::chrono::steady_clock::now();
-  if (Opts.ExplicitPrefilter && !States.empty())
+  if (Opts.ExplicitPrefilter && !States.empty()) {
+    obs::Span Sp(TB, "prefilter");
     Cand = prefilterAtoms(Pool, SetBodies, States);
+  }
   double PreSec = secondsSince(TPre);
   Stats.PrefilterSeconds += PreSec;
   Stats.AtomsAfterPrefilter = static_cast<unsigned>(Cand.size());
-  if (Opts.Verbose)
-    std::printf("    atoms: %zu of %zu survive the explicit pre-filter "
-                "(%.2fs)\n",
-                Cand.size(), Pool.size(), PreSec);
+  SHARPIE_LOGF(TB, obs::LogLevel::Debug,
+               "atoms: %zu of %zu survive the explicit pre-filter (%.2fs)",
+               Cand.size(), Pool.size(), PreSec);
 
+  // The build timer starts before the oracle is created: per-tuple solver
+  // setup is part of the clause-building cost, and keeping the phase
+  // timers contiguous lets --stats account (nearly) all of the wall time.
+  auto TBuild = std::chrono::steady_clock::now();
   std::unique_ptr<smt::SmtSolver> Oracle = smt::makeZ3Solver(M);
   Oracle->setTimeoutMs(Opts.SmtTimeoutMs);
-  auto TBuild = std::chrono::steady_clock::now();
-  std::vector<ReducedClause> Clauses = buildClauses(SetBodies, Oracle.get());
+  std::vector<ReducedClause> Clauses;
+  {
+    obs::Span Sp(TB, "build_clauses");
+    Clauses = buildClauses(SetBodies, Oracle.get());
+  }
   Stats.ReduceSeconds += secondsSince(TBuild);
   auto THou = std::chrono::steady_clock::now();
-  if (Opts.Verbose)
-    std::printf("    clauses built in %.2fs\n", secondsSince(TBuild));
+  SHARPIE_LOGF(TB, obs::LogLevel::Debug, "clauses built in %.2fs",
+               secondsSince(TBuild));
 
-  bool HoudiniOk = houdini(Clauses, Cand, Out.Why);
-  if (Opts.Verbose)
-    std::printf("    houdini %s in %.2fs\n", HoudiniOk ? "ok" : "failed",
-                secondsSince(THou));
+  bool HoudiniOk;
+  {
+    obs::Span Sp(TB, "houdini");
+    HoudiniOk = houdini(Clauses, Cand, Out.Why);
+  }
+  SHARPIE_LOGF(TB, obs::LogLevel::Debug, "houdini %s in %.2fs",
+               HoudiniOk ? "ok" : "failed", secondsSince(THou));
   if (!HoudiniOk) {
     Stats.HoudiniSeconds += secondsSince(THou);
-    if (Opts.Verbose)
-      std::printf("    houdini failed: %s\n", Out.Why.c_str());
+    SHARPIE_LOGF(TB, obs::LogLevel::Debug, "houdini failed: %s",
+                 Out.Why.c_str());
     return Out;
   }
   if (Opts.MinimizeInvariant) {
+    obs::Span Sp(TB, "minimize");
     auto TMin = std::chrono::steady_clock::now();
     size_t Before = Cand.size();
     minimizeAtoms(Clauses, Cand);
-    if (Opts.Verbose)
-      std::printf("    minimized %zu -> %zu atoms in %.2fs\n", Before,
-                  Cand.size(), secondsSince(TMin));
+    SHARPIE_LOGF(TB, obs::LogLevel::Debug, "minimized %zu -> %zu atoms in %.2fs",
+                 Before, Cand.size(), secondsSince(TMin));
   }
   Stats.HoudiniSeconds += secondsSince(THou);
 
   Term Inv = closedInvariant(SetBodies, Cand);
   auto TRe = std::chrono::steady_clock::now();
-  bool RecheckOk = !Opts.FinalRecheck || recheck(Inv, States, Out.Why);
+  bool RecheckOk;
+  {
+    obs::Span Sp(TB, "recheck");
+    RecheckOk = !Opts.FinalRecheck || recheck(Inv, States, Out.Why);
+  }
   Stats.RecheckSeconds += secondsSince(TRe);
-  if (Opts.Verbose)
-    std::printf("    recheck %s in %.2fs\n", RecheckOk ? "ok" : "failed",
-                secondsSince(TRe));
+  SHARPIE_LOGF(TB, obs::LogLevel::Debug, "recheck %s in %.2fs",
+               RecheckOk ? "ok" : "failed", secondsSince(TRe));
   if (!RecheckOk)
     return Out;
 
@@ -827,11 +871,12 @@ void Synthesizer::runSerial(
       LastWhy = "time budget exhausted";
       break;
     }
-    if (Opts.Verbose) {
-      std::printf("  [tuple %u]", Stats.TuplesTried + 1);
+    if (TB && TB->logEnabled(obs::LogLevel::Debug)) {
+      std::string Bodies;
       for (Term SB : SetBodies)
-        std::printf(" #{t | %s}", logic::toString(SB).c_str());
-      std::printf("\n");
+        Bodies += " #{t | " + logic::toString(SB) + "}";
+      TB->logf(obs::LogLevel::Debug, "[tuple %u]%s", Stats.TuplesTried + 1,
+               Bodies.c_str());
     }
     TupleOutcome O = tryTuple(SetBodies, Pool, States);
     if (!O.Verified) {
@@ -896,10 +941,15 @@ void Synthesizer::runParallel(
     WOpts.QGuard = Tr(Opts.QGuard);
     WOpts.FixedSetBodies.clear();
     WOpts.NumWorkers = 1;
+    WOpts.Trace = nullptr;            // Buffers are handed out by rank below.
+    WOpts.ReuseReduceCache = nullptr; // Bound to the main manager.
     C.Synth = std::make_unique<Synthesizer>(*C.Sys, WOpts);
     C.Synth->Deadline = Deadline; // One budget for the whole search.
     C.Synth->Solver = smt::makeZ3Solver(*C.M);
     C.Synth->Solver->setTimeoutMs(Opts.SmtTimeoutMs);
+    // Worker W owns trace rank W+1 (rank 0 is the driver); registration is
+    // the one mutex-guarded step, the buffer itself is thread-local.
+    C.Synth->TB = TraceSink ? TraceSink->worker(W + 1) : nullptr;
     std::vector<Term> WPool;
     WPool.reserve(Pool.size());
     for (Term A : Pool)
@@ -936,11 +986,13 @@ void Synthesizer::runParallel(
       WBodies.reserve(TupleBodies[Rank].size());
       for (Term B : TupleBodies[Rank])
         WBodies.push_back(Tr(B));
-      if (Opts.Verbose) {
-        std::printf("  [w%u tuple %zu]", W, Rank + 1);
+      if (obs::TraceBuffer *WTB = C.Synth->TB;
+          WTB && WTB->logEnabled(obs::LogLevel::Debug)) {
+        std::string Bodies;
         for (Term SB : WBodies)
-          std::printf(" #{t | %s}", logic::toString(SB).c_str());
-        std::printf("\n");
+          Bodies += " #{t | " + logic::toString(SB) + "}";
+        WTB->logf(obs::LogLevel::Debug, "[tuple %zu]%s", Rank + 1,
+                  Bodies.c_str());
       }
       auto T0 = std::chrono::steady_clock::now();
       TupleOutcome O = C.Synth->tryTuple(WBodies, WPool, WStates);
@@ -1029,8 +1081,8 @@ void Synthesizer::runParallel(
     Stats.ReduceSeconds += WS.ReduceSeconds;
     Stats.HoudiniSeconds += WS.HoudiniSeconds;
     Stats.RecheckSeconds += WS.RecheckSeconds;
-    Stats.CacheHits += C.Synth->RCache.hits();
-    Stats.CacheMisses += C.Synth->RCache.misses();
+    Stats.CacheHits += C.Synth->RC->hits();
+    Stats.CacheMisses += C.Synth->RC->misses();
     if (Winner != SIZE_MAX && Slots[Winner].Worker ==
                                   static_cast<unsigned>(&C - Ctxs.data()))
       Stats.AtomsAfterPrefilter = WS.AtomsAfterPrefilter;
@@ -1045,24 +1097,45 @@ void Synthesizer::runParallel(
 
 SynthResult Synthesizer::run() {
   auto Start = std::chrono::steady_clock::now();
+
+  // Wire up observability: the caller's tracer, or -- Verbose back-compat
+  // -- an internal Debug-level tracer logging to stdout (where the old
+  // printf output went). Null TB keeps the whole pipeline on the
+  // zero-overhead path.
+  TraceSink = Opts.Trace;
+  if (!TraceSink && Opts.Verbose) {
+    obs::TracerConfig Cfg;
+    Cfg.Level = obs::LogLevel::Debug;
+    Cfg.LogStream = stdout;
+    OwnTracer = std::make_unique<obs::Tracer>(Cfg);
+    TraceSink = OwnTracer.get();
+  }
+  if (TraceSink)
+    TB = TraceSink->worker(0);
+  if (Opts.ReuseReduceCache)
+    RC = Opts.ReuseReduceCache;
+  // Shared caches carry hits/misses from earlier runs; report deltas.
+  unsigned BaseHits = RC->hits(), BaseMisses = RC->misses();
+  obs::Span RunSp(TB, "synthesize");
   SynthResult Res;
 
   // Explicit exploration: counterexample detection + pre-filter states.
   std::vector<sys::ParamSystem::State> States;
   if (Opts.ExplicitPrefilter || Opts.StopOnExplicitCex) {
     auto T0 = std::chrono::steady_clock::now();
-    explct::ExplicitResult ER = explct::explore(Sys, Opts.Explicit);
+    explct::ExplicitResult ER = explct::explore(Sys, Opts.Explicit, TB);
     Stats.ExplicitStates = ER.NumStates;
     Stats.ExplicitSeconds = secondsSince(T0);
-    if (Opts.Verbose)
-      std::printf("  [explicit] %u states in %.2fs\n", ER.NumStates,
-                  secondsSince(T0));
+    SHARPIE_LOGF(TB, obs::LogLevel::Info, "[explicit] %u states in %.2fs",
+                 ER.NumStates, secondsSince(T0));
     if (!ER.Safe && Opts.StopOnExplicitCex) {
       Res.Cex = ER.Cex;
       Res.Note = "explicit counterexample with N=" +
                  std::to_string(Opts.Explicit.NumThreads);
       Res.Stats = Stats;
       Res.Stats.Seconds = secondsSince(Start);
+      if (TraceSink)
+        Res.Stats.Metrics = TraceSink->metrics();
       return Res;
     }
     // Sample evenly up to the cap. This reachable-state set is computed
@@ -1073,6 +1146,7 @@ SynthResult Synthesizer::run() {
       States.push_back(std::move(ER.States[I]));
   }
 
+  auto TEnum = std::chrono::steady_clock::now();
   std::vector<SetCandidate> Cands = enumerateSetBodies(Sys, F);
   std::vector<Term> Pool = enumerateInvAtoms(Sys, F);
   Stats.AtomsInPool = static_cast<unsigned>(Pool.size());
@@ -1093,6 +1167,7 @@ SynthResult Synthesizer::run() {
       TupleBodies.push_back(std::move(Bodies));
     }
   }
+  Stats.EnumerateSeconds = secondsSince(TEnum);
 
   unsigned Workers = engine::ThreadPool::effectiveWorkers(Opts.NumWorkers);
   Workers = static_cast<unsigned>(
@@ -1102,10 +1177,12 @@ SynthResult Synthesizer::run() {
   else
     runSerial(TupleBodies, Pool, States, Res);
 
-  Stats.CacheHits += RCache.hits();
-  Stats.CacheMisses += RCache.misses();
+  Stats.CacheHits += RC->hits() - BaseHits;
+  Stats.CacheMisses += RC->misses() - BaseMisses;
   Res.Stats = Stats;
   Res.Stats.Seconds = secondsSince(Start);
+  if (TraceSink)
+    Res.Stats.Metrics = TraceSink->metrics();
   return Res;
 }
 

@@ -39,6 +39,7 @@
 
 #include "engine/Reduce.h"
 #include "explicit/Explicit.h"
+#include "obs/Obs.h"
 #include "synth/Grammar.h"
 #include "system/System.h"
 
@@ -84,7 +85,24 @@ struct SynthOptions {
   bool FinalRecheck = true;
   /// Greedily minimize the surviving atom set before output and re-check.
   bool MinimizeInvariant = true;
+  /// Back-compat debug switch. When set without a Trace, the synthesis
+  /// creates an internal stdout tracer at Debug level, so the old verbose
+  /// output survives (now with level/worker prefixes).
   bool Verbose = false;
+  /// Observability sink (see obs/Obs.h). When non-null the synthesis emits
+  /// spans (synthesize > tuple > houdini > smt_check), counters, latency
+  /// histograms and leveled log lines into it: the driver and the serial
+  /// search use worker rank 0, parallel search worker W uses rank W+1.
+  /// SynthStats::Metrics is filled from it at the end of the run. Not
+  /// owned; must outlive the call.
+  obs::Tracer *Trace = nullptr;
+  /// Cross-run reduction cache. Within one run every reduction input is
+  /// distinct (see ReduceCache's doc), so sharing a cache across runs on
+  /// the *same* TermManager is where hits come from (re-verification,
+  /// pinned tuples). Serial path only: parallel workers own private
+  /// managers and caches, so the pointer is ignored when the search runs
+  /// with more than one worker. Not owned; must be bound to Sys's manager.
+  engine::ReduceCache *ReuseReduceCache = nullptr;
 };
 
 struct SynthStats {
@@ -105,6 +123,9 @@ struct SynthStats {
   /// Per-phase busy time, summed over all workers (so in a parallel run
   /// the phases can exceed Seconds, which stays wall-clock).
   double ExplicitSeconds = 0;
+  /// Candidate enumeration: set-body/atom-pool grammar walks, tuple
+  /// ranking, and main-solver setup (driver only, once per run).
+  double EnumerateSeconds = 0;
   double PrefilterSeconds = 0;
   double ReduceSeconds = 0;
   double HoudiniSeconds = 0;
@@ -112,6 +133,11 @@ struct SynthStats {
   /// Busy worker-seconds divided by workers * search wall time; 1.0 means
   /// every worker was processing tuples the whole search.
   double WorkerUtilization = 1.0;
+
+  /// Merged counters and histogram summaries (SMT latency per phase,
+  /// reduction latency, per-CARD-rule axiom counts, ...) from the tracer
+  /// that observed the run. Empty when no tracer was configured.
+  obs::MetricsSummary Metrics;
 };
 
 struct SynthResult {
@@ -133,6 +159,19 @@ Formals formalsFor(logic::TermManager &M, const ShapeTemplate &Shape);
 
 /// Runs #Pi on \p Sys.
 SynthResult synthesize(sys::ParamSystem &Sys, const SynthOptions &Opts);
+
+/// Renders \p S as an aligned human-readable table (multi-line string,
+/// trailing newline): search counters, per-phase busy seconds with their
+/// share of \p WallSeconds, and the histogram five-number summaries from
+/// S.Metrics. Returned as a string so drivers outside src/ decide where it
+/// goes (src/ itself never prints).
+std::string renderStatsTable(const SynthStats &S, double WallSeconds);
+
+/// The stats as comma-separated `"key": value` JSON fields (no braces), a
+/// shared fragment so every driver emits the same schema: the scalar
+/// counters and phase seconds, plus `"hist_<name>": {count,min,max,mean,
+/// p50,p90,p99}` per histogram and `"ctr_<name>": total` per counter.
+std::string statsJsonFields(const SynthStats &S);
 
 } // namespace synth
 } // namespace sharpie

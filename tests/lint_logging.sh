@@ -1,0 +1,23 @@
+#!/bin/sh
+# Part of sharpie. Lint: the library never prints directly. All human
+# output from src/ goes through the obs layer (leveled log, trace sinks)
+# so drivers control verbosity and destinations; raw printf-family calls
+# belong only in src/obs/ (the sinks themselves), tools/, examples/ and
+# bench/. Checked by grep so a stray debug fprintf fails CI, not review.
+#
+#   usage: lint_logging.sh <repo-root>
+#
+# \b keeps snprintf/vsnprintf (string formatting, no I/O) out of scope.
+ROOT=${1:?usage: lint_logging.sh repo-root}
+
+BAD=$(grep -rnE '\b(printf|fprintf|fputs|puts)[[:space:]]*\(' \
+        "$ROOT/src" --include='*.cpp' --include='*.h' \
+      | grep -v "^$ROOT/src/obs/")
+
+if [ -n "$BAD" ]; then
+  echo "raw printing in src/ outside src/obs/ (route it through the"
+  echo "tracer's log, or return a string and let the driver print):"
+  echo "$BAD"
+  exit 1
+fi
+exit 0

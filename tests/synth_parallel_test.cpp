@@ -9,10 +9,13 @@
 //===----------------------------------------------------------------------===//
 
 #include "logic/TermOps.h"
+#include "obs/Export.h"
 #include "protocols/Protocols.h"
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -104,6 +107,46 @@ TEST(SynthParallel, MoreWorkersThanTuples) {
   EXPECT_TRUE(R.Verified) << R.Note;
   EXPECT_GE(R.Stats.NumWorkers, 2u);
   EXPECT_LE(R.Stats.NumWorkers, 64u);
+}
+
+// A tracer observing the parallel search: every worker emits into its own
+// rank's buffer concurrently and the leveled log sink is hit from all of
+// them, so this is the race surface the ThreadSanitizer ctest entry runs
+// (tests/CMakeLists.txt). Also pins the rank scheme -- driver on rank 0,
+// worker W on rank W+1 -- and that the merged metrics survive the fold.
+TEST(SynthParallel, TracerFourWorkers) {
+  logic::TermManager M;
+  ProtocolBundle B = makeIncrement(M);
+  obs::TracerConfig Cfg;
+  Cfg.CollectEvents = true;
+  Cfg.Level = obs::LogLevel::Debug;
+  std::FILE *Sink = std::fopen("/dev/null", "w");
+  ASSERT_NE(Sink, nullptr);
+  Cfg.LogStream = Sink;
+  obs::Tracer T(Cfg);
+
+  synth::SynthOptions Opts;
+  Opts.Shape = B.Shape;
+  Opts.QGuard = B.QGuard;
+  Opts.Explicit = B.Explicit;
+  Opts.NumWorkers = 4;
+  Opts.Trace = &T;
+  synth::SynthResult R = synth::synthesize(*B.Sys, Opts);
+  EXPECT_TRUE(R.Verified) << R.Note;
+
+  std::set<unsigned> Ranks;
+  for (const obs::Event &E : T.mergedEvents())
+    Ranks.insert(E.Worker);
+  EXPECT_TRUE(Ranks.count(0)) << "driver events missing from rank 0";
+  EXPECT_GE(Ranks.size(), 2u) << "no worker rank emitted events";
+  for (unsigned W : Ranks)
+    EXPECT_LE(W, Opts.NumWorkers) << "rank beyond W+1 scheme";
+
+  const int64_t *Checks = R.Stats.Metrics.counter("smt_checks");
+  ASSERT_NE(Checks, nullptr);
+  EXPECT_GT(*Checks, 0);
+  EXPECT_NE(R.Stats.Metrics.hist("smt_ms"), nullptr);
+  std::fclose(Sink);
 }
 
 } // namespace

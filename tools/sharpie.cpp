@@ -6,6 +6,15 @@
 //
 //   sharpie <file.sharpie> [--workers N] [--json] [--verbose]
 //           [--time-budget SECONDS] [--max-tuples N]
+//           [--trace-out FILE] [--events-out FILE]
+//           [--log-level quiet|info|debug|trace] [--stats]
+//
+// Observability (see src/obs/): --trace-out writes a Chrome trace-event /
+// Perfetto JSON with one track per search worker; --events-out a JSONL
+// event stream; --log-level replaces --verbose (which maps to debug);
+// --stats prints a per-phase stats table to stderr after the run. The
+// SHARPIE_TRACE, SHARPIE_EVENTS and SHARPIE_LOG_LEVEL environment
+// variables are flag equivalents for scripted sweeps.
 //
 // Exit codes (deterministic, scriptable):
 //   0  verified safe (invariant printed)
@@ -17,6 +26,7 @@
 
 #include "front/Front.h"
 #include "logic/TermOps.h"
+#include "obs/Cli.h"
 #include "synth/Synth.h"
 
 #include <chrono>
@@ -33,8 +43,9 @@ void usage(const char *Argv0) {
   std::fprintf(stderr,
                "usage: %s <file.sharpie> [--workers N] [--json] [--verbose]"
                " [--time-budget SECONDS] [--max-tuples N]\n"
+               "       %s\n"
                "exit codes: 0 safe, 1 unsafe, 2 unknown/budget, 3 error\n",
-               Argv0);
+               Argv0, obs::CliObs::usageFragment());
 }
 
 double secondsSince(std::chrono::steady_clock::time_point T0) {
@@ -48,8 +59,17 @@ int run(int argc, char **argv) {
   unsigned Workers = 1;
   double TimeBudget = 0;
   unsigned MaxTuples = 0;
+  obs::CliObs Obs;
+  Obs.readEnv(); // Flags below override the environment.
   for (int I = 1; I < argc; ++I) {
-    if (!std::strcmp(argv[I], "--json"))
+    std::string ObsErr;
+    if (Obs.parseArg(argc, argv, I, ObsErr)) {
+      if (!ObsErr.empty()) {
+        std::fprintf(stderr, "error: %s\n", ObsErr.c_str());
+        usage(argv[0]);
+        return 3;
+      }
+    } else if (!std::strcmp(argv[I], "--json"))
       Json = true;
     else if (!std::strcmp(argv[I], "--verbose"))
       Verbose = true;
@@ -78,10 +98,19 @@ int run(int argc, char **argv) {
     usage(argv[0]);
     return 3;
   }
+  // --verbose is the back-compat spelling of --log-level debug.
+  if (Verbose &&
+      static_cast<int>(Obs.Level) < static_cast<int>(obs::LogLevel::Debug))
+    Obs.Level = obs::LogLevel::Debug;
+  std::unique_ptr<obs::Tracer> Tracer = Obs.makeTracer();
 
+  // One clock for all reported times: total_seconds spans parse through
+  // synthesis on this clock, so parse_seconds + synth_seconds <=
+  // total_seconds always holds in the JSON.
   auto T0 = std::chrono::steady_clock::now();
   logic::TermManager M;
-  front::LoadResult L = front::loadProtocolFile(M, File);
+  front::LoadResult L = front::loadProtocolFile(
+      M, File, Tracer ? Tracer->worker(0) : nullptr);
   if (!L.ok()) {
     std::fprintf(stderr, "%s\n", L.Error->render().c_str());
     return 3;
@@ -98,6 +127,7 @@ int run(int argc, char **argv) {
   Opts.QGuard = B.QGuard;
   Opts.Reduce.Card.Venn = B.NeedsVenn;
   Opts.Explicit = B.Explicit;
+  Opts.Trace = Tracer.get();
   Opts.Verbose = Verbose;
   Opts.NumWorkers = Workers;
   Opts.TimeBudgetSeconds = TimeBudget;
@@ -107,19 +137,25 @@ int run(int argc, char **argv) {
   auto T1 = std::chrono::steady_clock::now();
   synth::SynthResult Res = synth::synthesize(*B.Sys, Opts);
   double SynthSeconds = secondsSince(T1);
+  double TotalSeconds = secondsSince(T0);
+
+  if (Tracer) {
+    std::string Err;
+    if (!Obs.writeOutputs(*Tracer, Err))
+      std::fprintf(stderr, "warning: %s\n", Err.c_str());
+  }
+  if (Obs.Stats)
+    std::fprintf(stderr, "%s",
+                 synth::renderStatsTable(Res.Stats, SynthSeconds).c_str());
 
   if (Json) {
-    const synth::SynthStats &S = Res.Stats;
-    std::printf(
-        "{\"protocol\":\"%s\",\"file\":\"%s\",\"workers\":%u,"
-        "\"verified\":%s,\"found_cex\":%s,\"parse_seconds\":%.6f,"
-        "\"synth_seconds\":%.3f,\"seconds\":%.3f,\"tuples_tried\":%u,"
-        "\"smt_checks\":%u,\"cache_hits\":%u,\"cache_misses\":%u,"
-        "\"worker_utilization\":%.3f}\n",
-        B.Sys->name().c_str(), File.c_str(), S.NumWorkers,
-        Res.Verified ? "true" : "false", Res.Cex ? "true" : "false",
-        ParseSeconds, SynthSeconds, S.Seconds, S.TuplesTried, S.SmtChecks,
-        S.CacheHits, S.CacheMisses, S.WorkerUtilization);
+    std::printf("{\"protocol\":\"%s\",\"file\":\"%s\",\"verified\":%s,"
+                "\"found_cex\":%s,\"parse_seconds\":%.6f,"
+                "\"synth_seconds\":%.3f,\"total_seconds\":%.3f,%s}\n",
+                B.Sys->name().c_str(), File.c_str(),
+                Res.Verified ? "true" : "false", Res.Cex ? "true" : "false",
+                ParseSeconds, SynthSeconds, TotalSeconds,
+                synth::statsJsonFields(Res.Stats).c_str());
   }
 
   if (Res.Verified) {

@@ -13,7 +13,14 @@
 #                              on every examples/protocols/*.sharpie file
 #                              and writes BENCH_PR2.json (one JSON object
 #                              per file, carrying parse+lower and synthesis
-#                              wall times).
+#                              wall times);
+#   tools/sweep.sh --bench-pr3 observability benchmark: like --bench-pr2
+#                              but with metrics collection on (--stats), so
+#                              each line also carries the merged tracer
+#                              counters (ctr_*: cache hits/misses, CARD
+#                              axiom counts, ...) and latency histogram
+#                              summaries (hist_*: smt_ms per phase,
+#                              reduce_ms); writes BENCH_PR3.json.
 #
 # BIN points at the example_run_protocol binary, SHARPIE_BIN at the
 # sharpie driver, TIMEOUT is per run.
@@ -21,13 +28,19 @@ BIN=${BIN:-build/examples/example_run_protocol}
 SHARPIE_BIN=${SHARPIE_BIN:-build/tools/sharpie}
 TIMEOUT=${TIMEOUT:-120}
 
-if [ "$1" = "--bench-pr2" ]; then
-  OUT=${OUT:-BENCH_PR2.json}
+if [ "$1" = "--bench-pr2" ] || [ "$1" = "--bench-pr3" ]; then
+  if [ "$1" = "--bench-pr3" ]; then
+    OUT=${OUT:-BENCH_PR3.json}
+    STATS=--stats # Turns metrics collection on: ctr_*/hist_* JSON fields.
+  else
+    OUT=${OUT:-BENCH_PR2.json}
+    STATS=
+  fi
   PROTODIR=${PROTODIR:-examples/protocols}
   printf '{"meta":{"nproc":%s,"protodir":"%s"}}\n' \
     "$(nproc 2>/dev/null || echo 0)" "$PROTODIR" > "$OUT"
   for f in "$PROTODIR"/*.sharpie; do
-    line=$(timeout "$TIMEOUT" "$SHARPIE_BIN" "$f" --json 2>/dev/null \
+    line=$(timeout "$TIMEOUT" "$SHARPIE_BIN" "$f" --json $STATS 2>/dev/null \
            | grep '^{' | head -1)
     if [ -n "$line" ]; then
       printf '%s\n' "$line" >> "$OUT"

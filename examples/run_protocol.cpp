@@ -14,7 +14,12 @@
 // frontend failures exit 3 like the sharpie driver. The shared
 // observability flags (--trace-out, --events-out, --log-level, --stats;
 // SHARPIE_TRACE / SHARPIE_EVENTS / SHARPIE_LOG_LEVEL in the environment)
-// work exactly as in tools/sharpie.cpp.
+// and the resilience flags (--faults / SHARPIE_FAULTS, --no-supervise,
+// --smt-timeout MS) work exactly as in tools/sharpie.cpp.
+//
+// Exit codes: 0 expected outcome (verified, or counterexample on a buggy
+// variant), 1 unexpected outcome, 2 usage error, 3 frontend error,
+// 4 inconclusive (no verdict and some failure may have hidden one).
 //
 //===----------------------------------------------------------------------===//
 
@@ -22,6 +27,7 @@
 #include "logic/TermOps.h"
 #include "obs/Cli.h"
 #include "protocols/Protocols.h"
+#include "resil/Fault.h"
 
 #include <chrono>
 #include <cstdio>
@@ -85,12 +91,17 @@ static std::map<std::string, BundleFactory> registry() {
   return R;
 }
 
-int main(int argc, char **argv) {
+static int runMain(int argc, char **argv) {
   bool Verbose = false;
   bool Json = false;
+  bool NoSupervise = false;
   unsigned Workers = 1;
+  unsigned SmtTimeoutMs = 0; // 0 = keep the SynthOptions default.
   std::string Name;
   std::string ProtocolFile;
+  std::string FaultSpec;
+  if (const char *Env = std::getenv("SHARPIE_FAULTS"))
+    FaultSpec = Env; // --faults below overrides the environment.
   obs::CliObs Obs;
   Obs.readEnv(); // Flags below override the environment.
   for (int I = 1; I < argc; ++I) {
@@ -108,6 +119,13 @@ int main(int argc, char **argv) {
       Workers = static_cast<unsigned>(std::strtol(argv[++I], nullptr, 10));
     else if (!std::strcmp(argv[I], "--protocol") && I + 1 < argc)
       ProtocolFile = argv[++I];
+    else if (!std::strcmp(argv[I], "--faults") && I + 1 < argc)
+      FaultSpec = argv[++I];
+    else if (!std::strcmp(argv[I], "--no-supervise"))
+      NoSupervise = true;
+    else if (!std::strcmp(argv[I], "--smt-timeout") && I + 1 < argc)
+      SmtTimeoutMs =
+          static_cast<unsigned>(std::strtol(argv[++I], nullptr, 10));
     else if (!std::strcmp(argv[I], "--list")) {
       for (const auto &[K, V] : registry())
         std::printf("%s\n", K.c_str());
@@ -118,6 +136,16 @@ int main(int argc, char **argv) {
   if (Verbose &&
       static_cast<int>(Obs.Level) < static_cast<int>(obs::LogLevel::Debug))
     Obs.Level = obs::LogLevel::Debug;
+  resil::FaultPlan Faults;
+  if (!FaultSpec.empty()) {
+    std::string FErr;
+    if (auto P = resil::FaultPlan::parse(FaultSpec, &FErr))
+      Faults = std::move(*P);
+    else {
+      std::fprintf(stderr, "error: bad fault plan: %s\n", FErr.c_str());
+      return 2;
+    }
+  }
   std::unique_ptr<obs::Tracer> Tracer = Obs.makeTracer();
 
   auto T0 = std::chrono::steady_clock::now();
@@ -161,6 +189,11 @@ int main(int argc, char **argv) {
   Opts.Trace = Tracer.get();
   Opts.Verbose = Verbose;
   Opts.NumWorkers = Workers;
+  Opts.Supervise.Enabled = !NoSupervise;
+  if (SmtTimeoutMs)
+    Opts.SmtTimeoutMs = SmtTimeoutMs;
+  if (!Faults.empty())
+    Opts.Faults = &Faults;
   auto T1 = std::chrono::steady_clock::now();
   synth::SynthResult Res = synth::synthesize(*B.Sys, Opts);
   auto Since = [](std::chrono::steady_clock::time_point T) {
@@ -181,10 +214,12 @@ int main(int argc, char **argv) {
 
   if (Json) {
     std::printf("{\"protocol\":\"%s\",\"verified\":%s,\"found_cex\":%s,"
+                "\"inconclusive\":%s,"
                 "\"synth_seconds\":%.3f,\"total_seconds\":%.3f,%s}\n",
                 Name.c_str(), Res.Verified ? "true" : "false",
-                Res.Cex ? "true" : "false", SynthSeconds, TotalSeconds,
-                synth::statsJsonFields(Res.Stats).c_str());
+                Res.Cex ? "true" : "false",
+                Res.Inconclusive ? "true" : "false", SynthSeconds,
+                TotalSeconds, synth::statsJsonFields(Res.Stats).c_str());
   }
 
   if (Res.Verified) {
@@ -206,7 +241,28 @@ int main(int argc, char **argv) {
       std::printf("  %s\n", S.c_str());
     return B.ExpectSafe ? 1 : 0;
   }
+  if (Res.Inconclusive) {
+    std::printf("INCONCLUSIVE after %.2fs: %s\n", Res.Stats.Seconds,
+                Res.Note.c_str());
+    std::printf("%s", synth::renderInconclusiveReport(Res).c_str());
+    return 4;
+  }
   std::printf("NOT VERIFIED after %.2fs: %s\n", Res.Stats.Seconds,
               Res.Note.c_str());
   return 1;
+}
+
+int main(int argc, char **argv) {
+  // Built-in bundles construct models directly, so a sys::ModelError (or
+  // any stray throw) can reach this driver without passing through the
+  // frontend's containment; exit 3 with a message, never abort.
+  try {
+    return runMain(argc, argv);
+  } catch (const std::exception &E) {
+    std::fprintf(stderr, "error: %s\n", E.what());
+    return 3;
+  } catch (...) {
+    std::fprintf(stderr, "error: unknown failure\n");
+    return 3;
+  }
 }

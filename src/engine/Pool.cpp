@@ -41,6 +41,11 @@ void ThreadPool::wait() {
   AllIdle.wait(L, [this] { return Pending == 0; });
 }
 
+std::string ThreadPool::firstJobError() const {
+  std::unique_lock<std::mutex> L(Mu);
+  return FirstError;
+}
+
 void ThreadPool::workerLoop() {
   for (;;) {
     std::function<void()> Job;
@@ -52,9 +57,23 @@ void ThreadPool::workerLoop() {
       Job = std::move(Jobs.front());
       Jobs.pop();
     }
-    Job();
+    const char *Err = nullptr;
+    std::string What;
+    try {
+      Job();
+    } catch (const std::exception &E) {
+      What = E.what();
+      Err = What.c_str();
+    } catch (...) {
+      Err = "unknown exception";
+    }
     {
       std::unique_lock<std::mutex> L(Mu);
+      if (Err) {
+        Failures.fetch_add(1, std::memory_order_relaxed);
+        if (FirstError.empty())
+          FirstError = Err;
+      }
       if (--Pending == 0)
         AllIdle.notify_all();
     }

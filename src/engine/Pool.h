@@ -15,9 +15,11 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <functional>
 #include <mutex>
 #include <queue>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -35,8 +37,10 @@ private:
   std::atomic<bool> Flag{false};
 };
 
-/// A fixed pool of threads draining a shared job queue. Jobs must not
-/// throw. The destructor waits for queued jobs to finish.
+/// A fixed pool of threads draining a shared job queue. A job that
+/// throws does not kill its worker: the exception is contained, counted,
+/// and the first error message is recorded for the driver to report.
+/// The destructor waits for queued jobs to finish.
 class ThreadPool {
 public:
   explicit ThreadPool(unsigned NumThreads);
@@ -53,6 +57,13 @@ public:
   /// Blocks until every submitted job has completed.
   void wait();
 
+  /// Number of jobs that escaped with an exception.
+  uint64_t jobFailures() const { return Failures.load(std::memory_order_relaxed); }
+
+  /// what() of the first escaped exception ("" when none, "unknown
+  /// exception" for non-std throws). Read after wait().
+  std::string firstJobError() const;
+
   /// The effective worker count for a requested \p NumWorkers: 0 means
   /// "one per hardware thread", anything else is taken literally.
   static unsigned effectiveWorkers(unsigned NumWorkers);
@@ -62,7 +73,9 @@ private:
 
   std::vector<std::thread> Threads;
   std::queue<std::function<void()>> Jobs;
-  std::mutex Mu;
+  std::atomic<uint64_t> Failures{0};
+  std::string FirstError; ///< Guarded by Mu.
+  mutable std::mutex Mu;
   std::condition_variable JobReady;  ///< Signals workers: job or shutdown.
   std::condition_variable AllIdle;   ///< Signals wait(): queue drained.
   unsigned Pending = 0;              ///< Queued + running jobs.

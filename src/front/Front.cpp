@@ -11,6 +11,7 @@
 #include "front/Lexer.h"
 #include "front/Lower.h"
 #include "front/Parser.h"
+#include "system/System.h"
 
 #include <fstream>
 #include <sstream>
@@ -54,6 +55,12 @@ static LoadResult guarded(logic::TermManager &M, const std::string &Source,
     R.Bundle = parseProtocol(M, Source, FileName, Trace);
   } catch (const FrontError &E) {
     R.Error = E.diagnostic();
+  } catch (const sys::ModelError &E) {
+    // A lowering bug or a model shape the validators missed: still a
+    // clean diagnostic, never an abort (the model layer throws instead
+    // of asserting on user-reachable paths).
+    R.Error = Diagnostic{FileName, 0, 0,
+                         std::string("model error: ") + E.what(), ""};
   } catch (const std::exception &E) {
     R.Error = Diagnostic{FileName, 0, 0,
                          std::string("internal error: ") + E.what(), ""};

@@ -385,6 +385,12 @@ void Lowerer::lowerTransition(const TransitionAst &T) {
 // -- Template and check sections ----------------------------------------------
 
 void Lowerer::lowerTemplate(const TemplateAst &T, FrontBundle &B) {
+  // Bound the shape before formals are built: a huge set count would blow
+  // up the tuple search space (and the release build would previously
+  // sail past a debug-only assert downstream).
+  if (T.NumSets > 8)
+    fail(T.L, "template declares " + std::to_string(T.NumSets) +
+                  " cardinality sets; at most 8 supported");
   B.Shape.NumSets = T.NumSets;
   for (const Binder &Q : T.Quantifiers)
     B.Shape.Quantifiers.push_back(Q.IsInt ? Sort::Int : Sort::Tid);
@@ -406,6 +412,24 @@ void Lowerer::lowerTemplate(const TemplateAst &T, FrontBundle &B) {
 }
 
 void Lowerer::lowerCheck(const CheckAst &C, FrontBundle &B) {
+  // Validate the check parameters here, with a source position, instead
+  // of letting them reach the explicit checker raw: a negative
+  // max_states used to wrap through the unsigned cast into a near-2^32
+  // exploration cap, and a negative thread count aborted in debug builds
+  // and looped in release ones.
+  if (C.Threads && (*C.Threads < 1 || *C.Threads > 16))
+    fail(C.L, "check threads must be between 1 and 16, got " +
+                  std::to_string(*C.Threads));
+  if (C.MaxStates && *C.MaxStates < 1)
+    fail(C.L, "check max_states must be positive, got " +
+                  std::to_string(*C.MaxStates));
+  if (C.IntBound && *C.IntBound < 1)
+    fail(C.L, "check int_bound must be positive, got " +
+                  std::to_string(*C.IntBound));
+  if (C.ChoiceRange && C.ChoiceRange->first > C.ChoiceRange->second)
+    fail(C.L, "check choice_range is empty: " +
+                  std::to_string(C.ChoiceRange->first) + " > " +
+                  std::to_string(C.ChoiceRange->second));
   if (C.Threads)
     B.Explicit.NumThreads = *C.Threads;
   if (C.MaxStates)

@@ -1,0 +1,226 @@
+//===- resil/Fault.cpp - Deterministic fault injection ------------------------===//
+//
+// Part of sharpie. See Fault.h.
+//
+//===----------------------------------------------------------------------===//
+
+#include "resil/Fault.h"
+
+#include <cstdlib>
+
+using namespace sharpie;
+using namespace sharpie::resil;
+
+const char *sharpie::resil::faultKindName(FaultKind K) {
+  switch (K) {
+  case FaultKind::None:
+    return "none";
+  case FaultKind::Timeout:
+    return "timeout";
+  case FaultKind::Unknown:
+    return "unknown";
+  case FaultKind::Throw:
+    return "throw";
+  case FaultKind::Latency:
+    return "latency";
+  }
+  return "?";
+}
+
+// -- Plan parsing -------------------------------------------------------------
+
+namespace {
+
+bool parseU64(std::string_view S, uint64_t &Out) {
+  if (S.empty())
+    return false;
+  uint64_t V = 0;
+  for (char C : S) {
+    if (C < '0' || C > '9')
+      return false;
+    V = V * 10 + static_cast<uint64_t>(C - '0');
+  }
+  Out = V;
+  return true;
+}
+
+bool parseF64(std::string_view S, double &Out) {
+  if (S.empty())
+    return false;
+  std::string Buf(S);
+  char *End = nullptr;
+  Out = std::strtod(Buf.c_str(), &End);
+  return End && *End == '\0';
+}
+
+std::optional<FaultPlan> err(std::string *E, const std::string &Msg) {
+  if (E)
+    *E = Msg;
+  return std::nullopt;
+}
+
+} // namespace
+
+std::optional<FaultPlan> FaultPlan::parse(std::string_view Spec,
+                                          std::string *Err) {
+  FaultPlan P;
+  size_t Pos = 0;
+  bool First = true;
+  while (Pos <= Spec.size()) {
+    size_t Semi = Spec.find(';', Pos);
+    std::string_view Part =
+        Spec.substr(Pos, Semi == std::string_view::npos ? Semi : Semi - Pos);
+    Pos = Semi == std::string_view::npos ? Spec.size() + 1 : Semi + 1;
+    if (Part.empty()) {
+      if (First)
+        First = false;
+      continue;
+    }
+    if (First && Part.substr(0, 5) == "seed=") {
+      First = false;
+      if (!parseU64(Part.substr(5), P.Seed))
+        return err(Err, "fault plan: bad seed '" + std::string(Part) + "'");
+      continue;
+    }
+    First = false;
+    size_t Colon = Part.find(':');
+    if (Colon == std::string_view::npos || Colon == 0)
+      return err(Err, "fault plan: rule '" + std::string(Part) +
+                          "' needs the form site:kind[@trigger]");
+    FaultRule R;
+    R.Site = std::string(Part.substr(0, Colon));
+    std::string_view Rest = Part.substr(Colon + 1);
+    size_t At = Rest.find('@');
+    std::string_view KindS = Rest.substr(0, At);
+    if (KindS == "timeout")
+      R.Kind = FaultKind::Timeout;
+    else if (KindS == "unknown")
+      R.Kind = FaultKind::Unknown;
+    else if (KindS == "throw")
+      R.Kind = FaultKind::Throw;
+    else if (KindS.substr(0, 8) == "latency=") {
+      uint64_t Ms = 0;
+      if (!parseU64(KindS.substr(8), Ms))
+        return err(Err, "fault plan: bad latency '" + std::string(KindS) +
+                            "'");
+      R.Kind = FaultKind::Latency;
+      R.LatencyMs = static_cast<unsigned>(Ms);
+    } else
+      return err(Err, "fault plan: unknown kind '" + std::string(KindS) +
+                          "' (timeout|unknown|throw|latency=MS)");
+    if (At != std::string_view::npos) {
+      std::string_view Trig = Rest.substr(At + 1);
+      size_t TPos = 0;
+      while (TPos <= Trig.size()) {
+        size_t Comma = Trig.find(',', TPos);
+        std::string_view T = Trig.substr(
+            TPos, Comma == std::string_view::npos ? Comma : Comma - TPos);
+        TPos = Comma == std::string_view::npos ? Trig.size() + 1 : Comma + 1;
+        if (T.empty())
+          return err(Err, "fault plan: empty trigger in '" +
+                              std::string(Part) + "'");
+        if (T == "always") {
+          // No constraint.
+        } else if (T.substr(0, 2) == "p=") {
+          if (!parseF64(T.substr(2), R.Prob) || R.Prob < 0 || R.Prob > 1)
+            return err(Err, "fault plan: bad probability '" + std::string(T) +
+                                "' (want p=0..1)");
+        } else if (T.substr(0, 6) == "every=") {
+          if (!parseU64(T.substr(6), R.Every) || R.Every == 0)
+            return err(Err,
+                       "fault plan: bad trigger '" + std::string(T) + "'");
+        } else if (T.substr(0, 7) == "worker=") {
+          uint64_t W = 0;
+          if (!parseU64(T.substr(7), W))
+            return err(Err,
+                       "fault plan: bad trigger '" + std::string(T) + "'");
+          R.Worker = static_cast<int>(W);
+        } else
+          return err(Err, "fault plan: unknown trigger '" + std::string(T) +
+                              "' (always|p=F|every=N|worker=W)");
+      }
+    }
+    P.Rules.push_back(std::move(R));
+  }
+  return P;
+}
+
+std::string FaultPlan::render() const {
+  std::string Out = "seed=" + std::to_string(Seed);
+  for (const FaultRule &R : Rules) {
+    Out += ";" + R.Site + ":";
+    if (R.Kind == FaultKind::Latency)
+      Out += "latency=" + std::to_string(R.LatencyMs);
+    else
+      Out += faultKindName(R.Kind);
+    std::vector<std::string> Trigs;
+    if (R.Prob >= 0) {
+      char Buf[32];
+      std::snprintf(Buf, sizeof(Buf), "p=%g", R.Prob);
+      Trigs.push_back(Buf);
+    }
+    if (R.Every)
+      Trigs.push_back("every=" + std::to_string(R.Every));
+    if (R.Worker >= 0)
+      Trigs.push_back("worker=" + std::to_string(R.Worker));
+    if (Trigs.empty())
+      Trigs.push_back("always");
+    for (size_t I = 0; I < Trigs.size(); ++I)
+      Out += (I ? "," : "@") + Trigs[I];
+  }
+  return Out;
+}
+
+// -- Injector -----------------------------------------------------------------
+
+namespace {
+
+uint64_t splitmix64(uint64_t X) {
+  X += 0x9e3779b97f4a7c15ULL;
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebULL;
+  return X ^ (X >> 31);
+}
+
+uint64_t hashStr(std::string_view S) {
+  uint64_t H = 0xcbf29ce484222325ULL; // FNV-1a.
+  for (char C : S)
+    H = (H ^ static_cast<unsigned char>(C)) * 0x100000001b3ULL;
+  return H;
+}
+
+} // namespace
+
+void FaultInjector::beginScope(uint64_t S) {
+  Scope = S;
+  Index.clear();
+}
+
+FaultDecision FaultInjector::next(const char *Site) {
+  uint64_t *Idx = nullptr;
+  for (auto &[Name, I] : Index)
+    if (Name == Site)
+      Idx = &I;
+  if (!Idx) {
+    Index.emplace_back(Site, 0);
+    Idx = &Index.back().second;
+  }
+  uint64_t I = (*Idx)++;
+  for (const FaultRule &R : Plan.Rules) {
+    if (R.Site != Site)
+      continue;
+    if (R.Worker >= 0 && static_cast<unsigned>(R.Worker) != Worker)
+      continue;
+    if (R.Every && (I + 1) % R.Every != 0)
+      continue;
+    if (R.Prob >= 0) {
+      uint64_t H = splitmix64(Plan.Seed ^ hashStr(Site) ^
+                              splitmix64(Scope * 0x9e3779b97f4a7c15ULL + I));
+      double U = static_cast<double>(H >> 11) * 0x1.0p-53;
+      if (U >= R.Prob)
+        continue;
+    }
+    return {R.Kind, R.LatencyMs};
+  }
+  return {};
+}

@@ -1,0 +1,153 @@
+//===- resil/Resil.h - Supervised SMT solving -------------------*- C++ -*-===//
+//
+// Part of sharpie. The resilience layer around smt::SmtSolver: quantified
+// invariant checking is exactly the regime where back ends time out,
+// answer Unknown, or throw, and a search that serves heavy traffic must
+// degrade instead of hanging or aborting. SupervisedSolver wraps any
+// back end and
+//
+//   * enforces a per-check deadline, clamped to the remaining global
+//     time budget so no single check outlives the search;
+//   * classifies every Unknown (timeout vs. incompleteness vs. injected
+//     fault vs. budget exhaustion vs. solver exception);
+//   * retries timeout-class Unknowns with exponential backoff -- the
+//     "backoff" grows the per-attempt time slice, since an in-process
+//     solver has nothing to recover from by merely waiting;
+//   * escalates to the other back end (Z3 <-> MiniSolver) after the
+//     bounded retries are spent, replaying the recorded assertion trail
+//     into a fresh solver;
+//   * counts every retry / fallback / injected fault into the obs layer
+//     ("retries", "fallbacks", "faults_injected") and a ResilCounters
+//     sink the synthesizer folds into SynthStats.
+//
+// Soundness is untouched: the wrapper only ever converts an Unknown into
+// a Sat/Unsat obtained from a real solver run over the same assertions,
+// or passes the Unknown through. Callers keep treating Unknown
+// conservatively (candidate dropped, safety not declared).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SHARPIE_RESIL_RESIL_H
+#define SHARPIE_RESIL_RESIL_H
+
+#include "resil/Fault.h"
+#include "smt/SmtSolver.h"
+
+#include <chrono>
+#include <functional>
+
+namespace sharpie {
+namespace resil {
+
+/// Why the last supervised check() returned Unknown.
+enum class FailureClass : uint8_t {
+  None,            ///< Last check answered Sat/Unsat.
+  Timeout,         ///< Back end hit its per-check deadline.
+  Incomplete,      ///< Query outside the back end's complete fragment.
+  InjectedFault,   ///< A FaultPlan rule fired.
+  SolverException, ///< The back end threw; contained here.
+  BudgetExhausted, ///< Global TimeBudgetSeconds left no time to check.
+};
+
+const char *failureClassName(FailureClass C);
+
+/// Retry / fallback / failure-class tallies, merged into SynthStats at
+/// the end of a run. One sink per worker (single-writer, like the trace
+/// buffers); the driver folds them.
+struct ResilCounters {
+  uint64_t Retries = 0;
+  uint64_t Fallbacks = 0;
+  uint64_t FaultsInjected = 0;
+  uint64_t UnknownTimeout = 0;
+  uint64_t UnknownIncomplete = 0;
+  uint64_t SolverExceptions = 0;
+};
+
+struct SupervisionOptions {
+  /// Master switch: disabled reproduces the bare back end (for overhead
+  /// A/B runs; --no-supervise in the drivers).
+  bool Enabled = true;
+  /// Extra attempts on the primary back end after a timeout-class
+  /// Unknown. Incompleteness is not retried (the fragment will not
+  /// change); it escalates straight to the fallback.
+  unsigned MaxRetries = 1;
+  /// Per-retry multiplier on the per-check time slice.
+  double BackoffFactor = 2.0;
+  /// Hard cap on any single check's timeout, backoff included.
+  unsigned MaxCheckTimeoutMs = 120000;
+  /// Escalate to the cross-checking back end after retries are spent.
+  bool CrossCheckFallback = true;
+};
+
+/// Supervised wrapper over an smt::SmtSolver. Records the assertion
+/// trail (terms + frame stack) so a restarted or fallback solver can be
+/// replayed to the exact current state. Single-threaded, like every
+/// solver in this codebase.
+class SupervisedSolver final : public smt::SmtSolver {
+public:
+  using Factory = std::function<std::unique_ptr<smt::SmtSolver>()>;
+
+  /// \p Fallback may be null (no escalation). \p Sink, \p Faults and
+  /// \p TB may be null. \p Deadline is the global search deadline
+  /// (time_point::max() when unbudgeted); per-check timeouts are clamped
+  /// to the time remaining before it.
+  SupervisedSolver(std::unique_ptr<smt::SmtSolver> Primary, Factory Fallback,
+                   SupervisionOptions Opts, ResilCounters *Sink,
+                   FaultInjector *Faults, const char *Site,
+                   obs::TraceBuffer *TB,
+                   std::chrono::steady_clock::time_point Deadline);
+
+  void push() override;
+  void pop() override;
+  void add(logic::Term T) override;
+  smt::SatResult check() override;
+  std::unique_ptr<smt::SmtModel> model() override;
+  /// Sets the base per-check time slice (before backoff and budget
+  /// clamping). 0 disables the per-check timeout.
+  void setTimeoutMs(unsigned Ms) override;
+
+  /// Classification of the most recent check()'s Unknown (None after a
+  /// Sat/Unsat answer).
+  FailureClass lastFailure() const { return LastFailure; }
+
+private:
+  smt::SatResult checkOnce(smt::SmtSolver &S, unsigned EffTimeoutMs,
+                           FailureClass &Class);
+  void applyTimeout(smt::SmtSolver &S, unsigned Ms, unsigned &Applied);
+  void replayInto(smt::SmtSolver &S);
+  long long remainingBudgetMs() const;
+  void bump(uint64_t ResilCounters::*Field, const char *Ctr);
+
+  std::unique_ptr<smt::SmtSolver> Primary;
+  Factory MakeFallback;
+  /// Live only between an escalated check and the next mutation: the
+  /// trail replayed into it goes stale on add/push/pop, and keeping two
+  /// solvers in lockstep would double assertion-translation cost on the
+  /// fault-free path.
+  std::unique_ptr<smt::SmtSolver> Fallback;
+  /// The solver that produced the last Sat answer; model() reads it.
+  smt::SmtSolver *Answered = nullptr;
+  SupervisionOptions Opts;
+  ResilCounters *Sink;
+  FaultInjector *Faults;
+  const char *Site;
+  obs::TraceBuffer *TB;
+  std::chrono::steady_clock::time_point Deadline;
+  FailureClass LastFailure = FailureClass::None;
+  unsigned BaseTimeoutMs = 0;
+  unsigned PrimaryTimeoutApplied = ~0u;
+
+  // Assertion trail for restart/fallback replay (frame scheme mirrors
+  // MiniSolver's).
+  std::vector<logic::Term> Trail;
+  std::vector<size_t> Frames;
+};
+
+/// Classifies a back end's reasonUnknown() string: timeout/cancel/
+/// resource words are Timeout, everything else Incomplete.
+FailureClass classifyUnknownReason(std::string_view Reason);
+
+} // namespace resil
+} // namespace sharpie
+
+#endif // SHARPIE_RESIL_RESIL_H

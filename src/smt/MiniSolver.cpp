@@ -105,6 +105,7 @@ public:
   SatResult check() override;
   std::unique_ptr<SmtModel> model() override;
   void setTimeoutMs(unsigned Ms) override { TimeoutMs = Ms; }
+  std::string reasonUnknown() const override { return Reason; }
 
 private:
   friend class MiniModel;
@@ -165,6 +166,7 @@ private:
   // back ends.
   unsigned TimeoutMs = 0;
   std::chrono::steady_clock::time_point CheckDeadline;
+  std::string Reason; ///< reasonUnknown() of the last Unknown answer.
   bool pastDeadline() const {
     return TimeoutMs != 0 &&
            std::chrono::steady_clock::now() > CheckDeadline;
@@ -655,14 +657,18 @@ SatResult MiniSolverImpl::solve() {
   uint64_t Conflicts = 0;
   uint64_t Iters = 0;
   for (;;) {
-    if ((++Iters & 63) == 0 && pastDeadline())
+    if ((++Iters & 63) == 0 && pastDeadline()) {
+      Reason = "timeout";
       return SatResult::Unknown;
+    }
     size_t ConflictClause = SIZE_MAX;
     if (!Propagate(ConflictClause)) {
       if (S.decisionLevel() == 0)
         return SatResult::Unsat;
-      if (++Conflicts > 200000)
+      if (++Conflicts > 200000) {
+        Reason = "conflict budget exceeded";
         return SatResult::Unknown;
+      }
       std::vector<Lit> Learnt;
       unsigned BackLevel = 0;
       Analyze(ConflictClause, Learnt, BackLevel);
@@ -697,8 +703,10 @@ SatResult MiniSolverImpl::solve() {
       TheoryUnknown = false;
       if (theoryCheck(Conflict))
         return SatResult::Sat;
-      if (TheoryUnknown)
+      if (TheoryUnknown) {
+        Reason = "incomplete: arithmetic budget or overflow";
         return SatResult::Unknown;
+      }
       // Exclude this theory-inconsistent assignment and restart the search
       // from level 0 (simple and complete: each learnt theory clause
       // excludes at least the current assignment).
@@ -713,6 +721,7 @@ SatResult MiniSolverImpl::solve() {
 
 SatResult MiniSolverImpl::check() {
   ++NumChecks;
+  Reason.clear();
   CheckDeadline =
       std::chrono::steady_clock::now() + std::chrono::milliseconds(TimeoutMs);
   // Reset per-check state.
@@ -733,8 +742,10 @@ SatResult MiniSolverImpl::check() {
   }
 
   std::vector<Term> Side;
-  if (!lower(Root, Side))
+  if (!lower(Root, Side)) {
+    Reason = "incomplete: outside the ground fragment";
     return SatResult::Unknown;
+  }
 
   // Encode the root and all side conditions produced during lowering
   // (lowering may generate more side conditions while encoding them).
@@ -755,8 +766,10 @@ SatResult MiniSolverImpl::check() {
       continue;
     std::vector<Term> NewSide;
     auto L = encode(T, NewSide);
-    if (!L)
+    if (!L) {
+      Reason = "incomplete: outside the ground fragment";
       return SatResult::Unknown;
+    }
     Roots.push_back(*L);
     for (Term NS : NewSide)
       Pending.push_back(NS);
@@ -777,8 +790,10 @@ SatResult MiniSolverImpl::check() {
                                 M.mkEq(Reads[I].second, Reads[J].second));
         std::vector<Term> NoSide;
         auto L = encode(Cong, NoSide);
-        if (!L || !NoSide.empty())
+        if (!L || !NoSide.empty()) {
+          Reason = "incomplete: outside the ground fragment";
           return SatResult::Unknown;
+        }
         addClause({*L});
       }
   }

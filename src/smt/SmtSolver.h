@@ -60,6 +60,12 @@ public:
   /// Sets a per-check soft timeout. 0 disables the timeout.
   virtual void setTimeoutMs(unsigned Ms) = 0;
 
+  /// After a check() that answered Unknown: a short lower-case reason
+  /// ("timeout", "incomplete: ...", Z3's reason_unknown text). Empty when
+  /// the back end has nothing to say; undefined after Sat/Unsat. The
+  /// resilience layer (resil/Resil.h) classifies Unknowns with this.
+  virtual std::string reasonUnknown() const { return std::string(); }
+
   /// Number of check() calls, for benchmark statistics.
   unsigned numChecks() const { return NumChecks; }
 

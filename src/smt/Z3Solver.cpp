@@ -189,6 +189,7 @@ public:
 
   SatResult check() override {
     ++NumChecks;
+    LastReason.clear();
     try {
       switch (Solver.check()) {
       case z3::sat:
@@ -196,13 +197,17 @@ public:
       case z3::unsat:
         return SatResult::Unsat;
       case z3::unknown:
+        LastReason = Solver.reason_unknown();
         return SatResult::Unknown;
       }
-    } catch (const z3::exception &) {
+    } catch (const z3::exception &E) {
+      LastReason = std::string("z3 exception: ") + E.msg();
       return SatResult::Unknown;
     }
     return SatResult::Unknown;
   }
+
+  std::string reasonUnknown() const override { return LastReason; }
 
   std::unique_ptr<SmtModel> model() override {
     try {
@@ -214,7 +219,10 @@ public:
 
   void setTimeoutMs(unsigned Ms) override {
     z3::params P(Ctx);
-    P.set("timeout", Ms);
+    // Z3's timeout param treats 0 as "0 ms", not "disabled"; the
+    // interface contract (SmtSolver.h) says 0 disables, and MiniSolver
+    // already honors that, so map 0 to Z3's no-timeout sentinel.
+    P.set("timeout", Ms ? Ms : 4294967295u);
     Solver.set(P);
   }
 
@@ -223,6 +231,7 @@ private:
   z3::context Ctx;
   z3::solver Solver;
   std::shared_ptr<Z3Translator> Tr;
+  std::string LastReason;
 };
 
 } // namespace

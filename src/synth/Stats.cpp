@@ -41,6 +41,17 @@ std::string sharpie::synth::renderStatsTable(const SynthStats &S,
           S.AtomsInPool, S.AtomsAfterPrefilter, S.AtomsInInvariant);
   appendf(Out, "  explicit  states=%u\n", S.ExplicitStates);
   appendf(Out, "  cache     hits=%u misses=%u\n", S.CacheHits, S.CacheMisses);
+  appendf(Out,
+          "  resil     retries=%llu fallbacks=%llu faults=%llu skipped=%u\n",
+          static_cast<unsigned long long>(S.Retries),
+          static_cast<unsigned long long>(S.Fallbacks),
+          static_cast<unsigned long long>(S.FaultsInjected), S.TuplesSkipped);
+  appendf(Out,
+          "  unknowns  timeout=%llu incomplete=%llu exceptions=%llu/%u\n",
+          static_cast<unsigned long long>(S.UnknownTimeouts),
+          static_cast<unsigned long long>(S.UnknownIncomplete),
+          static_cast<unsigned long long>(S.SolverExceptions),
+          S.WorkerExceptions);
 
   struct PhaseRow {
     const char *Name;
@@ -82,6 +93,34 @@ std::string sharpie::synth::renderStatsTable(const SynthStats &S,
   return Out;
 }
 
+std::string sharpie::synth::renderInconclusiveReport(const SynthResult &Res) {
+  const SynthStats &S = Res.Stats;
+  std::string Out;
+  appendf(Out,
+          "failure classes: unknown_timeouts=%llu unknown_incomplete=%llu"
+          " solver_exceptions=%llu worker_exceptions=%u"
+          " tuples_skipped=%u faults_injected=%llu\n",
+          static_cast<unsigned long long>(S.UnknownTimeouts),
+          static_cast<unsigned long long>(S.UnknownIncomplete),
+          static_cast<unsigned long long>(S.SolverExceptions),
+          S.WorkerExceptions, S.TuplesSkipped,
+          static_cast<unsigned long long>(S.FaultsInjected));
+  if (!Res.Best)
+    return Out;
+  const PartialCandidate &P = *Res.Best;
+  appendf(Out, "best candidate (tuple rank %u; failed on %s):\n", P.Rank,
+          P.FailedOn.c_str());
+  for (const std::string &SB : P.SetBodies)
+    appendf(Out, "  #{t | %s}\n", SB.c_str());
+  for (const std::string &A : P.Atoms)
+    appendf(Out, "  %s\n", A.c_str());
+  Out += "clauses discharged:";
+  for (const std::string &C : P.VerifiedClauses)
+    Out += " " + C;
+  Out += "\n";
+  return Out;
+}
+
 std::string sharpie::synth::statsJsonFields(const SynthStats &S) {
   std::string Out;
   appendf(Out, "\"tuples_tried\": %u, \"smt_checks\": %u", S.TuplesTried,
@@ -94,6 +133,18 @@ std::string sharpie::synth::statsJsonFields(const SynthStats &S) {
           S.NumWorkers, S.WorkerUtilization);
   appendf(Out, ", \"cache_hits\": %u, \"cache_misses\": %u", S.CacheHits,
           S.CacheMisses);
+  appendf(Out,
+          ", \"retries\": %llu, \"fallbacks\": %llu"
+          ", \"faults_injected\": %llu, \"tuples_skipped\": %u"
+          ", \"unknown_timeouts\": %llu, \"unknown_incomplete\": %llu"
+          ", \"solver_exceptions\": %llu, \"worker_exceptions\": %u",
+          static_cast<unsigned long long>(S.Retries),
+          static_cast<unsigned long long>(S.Fallbacks),
+          static_cast<unsigned long long>(S.FaultsInjected), S.TuplesSkipped,
+          static_cast<unsigned long long>(S.UnknownTimeouts),
+          static_cast<unsigned long long>(S.UnknownIncomplete),
+          static_cast<unsigned long long>(S.SolverExceptions),
+          S.WorkerExceptions);
   appendf(Out,
           ", \"explicit_seconds\": %.3f, \"enumerate_seconds\": %.3f"
           ", \"prefilter_seconds\": %.3f, \"reduce_seconds\": %.3f"

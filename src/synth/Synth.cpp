@@ -85,7 +85,10 @@ public:
                                std::chrono::steady_clock::duration>(
                                std::chrono::duration<double>(
                                    Opts.TimeBudgetSeconds))
-                     : std::chrono::steady_clock::time_point::max()) {}
+                     : std::chrono::steady_clock::time_point::max()) {
+    if (Opts.Supervise.Enabled && Opts.Faults && !Opts.Faults->empty())
+      Faults.emplace(*Opts.Faults);
+  }
 
   bool outOfTime() const {
     return std::chrono::steady_clock::now() > Deadline;
@@ -107,6 +110,12 @@ private:
     std::vector<Term> Atoms;
     Term Invariant;
     std::string Why;
+    /// Near-miss data: Houdini reached a fixpoint that discharged every
+    /// inductiveness clause, but the safety check failed or went Unknown.
+    bool HasPartial = false;
+    std::vector<Term> PartialAtoms;
+    std::vector<std::string> VerifiedClauses;
+    std::string FailedOn;
   };
 
   // -- Search-space assembly -------------------------------------------------
@@ -121,6 +130,14 @@ private:
   TupleOutcome tryTuple(const std::vector<Term> &SetBodies,
                         const std::vector<Term> &Pool,
                         const std::vector<sys::ParamSystem::State> &States);
+  /// tryTuple plus the resilience envelope: fault-injection scoping for
+  /// rank \p Rank, the "worker_task" injection site, and exception
+  /// containment -- a throwing attempt marks the tuple skipped (with the
+  /// reason recorded) and the search continues with a fresh solver.
+  TupleOutcome attemptTuple(size_t Rank, const std::vector<Term> &SetBodies,
+                            const std::vector<Term> &Pool,
+                            const std::vector<sys::ParamSystem::State>
+                                &States);
 
   // -- Serial / parallel drivers over the ranked tuples ------------------------
   void runSerial(const std::vector<std::vector<Term>> &TupleBodies,
@@ -161,7 +178,7 @@ private:
 
   // -- SOLVE (Houdini over the atom pool) ----------------------------------------
   bool houdini(const std::vector<ReducedClause> &Clauses,
-               std::vector<Term> &Cand, std::string &Why);
+               std::vector<Term> &Cand, TupleOutcome &Out);
   bool isGlobalAtom(logic::Term A) const;
   Term substitutedClause(const ReducedClause &C,
                          const std::vector<Term> &Cand) const;
@@ -173,6 +190,15 @@ private:
   bool recheck(Term Inv, const std::vector<sys::ParamSystem::State> &States,
                std::string &Why);
 
+  /// Builds this synthesizer's standard solver stack for injection site
+  /// \p Site: supervised Z3 with a MiniSolver fallback factory, wired to
+  /// this synthesizer's counters, injector, trace buffer and deadline.
+  /// With supervision disabled, the bare Z3 back end (the A/B baseline).
+  std::unique_ptr<smt::SmtSolver> makeSolver(const char *Site);
+  /// Replaces the member Solver after an exception may have left it with
+  /// stale pushed frames (reusing it could discharge clauses vacuously).
+  void resetSolver() { Solver = makeSolver("smt_check"); }
+
   sys::ParamSystem &Sys;
   TermManager &M;
   SynthOptions Opts;
@@ -180,6 +206,12 @@ private:
   SynthStats Stats;
   std::unique_ptr<smt::SmtSolver> Solver;
   std::chrono::steady_clock::time_point Deadline;
+  /// Retry/fallback/fault tallies from every supervised solver this
+  /// synthesizer creates; folded into Stats at the end of the run.
+  resil::ResilCounters RCnt;
+  /// Engaged when a non-empty fault plan is configured (and supervision
+  /// is on). One injector per synthesizer: deterministic per worker.
+  std::optional<resil::FaultInjector> Faults;
   /// Memoizes reduceToGround per (clause formula, axiom config); owned by
   /// this synthesizer, hence by one TermManager and one thread.
   engine::ReduceCache OwnRCache;
@@ -593,7 +625,8 @@ Term Synthesizer::substitutedClause(const ReducedClause &C,
 }
 
 bool Synthesizer::houdini(const std::vector<ReducedClause> &Clauses,
-                          std::vector<Term> &Cand, std::string &Why) {
+                          std::vector<Term> &Cand, TupleOutcome &Out) {
+  std::string &Why = Out.Why;
   auto Bail = [&](std::string &W) {
     W = outOfTime() ? "time budget exhausted"
                     : "superseded by a lower-ranked tuple";
@@ -682,6 +715,15 @@ bool Synthesizer::houdini(const std::vector<ReducedClause> &Clauses,
           return true;
         Why = R == SatResult::Sat ? "fixpoint too weak for safety"
                                   : "smt unknown on safety";
+        // The fixpoint discharged every inductiveness clause -- record it
+        // as the run's near-miss so an inconclusive outcome can report
+        // the best candidate and exactly which clause stopped it.
+        Out.HasPartial = true;
+        Out.PartialAtoms = Cand;
+        for (const ReducedClause &C2 : Clauses)
+          if (!C2.IsSafety)
+            Out.VerifiedClauses.push_back(C2.Name);
+        Out.FailedOn = C.Name;
         // The failing safety clause is large; it renders only at the most
         // verbose level (--log-level trace), replacing the old
         // SHARPIE_DUMP_SAFETY environment hack.
@@ -749,14 +791,12 @@ bool Synthesizer::recheck(Term Inv,
     Why = "recheck: invariant fails on an explicit reachable state";
     return false;
   }
-  std::unique_ptr<smt::SmtSolver> Oracle = smt::makeZ3Solver(M);
-  Oracle->setTimeoutMs(Opts.SmtTimeoutMs);
+  std::unique_ptr<smt::SmtSolver> Oracle = makeSolver("reduce");
   for (const sys::Obligation &O : sys::safetyObligations(Sys, Inv)) {
     engine::ReduceResult R = engine::reduceToGroundCached(
         RC, M, O.Psi, Opts.Reduce, Oracle.get(), Sys.externalCounters(), {},
         TB);
-    std::unique_ptr<smt::SmtSolver> S = smt::makeZ3Solver(M);
-    S->setTimeoutMs(Opts.SmtTimeoutMs);
+    std::unique_ptr<smt::SmtSolver> S = makeSolver("smt_check");
     S->add(R.Ground);
     ++Stats.SmtChecks;
     if (smt::checkTraced(*S, TB, "smt_ms.recheck", O.Name.c_str()) !=
@@ -772,6 +812,76 @@ bool Synthesizer::recheck(Term Inv,
 }
 
 // -- Per-tuple pipeline ----------------------------------------------------------------
+
+std::unique_ptr<smt::SmtSolver> Synthesizer::makeSolver(const char *Site) {
+  if (!Opts.Supervise.Enabled) {
+    // The bare back end, not a disabled wrapper: the overhead A/B
+    // comparison should measure supervision against exactly yesterday's
+    // code path.
+    auto S = smt::makeZ3Solver(M);
+    S->setTimeoutMs(Opts.SmtTimeoutMs);
+    return S;
+  }
+  resil::SupervisedSolver::Factory Fb;
+  if (Opts.Supervise.CrossCheckFallback)
+    Fb = [this] { return smt::makeMiniSolver(M); };
+  auto S = std::make_unique<resil::SupervisedSolver>(
+      smt::makeZ3Solver(M), std::move(Fb), Opts.Supervise, &RCnt,
+      Faults ? &*Faults : nullptr, Site, TB, Deadline);
+  S->setTimeoutMs(Opts.SmtTimeoutMs);
+  return S;
+}
+
+Synthesizer::TupleOutcome Synthesizer::attemptTuple(
+    size_t Rank, const std::vector<Term> &SetBodies,
+    const std::vector<Term> &Pool,
+    const std::vector<sys::ParamSystem::State> &States) {
+  bool InjectThrow = false;
+  if (Faults) {
+    // Scope the per-site invocation indices to this tuple: a rule like
+    // "reduce:unknown@every=2" then fires at the same point of every
+    // tuple's pipeline regardless of which worker claims it.
+    Faults->beginScope(static_cast<uint64_t>(Rank) + 1);
+    resil::FaultDecision D = Faults->next("worker_task");
+    if (D.Kind != resil::FaultKind::None) {
+      ++RCnt.FaultsInjected;
+      if (TB)
+        TB->counter("faults_injected", 1);
+      if (D.Kind == resil::FaultKind::Latency)
+        std::this_thread::sleep_for(std::chrono::milliseconds(D.LatencyMs));
+      else if (D.Kind == resil::FaultKind::Throw)
+        InjectThrow = true; // Thrown below, through the containment path.
+      else {
+        TupleOutcome Out;
+        Out.Why = "injected fault at worker_task";
+        ++Stats.TuplesSkipped;
+        if (TB)
+          TB->counter("tuples_skipped", 1);
+        return Out;
+      }
+    }
+  }
+  try {
+    if (InjectThrow)
+      throw resil::InjectedFault("worker_task");
+    return tryTuple(SetBodies, Pool, States);
+  } catch (const std::exception &E) {
+    TupleOutcome Out;
+    Out.Why = std::string("exception: ") + E.what();
+    ++Stats.TuplesSkipped;
+    ++Stats.WorkerExceptions;
+    if (TB) {
+      TB->counter("tuples_skipped", 1);
+      TB->logf(obs::LogLevel::Info, "[resil] tuple %zu skipped: %s",
+               Rank + 1, Out.Why.c_str());
+    }
+    // The escape may have unwound through a push()ed solver scope;
+    // reusing those stale frames could discharge later clauses
+    // vacuously, so the solver is rebuilt from scratch.
+    resetSolver();
+    return Out;
+  }
+}
 
 Synthesizer::TupleOutcome
 Synthesizer::tryTuple(const std::vector<Term> &SetBodies,
@@ -805,8 +915,7 @@ Synthesizer::tryTuple(const std::vector<Term> &SetBodies,
   // setup is part of the clause-building cost, and keeping the phase
   // timers contiguous lets --stats account (nearly) all of the wall time.
   auto TBuild = std::chrono::steady_clock::now();
-  std::unique_ptr<smt::SmtSolver> Oracle = smt::makeZ3Solver(M);
-  Oracle->setTimeoutMs(Opts.SmtTimeoutMs);
+  std::unique_ptr<smt::SmtSolver> Oracle = makeSolver("reduce");
   std::vector<ReducedClause> Clauses;
   {
     obs::Span Sp(TB, "build_clauses");
@@ -820,7 +929,7 @@ Synthesizer::tryTuple(const std::vector<Term> &SetBodies,
   bool HoudiniOk;
   {
     obs::Span Sp(TB, "houdini");
-    HoudiniOk = houdini(Clauses, Cand, Out.Why);
+    HoudiniOk = houdini(Clauses, Cand, Out);
   }
   SHARPIE_LOGF(TB, obs::LogLevel::Debug, "houdini %s in %.2fs",
                HoudiniOk ? "ok" : "failed", secondsSince(THou));
@@ -866,7 +975,8 @@ void Synthesizer::runSerial(
     const std::vector<Term> &Pool,
     const std::vector<sys::ParamSystem::State> &States, SynthResult &Res) {
   std::string LastWhy = "no candidate set tuple succeeded";
-  for (const std::vector<Term> &SetBodies : TupleBodies) {
+  for (size_t Rank = 0; Rank < TupleBodies.size(); ++Rank) {
+    const std::vector<Term> &SetBodies = TupleBodies[Rank];
     if (outOfTime()) {
       LastWhy = "time budget exhausted";
       break;
@@ -878,9 +988,20 @@ void Synthesizer::runSerial(
       TB->logf(obs::LogLevel::Debug, "[tuple %u]%s", Stats.TuplesTried + 1,
                Bodies.c_str());
     }
-    TupleOutcome O = tryTuple(SetBodies, Pool, States);
+    TupleOutcome O = attemptTuple(Rank, SetBodies, Pool, States);
     if (!O.Verified) {
       LastWhy = O.Why;
+      if (O.HasPartial && !Res.Best) {
+        PartialCandidate P;
+        P.Rank = static_cast<unsigned>(Rank) + 1;
+        for (Term SB : SetBodies)
+          P.SetBodies.push_back(logic::toString(SB));
+        for (Term A : O.PartialAtoms)
+          P.Atoms.push_back(logic::toString(A));
+        P.VerifiedClauses = std::move(O.VerifiedClauses);
+        P.FailedOn = std::move(O.FailedOn);
+        Res.Best = std::move(P);
+      }
       continue;
     }
     Res.Verified = true;
@@ -914,6 +1035,11 @@ void Synthesizer::runParallel(
     std::string Why;
     std::vector<Term> Atoms; ///< In the processing worker's manager.
     Term Invariant;          ///< Likewise.
+    /// Near-miss data, already rendered (manager-independent).
+    bool HasPartial = false;
+    std::vector<std::string> PartialAtoms;
+    std::vector<std::string> VerifiedClauses;
+    std::string FailedOn;
   };
   std::vector<RankSlot> Slots(TupleBodies.size());
   std::mutex SlotsMu;
@@ -945,11 +1071,14 @@ void Synthesizer::runParallel(
     WOpts.ReuseReduceCache = nullptr; // Bound to the main manager.
     C.Synth = std::make_unique<Synthesizer>(*C.Sys, WOpts);
     C.Synth->Deadline = Deadline; // One budget for the whole search.
-    C.Synth->Solver = smt::makeZ3Solver(*C.M);
-    C.Synth->Solver->setTimeoutMs(Opts.SmtTimeoutMs);
     // Worker W owns trace rank W+1 (rank 0 is the driver); registration is
     // the one mutex-guarded step, the buffer itself is thread-local.
     C.Synth->TB = TraceSink ? TraceSink->worker(W + 1) : nullptr;
+    // Fault rules with a worker=N trigger key on the same rank numbering
+    // as the traces (0 = driver/serial, W+1 = parallel worker W).
+    if (C.Synth->Faults)
+      C.Synth->Faults->setWorker(W + 1);
+    C.Synth->Solver = C.Synth->makeSolver("smt_check");
     std::vector<Term> WPool;
     WPool.reserve(Pool.size());
     for (Term A : Pool)
@@ -995,7 +1124,7 @@ void Synthesizer::runParallel(
                   Bodies.c_str());
       }
       auto T0 = std::chrono::steady_clock::now();
-      TupleOutcome O = C.Synth->tryTuple(WBodies, WPool, WStates);
+      TupleOutcome O = C.Synth->attemptTuple(Rank, WBodies, WPool, WStates);
       C.BusySeconds += secondsSince(T0);
       if (O.Verified) {
         size_t Cur = BestVerified.load();
@@ -1013,6 +1142,13 @@ void Synthesizer::runParallel(
         S.Why = std::move(O.Why);
         S.Atoms = std::move(O.Atoms);
         S.Invariant = O.Invariant;
+        if (O.HasPartial) {
+          S.HasPartial = true;
+          for (Term A : O.PartialAtoms)
+            S.PartialAtoms.push_back(logic::toString(A));
+          S.VerifiedClauses = std::move(O.VerifiedClauses);
+          S.FailedOn = std::move(O.FailedOn);
+        }
         size_t BV = BestVerified.load();
         if (BV != SIZE_MAX) {
           AllBelowBestDone = true;
@@ -1067,6 +1203,20 @@ void Synthesizer::runParallel(
       Why = outOfTime() ? "time budget exhausted"
                         : "no candidate set tuple succeeded";
     Res.Note = Why;
+    // Lowest-ranked near-miss, mirroring the serial search's "first
+    // partial wins" (rank order, not completion order, so the report is
+    // deterministic).
+    for (size_t R = 0; R < Slots.size() && !Res.Best; ++R)
+      if (Slots[R].Done && Slots[R].HasPartial) {
+        PartialCandidate P;
+        P.Rank = static_cast<unsigned>(R) + 1;
+        for (Term SB : TupleBodies[R])
+          P.SetBodies.push_back(logic::toString(SB));
+        P.Atoms = std::move(Slots[R].PartialAtoms);
+        P.VerifiedClauses = std::move(Slots[R].VerifiedClauses);
+        P.FailedOn = std::move(Slots[R].FailedOn);
+        Res.Best = std::move(P);
+      }
   }
 
   // Fold worker stats into the driver's.
@@ -1083,6 +1233,15 @@ void Synthesizer::runParallel(
     Stats.RecheckSeconds += WS.RecheckSeconds;
     Stats.CacheHits += C.Synth->RC->hits();
     Stats.CacheMisses += C.Synth->RC->misses();
+    Stats.TuplesSkipped += WS.TuplesSkipped;
+    Stats.WorkerExceptions += WS.WorkerExceptions;
+    const resil::ResilCounters &WR = C.Synth->RCnt;
+    Stats.Retries += WR.Retries;
+    Stats.Fallbacks += WR.Fallbacks;
+    Stats.FaultsInjected += WR.FaultsInjected;
+    Stats.UnknownTimeouts += WR.UnknownTimeout;
+    Stats.UnknownIncomplete += WR.UnknownIncomplete;
+    Stats.SolverExceptions += WR.SolverExceptions;
     if (Winner != SIZE_MAX && Slots[Winner].Worker ==
                                   static_cast<unsigned>(&C - Ctxs.data()))
       Stats.AtomsAfterPrefilter = WS.AtomsAfterPrefilter;
@@ -1151,8 +1310,7 @@ SynthResult Synthesizer::run() {
   std::vector<Term> Pool = enumerateInvAtoms(Sys, F);
   Stats.AtomsInPool = static_cast<unsigned>(Pool.size());
 
-  Solver = smt::makeZ3Solver(M);
-  Solver->setTimeoutMs(Opts.SmtTimeoutMs);
+  Solver = makeSolver("smt_check");
 
   std::vector<std::vector<Term>> TupleBodies;
   if (!Opts.FixedSetBodies.empty()) {
@@ -1179,6 +1337,35 @@ SynthResult Synthesizer::run() {
 
   Stats.CacheHits += RC->hits() - BaseHits;
   Stats.CacheMisses += RC->misses() - BaseMisses;
+
+  // Fold the driver-side supervision tallies (serial search, driver
+  // solver); worker tallies were folded by runParallel.
+  Stats.Retries += RCnt.Retries;
+  Stats.Fallbacks += RCnt.Fallbacks;
+  Stats.FaultsInjected += RCnt.FaultsInjected;
+  Stats.UnknownTimeouts += RCnt.UnknownTimeout;
+  Stats.UnknownIncomplete += RCnt.UnknownIncomplete;
+  Stats.SolverExceptions += RCnt.SolverExceptions;
+
+  // An unverified, unrefuted run is "inconclusive" (not merely UNKNOWN)
+  // exactly when some failure could have hidden a proof: the verdict
+  // "no invariant in this search space" would be unsound to report.
+  Res.Inconclusive =
+      !Res.Verified && !Res.Cex &&
+      (outOfTime() || Stats.TuplesSkipped > 0 || Stats.UnknownTimeouts > 0 ||
+       Stats.UnknownIncomplete > 0 || Stats.WorkerExceptions > 0 ||
+       Stats.SolverExceptions > 0 || Stats.FaultsInjected > 0);
+
+  if (TB) {
+    // Zero-delta touches so the resilience counters always exist in the
+    // exported metrics (ctr_retries etc. in every --json run, faulted or
+    // not), which keeps benchmark schemas stable.
+    TB->counter("retries", 0);
+    TB->counter("fallbacks", 0);
+    TB->counter("faults_injected", 0);
+    TB->counter("tuples_skipped", 0);
+  }
+
   Res.Stats = Stats;
   Res.Stats.Seconds = secondsSince(Start);
   if (TraceSink)

@@ -40,6 +40,7 @@
 #include "engine/Reduce.h"
 #include "explicit/Explicit.h"
 #include "obs/Obs.h"
+#include "resil/Resil.h"
 #include "synth/Grammar.h"
 #include "system/System.h"
 
@@ -96,6 +97,14 @@ struct SynthOptions {
   /// SynthStats::Metrics is filled from it at the end of the run. Not
   /// owned; must outlive the call.
   obs::Tracer *Trace = nullptr;
+  /// Solver supervision (retry, cross-back-end fallback, per-check
+  /// deadline clamping; see resil/Resil.h). Supervise.Enabled = false
+  /// reproduces the bare back end exactly -- the overhead A/B switch.
+  resil::SupervisionOptions Supervise;
+  /// Deterministic fault plan (resil/Fault.h); null or empty disables
+  /// injection. Applied only when supervision is enabled. Not owned; must
+  /// outlive the call.
+  const resil::FaultPlan *Faults = nullptr;
   /// Cross-run reduction cache. Within one run every reduction input is
   /// distinct (see ReduceCache's doc), so sharing a cache across runs on
   /// the *same* TermManager is where hits come from (re-verification,
@@ -134,10 +143,41 @@ struct SynthStats {
   /// every worker was processing tuples the whole search.
   double WorkerUtilization = 1.0;
 
+  // -- Resilience observability (see resil/Resil.h) --------------------------
+  /// Same-back-end retries after timeout-class Unknowns.
+  uint64_t Retries = 0;
+  /// Escalations to the cross-checking back end.
+  uint64_t Fallbacks = 0;
+  /// FaultPlan rules that fired (0 outside fault-injection runs).
+  uint64_t FaultsInjected = 0;
+  /// Unknown answers classified as timeouts / as incompleteness, summed
+  /// over all attempts (a retried check counts each attempt).
+  uint64_t UnknownTimeouts = 0;
+  uint64_t UnknownIncomplete = 0;
+  /// check() calls whose back end threw (contained by the supervisor).
+  uint64_t SolverExceptions = 0;
+  /// Tuples abandoned because their attempt threw or a worker-task fault
+  /// fired; the search continued past them.
+  unsigned TuplesSkipped = 0;
+  /// Exceptions that escaped a tuple attempt (contained per tuple).
+  unsigned WorkerExceptions = 0;
+
   /// Merged counters and histogram summaries (SMT latency per phase,
   /// reduction latency, per-CARD-rule axiom counts, ...) from the tracer
   /// that observed the run. Empty when no tracer was configured.
   obs::MetricsSummary Metrics;
+};
+
+/// The strongest candidate a failed run got to: a Houdini fixpoint that
+/// discharged every inductiveness clause but not safety. Rendered terms
+/// (not Terms) so it survives the owning worker's TermManager and can be
+/// reported verbatim by the drivers.
+struct PartialCandidate {
+  unsigned Rank = 0;                        ///< 1-based tuple rank.
+  std::vector<std::string> SetBodies;       ///< Rendered set bodies.
+  std::vector<std::string> Atoms;           ///< Fixpoint atoms.
+  std::vector<std::string> VerifiedClauses; ///< Clauses that discharged.
+  std::string FailedOn;                     ///< The clause that did not.
 };
 
 struct SynthResult {
@@ -150,6 +190,13 @@ struct SynthResult {
   std::vector<logic::Term> Atoms;
   /// Set when the explicit checker found a real counterexample.
   std::optional<explct::Counterexample> Cex;
+  /// True when the run neither verified nor refuted AND some failure
+  /// (timeout, skipped tuple, contained exception, injected fault,
+  /// exhausted budget) makes "not verifiable" an unsound conclusion. The
+  /// drivers report this as a distinct outcome (exit code 4).
+  bool Inconclusive = false;
+  /// Best near-miss of an unverified run, for the inconclusive report.
+  std::optional<PartialCandidate> Best;
   SynthStats Stats;
   std::string Note;
 };
@@ -166,6 +213,13 @@ SynthResult synthesize(sys::ParamSystem &Sys, const SynthOptions &Opts);
 /// S.Metrics. Returned as a string so drivers outside src/ decide where it
 /// goes (src/ itself never prints).
 std::string renderStatsTable(const SynthStats &S, double WallSeconds);
+
+/// Renders the inconclusive-outcome report: per-failure-class tallies and
+/// -- when a run got as far as a Houdini fixpoint -- the best partial
+/// candidate with the clauses it did discharge. Multi-line, trailing
+/// newline; empty-failure lines are omitted. Drivers print this under the
+/// INCONCLUSIVE banner (exit code 4).
+std::string renderInconclusiveReport(const SynthResult &Res);
 
 /// The stats as comma-separated `"key": value` JSON fields (no braces), a
 /// shared fragment so every driver emits the same schema: the scalar

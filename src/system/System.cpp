@@ -38,23 +38,31 @@ Term ParamSystem::addLocal(const std::string &Name) {
 }
 
 void ParamSystem::setSizeVar(Term N) {
-  assert(N.sort() == Sort::Int && "size variable must be an Int global");
+  if (N.sort() != Sort::Int)
+    throw ModelError("size variable '" + N->name() +
+                     "' must be an Int global");
   SizeVar = N;
 }
 
 Term ParamSystem::my(Term Arr) const {
-  assert(Arr.sort() == Sort::Array && "my() expects a local array");
+  if (Arr.sort() != Sort::Array)
+    throw ModelError("my() expects a local array, got '" +
+                     logic::toString(Arr) + "'");
   return M.mkRead(Arr, Self);
 }
 
 Term ParamSystem::post(Term V) const {
   auto It = PostOf.find(V);
-  assert(It != PostOf.end() && "post() of an undeclared variable");
+  if (It == PostOf.end())
+    throw ModelError("post() of undeclared variable '" + logic::toString(V) +
+                     "' in system '" + SystemName + "'");
   return It->second;
 }
 
 Transition &ParamSystem::addTransition(const std::string &Name, Term Guard) {
-  assert(Mode == Composition::Async && "addTransition on a sync system");
+  if (Mode != Composition::Async)
+    throw ModelError("transition '" + Name +
+                     "' on a synchronous system; use a round relation");
   Transition T;
   T.Name = Name;
   T.Guard = Guard;
@@ -64,7 +72,9 @@ Transition &ParamSystem::addTransition(const std::string &Name, Term Guard) {
 
 Transition &ParamSystem::addSyncRound(const std::string &Name,
                                       Term Relation) {
-  assert(Mode == Composition::Sync && "addSyncRound on an async system");
+  if (Mode != Composition::Sync)
+    throw ModelError("sync round '" + Name +
+                     "' on an asynchronous system; use a transition");
   Transition T;
   T.Name = Name;
   T.Guard = M.mkTrue();
@@ -88,7 +98,8 @@ Term ParamSystem::addTidChoice(Transition &T, const std::string &Name) {
 Term ParamSystem::transitionFormula(const Transition &T) const {
   std::vector<Term> Conj;
   if (Mode == Composition::Sync) {
-    assert(!T.SyncRelation.isNull() && "sync transition without relation");
+    if (T.SyncRelation.isNull())
+      throw ModelError("sync round '" + T.Name + "' has no relation");
     // forall p: Relation[p]; globals framed unless updated.
     Term P = M.freshVar("p_rnd", Sort::Tid);
     Subst S;
@@ -105,7 +116,10 @@ Term ParamSystem::transitionFormula(const Transition &T) const {
       const Transition::ArrayWrite *W = nullptr;
       for (const Transition::ArrayWrite &AW : T.Writes)
         if (AW.Arr == L) {
-          assert(!W && "at most one write per array per transition");
+          if (W)
+            throw ModelError("transition '" + T.Name +
+                             "' writes array '" + L->name() +
+                             "' more than once");
           W = &AW;
         }
       if (W)

@@ -24,6 +24,7 @@
 #include <functional>
 #include <map>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -31,6 +32,17 @@ namespace sharpie {
 namespace sys {
 
 enum class Composition { Async, Sync };
+
+/// A structural misuse of the model-building API: wrong sort, wrong
+/// composition mode, an undeclared variable, two writes to one array.
+/// These paths are reachable from user input via the frontend's lowering,
+/// so they throw instead of asserting -- release builds (NDEBUG) must
+/// reject a broken model, not silently build formulas over it. The
+/// frontend converts the throw into a positioned diagnostic.
+class ModelError : public std::runtime_error {
+public:
+  explicit ModelError(const std::string &Msg) : std::runtime_error(Msg) {}
+};
 
 /// One guarded command of an asynchronous system, executed by the mover
 /// thread; or, for synchronous systems, a whole-round relation.

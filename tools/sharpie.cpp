@@ -6,6 +6,7 @@
 //
 //   sharpie <file.sharpie> [--workers N] [--json] [--verbose]
 //           [--time-budget SECONDS] [--max-tuples N]
+//           [--faults PLAN] [--no-supervise] [--smt-timeout MS]
 //           [--trace-out FILE] [--events-out FILE]
 //           [--log-level quiet|info|debug|trace] [--stats]
 //
@@ -16,17 +17,30 @@
 // SHARPIE_TRACE, SHARPIE_EVENTS and SHARPIE_LOG_LEVEL environment
 // variables are flag equivalents for scripted sweeps.
 //
+// Resilience (see src/resil/): solver checks run supervised by default
+// (per-check deadlines, retry with backoff, Z3<->MiniSolver fallback);
+// --no-supervise restores the bare back end. --faults (or SHARPIE_FAULTS)
+// takes a deterministic fault plan, e.g.
+// "seed=7;smt_check:timeout@p=0.4;reduce:unknown@every=3", and is how the
+// chaos tests drive the pipeline (see resil/Fault.h for the grammar).
+// --smt-timeout overrides the per-check deadline in milliseconds (the
+// base slice before backoff; default 30000).
+//
 // Exit codes (deterministic, scriptable):
 //   0  verified safe (invariant printed)
 //   1  unsafe (explicit counterexample printed)
-//   2  unknown: search or time budget exhausted without a verdict
+//   2  unknown: the search space was exhausted without a verdict
 //   3  frontend error (parse/elaboration/I-O), message on stderr
+//   4  inconclusive: no verdict AND some failure (timeout, skipped tuple,
+//      injected fault, exhausted budget) may have hidden one; the report
+//      lists failure classes and the best partial candidate
 //
 //===----------------------------------------------------------------------===//
 
 #include "front/Front.h"
 #include "logic/TermOps.h"
 #include "obs/Cli.h"
+#include "resil/Fault.h"
 #include "synth/Synth.h"
 
 #include <chrono>
@@ -43,8 +57,10 @@ void usage(const char *Argv0) {
   std::fprintf(stderr,
                "usage: %s <file.sharpie> [--workers N] [--json] [--verbose]"
                " [--time-budget SECONDS] [--max-tuples N]\n"
+               "       [--faults PLAN] [--no-supervise] [--smt-timeout MS]\n"
                "       %s\n"
-               "exit codes: 0 safe, 1 unsafe, 2 unknown/budget, 3 error\n",
+               "exit codes: 0 safe, 1 unsafe, 2 unknown, 3 error,"
+               " 4 inconclusive\n",
                Argv0, obs::CliObs::usageFragment());
 }
 
@@ -55,10 +71,14 @@ double secondsSince(std::chrono::steady_clock::time_point T0) {
 
 int run(int argc, char **argv) {
   std::string File;
-  bool Json = false, Verbose = false;
+  bool Json = false, Verbose = false, NoSupervise = false;
   unsigned Workers = 1;
   double TimeBudget = 0;
   unsigned MaxTuples = 0;
+  unsigned SmtTimeoutMs = 0; // 0 = keep the SynthOptions default.
+  std::string FaultSpec;
+  if (const char *Env = std::getenv("SHARPIE_FAULTS"))
+    FaultSpec = Env; // --faults below overrides the environment.
   obs::CliObs Obs;
   Obs.readEnv(); // Flags below override the environment.
   for (int I = 1; I < argc; ++I) {
@@ -79,6 +99,13 @@ int run(int argc, char **argv) {
       TimeBudget = std::strtod(argv[++I], nullptr);
     else if (!std::strcmp(argv[I], "--max-tuples") && I + 1 < argc)
       MaxTuples = static_cast<unsigned>(std::strtol(argv[++I], nullptr, 10));
+    else if (!std::strcmp(argv[I], "--faults") && I + 1 < argc)
+      FaultSpec = argv[++I];
+    else if (!std::strcmp(argv[I], "--no-supervise"))
+      NoSupervise = true;
+    else if (!std::strcmp(argv[I], "--smt-timeout") && I + 1 < argc)
+      SmtTimeoutMs =
+          static_cast<unsigned>(std::strtol(argv[++I], nullptr, 10));
     else if (!std::strcmp(argv[I], "--help") || !std::strcmp(argv[I], "-h")) {
       usage(argv[0]);
       return 0;
@@ -102,6 +129,16 @@ int run(int argc, char **argv) {
   if (Verbose &&
       static_cast<int>(Obs.Level) < static_cast<int>(obs::LogLevel::Debug))
     Obs.Level = obs::LogLevel::Debug;
+  resil::FaultPlan Faults;
+  if (!FaultSpec.empty()) {
+    std::string FErr;
+    if (auto P = resil::FaultPlan::parse(FaultSpec, &FErr))
+      Faults = std::move(*P);
+    else {
+      std::fprintf(stderr, "error: bad fault plan: %s\n", FErr.c_str());
+      return 3;
+    }
+  }
   std::unique_ptr<obs::Tracer> Tracer = Obs.makeTracer();
 
   // One clock for all reported times: total_seconds spans parse through
@@ -133,6 +170,11 @@ int run(int argc, char **argv) {
   Opts.TimeBudgetSeconds = TimeBudget;
   if (MaxTuples)
     Opts.MaxTuples = MaxTuples;
+  Opts.Supervise.Enabled = !NoSupervise;
+  if (SmtTimeoutMs)
+    Opts.SmtTimeoutMs = SmtTimeoutMs;
+  if (!Faults.empty())
+    Opts.Faults = &Faults;
 
   auto T1 = std::chrono::steady_clock::now();
   synth::SynthResult Res = synth::synthesize(*B.Sys, Opts);
@@ -150,11 +192,12 @@ int run(int argc, char **argv) {
 
   if (Json) {
     std::printf("{\"protocol\":\"%s\",\"file\":\"%s\",\"verified\":%s,"
-                "\"found_cex\":%s,\"parse_seconds\":%.6f,"
+                "\"found_cex\":%s,\"inconclusive\":%s,\"parse_seconds\":%.6f,"
                 "\"synth_seconds\":%.3f,\"total_seconds\":%.3f,%s}\n",
                 B.Sys->name().c_str(), File.c_str(),
                 Res.Verified ? "true" : "false", Res.Cex ? "true" : "false",
-                ParseSeconds, SynthSeconds, TotalSeconds,
+                Res.Inconclusive ? "true" : "false", ParseSeconds,
+                SynthSeconds, TotalSeconds,
                 synth::statsJsonFields(Res.Stats).c_str());
   }
 
@@ -178,6 +221,12 @@ int run(int argc, char **argv) {
     if (B.ExpectSafe)
       std::printf("note: protocol declares 'expect safe'\n");
     return 1;
+  }
+  if (Res.Inconclusive) {
+    std::printf("INCONCLUSIVE after %.2fs: %s\n", Res.Stats.Seconds,
+                Res.Note.c_str());
+    std::printf("%s", synth::renderInconclusiveReport(Res).c_str());
+    return 4;
   }
   std::printf("UNKNOWN after %.2fs: %s\n", Res.Stats.Seconds,
               Res.Note.c_str());

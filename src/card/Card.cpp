@@ -144,22 +144,36 @@ AxiomEngine::emitNew(const std::vector<Term> &UpdateEqs) {
   }
   for (size_t I = 0; I < N; ++I) {
     const CardDef &A = Reg.defs()[I];
+    // Relevancy-filtered slots are marked emitted and counted deferred:
+    // within one engine the relevant set is fixed, and the escalation
+    // path re-reduces with a fresh, unfiltered engine, so there is never
+    // a second chance this engine would owe the skipped instance to.
+    bool RelA = relevant(A);
     if (EmittedUnary.insert(A.K.id()).second) {
-      size_t B0 = Out.size();
-      emitUnary(A, Out);
-      Stats.NumUnary += static_cast<unsigned>(Out.size() - B0);
+      if (RelA) {
+        size_t B0 = Out.size();
+        emitUnary(A, Out);
+        Stats.NumUnary += static_cast<unsigned>(Out.size() - B0);
+      } else {
+        ++Stats.NumDeferred;
+      }
     }
     for (size_t J = 0; J < N; ++J) {
       if (I == J)
         continue;
       const CardDef &B = Reg.defs()[J];
+      bool RelPair = RelA && relevant(B);
       if (Opts.Pairwise &&
           EmittedPairs.insert({A.K.id(), B.K.id()}).second) {
-        size_t B0 = Out.size();
-        emitPair(A, B, Out);
-        Stats.NumPairwise += static_cast<unsigned>(Out.size() - B0);
+        if (RelPair) {
+          size_t B0 = Out.size();
+          emitPair(A, B, Out);
+          Stats.NumPairwise += static_cast<unsigned>(Out.size() - B0);
+        } else {
+          ++Stats.NumDeferred;
+        }
       }
-      if (Opts.Update)
+      if (Opts.Update && RelPair)
         emitUpdate(A, B, UpdateEqs, Out);
     }
   }
@@ -376,6 +390,8 @@ void AxiomEngine::emitVenn(std::vector<Term> &Out) {
   size_t NDefs = std::min<size_t>(Reg.defs().size(), Opts.MaxDefs);
   std::vector<std::vector<size_t>> DefConjuncts(NDefs);
   for (size_t I = 0; I < NDefs; ++I) {
+    if (!relevant(Reg.defs()[I]))
+      continue; // Stays out of the region pool and gets no sum equation.
     Term Body = Reg.defs()[I].Body;
     std::vector<Term> Cs =
         Body.kind() == Kind::And ? Body->kids() : std::vector<Term>{Body};
@@ -446,6 +462,8 @@ void AxiomEngine::emitVenn(std::vector<Term> &Out) {
     Out.push_back(M.mkLe(M.mkInt(0), V));
   }
   for (size_t I = 0; I < NDefs; ++I) {
+    if (!relevant(Reg.defs()[I]))
+      continue;
     std::vector<Term> Sum;
     for (size_t R = 0; R < Regions.size(); ++R) {
       bool Compatible = true;

@@ -97,6 +97,15 @@ struct AxiomOptions {
   bool Pairwise = true;     ///< CARD<= / CARD< between all def pairs.
   bool Update = true;       ///< CARD-UPD against store equations.
   bool Venn = false;        ///< Venn decomposition (paper Sec. 5.2).
+  /// Lazy instantiation: emit axioms only for definitions whose counter
+  /// was marked relevant via AxiomEngine::setRelevant (typically the
+  /// cardinalities occurring in the obligation itself, as opposed to the
+  /// store-variant and witness definitions minted during axiom emission).
+  /// Skipped instances are tallied in AxiomStats::NumDeferred. Dropping
+  /// axioms only weakens the reduction, so a filtered Unsat is still a
+  /// proof; a filtered Sat may be spurious and must be confirmed against
+  /// the full axiom set (the synthesizer's escalation / recheck does so).
+  bool RelevancyFilter = false;
   unsigned MaxVennRegions = 192;
   unsigned MaxVennPreds = 24;
   unsigned MaxDefs = 48;    ///< Stop generating axioms beyond this many defs.
@@ -117,6 +126,9 @@ struct AxiomStats {
   unsigned NumUpdate = 0;   ///< CARD-UPD.
   unsigned NumCover = 0;    ///< CARD-COVER.
   unsigned NumVennAxioms = 0; ///< Venn region variables' sum equations.
+  /// Emission slots skipped by AxiomOptions::RelevancyFilter (one per
+  /// suppressed unary batch / pair). The "axioms_lazy_deferred" counter.
+  unsigned NumDeferred = 0;
 };
 
 /// Generates cardinality axiom instances incrementally. Create one engine
@@ -136,6 +148,13 @@ public:
   /// equalities (frame conditions g' = g) additionally let the update axiom
   /// bridge pre- and post-state set bodies.
   void setContext(logic::Term Facts);
+
+  /// Marks the counters (CardDef::K ids) the relevancy filter keeps. Only
+  /// consulted when AxiomOptions::RelevancyFilter is set; must be called
+  /// before the first emitNew(). Definitions minted later (axiom
+  /// witnesses, store variants) are irrelevant unless their K id is in
+  /// \p Ks, which is the point of the filter.
+  void setRelevant(std::set<uint32_t> Ks) { RelevantKs = std::move(Ks); }
 
   /// Emits axioms for all current definitions against the update equations
   /// in \p UpdateEqs (terms of shape g = store(f, j, v), used *guardedly*:
@@ -161,6 +180,9 @@ private:
   void emitCover(const CardDef &A, const CardDef &B,
                  std::vector<logic::Term> &Out);
   void emitVenn(std::vector<logic::Term> &Out);
+  bool relevant(const CardDef &D) const {
+    return !Opts.RelevancyFilter || RelevantKs.count(D.K.id()) != 0;
+  }
 
   logic::TermManager &M;
   CardRegistry &Reg;
@@ -170,6 +192,7 @@ private:
   /// Variable pairs equated by top-level context facts (frame conditions).
   std::vector<std::pair<logic::Term, logic::Term>> ContextVarEqs;
   AxiomStats Stats;
+  std::set<uint32_t> RelevantKs; ///< See setRelevant().
   std::set<std::pair<uint32_t, uint32_t>> EmittedPairs; ///< by K ids.
   std::set<uint32_t> EmittedUnary;
   std::set<std::tuple<uint32_t, uint32_t, uint32_t>> EmittedUpdates;

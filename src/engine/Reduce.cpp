@@ -8,6 +8,8 @@
 
 #include "logic/TermOps.h"
 
+#include <cassert>
+
 using namespace sharpie;
 using namespace sharpie::engine;
 using logic::Kind;
@@ -115,6 +117,7 @@ ReduceResult sharpie::engine::reduceToGround(
         quant::expandForalls(M, AxiomConj, Primary, IntTerms, Opts.Expand);
     Res.Complete &= ExOrig.Complete && ExAx.Complete;
     Res.NumInstances = ExOrig.NumInstances + ExAx.NumInstances;
+    Res.NumFilteredInstances = ExOrig.NumFiltered + ExAx.NumFiltered;
     Expanded = M.mkAnd(ExOrig.Formula, ExAx.Formula);
 
     // Intern every cardinality term that the expansion made ground.
@@ -122,6 +125,18 @@ ReduceResult sharpie::engine::reduceToGround(
         Expanded, [](Term T) { return T.kind() == Kind::Card; });
     for (Term C : Cards)
       Reg.defFor(C);
+
+    if (Round == 0 && Opts.Card.RelevancyFilter) {
+      // Lazy mode: the relevant counters are exactly the definitions in
+      // play before any axiom has been emitted -- the obligation's own
+      // cardinalities plus the external counters (the system size). Defs
+      // minted later (axiom witnesses, store variants) are the ones the
+      // filter exists to keep out.
+      std::set<uint32_t> Relevant;
+      for (const card::CardDef &D : Reg.defs())
+        Relevant.insert(D.K.id());
+      AE.setRelevant(std::move(Relevant));
+    }
 
     std::vector<Term> NewAxioms = AE.emitNew(UpdateEqs);
     if (NewAxioms.empty())
@@ -143,6 +158,7 @@ ReduceResult sharpie::engine::reduceToGround(
   }
 
   Res.NumAxioms = AE.stats().NumAxioms;
+  Res.NumDeferred = AE.stats().NumDeferred;
   Res.NumVennRegions = AE.stats().NumVennRegions;
   Res.VennApplied = AE.stats().VennApplied;
   Res.Complete &= AE.stats().Complete;
@@ -157,6 +173,8 @@ ReduceResult sharpie::engine::reduceToGround(
     Trace->counter("card_axioms.update", AS.NumUpdate);
     Trace->counter("card_axioms.cover", AS.NumCover);
     Trace->counter("card_axioms.venn", AS.NumVennAxioms);
+    Trace->counter("axioms_lazy_deferred",
+                   AS.NumDeferred + Res.NumFilteredInstances);
     Trace->counter("quant_instances", Res.NumInstances);
     Trace->sample("reduce_ms",
                   std::chrono::duration<double, std::milli>(
@@ -181,6 +199,8 @@ uint64_t sharpie::engine::reduceOptionsFingerprint(const ReduceOptions &O) {
   H = hashMix(H, O.Card.Pairwise);
   H = hashMix(H, O.Card.Update);
   H = hashMix(H, O.Card.Venn);
+  H = hashMix(H, O.Card.RelevancyFilter);
+  H = hashMix(H, O.Expand.RelevancyFilter);
   H = hashMix(H, O.Card.MaxVennRegions);
   H = hashMix(H, O.Card.MaxVennPreds);
   H = hashMix(H, O.Card.MaxDefs);
@@ -220,6 +240,92 @@ void sharpie::engine::ReduceCache::insert(uint64_t Key, ReduceResult R) {
   Entries.emplace(Key, std::move(R));
 }
 
+void sharpie::engine::ReduceCache::enableSharing() {
+  if (HostM)
+    return;
+  // Id-mode entries are keyed by term ids of whichever manager produced
+  // them; the shared key space is the host's, so they cannot be told
+  // apart from colliding foreign keys. Drop them.
+  Entries.clear();
+  HostM = std::make_unique<logic::TermManager>();
+  Mu = std::make_unique<std::mutex>();
+}
+
+namespace {
+/// Translates the (Psi, options, externals) key into the host manager and
+/// keys on the translated ids: two structurally equal obligations from
+/// different managers intern to the same host nodes, so the key is
+/// manager-independent and exact. Caller holds the cache mutex.
+uint64_t sharedKey(logic::TermTranslator &In, Term Psi,
+                   const ReduceOptions &Opts,
+                   const std::vector<std::pair<Term, Term>> &ExternalCounters,
+                   const std::vector<Term> &ExtraIndexTerms) {
+  std::vector<std::pair<Term, Term>> HostEC;
+  HostEC.reserve(ExternalCounters.size());
+  for (const auto &[K, Body] : ExternalCounters)
+    HostEC.emplace_back(In(K), In(Body));
+  std::vector<Term> HostEIT;
+  HostEIT.reserve(ExtraIndexTerms.size());
+  for (Term E : ExtraIndexTerms)
+    HostEIT.push_back(In(E));
+  return ReduceCache::keyFor(In(Psi), Opts, HostEC, HostEIT);
+}
+} // namespace
+
+std::optional<ReduceResult> sharpie::engine::ReduceCache::lookupShared(
+    logic::TermManager &M, Term Psi, const ReduceOptions &Opts,
+    const std::vector<std::pair<Term, Term>> &ExternalCounters,
+    const std::vector<Term> &ExtraIndexTerms) {
+  assert(HostM && "lookupShared before enableSharing");
+  std::lock_guard<std::mutex> Lock(*Mu);
+  logic::TermTranslator In(*HostM);
+  uint64_t Key = sharedKey(In, Psi, Opts, ExternalCounters, ExtraIndexTerms);
+  auto It = Entries.find(Key);
+  if (It == Entries.end()) {
+    ++Misses;
+    return std::nullopt;
+  }
+  ++Hits;
+  // Materialize in the consumer's manager. Every "!" variable in the
+  // entry is a per-reduction freshVar mint (witness, skolem, card_k,
+  // venn_r, ...); re-skolemizing it keeps this use disjoint from every
+  // other formula living in M -- exactly what a fresh reduction would
+  // have produced. The memo inside Out maps each entry variable to one
+  // fresh name, so the ground and the CardVars stay mutually consistent.
+  logic::TermTranslator Out(M);
+  Out.MapVar = [&M](Term V) -> Term {
+    const std::string &Name = V->name();
+    size_t Bang = Name.find('!');
+    if (Bang == std::string::npos)
+      return Term();
+    return M.freshVar(Name.substr(0, Bang), V.sort());
+  };
+  ReduceResult R = It->second;
+  R.Ground = Out(R.Ground);
+  R.CardVars.clear();
+  for (const auto &[C, K] : It->second.CardVars)
+    R.CardVars[Out(C)] = Out(K);
+  return R;
+}
+
+void sharpie::engine::ReduceCache::insertShared(
+    Term Psi, const ReduceOptions &Opts,
+    const std::vector<std::pair<Term, Term>> &ExternalCounters,
+    const std::vector<Term> &ExtraIndexTerms, const ReduceResult &R) {
+  assert(HostM && "insertShared before enableSharing");
+  std::lock_guard<std::mutex> Lock(*Mu);
+  logic::TermTranslator In(*HostM);
+  uint64_t Key = sharedKey(In, Psi, Opts, ExternalCounters, ExtraIndexTerms);
+  if (Entries.count(Key))
+    return;
+  ReduceResult Host = R;
+  Host.Ground = In(R.Ground);
+  Host.CardVars.clear();
+  for (const auto &[C, K] : R.CardVars)
+    Host.CardVars[In(C)] = In(K);
+  Entries.emplace(Key, std::move(Host));
+}
+
 ReduceResult sharpie::engine::reduceToGroundCached(
     ReduceCache *Cache, TermManager &M, Term Psi, const ReduceOptions &Opts,
     smt::SmtSolver *VennOracle,
@@ -228,6 +334,20 @@ ReduceResult sharpie::engine::reduceToGroundCached(
   if (!Cache)
     return reduceToGround(M, Psi, Opts, VennOracle, ExternalCounters,
                           ExtraIndexTerms, Trace);
+  if (Cache->isShared()) {
+    if (std::optional<ReduceResult> Hit = Cache->lookupShared(
+            M, Psi, Opts, ExternalCounters, ExtraIndexTerms)) {
+      if (Trace)
+        Trace->counter("reduce_cache_hits", 1);
+      return std::move(*Hit);
+    }
+    if (Trace)
+      Trace->counter("reduce_cache_misses", 1);
+    ReduceResult R = reduceToGround(M, Psi, Opts, VennOracle,
+                                    ExternalCounters, ExtraIndexTerms, Trace);
+    Cache->insertShared(Psi, Opts, ExternalCounters, ExtraIndexTerms, R);
+    return R;
+  }
   uint64_t Key =
       ReduceCache::keyFor(Psi, Opts, ExternalCounters, ExtraIndexTerms);
   if (const ReduceResult *Hit = Cache->lookup(Key)) {

@@ -28,6 +28,8 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <optional>
 
 namespace sharpie {
@@ -51,6 +53,13 @@ struct ReduceResult {
   unsigned NumRounds = 0;
   unsigned NumAxioms = 0;
   unsigned NumInstances = 0;
+  /// CARD-axiom slots skipped by card::AxiomOptions::RelevancyFilter plus
+  /// quantifier instances skipped by quant::ExpandOptions::RelevancyFilter
+  /// (split kept below); 0 outside lazy mode. A nonzero value means Ground
+  /// is a *weakening* of the full reduction: Unsat is still a proof, Sat
+  /// must be confirmed against an unfiltered reduction.
+  unsigned NumDeferred = 0;
+  unsigned NumFilteredInstances = 0;
   unsigned NumVennRegions = 0;
   bool VennApplied = false;
   /// Maps every cardinality term seen to the k variable standing for it.
@@ -100,10 +109,46 @@ public:
   unsigned hits() const { return Hits; }
   unsigned misses() const { return Misses; }
 
+  /// Flips the cache into shared (cross-manager) mode for the parallel
+  /// search. Entries move into a private TermManager owned by the cache,
+  /// so they outlive any worker and never race the workers' managers;
+  /// keys become ids of the host-translated key terms, which makes them
+  /// manager-independent without hash-collision risk. Existing id-mode
+  /// entries are keyed in their producer's manager and cannot be carried
+  /// over; they are dropped. Idempotent.
+  void enableSharing();
+  bool isShared() const { return HostM != nullptr; }
+
+  /// Shared-mode lookup: translates the key terms into the host, and on a
+  /// hit materializes the entry in \p M with every freshVar-minted
+  /// variable ("!" names: witnesses, skolems, k/venn counters)
+  /// re-skolemized through M.freshVar, so two entries -- or one entry hit
+  /// twice -- can never alias skolems inside one solver context.
+  /// Thread-safe; counts a hit or a miss.
+  std::optional<ReduceResult>
+  lookupShared(logic::TermManager &M, logic::Term Psi,
+               const ReduceOptions &Opts,
+               const std::vector<std::pair<logic::Term, logic::Term>>
+                   &ExternalCounters,
+               const std::vector<logic::Term> &ExtraIndexTerms);
+
+  /// Shared-mode insert: stores \p R translated into the host manager.
+  /// First writer wins on a key collision between racing workers (the
+  /// results are equivalent up to skolem names). Thread-safe.
+  void insertShared(logic::Term Psi, const ReduceOptions &Opts,
+                    const std::vector<std::pair<logic::Term, logic::Term>>
+                        &ExternalCounters,
+                    const std::vector<logic::Term> &ExtraIndexTerms,
+                    const ReduceResult &R);
+
 private:
   std::map<uint64_t, ReduceResult> Entries;
   unsigned Hits = 0;
   unsigned Misses = 0;
+  /// Non-null exactly in shared mode. The mutex guards Entries, the
+  /// counters, and every translation touching HostM.
+  std::unique_ptr<logic::TermManager> HostM;
+  std::unique_ptr<std::mutex> Mu;
 };
 
 /// Reduces the satisfiability obligation \p Psi to a ground formula.

@@ -497,7 +497,10 @@ Term sharpie::logic::TermTranslator::operator()(Term T) {
   Term Out;
   switch (N->kind()) {
   case Kind::Var:
-    Out = Dst.mkVar(N->name(), N->sort());
+    if (MapVar)
+      Out = MapVar(T);
+    if (Out.isNull())
+      Out = Dst.mkVar(N->name(), N->sort());
     break;
   case Kind::IntConst:
     Out = Dst.mkInt(N->value());

@@ -67,6 +67,16 @@ public:
   /// Translates \p T (from any foreign manager) into the destination.
   Term operator()(Term T);
 
+  /// Optional variable hook, consulted before the default (name, sort)
+  /// mapping. Return a null Term to fall through to the default. The
+  /// result is memoized per source node, so every occurrence of one
+  /// foreign variable -- bound occurrences included -- maps to the same
+  /// destination term (remapping a binder is a plain alpha-rename). The
+  /// shared reduction cache uses this to re-skolemize freshVar-minted
+  /// witnesses on the way out of the cache, so skolems from different
+  /// source managers can never alias in one destination manager.
+  std::function<Term(Term)> MapVar;
+
 private:
   TermManager &Dst;
   std::unordered_map<Term, Term, TermHash> Memo;

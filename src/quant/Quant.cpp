@@ -79,10 +79,20 @@ namespace {
 
 class Expander {
 public:
-  Expander(TermManager &M, const std::vector<Term> &TidTerms,
+  Expander(TermManager &M, Term Root, const std::vector<Term> &TidTerms,
            const std::vector<Term> &IntTerms, const ExpandOptions &Opts,
            ExpandResult &R)
-      : M(M), TidTerms(TidTerms), IntTerms(IntTerms), Opts(Opts), R(R) {}
+      : M(M), TidTerms(TidTerms), IntTerms(IntTerms), Opts(Opts), R(R) {
+    if (!Opts.RelevancyFilter)
+      return;
+    // Relevancy pre-pass: which arrays is each candidate index term used
+    // with anywhere in the formula? (Read indices are always Tid-sorted
+    // and the term language has no compound Tid terms, so the index of a
+    // Read is directly a variable comparable against the domain.)
+    for (Term Rd : logic::collectSubterms(
+             Root, [](Term S) { return S.kind() == Kind::Read; }))
+      ArraysIndexedBy[Rd->kid(1)].insert(Rd->kid(0));
+  }
 
   Term walk(Term T) {
     const logic::Node *N = T.node();
@@ -109,17 +119,20 @@ private:
   Term expand(Term Q) {
     const logic::Node *N = Q.node();
     const std::vector<Term> &Bs = N->binders();
+    // Per-binder domains, relevancy-filtered when enabled.
+    std::vector<std::vector<Term>> Doms;
+    Doms.reserve(Bs.size());
+    for (Term B : Bs)
+      Doms.push_back(domainFor(N, B));
     // Estimate the instance count; weaken to true on budget overrun.
     uint64_t Count = 1;
-    for (Term B : Bs) {
-      uint64_t DomSize =
-          B.sort() == Sort::Tid ? TidTerms.size() : IntTerms.size();
-      if (DomSize == 0) {
+    for (const std::vector<Term> &Dom : Doms) {
+      if (Dom.empty()) {
         // No instance terms for this sort: nothing to say, weaken.
         R.Complete = false;
         return M.mkTrue();
       }
-      Count *= DomSize;
+      Count *= Dom.size();
       if (Count + R.NumInstances > Opts.MaxInstantiations) {
         R.Complete = false;
         return M.mkTrue();
@@ -127,13 +140,50 @@ private:
     }
     std::vector<Term> Instances;
     Subst S;
-    enumerate(N, 0, S, Instances);
+    enumerate(N, Doms, 0, S, Instances);
     R.NumInstances += static_cast<unsigned>(Instances.size());
     return M.mkAnd(Instances);
   }
 
-  void enumerate(const logic::Node *N, size_t I, Subst &S,
-                 std::vector<Term> &Out) {
+  /// The instantiation domain for binder \p B of quantifier \p N: the full
+  /// per-sort index set, or the relevancy-filtered subset of it. A term is
+  /// relevant to B when it indexes (anywhere in the formula) one of the
+  /// arrays the quantifier body reads at B; if the body reads no array at
+  /// B, or the filter would empty the domain, the full domain is kept.
+  std::vector<Term> domainFor(const logic::Node *N, Term B) {
+    const std::vector<Term> &Full =
+        B.sort() == Sort::Tid ? TidTerms : IntTerms;
+    if (!Opts.RelevancyFilter || B.sort() != Sort::Tid)
+      return Full;
+    std::set<Term> BodyArrays;
+    for (Term Rd : logic::collectSubterms(N->body(), [&](Term S) {
+           return S.kind() == Kind::Read && S->kid(1) == B;
+         }))
+      BodyArrays.insert(Rd->kid(0));
+    if (BodyArrays.empty())
+      return Full;
+    std::vector<Term> Kept;
+    for (Term D : Full) {
+      auto It = ArraysIndexedBy.find(D);
+      bool Relevant = false;
+      if (It != ArraysIndexedBy.end())
+        for (Term A : It->second)
+          if (BodyArrays.count(A)) {
+            Relevant = true;
+            break;
+          }
+      if (Relevant)
+        Kept.push_back(D);
+    }
+    if (Kept.empty())
+      return Full;
+    R.NumFiltered += static_cast<unsigned>(Full.size() - Kept.size());
+    return Kept;
+  }
+
+  void enumerate(const logic::Node *N,
+                 const std::vector<std::vector<Term>> &Doms, size_t I,
+                 Subst &S, std::vector<Term> &Out) {
     const std::vector<Term> &Bs = N->binders();
     if (I == Bs.size()) {
       // Recurse to expand nested universals inside the instantiated body.
@@ -141,11 +191,9 @@ private:
       return;
     }
     Term B = Bs[I];
-    const std::vector<Term> &Dom =
-        B.sort() == Sort::Tid ? TidTerms : IntTerms;
-    for (Term D : Dom) {
+    for (Term D : Doms[I]) {
       S[B] = D;
-      enumerate(N, I + 1, S, Out);
+      enumerate(N, Doms, I + 1, S, Out);
     }
     S.erase(B);
   }
@@ -155,6 +203,9 @@ private:
   const std::vector<Term> &IntTerms;
   const ExpandOptions &Opts;
   ExpandResult &R;
+  /// index term -> arrays it is read with, over the whole input formula.
+  /// Populated only when Opts.RelevancyFilter is set.
+  std::map<Term, std::set<Term>> ArraysIndexedBy;
 };
 
 } // namespace
@@ -169,7 +220,7 @@ ExpandResult sharpie::quant::expandForalls(TermManager &M, Term T,
     BoundedInt.resize(Opts.MaxIntTerms);
     R.Complete = false;
   }
-  R.Formula = Expander(M, TidTerms, BoundedInt, Opts, R).walk(T);
+  R.Formula = Expander(M, T, TidTerms, BoundedInt, Opts, R).walk(T);
   return R;
 }
 

@@ -46,11 +46,22 @@ SkolemResult skolemize(logic::TermManager &M, logic::Term T);
 struct ExpandOptions {
   unsigned MaxInstantiations = 20000; ///< Total budget of binder instances.
   unsigned MaxIntTerms = 24;          ///< Cap on Int-sorted index terms.
+  /// Relevancy-filtered instantiation (lazy mode): a Tid-sorted binder is
+  /// instantiated only at index terms the formula actually reads one of
+  /// the binder's arrays with -- a universal whose body reads pc(t) need
+  /// not be instantiated at a term that never indexes pc anywhere in the
+  /// formula. Skipping instances only weakens the expansion (still sound
+  /// for Unsat), and when the filter would empty a domain the full domain
+  /// is kept instead, so it never manufactures a vacuous expansion. A Sat
+  /// answer obtained under the filter may be spurious; callers escalate
+  /// to an unfiltered expansion before trusting one.
+  bool RelevancyFilter = false;
 };
 
 struct ExpandResult {
   logic::Term Formula;   ///< Universal-free formula.
   unsigned NumInstances = 0;
+  unsigned NumFiltered = 0; ///< Instances skipped by RelevancyFilter.
   bool Complete = true;  ///< False if the budget truncated an expansion.
 };
 

@@ -3,8 +3,8 @@
 // Part of sharpie. A seeded, replayable fault-injection harness for the
 // resilience layer (resil/Resil.h): a FaultPlan names the faults to
 // inject (timeouts, Unknowns, exceptions, latency) at the supervised
-// sites (`smt_check`, `reduce`, `worker_task`), and a FaultInjector turns
-// the plan into per-invocation decisions.
+// sites (`smt_check`, `smt_check_assuming`, `reduce`, `worker_task`),
+// and a FaultInjector turns the plan into per-invocation decisions.
 //
 // Determinism: every decision is a pure function of (plan seed, site
 // name, scope, invocation index) hashed through splitmix64 -- no global
@@ -22,7 +22,8 @@
 //
 //   plan    := ["seed=" INT] (";" rule)*
 //   rule    := site ":" kind ["@" trigger ("," trigger)*]
-//   site    := "smt_check" | "reduce" | "worker_task"   (any name matches)
+//   site    := "smt_check" | "smt_check_assuming" | "reduce"
+//            | "worker_task"                            (any name matches)
 //   kind    := "timeout" | "unknown" | "throw" | "latency=" MS
 //   trigger := "always" | "p=" FLOAT | "every=" N | "worker=" W
 //

@@ -117,9 +117,13 @@ void SupervisedSolver::replayInto(smt::SmtSolver &S) {
 }
 
 SatResult SupervisedSolver::checkOnce(smt::SmtSolver &S, unsigned EffTimeoutMs,
-                                      FailureClass &Class) {
+                                      FailureClass &Class,
+                                      const std::vector<logic::Term> *A) {
+  // Assumption-based checks draw faults from their own site so a chaos
+  // plan can stress core queries without also hitting plain checks.
+  const char *EffSite = A ? "smt_check_assuming" : Site;
   if (Faults) {
-    FaultDecision D = Faults->next(Site);
+    FaultDecision D = Faults->next(EffSite);
     switch (D.Kind) {
     case FaultKind::None:
       break;
@@ -129,7 +133,7 @@ SatResult SupervisedSolver::checkOnce(smt::SmtSolver &S, unsigned EffTimeoutMs,
       break;
     case FaultKind::Throw:
       bump(&ResilCounters::FaultsInjected, "faults_injected");
-      throw InjectedFault(Site);
+      throw InjectedFault(EffSite);
     case FaultKind::Timeout:
       // An injected timeout is indistinguishable from a real one to the
       // retry loop: it is retried with backoff and may be rescued.
@@ -148,7 +152,7 @@ SatResult SupervisedSolver::checkOnce(smt::SmtSolver &S, unsigned EffTimeoutMs,
   auto T0 = std::chrono::steady_clock::now();
   SatResult R;
   try {
-    R = S.check();
+    R = A ? S.checkAssuming(*A) : S.check();
   } catch (const std::exception &) {
     // Both back ends contain their own exceptions; this catches a truly
     // misbehaving solver so one check cannot abort the search.
@@ -175,7 +179,33 @@ SatResult SupervisedSolver::check() {
   LastFailure = FailureClass::None;
   if (!Opts.Enabled)
     return Primary->check();
+  return checkSupervised(nullptr);
+}
 
+SatResult
+SupervisedSolver::checkAssuming(const std::vector<logic::Term> &A) {
+  ++NumChecks;
+  LastFailure = FailureClass::None;
+  LastAssumptions = A;
+  // Clear the answer pointer up front: a faulted/Unknown core query must
+  // make unsatCore() fall back to the full assumption list, not a stale
+  // core from an earlier answer.
+  Answered = nullptr;
+  if (!Opts.Enabled) {
+    SatResult R = Primary->checkAssuming(A);
+    if (R != SatResult::Unknown)
+      Answered = Primary.get();
+    return R;
+  }
+  return checkSupervised(&A);
+}
+
+std::vector<logic::Term> SupervisedSolver::unsatCore() const {
+  return Answered ? Answered->unsatCore() : LastAssumptions;
+}
+
+SatResult
+SupervisedSolver::checkSupervised(const std::vector<logic::Term> *A) {
   long long Rem = remainingBudgetMs();
   if (Rem <= 0) {
     LastFailure = FailureClass::BudgetExhausted;
@@ -196,7 +226,7 @@ SatResult SupervisedSolver::check() {
   FailureClass Class = FailureClass::None;
   double Slice = BaseTimeoutMs;
   for (unsigned Attempt = 0;; ++Attempt) {
-    SatResult R = checkOnce(*Primary, Effective(Slice, Rem), Class);
+    SatResult R = checkOnce(*Primary, Effective(Slice, Rem), Class, A);
     if (R != SatResult::Unknown) {
       Answered = Primary.get();
       return R;
@@ -228,7 +258,7 @@ SatResult SupervisedSolver::check() {
       replayInto(*Fallback);
       FailureClass FbClass = FailureClass::None;
       SatResult R = checkOnce(*Fallback, Effective(BaseTimeoutMs, Rem),
-                              FbClass);
+                              FbClass, A);
       if (R != SatResult::Unknown) {
         Answered = Fallback.get();
         return R;

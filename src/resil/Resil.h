@@ -101,6 +101,19 @@ public:
   void pop() override;
   void add(logic::Term T) override;
   smt::SatResult check() override;
+  /// Supervised assumption-based check. Faults for this entry point fire
+  /// at the dedicated `smt_check_assuming` site (not the wrapper's
+  /// constructor site), so chaos plans can target core queries alone. On
+  /// fallback escalation the recorded trail is replayed and the same
+  /// assumption literals are passed to the fallback's checkAssuming.
+  smt::SatResult
+  checkAssuming(const std::vector<logic::Term> &Assumptions) override;
+  /// Core of the solver that actually answered the last Unsat; falls
+  /// back to the full assumption list (maximally conservative) when no
+  /// back end produced a definite answer -- an injected fault or Unknown
+  /// on a core query therefore degrades to "every assumption implicated",
+  /// never to an unsound subset.
+  std::vector<logic::Term> unsatCore() const override;
   std::unique_ptr<smt::SmtModel> model() override;
   /// Sets the base per-check time slice (before backoff and budget
   /// clamping). 0 disables the per-check timeout.
@@ -112,7 +125,9 @@ public:
 
 private:
   smt::SatResult checkOnce(smt::SmtSolver &S, unsigned EffTimeoutMs,
-                           FailureClass &Class);
+                           FailureClass &Class,
+                           const std::vector<logic::Term> *Assumptions);
+  smt::SatResult checkSupervised(const std::vector<logic::Term> *Assumptions);
   void applyTimeout(smt::SmtSolver &S, unsigned Ms, unsigned &Applied);
   void replayInto(smt::SmtSolver &S);
   long long remainingBudgetMs() const;

@@ -103,6 +103,7 @@ public:
   void add(Term T) override { Assertions.push_back(T); }
 
   SatResult check() override;
+  SatResult checkAssuming(const std::vector<Term> &A) override;
   std::unique_ptr<SmtModel> model() override;
   void setTimeoutMs(unsigned Ms) override { TimeoutMs = Ms; }
   std::string reasonUnknown() const override { return Reason; }
@@ -717,6 +718,38 @@ SatResult MiniSolverImpl::solve() {
     S.TrailLim.push_back(S.Trail.size());
     S.enqueue(mkLit(Best, S.Activity[Best] == 0.0), SIZE_MAX);
   }
+}
+
+// MiniSolver re-encodes the assertion set from scratch on every check, so
+// there is no persistent CDCL trail to attach assumptions to: the base
+// push/add/check/pop emulation is already the natural implementation.
+// This override improves on the base's full-list core by deletion
+// minimization -- re-check without each assumption in turn and drop the
+// ones that were not needed -- bounded so a pathological assumption list
+// cannot multiply the check cost. A superset of a minimal core is always
+// a sound (conservative) answer, so every bound below only costs
+// precision, never correctness.
+SatResult MiniSolverImpl::checkAssuming(const std::vector<Term> &A) {
+  SatResult R = SmtSolver::checkAssuming(A);
+  constexpr size_t MaxMinimizeAssumptions = 16;
+  if (R != SatResult::Unsat || A.size() <= 1 ||
+      A.size() > MaxMinimizeAssumptions)
+    return R;
+  std::vector<Term> Core = A;
+  for (size_t I = 0; I < Core.size() && !pastDeadline();) {
+    push();
+    for (size_t J = 0; J < Core.size(); ++J)
+      if (J != I)
+        add(Core[J]);
+    SatResult Trial = check();
+    pop();
+    if (Trial == SatResult::Unsat)
+      Core.erase(Core.begin() + static_cast<ptrdiff_t>(I));
+    else
+      ++I;
+  }
+  LastAssumptions = Core; // unsatCore() reports the minimized set.
+  return SatResult::Unsat;
 }
 
 SatResult MiniSolverImpl::check() {

@@ -54,6 +54,23 @@ public:
 
   virtual SatResult check() = 0;
 
+  /// Checks satisfiability of the current assertions conjoined with
+  /// \p Assumptions (Bool-sorted literals: variables or their negations).
+  /// Unlike add(), the assumptions do not persist -- the next check sees
+  /// only the asserted stack -- which is what makes Houdini-style candidate
+  /// pruning incremental: the clause set is asserted once and each
+  /// iteration just varies the assumption literals. The base implementation
+  /// emulates the call with push/add/check/pop; back ends override it with
+  /// a native mechanism (Z3: check-sat-assuming) where one exists.
+  virtual SatResult checkAssuming(const std::vector<logic::Term> &Assumptions);
+
+  /// After a checkAssuming() that answered Unsat: a subset of the passed
+  /// assumptions sufficient for unsatisfiability (an unsat core). The core
+  /// need not be minimal; returning the full assumption list is always a
+  /// correct (maximally conservative) answer, and is what the base
+  /// emulation does. Undefined after Sat/Unknown or after plain check().
+  virtual std::vector<logic::Term> unsatCore() const { return LastAssumptions; }
+
   /// Returns the model after a Sat answer; nullptr otherwise.
   virtual std::unique_ptr<SmtModel> model() = 0;
 
@@ -66,11 +83,14 @@ public:
   /// resilience layer (resil/Resil.h) classifies Unknowns with this.
   virtual std::string reasonUnknown() const { return std::string(); }
 
-  /// Number of check() calls, for benchmark statistics.
+  /// Number of check()/checkAssuming() calls, for benchmark statistics.
   unsigned numChecks() const { return NumChecks; }
 
 protected:
   unsigned NumChecks = 0;
+  /// Assumptions of the most recent checkAssuming(), kept so the default
+  /// unsatCore() can answer conservatively.
+  std::vector<logic::Term> LastAssumptions;
 };
 
 /// Creates a Z3-backed solver over \p M. The manager must outlive the
@@ -100,6 +120,31 @@ inline SatResult checkTraced(SmtSolver &S, obs::TraceBuffer *Trace,
                   std::chrono::steady_clock::now() - T0)
                   .count();
   Trace->sample("smt_ms", Ms);
+  if (PhaseHist)
+    Trace->sample(PhaseHist, Ms);
+  Trace->counter("smt_checks", 1);
+  return R;
+}
+
+/// Instrumented checkAssuming(): like checkTraced, but the latency also
+/// lands in the "smt_ms.assume" histogram, so the assumption-based
+/// (incremental Houdini) checks are separable from monolithic ones in the
+/// stats table and --json output.
+inline SatResult checkAssumingTraced(SmtSolver &S,
+                                     const std::vector<logic::Term> &A,
+                                     obs::TraceBuffer *Trace,
+                                     const char *PhaseHist = nullptr,
+                                     const char *Detail = "") {
+  if (!Trace)
+    return S.checkAssuming(A);
+  obs::Span Sp(Trace, "smt_check", [&] { return std::string(Detail); });
+  auto T0 = std::chrono::steady_clock::now();
+  SatResult R = S.checkAssuming(A);
+  double Ms = std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - T0)
+                  .count();
+  Trace->sample("smt_ms", Ms);
+  Trace->sample("smt_ms.assume", Ms);
   if (PhaseHist)
     Trace->sample(PhaseHist, Ms);
   Trace->counter("smt_checks", 1);

@@ -35,6 +35,22 @@ const char *sharpie::smt::satResultName(SatResult R) {
 SmtModel::~SmtModel() = default;
 SmtSolver::~SmtSolver() = default;
 
+// Default emulation for back ends without a native check-sat-assuming: the
+// assumptions ride on a throwaway frame. The frame is popped before
+// returning -- model() stays valid on back ends whose models are decoupled
+// from the assertion stack (MiniSolver), and back ends where it is not
+// (Z3) override this with the native call anyway. The core defaults to the
+// full assumption list via unsatCore()'s base implementation.
+SatResult SmtSolver::checkAssuming(const std::vector<logic::Term> &A) {
+  LastAssumptions = A;
+  push();
+  for (logic::Term T : A)
+    add(T);
+  SatResult R = check(); // Counts toward NumChecks via the inner call.
+  pop();
+  return R;
+}
+
 namespace {
 
 /// Translates terms to Z3 expressions with caching.
@@ -207,6 +223,43 @@ public:
     return SatResult::Unknown;
   }
 
+  SatResult checkAssuming(const std::vector<Term> &A) override {
+    ++NumChecks;
+    LastReason.clear();
+    LastAssumptions = A;
+    LastCore.clear();
+    try {
+      z3::expr_vector V(Ctx);
+      for (Term T : A)
+        V.push_back(Tr->toZ3(T));
+      z3::check_result R = Solver.check(V);
+      if (R == z3::unsat) {
+        // Map the core literals back to Terms by AST identity: toZ3 is
+        // cached, so re-translating an assumption yields the exact ast Z3
+        // reported in the core.
+        z3::expr_vector Core = Solver.unsat_core();
+        for (unsigned I = 0; I < Core.size(); ++I) {
+          Z3_ast CA = static_cast<Z3_ast>(Core[static_cast<int>(I)]);
+          for (Term T : A)
+            if (static_cast<Z3_ast>(Tr->toZ3(T)) == CA) {
+              LastCore.push_back(T);
+              break;
+            }
+        }
+        return SatResult::Unsat;
+      }
+      if (R == z3::sat)
+        return SatResult::Sat;
+      LastReason = Solver.reason_unknown();
+      return SatResult::Unknown;
+    } catch (const z3::exception &E) {
+      LastReason = std::string("z3 exception: ") + E.msg();
+      return SatResult::Unknown;
+    }
+  }
+
+  std::vector<Term> unsatCore() const override { return LastCore; }
+
   std::string reasonUnknown() const override { return LastReason; }
 
   std::unique_ptr<SmtModel> model() override {
@@ -232,6 +285,7 @@ private:
   z3::solver Solver;
   std::shared_ptr<Z3Translator> Tr;
   std::string LastReason;
+  std::vector<Term> LastCore;
 };
 
 } // namespace

@@ -26,6 +26,7 @@
 #include <cassert>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <functional>
 #include <map>
 #include <mutex>
@@ -72,6 +73,15 @@ struct ReducedClause {
   std::vector<PlaceholderInst> Insts;
   bool HasHead = false;
   bool IsSafety = false;
+  /// The unreduced clause conjunction and its extra index terms, retained
+  /// so the incremental path can escalate from the lazy (relevancy-
+  /// filtered) reduction to the full one on demand.
+  Term Raw;
+  std::vector<Term> Extra;
+  /// True when the lazy reduction deferred axioms or instances, i.e.
+  /// Ground is a weakening of the full reduction: a Sat answer must be
+  /// confirmed against the full reduction before a model is trusted.
+  bool LazyWeakened = false;
 };
 
 class Synthesizer {
@@ -88,6 +98,10 @@ public:
                      : std::chrono::steady_clock::time_point::max()) {
     if (Opts.Supervise.Enabled && Opts.Faults && !Opts.Faults->empty())
       Faults.emplace(*Opts.Faults);
+    // Bound here (not in run()) so parallel workers -- which are driven
+    // through tryTuple directly -- share a caller-provided cache too.
+    if (Opts.ReuseReduceCache)
+      RC = Opts.ReuseReduceCache;
   }
 
   bool outOfTime() const {
@@ -190,6 +204,88 @@ private:
   bool recheck(Term Inv, const std::vector<sys::ParamSystem::State> &States,
                std::string &Why);
 
+  // -- Incremental assumption-based solving (Opts.Incremental) -----------------
+  //
+  // Per tuple, ALL reduced clauses are asserted ONCE into one merged
+  // solver context, each behind a selector literal (sel[i] -> ground_i),
+  // with every placeholder tied to per-atom indicator variables
+  // (ind[k] <=> atom k is live) and Or(sel_0..sel_n) asserted. A Houdini
+  // iteration is then ONE checkAssuming over the indicator literals:
+  // Unsat means no clause -- the safety clause included -- has a
+  // counterexample under the live set, so the fixpoint and the safety
+  // verdict arrive in a single answer, while a Sat model names the
+  // violated clauses through their selectors and refutes atoms in every
+  // one of them at once. A model that violates the safety clause ends the
+  // tuple immediately: the candidate occurs only positively in the safety
+  // body, so that counterexample survives every later drop and the
+  // eventual fixpoint would reject the tuple anyway. Selectors are
+  // asserted, never assumed, so unsat cores range over pure indicator
+  // literals; while the recorded core is consistent with the live set the
+  // merged context is provably still Unsat and minimize accepts removals
+  // without a solver call ("core_drops"). Clauses are built with the lazy
+  // (relevancy-filtered) reduction; a model that picks a weakened clause
+  // may be spurious, so that clause escalates once to its full reduction
+  // before any model is trusted -- every accepting answer is an Unsat
+  // (sound under weakening) and every counterexample satisfies the full
+  // ground, which is why verdicts and invariants match the monolithic
+  // path.
+  struct IncCtx {
+    bool Active = false;
+    std::vector<Term> Atoms; ///< Candidate pool, fixing indicator indices.
+    std::vector<Term> Ind;   ///< Ind[k]: atom k is live.
+    std::map<Term, size_t> IndIndex; ///< Ind[k] -> k, for core mapping.
+    std::vector<char> Live;
+    /// The tuple's merged context: every clause ground behind its
+    /// selector, the indicator-guarded placeholder definitions, and the
+    /// selector disjunction, asserted once.
+    std::unique_ptr<smt::SmtSolver> S;
+    std::vector<Term> Sel;          ///< Sel[i] guards clause i's ground.
+    std::vector<char> Lazy;         ///< Clause i's reduction was weakened.
+    std::vector<char> FullAsserted; ///< Clause i escalated to full.
+    size_t SafetyIdx = static_cast<size_t>(-1);
+    /// Unsat core of the last Unsat answer, as (atom index, assumed
+    /// polarity) pairs over the indicator literals. Empty is valid (the
+    /// guarded grounds alone are Unsat) and stays consistent forever.
+    std::vector<std::pair<size_t, bool>> Core;
+    bool CoreKnown = false;
+    unsigned Checks = 0; ///< Checks answered by this context.
+    smt::SmtSolver *Oracle = nullptr; ///< Borrowed, for escalation reduces.
+  };
+
+  /// The lazy variant of Opts.Reduce: relevancy-filtered CARD axioms and
+  /// quantifier instances (see card::AxiomOptions::RelevancyFilter).
+  engine::ReduceOptions lazyReduceOptions() const {
+    engine::ReduceOptions RO = Opts.Reduce;
+    RO.Card.RelevancyFilter = true;
+    RO.Expand.RelevancyFilter = true;
+    return RO;
+  }
+  void incSetup(const std::vector<ReducedClause> &Clauses,
+                const std::vector<Term> &Cand, smt::SmtSolver *Oracle);
+  /// Destroys the merged context and forgets the tuple's state.
+  /// Idempotent; called on every tryTuple exit path and by resetSolver.
+  void incTeardown();
+  std::vector<Term> incAssumptions() const;
+  bool coreConsistent() const;
+  void incRecordCore();
+  void ensureFullAsserted(const ReducedClause &C, size_t CI);
+  /// One assumption-based check of the merged context, with the
+  /// lazy->full escalation loop folded in: an Unsat records the core; a
+  /// returned Sat comes with a model in which no selected clause's ground
+  /// is a weakening (each was escalated if needed), so the model is a
+  /// genuine counterexample for every clause it selects.
+  SatResult incCheck(const std::vector<ReducedClause> &Clauses,
+                     const char *Hist,
+                     std::unique_ptr<smt::SmtModel> &Model);
+  std::vector<Term> liveAtoms() const;
+  bool houdiniInc(const std::vector<ReducedClause> &Clauses,
+                  std::vector<Term> &Cand, TupleOutcome &Out);
+  void minimizeAtomsInc(const std::vector<ReducedClause> &Clauses,
+                        std::vector<Term> &Cand);
+  bool recheckInc(Term Inv,
+                  const std::vector<sys::ParamSystem::State> &States,
+                  std::string &Why);
+
   /// Builds this synthesizer's standard solver stack for injection site
   /// \p Site: supervised Z3 with a MiniSolver fallback factory, wired to
   /// this synthesizer's counters, injector, trace buffer and deadline.
@@ -197,7 +293,11 @@ private:
   std::unique_ptr<smt::SmtSolver> makeSolver(const char *Site);
   /// Replaces the member Solver after an exception may have left it with
   /// stale pushed frames (reusing it could discharge clauses vacuously).
-  void resetSolver() { Solver = makeSolver("smt_check"); }
+  /// The incremental context dies with the solver it was asserted on.
+  void resetSolver() {
+    Solver = makeSolver("smt_check");
+    Inc = IncCtx();
+  }
 
   sys::ParamSystem &Sys;
   TermManager &M;
@@ -205,6 +305,8 @@ private:
   Formals F;
   SynthStats Stats;
   std::unique_ptr<smt::SmtSolver> Solver;
+  /// The merged per-tuple context of the incremental path (Opts.Incremental).
+  IncCtx Inc;
   std::chrono::steady_clock::time_point Deadline;
   /// Retry/fallback/fault tallies from every supervised solver this
   /// synthesizer creates; folded into Stats at the end of the run.
@@ -511,16 +613,25 @@ Synthesizer::buildClauses(const std::vector<Term> &SetBodies,
     return Sk;
   };
 
+  // Incremental mode reduces lazily (relevancy-filtered axioms); the raw
+  // conjunction and index terms are retained on the clause so a surviving
+  // lazy model can trigger an on-demand full reduction (ensureFullAsserted).
+  const engine::ReduceOptions BuildRO =
+      Opts.Incremental ? lazyReduceOptions() : Opts.Reduce;
   auto Reduce = [&](ReducedClause &C, const std::vector<Term> &Conj) {
     obs::Span Sp(TB, "reduce_clause", [&] { return C.Name; });
+    C.Raw = M.mkAnd(Conj);
+    C.Extra = InstanceTerms(C.Insts);
     engine::ReduceResult R = engine::reduceToGroundCached(
-        RC, M, M.mkAnd(Conj), Opts.Reduce, Oracle, Externals,
-        InstanceTerms(C.Insts), TB);
+        RC, M, C.Raw, BuildRO, Oracle, Externals, C.Extra, TB);
     C.Ground = R.Ground;
+    C.LazyWeakened = R.NumDeferred + R.NumFilteredInstances > 0;
     SHARPIE_LOGF(TB, obs::LogLevel::Debug,
-                 "[reduce] %-16s size=%-7zu inst=%-6u axioms=%-5u venn=%s/%u",
+                 "[reduce] %-16s size=%-7zu inst=%-6u axioms=%-5u venn=%s/%u"
+                 " deferred=%u",
                  C.Name.c_str(), logic::termSize(C.Ground), R.NumInstances,
-                 R.NumAxioms, R.VennApplied ? "yes" : "no", R.NumVennRegions);
+                 R.NumAxioms, R.VennApplied ? "yes" : "no", R.NumVennRegions,
+                 R.NumDeferred + R.NumFilteredInstances);
   };
 
   // Clause (a): init /\ !Inv.
@@ -766,6 +877,308 @@ void Synthesizer::minimizeAtoms(const std::vector<ReducedClause> &Clauses,
   }
 }
 
+// -- Incremental assumption-based solving --------------------------------------------
+
+void Synthesizer::incSetup(const std::vector<ReducedClause> &Clauses,
+                           const std::vector<Term> &Cand,
+                           smt::SmtSolver *Oracle) {
+  Inc = IncCtx();
+  Inc.Oracle = Oracle;
+  Inc.Atoms = Cand;
+  Inc.Live.assign(Cand.size(), 1);
+  Inc.Active = true;
+  for (size_t K = 0; K < Cand.size(); ++K) {
+    // Deterministic per-index names (like clauseVar's): rebuilding the
+    // context for another tuple reuses the same interned variables.
+    Term IndK = M.mkVar("houdini$ind$" + std::to_string(K), Sort::Bool);
+    Inc.Ind.push_back(IndK);
+    Inc.IndIndex.emplace(IndK, K);
+  }
+  Inc.S = makeSolver("smt_check");
+  Inc.Lazy.assign(Clauses.size(), 0);
+  Inc.FullAsserted.assign(Clauses.size(), 0);
+  for (size_t CI = 0; CI < Clauses.size(); ++CI) {
+    const ReducedClause &C = Clauses[CI];
+    Term Sel = M.mkVar("houdini$sel$" + std::to_string(CI), Sort::Bool);
+    Inc.Sel.push_back(Sel);
+    Inc.Lazy[CI] = C.LazyWeakened;
+    if (C.IsSafety)
+      Inc.SafetyIdx = CI;
+    Inc.S->add(M.mkImplies(Sel, C.Ground));
+    // Tie every placeholder occurrence to the indicators: P_I holds iff
+    // every live atom holds at instance I. Only the implication direction
+    // a placeholder's polarity in the ground formula needs is asserted
+    // (Plaisted-Greenbaum): the ground formula is in NNF, so a P that
+    // never occurs negated only needs P -> def (and dually), which keeps
+    // the per-check formula close to substitutedClause's size. Under
+    // fixed indicator assumptions either direction set is equisatisfiable
+    // with the monolithic replacement. Placeholder names embed the clause
+    // name, so the definitions of different clauses never collide in the
+    // merged context.
+    std::set<Term> NegOcc;
+    for (Term N : logic::collectSubterms(C.Ground, [](Term S) {
+           return S.kind() == Kind::Not;
+         }))
+      NegOcc.insert(N->kid(0));
+    for (const PlaceholderInst &I : C.Insts) {
+      std::vector<Term> Guarded;
+      Guarded.reserve(Cand.size());
+      for (size_t K = 0; K < Cand.size(); ++K) {
+        if (I.GlobalOnly && !isGlobalAtom(Cand[K]))
+          continue;
+        Guarded.push_back(M.mkImplies(
+            Inc.Ind[K], logic::substitute(M, Cand[K], I.AtomSubst)));
+      }
+      Term Conj = M.mkAnd(Guarded);
+      // The definitions ride behind the selector as well: with Sel false
+      // the clause's placeholders are unconstrained and its definitions
+      // are inert, so a check only ever evaluates the atom instantiations
+      // of the clauses its model actually selects.
+      Inc.S->add(M.mkImplies(Sel, M.mkImplies(I.P, Conj)));
+      if (NegOcc.count(I.P))
+        Inc.S->add(M.mkImplies(Sel, M.mkImplies(Conj, I.P)));
+    }
+  }
+  // Every check must be answered by some clause: a Sat model names the
+  // violated clauses through its true selectors, and Unsat means every
+  // clause (safety included) is discharged under the live indicators.
+  Inc.S->add(M.mkOr(Inc.Sel));
+}
+
+void Synthesizer::incTeardown() {
+  if (!Inc.Active)
+    return;
+  Inc = IncCtx(); // Destroys the merged context.
+}
+
+std::vector<Term> Synthesizer::incAssumptions() const {
+  std::vector<Term> A;
+  A.reserve(Inc.Ind.size());
+  for (size_t K = 0; K < Inc.Ind.size(); ++K)
+    A.push_back(Inc.Live[K] ? Inc.Ind[K] : M.mkNot(Inc.Ind[K]));
+  return A;
+}
+
+/// The recorded core still proves the merged context Unsat exactly when
+/// its indicator literals match the current live set (the asserted
+/// grounds never change, they only grow by escalation conjuncts).
+bool Synthesizer::coreConsistent() const {
+  for (const auto &[K, Pos] : Inc.Core)
+    if (static_cast<bool>(Inc.Live[K]) != Pos)
+      return false;
+  return true;
+}
+
+void Synthesizer::incRecordCore() {
+  Inc.Core.clear();
+  for (Term T : Inc.S->unsatCore()) {
+    bool Neg = T.kind() == Kind::Not;
+    Term V = Neg ? T->kid(0) : T;
+    auto It = Inc.IndIndex.find(V);
+    if (It != Inc.IndIndex.end())
+      Inc.Core.push_back({It->second, !Neg});
+  }
+  Inc.CoreKnown = true;
+}
+
+void Synthesizer::ensureFullAsserted(const ReducedClause &C, size_t CI) {
+  obs::Span Sp(TB, "escalate_full", [&] { return C.Name; });
+  engine::ReduceResult R = engine::reduceToGroundCached(
+      RC, M, C.Raw, Opts.Reduce, Inc.Oracle, Sys.externalCounters(), C.Extra,
+      TB);
+  // Conjoining the full ground with the lazy one (both behind the same
+  // selector) is sound: both are reductions of the same obligation over
+  // disjoint fresh constants, so any model of the obligation extends to
+  // their conjunction.
+  Inc.S->add(M.mkImplies(Inc.Sel[CI], R.Ground));
+  Inc.FullAsserted[CI] = 1;
+  if (TB)
+    TB->counter("lazy_escalations", 1);
+  SHARPIE_LOGF(TB, obs::LogLevel::Debug,
+               "[lazy] %s: model survived the lazy ground, escalating to the "
+               "full reduction (size %zu)",
+               C.Name.c_str(), logic::termSize(R.Ground));
+}
+
+SatResult Synthesizer::incCheck(const std::vector<ReducedClause> &Clauses,
+                                const char *Hist,
+                                std::unique_ptr<smt::SmtModel> &Model) {
+  for (;;) {
+    std::vector<Term> A = incAssumptions();
+    if (TB && Inc.Checks > 0)
+      TB->counter("solver_context_reuses", 1);
+    ++Inc.Checks;
+    // Span detail = the phase part of the histogram name ("houdini",
+    // "minimize"), so merged-context checks stay tellable apart in a
+    // trace viewer now that one span covers all clauses at once.
+    const char *Detail = std::strncmp(Hist, "smt_ms.", 7) == 0 ? Hist + 7 : Hist;
+    SatResult R = smt::checkAssumingTraced(*Inc.S, A, TB, Hist, Detail);
+    ++Stats.SmtChecks;
+    if (R == SatResult::Unsat) {
+      incRecordCore();
+      return R;
+    }
+    if (R != SatResult::Sat)
+      return R;
+    Model = Inc.S->model();
+    if (!Model)
+      return R; // Callers treat a model-less Sat as a stuck iteration.
+    bool Escalated = false;
+    for (size_t CI = 0; CI < Clauses.size(); ++CI) {
+      if (!Inc.Lazy[CI] || Inc.FullAsserted[CI])
+        continue;
+      if (Model->evalBool(Inc.Sel[CI]).value_or(false)) {
+        ensureFullAsserted(Clauses[CI], CI);
+        Escalated = true;
+      }
+    }
+    if (!Escalated)
+      return R; // Genuine: no selected clause's ground is a weakening.
+    // A model that only survived because axioms were deferred is
+    // counterexample-driven refinement's cue: add the rest and re-check.
+  }
+}
+
+std::vector<Term> Synthesizer::liveAtoms() const {
+  std::vector<Term> Out;
+  for (size_t K = 0; K < Inc.Atoms.size(); ++K)
+    if (Inc.Live[K])
+      Out.push_back(Inc.Atoms[K]);
+  return Out;
+}
+
+bool Synthesizer::houdiniInc(const std::vector<ReducedClause> &Clauses,
+                             std::vector<Term> &Cand, TupleOutcome &Out) {
+  std::string &Why = Out.Why;
+  auto Bail = [&](std::string &W) {
+    W = outOfTime() ? "time budget exhausted"
+                    : "superseded by a lower-ranked tuple";
+    return false;
+  };
+  unsigned MaxIters = static_cast<unsigned>(Cand.size()) + 8;
+  for (unsigned Iter = 0; Iter < MaxIters; ++Iter) {
+    if (aborted())
+      return Bail(Why);
+    obs::Span IterSp(TB, "houdini_iter", [&] {
+      return "iter=" + std::to_string(Iter) +
+             " atoms=" + std::to_string(liveAtoms().size());
+    });
+    std::unique_ptr<smt::SmtModel> Model;
+    SatResult R = incCheck(Clauses, "smt_ms.houdini", Model);
+    if (R == SatResult::Unsat) {
+      // No clause -- the safety clause included -- has a counterexample
+      // under the live set: the fixpoint and the safety verdict in one
+      // answer.
+      Cand = liveAtoms();
+      if (TB && TB->logEnabled(obs::LogLevel::Debug)) {
+        TB->logf(obs::LogLevel::Debug, "[houdini] fixpoint with %zu atoms",
+                 Cand.size());
+        for (Term A : Cand)
+          TB->logf(obs::LogLevel::Debug, "  %s", logic::toString(A).c_str());
+      }
+      return true;
+    }
+    if (R == SatResult::Unknown) {
+      Why = "smt unknown on houdini iteration";
+      return false;
+    }
+    std::vector<size_t> Violated;
+    for (size_t CI = 0; CI < Clauses.size(); ++CI)
+      if (Model && Model->evalBool(Inc.Sel[CI]).value_or(false))
+        Violated.push_back(CI);
+    if (std::find(Violated.begin(), Violated.end(), Inc.SafetyIdx) !=
+        Violated.end()) {
+      // The candidate occurs only positively in the safety body, so this
+      // counterexample survives every later drop: the eventual fixpoint
+      // would fail safety too, and the tuple is rejected now instead of
+      // after the remaining iterations.
+      const ReducedClause &C = Clauses[Inc.SafetyIdx];
+      Cand = liveAtoms();
+      Why = "candidate too weak for safety";
+      Out.HasPartial = true;
+      Out.PartialAtoms = Cand;
+      Out.FailedOn = C.Name;
+      SHARPIE_LOGF(TB, obs::LogLevel::Trace, "[safety clause] %s",
+                   logic::toString(substitutedClause(C, Cand)).c_str());
+      return false;
+    }
+    int64_t TotalDropped = 0;
+    for (size_t CI : Violated) {
+      const ReducedClause &C = Clauses[CI];
+      const PlaceholderInst *Head = nullptr;
+      for (const PlaceholderInst &I : C.Insts)
+        if (I.IsHead)
+          Head = &I;
+      assert(Head && "inductive clause without head instance");
+      int64_t Dropped = 0;
+      for (size_t K = 0; K < Inc.Atoms.size(); ++K) {
+        if (!Inc.Live[K])
+          continue;
+        std::optional<bool> V = Model->evalBool(
+            logic::substitute(M, Inc.Atoms[K], Head->AtomSubst));
+        if (V.has_value() && !*V) {
+          SHARPIE_LOGF(TB, obs::LogLevel::Debug, "[houdini] %s drops %s",
+                       C.Name.c_str(),
+                       logic::toString(Inc.Atoms[K]).c_str());
+          Inc.Live[K] = 0;
+          ++Dropped;
+        }
+      }
+      if (TB && Dropped) {
+        TB->counter("houdini_atoms_dropped", Dropped);
+        TB->instant("houdini_drop", C.Name, Dropped);
+      }
+      TotalDropped += Dropped;
+    }
+    if (TotalDropped == 0) {
+      Why = "stuck on " +
+            (Violated.empty() ? std::string("houdini model")
+                              : Clauses[Violated.front()].Name) +
+            " (no atom refuted by model)";
+      return false;
+    }
+  }
+  Why = "houdini iteration budget exhausted";
+  return false;
+}
+
+/// The incremental greedy minimizer: same trial order and accept/reject
+/// semantics as minimizeAtoms (each trial asks whether every clause --
+/// safety included -- stays Unsat, exactly AllPass's question, so the two
+/// paths converge on the same atom set), but a trial whose dropped atom
+/// the recorded core ignores is accepted without any solver call: the
+/// core's literals all kept their polarity, so the merged context is
+/// provably still Unsat.
+void Synthesizer::minimizeAtomsInc(const std::vector<ReducedClause> &Clauses,
+                                   std::vector<Term> &Cand) {
+  std::vector<size_t> LiveIdx; // Pool indices of Cand's atoms, in order.
+  for (size_t K = 0; K < Inc.Live.size(); ++K)
+    if (Inc.Live[K])
+      LiveIdx.push_back(K);
+  assert(LiveIdx.size() == Cand.size() && "live set out of sync with Cand");
+  for (size_t I = LiveIdx.size(); I-- > 0;) {
+    if (aborted())
+      return;
+    size_t K = LiveIdx[I];
+    Inc.Live[K] = 0; // Trial: drop atom K.
+    bool Pass;
+    if (Inc.CoreKnown && coreConsistent()) {
+      if (TB)
+        TB->counter("core_drops", 1);
+      Pass = true;
+    } else {
+      std::unique_ptr<smt::SmtModel> Model;
+      Pass = incCheck(Clauses, "smt_ms.minimize", Model) == SatResult::Unsat;
+    }
+    if (Pass) {
+      Cand.erase(Cand.begin() + I);
+      LiveIdx.erase(LiveIdx.begin() + I);
+    } else {
+      Inc.Live[K] = 1;
+    }
+  }
+}
+
 // -- Output and re-checking -------------------------------------------------------------
 
 Term Synthesizer::closedInvariant(const std::vector<Term> &SetBodies,
@@ -805,6 +1218,61 @@ bool Synthesizer::recheck(Term Inv,
       SHARPIE_LOGF(TB, obs::LogLevel::Debug,
                    "recheck failed on %s (ground size %zu)", O.Name.c_str(),
                    logic::termSize(R.Ground));
+      return false;
+    }
+  }
+  return true;
+}
+
+/// The incremental recheck. Two levers over the monolithic one, which paid
+/// a full reduction AND a cold solver per obligation: (1) every obligation
+/// is first reduced lazily -- Unsat under the weaker lazy ground already
+/// discharges it, and only a surviving answer pays the full reduction;
+/// (2) all checks share the member solver (push/pop scoped), whose
+/// back-end translation cache is already warm from the Houdini phase.
+/// Anything the monolithic recheck discharges is discharged here too, and
+/// vice versa: the full reduction always has the final word.
+bool Synthesizer::recheckInc(
+    Term Inv, const std::vector<sys::ParamSystem::State> &States,
+    std::string &Why) {
+  if (!explct::holdsInAll(States, Inv)) {
+    Why = "recheck: invariant fails on an explicit reachable state";
+    return false;
+  }
+  std::unique_ptr<smt::SmtSolver> Oracle = makeSolver("reduce");
+  const engine::ReduceOptions Lazy = lazyReduceOptions();
+  bool FirstCheck = true;
+  for (const sys::Obligation &O : sys::safetyObligations(Sys, Inv)) {
+    bool Discharged = false;
+    size_t LastGroundSize = 0;
+    for (int Phase = 0; Phase < 2; ++Phase) {
+      const engine::ReduceOptions &RO = Phase == 0 ? Lazy : Opts.Reduce;
+      engine::ReduceResult R = engine::reduceToGroundCached(
+          RC, M, O.Psi, RO, Oracle.get(), Sys.externalCounters(), {}, TB);
+      LastGroundSize = logic::termSize(R.Ground);
+      Solver->push();
+      Solver->add(R.Ground);
+      if (TB && !FirstCheck)
+        TB->counter("solver_context_reuses", 1);
+      FirstCheck = false;
+      ++Stats.SmtChecks;
+      SatResult SR =
+          smt::checkTraced(*Solver, TB, "smt_ms.recheck", O.Name.c_str());
+      Solver->pop();
+      if (SR == SatResult::Unsat) {
+        Discharged = true;
+        break;
+      }
+      // An undischarged lazy phase is conclusive only when nothing was
+      // deferred (the lazy ground IS the full one); otherwise escalate.
+      if (Phase == 0 && R.NumDeferred + R.NumFilteredInstances == 0)
+        break;
+    }
+    if (!Discharged) {
+      Why = "recheck: obligation " + O.Name + " not discharged";
+      SHARPIE_LOGF(TB, obs::LogLevel::Debug,
+                   "recheck failed on %s (ground size %zu)", O.Name.c_str(),
+                   LastGroundSize);
       return false;
     }
   }
@@ -929,11 +1397,17 @@ Synthesizer::tryTuple(const std::vector<Term> &SetBodies,
   bool HoudiniOk;
   {
     obs::Span Sp(TB, "houdini");
-    HoudiniOk = houdini(Clauses, Cand, Out);
+    if (Opts.Incremental) {
+      incSetup(Clauses, Cand, Oracle.get());
+      HoudiniOk = houdiniInc(Clauses, Cand, Out);
+    } else {
+      HoudiniOk = houdini(Clauses, Cand, Out);
+    }
   }
   SHARPIE_LOGF(TB, obs::LogLevel::Debug, "houdini %s in %.2fs",
                HoudiniOk ? "ok" : "failed", secondsSince(THou));
   if (!HoudiniOk) {
+    incTeardown();
     Stats.HoudiniSeconds += secondsSince(THou);
     SHARPIE_LOGF(TB, obs::LogLevel::Debug, "houdini failed: %s",
                  Out.Why.c_str());
@@ -943,10 +1417,16 @@ Synthesizer::tryTuple(const std::vector<Term> &SetBodies,
     obs::Span Sp(TB, "minimize");
     auto TMin = std::chrono::steady_clock::now();
     size_t Before = Cand.size();
-    minimizeAtoms(Clauses, Cand);
+    if (Opts.Incremental)
+      minimizeAtomsInc(Clauses, Cand);
+    else
+      minimizeAtoms(Clauses, Cand);
     SHARPIE_LOGF(TB, obs::LogLevel::Debug, "minimized %zu -> %zu atoms in %.2fs",
                  Before, Cand.size(), secondsSince(TMin));
   }
+  // Free the merged context before the recheck: the invariant is
+  // fixed now, so only the shared member solver is needed from here on.
+  incTeardown();
   Stats.HoudiniSeconds += secondsSince(THou);
 
   Term Inv = closedInvariant(SetBodies, Cand);
@@ -954,7 +1434,9 @@ Synthesizer::tryTuple(const std::vector<Term> &SetBodies,
   bool RecheckOk;
   {
     obs::Span Sp(TB, "recheck");
-    RecheckOk = !Opts.FinalRecheck || recheck(Inv, States, Out.Why);
+    RecheckOk = !Opts.FinalRecheck ||
+                (Opts.Incremental ? recheckInc(Inv, States, Out.Why)
+                                  : recheck(Inv, States, Out.Why));
   }
   Stats.RecheckSeconds += secondsSince(TRe);
   SHARPIE_LOGF(TB, obs::LogLevel::Debug, "recheck %s in %.2fs",
@@ -1024,6 +1506,13 @@ void Synthesizer::runParallel(
   auto SearchStart = std::chrono::steady_clock::now();
   Stats.NumWorkers = Workers;
 
+  // A caller-provided cache is shared with every worker. Sharing must be
+  // on before the first worker spawns: it moves the entries into the
+  // cache's own manager, after which all access is mutex-guarded and
+  // manager-independent (see ReduceCache::enableSharing).
+  if (Opts.ReuseReduceCache)
+    Opts.ReuseReduceCache->enableSharing();
+
   /// Shared per-rank outcome table. A rank is Done once some worker fully
   /// processed it, Skipped when it was claimed after a lower rank had
   /// already verified (such ranks can never win).
@@ -1067,8 +1556,10 @@ void Synthesizer::runParallel(
     WOpts.QGuard = Tr(Opts.QGuard);
     WOpts.FixedSetBodies.clear();
     WOpts.NumWorkers = 1;
-    WOpts.Trace = nullptr;            // Buffers are handed out by rank below.
-    WOpts.ReuseReduceCache = nullptr; // Bound to the main manager.
+    WOpts.Trace = nullptr; // Buffers are handed out by rank below.
+    // The shared cache (flipped into shared mode above) is safe from any
+    // manager; a worker either shares it or runs its own private cache.
+    WOpts.ReuseReduceCache = Opts.ReuseReduceCache;
     C.Synth = std::make_unique<Synthesizer>(*C.Sys, WOpts);
     C.Synth->Deadline = Deadline; // One budget for the whole search.
     // Worker W owns trace rank W+1 (rank 0 is the driver); registration is
@@ -1231,8 +1722,12 @@ void Synthesizer::runParallel(
     Stats.ReduceSeconds += WS.ReduceSeconds;
     Stats.HoudiniSeconds += WS.HoudiniSeconds;
     Stats.RecheckSeconds += WS.RecheckSeconds;
-    Stats.CacheHits += C.Synth->RC->hits();
-    Stats.CacheMisses += C.Synth->RC->misses();
+    // A shared cache's totals are folded once by the driver's delta
+    // accounting in run(); only private per-worker caches are summed here.
+    if (C.Synth->RC == &C.Synth->OwnRCache) {
+      Stats.CacheHits += C.Synth->RC->hits();
+      Stats.CacheMisses += C.Synth->RC->misses();
+    }
     Stats.TuplesSkipped += WS.TuplesSkipped;
     Stats.WorkerExceptions += WS.WorkerExceptions;
     const resil::ResilCounters &WR = C.Synth->RCnt;
@@ -1271,8 +1766,6 @@ SynthResult Synthesizer::run() {
   }
   if (TraceSink)
     TB = TraceSink->worker(0);
-  if (Opts.ReuseReduceCache)
-    RC = Opts.ReuseReduceCache;
   // Shared caches carry hits/misses from earlier runs; report deltas.
   unsigned BaseHits = RC->hits(), BaseMisses = RC->misses();
   obs::Span RunSp(TB, "synthesize");
@@ -1364,6 +1857,12 @@ SynthResult Synthesizer::run() {
     TB->counter("fallbacks", 0);
     TB->counter("faults_injected", 0);
     TB->counter("tuples_skipped", 0);
+    // Same for the incremental-Houdini counters, so an A/B pair of runs
+    // (--no-incremental vs default) emits the same JSON keys.
+    TB->counter("core_drops", 0);
+    TB->counter("solver_context_reuses", 0);
+    TB->counter("axioms_lazy_deferred", 0);
+    TB->counter("lazy_escalations", 0);
   }
 
   Res.Stats = Stats;

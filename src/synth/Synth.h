@@ -71,6 +71,22 @@ struct SynthOptions {
   unsigned MaxCandidateSets = 24;        ///< Top-ranked set bodies considered.
   unsigned MaxBodyInstances = 12;        ///< INSTQ budget per clause.
   unsigned SmtTimeoutMs = 30000;
+  /// Incremental assumption-based Houdini (the default). Per tuple, every
+  /// reduced clause is asserted once behind a selector literal with the
+  /// placeholder atoms tied to per-atom indicator variables; each Houdini
+  /// iteration is then a checkAssuming() over the live indicators instead
+  /// of a push/assert/check/pop rebuild. Unsat cores over the indicators
+  /// let clauses whose core is still consistent with the live set skip
+  /// re-checks entirely, the greedy minimizer remove atoms no clause's
+  /// core depends on without a solver call, and the recheck phase reuse
+  /// the warmed solver context. Clauses are reduced lazily (relevancy-
+  /// filtered CARD axioms / quantifier instances, see
+  /// card::AxiomOptions::RelevancyFilter) with on-demand escalation to the
+  /// full reduction whenever a lazy model survives, so verdicts and
+  /// invariants match the monolithic path exactly. false restores the
+  /// monolithic per-check rebuild (--no-incremental in the drivers), the
+  /// A/B baseline for BENCH_PR5.
+  bool Incremental = true;
   /// Parallel set-tuple search width: 0 = one worker per hardware thread,
   /// 1 = today's serial search, N = exactly N workers. Each worker owns a
   /// private TermManager, SMT solver and reduction state (no shared-state
@@ -106,11 +122,18 @@ struct SynthOptions {
   /// outlive the call.
   const resil::FaultPlan *Faults = nullptr;
   /// Cross-run reduction cache. Within one run every reduction input is
-  /// distinct (see ReduceCache's doc), so sharing a cache across runs on
-  /// the *same* TermManager is where hits come from (re-verification,
-  /// pinned tuples). Serial path only: parallel workers own private
-  /// managers and caches, so the pointer is ignored when the search runs
-  /// with more than one worker. Not owned; must be bound to Sys's manager.
+  /// distinct (see ReduceCache's doc), so sharing a cache across runs is
+  /// where hits come from (re-verification, pinned tuples). On the serial
+  /// path the cache is bound to Sys's manager and hits are id-based pure
+  /// lookups. The parallel path flips it into shared mode
+  /// (ReduceCache::enableSharing): entries move into a manager the cache
+  /// itself owns, keys become ids of the host-translated key terms
+  /// (manager-independent and collision-free), and every worker consults
+  /// the cache under a mutex, with hits materialized into its private
+  /// manager and skolems re-freshened -- so a 4-worker re-verification
+  /// hits the entries a previous run's workers stored. Once shared, a
+  /// cache stays shared (later serial runs keep hitting the same
+  /// entries). Not owned; must outlive every run that uses it.
   engine::ReduceCache *ReuseReduceCache = nullptr;
 };
 

@@ -399,6 +399,42 @@ TEST(ObsGolden, SerialSkeletonIsReproducible) {
   EXPECT_EQ(Skeleton(), Skeleton());
 }
 
+// The incremental Houdini path's observability contract: the counters and
+// the assumption-check histogram it feeds must survive a full run. These
+// are the fields the bench tooling (tools/sweep.sh --bench-pr5) keys on,
+// so a rename or a dropped emission fails here instead of producing a
+// silently empty benchmark column.
+TEST(ObsGolden, IncrementalRunEmitsCoreDropAndAssumeMetrics) {
+  obs::TracerConfig Cfg;
+  Cfg.CollectEvents = true;
+  obs::Tracer T(Cfg);
+  runIncrement(T);
+  obs::MetricsSummary S = T.metrics();
+
+  // Emitted even when zero (run() flushes a zero delta) so consumers can
+  // tell "feature off" from "field renamed".
+  for (const char *C : {"core_drops", "solver_context_reuses",
+                        "axioms_lazy_deferred", "lazy_escalations"}) {
+    const int64_t *V = S.counter(C);
+    ASSERT_NE(V, nullptr) << "missing counter " << C;
+    EXPECT_GE(*V, 0) << C;
+  }
+  // The merged per-tuple context runs every Houdini iteration as one
+  // checkAssuming; on increment that must both reuse the context and
+  // convert at least one unsat core into a free minimize pass.
+  EXPECT_GT(*S.counter("solver_context_reuses"), 0);
+  EXPECT_GT(*S.counter("core_drops"), 0);
+
+  const obs::HistSummary *Assume = S.hist("smt_ms.assume");
+  ASSERT_NE(Assume, nullptr) << "missing smt_ms.assume histogram";
+  EXPECT_GT(Assume->Count, 0u);
+  const obs::HistSummary *Houdini = S.hist("smt_ms.houdini");
+  ASSERT_NE(Houdini, nullptr) << "missing smt_ms.houdini histogram";
+  // Every Houdini-phase check is assumption-based, so the phase histogram
+  // can never outgrow the assume histogram.
+  EXPECT_LE(Houdini->Count, Assume->Count);
+}
+
 // -- Exported artifact schemas ---------------------------------------------------------
 
 class ObsExportTest : public ::testing::Test {

@@ -128,7 +128,7 @@ TEST(ReduceCacheSharing, HitsComeFromCrossRunSharingOnly) {
   Opts.Shape = B.Shape;
   Opts.QGuard = B.QGuard;
   Opts.Explicit = B.Explicit;
-  Opts.NumWorkers = 1; // The shared cache is a serial-path feature.
+  Opts.NumWorkers = 1; // The parallel twin lives in synth_parallel_test.
   Opts.ReuseReduceCache = &Shared;
 
   synth::SynthResult R1 = synth::synthesize(*B.Sys, Opts);

@@ -246,6 +246,34 @@ SupervisedSolver makeSupervised(Steps Primary, ScriptLog *PrimLog,
                           /*TB=*/nullptr, Deadline);
 }
 
+TEST(SupervisedSolver, FaultedCoreQueryDegradesToTheFullAssumptionCore) {
+  // A chaos plan can fault the dedicated smt_check_assuming site without
+  // touching plain checks. When the core query never gets a real Unsat
+  // answer, unsatCore() must degrade to the full assumption list -- the
+  // conservative reading for a core consumer (drop nothing it cannot
+  // justify) -- and must not leak the primary's would-be answer.
+  auto P = FaultPlan::parse("smt_check_assuming:unknown");
+  ASSERT_TRUE(P.has_value());
+  FaultInjector Inj(*P);
+  Inj.beginScope(1);
+  ScriptLog Log;
+  ResilCounters Sink;
+  SupervisedSolver S =
+      makeSupervised({ScriptedSolver::Unsat}, &Log, {}, nullptr, Sink, &Inj);
+  logic::TermManager M;
+  std::vector<logic::Term> A = {M.mkVar("ind0", logic::Sort::Bool),
+                                M.mkVar("ind1", logic::Sort::Bool),
+                                M.mkVar("ind2", logic::Sort::Bool)};
+  EXPECT_EQ(S.checkAssuming(A), SatResult::Unknown);
+  EXPECT_EQ(Sink.FaultsInjected, 1u);
+  EXPECT_EQ(Log.Checks, 0u) << "the injected fault must preempt the backend";
+  EXPECT_EQ(S.unsatCore(), A);
+  // The rule is site-scoped: a plain check on the same solver still
+  // reaches the backend and answers.
+  EXPECT_EQ(S.check(), SatResult::Unsat);
+  EXPECT_EQ(Log.Checks, 1u);
+}
+
 TEST(SupervisedSolver, RetryRescuesATimeoutClassUnknown) {
   ScriptLog Log;
   ResilCounters Sink;
@@ -480,7 +508,12 @@ void expectHonest(const ChaosOut &Out, const char *What) {
 }
 
 TEST(Chaos, TimeoutStormOnIncrementFourWorkers) {
-  ChaosOut Out = runChaos(makeIncrement, 4, "seed=1;smt_check:timeout@p=0.4");
+  // The incremental Houdini loop answers through checkAssuming, which
+  // draws faults from its own site; the storm has to cover both sites to
+  // keep raining on the default configuration.
+  ChaosOut Out = runChaos(
+      makeIncrement, 4,
+      "seed=1;smt_check:timeout@p=0.4;smt_check_assuming:timeout@p=0.4");
   expectHonest(Out, "increment timeout storm");
   EXPECT_GT(Out.Stats.FaultsInjected, 0u);
   // Injected timeouts are retried; at least one retry must have fired.
@@ -491,6 +524,19 @@ TEST(Chaos, EveryThirdCheckUnknownOnIncrementFourWorkers) {
   ChaosOut Out =
       runChaos(makeIncrement, 4, "seed=2;smt_check:unknown@every=3");
   expectHonest(Out, "increment every-3rd check unknown");
+  EXPECT_GT(Out.Stats.FaultsInjected, 0u);
+}
+
+TEST(Chaos, EveryThirdAssumingCheckUnknownOnIncrementFourWorkers) {
+  // Stresses the merged-context Houdini checks specifically: every third
+  // checkAssuming goes Unknown, so fixpoint confirmations and core
+  // queries are the ones degrading. The conservative core fallback (the
+  // full assumption list) plus the loop's Unknown handling must keep the
+  // verdict honest, never fabricate a counterexample, and never drop an
+  // atom it cannot justify (which would surface as a failed recheck).
+  ChaosOut Out =
+      runChaos(makeIncrement, 4, "seed=3;smt_check_assuming:unknown@every=3");
+  expectHonest(Out, "increment every-3rd assuming check unknown");
   EXPECT_GT(Out.Stats.FaultsInjected, 0u);
 }
 

@@ -8,6 +8,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "engine/Reduce.h"
 #include "logic/TermOps.h"
 #include "obs/Export.h"
 #include "protocols/Protocols.h"
@@ -147,6 +148,52 @@ TEST(SynthParallel, TracerFourWorkers) {
   EXPECT_GT(*Checks, 0);
   EXPECT_NE(R.Stats.Metrics.hist("smt_ms"), nullptr);
   std::fclose(Sink);
+}
+
+// A caller-held ReduceCache handed to the 4-worker search flips into
+// shared mode: all workers consult it under a mutex, entries live in the
+// cache's private manager, and a re-verification run hits the reductions
+// the first run's workers stored (each worker's world is rebuilt from
+// scratch, so without the shared cache the second run would re-reduce
+// everything). Results must stay byte-identical across runs -- cache-hit
+// grounds differ from fresh ones only in re-skolemized witness names,
+// which the semantic fixpoint cannot observe. This test doubles as the
+// TSan entry for the shared-cache locking (tests/CMakeLists.txt).
+TEST(SynthParallel, SharedReduceCacheHitsAcrossRunsFourWorkers) {
+  logic::TermManager M;
+  ProtocolBundle B = makeIncrement(M);
+  engine::ReduceCache Shared;
+  auto Run = [&] {
+    synth::SynthOptions Opts;
+    Opts.Shape = B.Shape;
+    Opts.QGuard = B.QGuard;
+    Opts.Explicit = B.Explicit;
+    Opts.NumWorkers = 4;
+    Opts.ReuseReduceCache = &Shared;
+    synth::SynthResult R = synth::synthesize(*B.Sys, Opts);
+    RunOutput Out;
+    Out.Verified = R.Verified;
+    for (logic::Term S : R.SetBodies)
+      Out.SetBodies.push_back(logic::toString(S));
+    for (logic::Term A : R.Atoms)
+      Out.Atoms.push_back(logic::toString(A));
+    Out.Note = R.Note;
+    Out.Stats = R.Stats;
+    return Out;
+  };
+
+  RunOutput R1 = Run();
+  ASSERT_TRUE(R1.Verified) << R1.Note;
+  EXPECT_EQ(R1.Stats.CacheHits, 0u) << "single-run hits must be impossible";
+  EXPECT_GT(R1.Stats.CacheMisses, 0u);
+
+  RunOutput R2 = Run();
+  ASSERT_TRUE(R2.Verified) << R2.Note;
+  EXPECT_GT(R2.Stats.CacheHits, 0u)
+      << "second 4-worker run must reuse the first run's reductions";
+  EXPECT_LT(R2.Stats.CacheMisses, R1.Stats.CacheMisses);
+  EXPECT_EQ(R1.SetBodies, R2.SetBodies);
+  EXPECT_EQ(R1.Atoms, R2.Atoms);
 }
 
 } // namespace

@@ -6,8 +6,8 @@
 //
 //   sharpie <file.sharpie> [--workers N] [--json] [--verbose]
 //           [--time-budget SECONDS] [--max-tuples N]
-//           [--faults PLAN] [--no-supervise] [--smt-timeout MS]
-//           [--trace-out FILE] [--events-out FILE]
+//           [--faults PLAN] [--no-supervise] [--no-incremental]
+//           [--smt-timeout MS] [--trace-out FILE] [--events-out FILE]
 //           [--log-level quiet|info|debug|trace] [--stats]
 //
 // Observability (see src/obs/): --trace-out writes a Chrome trace-event /
@@ -25,6 +25,13 @@
 // chaos tests drive the pipeline (see resil/Fault.h for the grammar).
 // --smt-timeout overrides the per-check deadline in milliseconds (the
 // base slice before backoff; default 30000).
+//
+// Performance: Houdini runs incrementally by default (assumption-based
+// checks over per-atom indicators, unsat-core clause skipping, lazy
+// relevancy-filtered axiom instantiation; SynthOptions::Incremental).
+// --no-incremental restores the monolithic per-check rebuild -- the A/B
+// baseline of BENCH_PR5.json. Both modes produce identical verdicts and
+// invariants.
 //
 // Exit codes (deterministic, scriptable):
 //   0  verified safe (invariant printed)
@@ -57,7 +64,8 @@ void usage(const char *Argv0) {
   std::fprintf(stderr,
                "usage: %s <file.sharpie> [--workers N] [--json] [--verbose]"
                " [--time-budget SECONDS] [--max-tuples N]\n"
-               "       [--faults PLAN] [--no-supervise] [--smt-timeout MS]\n"
+               "       [--faults PLAN] [--no-supervise] [--no-incremental]\n"
+               "       [--smt-timeout MS]\n"
                "       %s\n"
                "exit codes: 0 safe, 1 unsafe, 2 unknown, 3 error,"
                " 4 inconclusive\n",
@@ -72,6 +80,7 @@ double secondsSince(std::chrono::steady_clock::time_point T0) {
 int run(int argc, char **argv) {
   std::string File;
   bool Json = false, Verbose = false, NoSupervise = false;
+  bool NoIncremental = false;
   unsigned Workers = 1;
   double TimeBudget = 0;
   unsigned MaxTuples = 0;
@@ -103,6 +112,8 @@ int run(int argc, char **argv) {
       FaultSpec = argv[++I];
     else if (!std::strcmp(argv[I], "--no-supervise"))
       NoSupervise = true;
+    else if (!std::strcmp(argv[I], "--no-incremental"))
+      NoIncremental = true;
     else if (!std::strcmp(argv[I], "--smt-timeout") && I + 1 < argc)
       SmtTimeoutMs =
           static_cast<unsigned>(std::strtol(argv[++I], nullptr, 10));
@@ -171,6 +182,7 @@ int run(int argc, char **argv) {
   if (MaxTuples)
     Opts.MaxTuples = MaxTuples;
   Opts.Supervise.Enabled = !NoSupervise;
+  Opts.Incremental = !NoIncremental;
   if (SmtTimeoutMs)
     Opts.SmtTimeoutMs = SmtTimeoutMs;
   if (!Faults.empty())

@@ -32,6 +32,24 @@
 #                              comparing the first two modes' seconds
 #                              bounds the supervision overhead (<2%
 #                              expected when no faults fire).
+#   tools/sweep.sh --bench-pr5 incremental-Houdini A/B: runs each protocol
+#                              in the default incremental mode and under
+#                              --no-incremental (the monolithic baseline)
+#                              and writes BENCH_PR5.json. Each line
+#                              carries the Houdini-phase check count
+#                              (hist_smt_ms.houdini count), the recheck
+#                              split, the CARD axiom volumes, and the
+#                              incremental counters (ctr_core_drops,
+#                              ctr_solver_context_reuses,
+#                              ctr_axioms_lazy_deferred); the script
+#                              prints per-protocol speedups, diffs the
+#                              rendered invariants across modes (any
+#                              difference is a soundness bug and fails
+#                              the bench), and asserts the incremental
+#                              recheck stays under RECHECK_BUDGET seconds
+#                              (the old monolithic path paid a multi-
+#                              second axiom re-instantiation floor even
+#                              on trivial protocols).
 #
 # BIN points at the example_run_protocol binary, SHARPIE_BIN at the
 # sharpie driver, TIMEOUT is per run.
@@ -125,6 +143,94 @@ if [ "$1" = "--bench-pr4" ]; then
   done
   echo "wrote $OUT"
   exit 0
+fi
+
+if [ "$1" = "--bench-pr5" ]; then
+  OUT=${OUT:-BENCH_PR5.json}
+  # The registry protocols run through example_run_protocol; ticket_lock
+  # goes through the textual frontend so the A/B also covers the sharpie
+  # driver's --no-incremental plumbing. ticket_lock is the headline case:
+  # its full template search is where the monolithic loop burns hundreds
+  # of Houdini-phase checks.
+  PROTOS=${PROTOS:-"increment ticket-mutex one-third"}
+  SHARPIE_PROTOS=${SHARPIE_PROTOS:-"examples/protocols/ticket_lock.sharpie"}
+  PR5_TIMEOUT=${PR5_TIMEOUT:-300}
+  # Pin for the recheck-floor fix: the monolithic recheck re-instantiates
+  # every CARD axiom in a fresh solver and paid ~3-5s even on trivial
+  # protocols (one-third: 5.1s); the incremental recheck reuses the live
+  # context and must stay under this budget on every protocol.
+  RECHECK_BUDGET=${RECHECK_BUDGET:-1.0}
+  FAIL=0
+  printf '{"meta":{"nproc":%s,"recheck_budget":%s,"timeout":%s}}\n' \
+    "$(nproc 2>/dev/null || echo 0)" "$RECHECK_BUDGET" "$PR5_TIMEOUT" > "$OUT"
+  pr5_run() { # $1=display name $2=mode $3...=command; fills p5_* globals
+    p5_name=$1; p5_mode=$2; shift 2
+    p5_out=$(timeout "$PR5_TIMEOUT" "$@" --stats --json 2>/dev/null)
+    p5_line=$(printf '%s\n' "$p5_out" | grep '^{' | head -1)
+    # Everything from "inferred cardinalities:" down is the rendered
+    # invariant (set bodies + atoms) -- timing-free, so it diffs cleanly
+    # across modes.
+    p5_inv=$(printf '%s\n' "$p5_out" | sed -n '/^inferred cardinalities:/,$p')
+    if [ -z "$p5_line" ]; then
+      printf '{"mode":"%s","protocol":"%s","error":"timeout"}\n' \
+        "$p5_mode" "$p5_name" >> "$OUT"
+      p5_secs=; p5_houd=; p5_recheck=; p5_verified=
+      printf '%-14s %-12s TIMEOUT\n' "$p5_name" "$p5_mode"
+      FAIL=1
+      return
+    fi
+    printf '{"mode":"%s",%s\n' "$p5_mode" "${p5_line#?}" >> "$OUT"
+    p5_secs=$(printf '%s' "$p5_line" \
+              | sed -n 's/.*"synth_seconds":\([0-9.]*\).*/\1/p')
+    p5_houd=$(printf '%s' "$p5_line" \
+              | sed -n 's/.*"hist_smt_ms\.houdini": {"count": \([0-9]*\).*/\1/p')
+    p5_recheck=$(printf '%s' "$p5_line" \
+                 | sed -n 's/.*"recheck_seconds": \([0-9.]*\).*/\1/p')
+    p5_verified=$(printf '%s' "$p5_line" \
+                  | sed -n 's/.*"verified":\(true\|false\).*/\1/p')
+    p5_ctrs=$(printf '%s' "$p5_line" | grep -oE \
+      '"ctr_(core_drops|solver_context_reuses|axioms_lazy_deferred)": [0-9]+' \
+      | tr '\n' ' ')
+    printf '%-14s %-12s %8ss  houdini_checks=%-5s recheck=%ss  %s\n' \
+      "$p5_name" "$p5_mode" "${p5_secs:-?}" "${p5_houd:-?}" \
+      "${p5_recheck:-?}" "$p5_ctrs"
+  }
+  pr5_ab() { # $1=display name $2...=command (without mode flags)
+    ab_name=$1; shift
+    pr5_run "$ab_name" incremental "$@"
+    inc_secs=$p5_secs; inc_houd=$p5_houd
+    inc_recheck=$p5_recheck; inc_inv=$p5_inv; inc_ok=$p5_verified
+    pr5_run "$ab_name" monolithic "$@" --no-incremental
+    if [ -z "$inc_secs" ] || [ -z "$p5_secs" ]; then
+      return
+    fi
+    # Soundness gate: the incremental path is a pure perf feature, so a
+    # verdict or invariant diff across modes fails the whole bench.
+    if [ "$inc_ok" != "$p5_verified" ] || [ "$inc_inv" != "$p5_inv" ]; then
+      printf '%-14s PARITY FAIL: verdict/invariant differs across modes\n' \
+        "$ab_name"
+      FAIL=1
+    fi
+    awk -v n="$ab_name" -v iw="$inc_secs" -v mw="$p5_secs" \
+        -v ih="${inc_houd:-0}" -v mh="${p5_houd:-0}" 'BEGIN {
+      if (iw > 0 && ih > 0)
+        printf "%-14s speedup: wall %.2fx, houdini checks %.2fx\n",
+               n, mw / iw, mh / ih }'
+    if awk -v r="${inc_recheck:-0}" -v b="$RECHECK_BUDGET" \
+           'BEGIN { exit !(r > b) }'; then
+      printf '%-14s RECHECK BUDGET FAIL: %ss > %ss\n' \
+        "$ab_name" "$inc_recheck" "$RECHECK_BUDGET"
+      FAIL=1
+    fi
+  }
+  for name in $PROTOS; do
+    pr5_ab "$name" "$BIN" "$name"
+  done
+  for f in $SHARPIE_PROTOS; do
+    pr5_ab "$(basename "$f" .sharpie)" "$SHARPIE_BIN" "$f"
+  done
+  echo "wrote $OUT"
+  exit $FAIL
 fi
 
 if [ "$1" = "--bench-pr1" ]; then

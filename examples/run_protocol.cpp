@@ -25,6 +25,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "front/ExitCodes.h"
 #include "front/Front.h"
 #include "logic/TermOps.h"
 #include "obs/Cli.h"
@@ -161,7 +162,7 @@ static int runMain(int argc, char **argv) {
         M, ProtocolFile, Tracer ? Tracer->worker(0) : nullptr);
     if (!L.ok()) {
       std::fprintf(stderr, "%s\n", L.Error->render().c_str());
-      return 3;
+      return front::ExitError;
     }
     B.Sys = std::move(L.Bundle->Sys);
     B.Shape = L.Bundle->Shape;
@@ -219,8 +220,12 @@ static int runMain(int argc, char **argv) {
                  synth::renderStatsTable(Res.Stats, SynthSeconds).c_str());
 
   if (Json) {
+    // cache_lookup_seconds is a constant 0 here: this driver has no
+    // persistent store. The field is emitted anyway so every JSON
+    // surface (sharpie, sharpie --store/--server, run_protocol) carries
+    // the same timing schema.
     std::printf("{\"protocol\":\"%s\",\"verified\":%s,\"found_cex\":%s,"
-                "\"inconclusive\":%s,"
+                "\"inconclusive\":%s,\"cache_lookup_seconds\":0.000000,"
                 "\"synth_seconds\":%.3f,\"total_seconds\":%.3f,%s}\n",
                 Name.c_str(), Res.Verified ? "true" : "false",
                 Res.Cex ? "true" : "false",
@@ -251,7 +256,7 @@ static int runMain(int argc, char **argv) {
     std::printf("INCONCLUSIVE after %.2fs: %s\n", Res.Stats.Seconds,
                 Res.Note.c_str());
     std::printf("%s", synth::renderInconclusiveReport(Res).c_str());
-    return 4;
+    return front::ExitInconclusive;
   }
   std::printf("NOT VERIFIED after %.2fs: %s\n", Res.Stats.Seconds,
               Res.Note.c_str());

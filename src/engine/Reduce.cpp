@@ -6,9 +6,11 @@
 
 #include "engine/Reduce.h"
 
+#include "logic/TermIO.h"
 #include "logic/TermOps.h"
 
 #include <cassert>
+#include <cstdio>
 
 using namespace sharpie;
 using namespace sharpie::engine;
@@ -211,19 +213,31 @@ uint64_t sharpie::engine::reduceOptionsFingerprint(const ReduceOptions &O) {
   return H;
 }
 
+namespace {
+/// The id-key over pre-fingerprinted options: shared between keyFor and
+/// the persistence path, which stores the fingerprint (not the options)
+/// on disk.
+uint64_t keyFromParts(Term Psi, uint64_t OptsFp,
+                      const std::vector<std::pair<Term, Term>> &EC,
+                      const std::vector<Term> &EIT) {
+  uint64_t H = hashMix(0, Psi.isNull() ? ~0ULL : Psi.id());
+  H = hashMix(H, OptsFp);
+  for (const auto &[K, Body] : EC) {
+    H = hashMix(H, K.id());
+    H = hashMix(H, Body.id());
+  }
+  for (Term E : EIT)
+    H = hashMix(H, E.id());
+  return H;
+}
+} // namespace
+
 uint64_t sharpie::engine::ReduceCache::keyFor(
     Term Psi, const ReduceOptions &Opts,
     const std::vector<std::pair<Term, Term>> &ExternalCounters,
     const std::vector<Term> &ExtraIndexTerms) {
-  uint64_t H = hashMix(0, Psi.isNull() ? ~0ULL : Psi.id());
-  H = hashMix(H, reduceOptionsFingerprint(Opts));
-  for (const auto &[K, Body] : ExternalCounters) {
-    H = hashMix(H, K.id());
-    H = hashMix(H, Body.id());
-  }
-  for (Term E : ExtraIndexTerms)
-    H = hashMix(H, E.id());
-  return H;
+  return keyFromParts(Psi, reduceOptionsFingerprint(Opts), ExternalCounters,
+                      ExtraIndexTerms);
 }
 
 const ReduceResult *sharpie::engine::ReduceCache::lookup(uint64_t Key) {
@@ -324,6 +338,220 @@ void sharpie::engine::ReduceCache::insertShared(
   for (const auto &[C, K] : R.CardVars)
     Host.CardVars[In(C)] = In(K);
   Entries.emplace(Key, std::move(Host));
+  // Retain the content identity so the entry can be re-keyed after a
+  // round trip through the persistent store (the translator memoizes, so
+  // re-running it over the key terms is a lookup, not a rebuild).
+  SharedKey SK;
+  SK.Psi = In(Psi);
+  SK.OptsFp = reduceOptionsFingerprint(Opts);
+  for (const auto &[K2, Body] : ExternalCounters)
+    SK.Counters.emplace_back(In(K2), In(Body));
+  for (Term E : ExtraIndexTerms)
+    SK.Extra.push_back(In(E));
+  KeyParts.emplace(Key, std::move(SK));
+}
+
+size_t sharpie::engine::ReduceCache::size() const {
+  if (Mu) {
+    std::lock_guard<std::mutex> Lock(*Mu);
+    return Entries.size();
+  }
+  return Entries.size();
+}
+
+unsigned sharpie::engine::ReduceCache::hits() const {
+  if (Mu) {
+    std::lock_guard<std::mutex> Lock(*Mu);
+    return Hits;
+  }
+  return Hits;
+}
+
+unsigned sharpie::engine::ReduceCache::misses() const {
+  if (Mu) {
+    std::lock_guard<std::mutex> Lock(*Mu);
+    return Misses;
+  }
+  return Misses;
+}
+
+size_t sharpie::engine::ReduceCache::serializeShared(std::string &Out) const {
+  if (!HostM)
+    return 0;
+  std::lock_guard<std::mutex> Lock(*Mu);
+  size_t N = 0;
+  char Buf[128];
+  for (const auto &[Key, R] : Entries) {
+    auto KP = KeyParts.find(Key);
+    if (KP == KeyParts.end())
+      continue; // Entry without key material cannot be re-keyed; skip.
+    const SharedKey &SK = KP->second;
+    Out += "entry v1\n";
+    std::snprintf(Buf, sizeof(Buf), "fp %llx\n",
+                  static_cast<unsigned long long>(SK.OptsFp));
+    Out += Buf;
+    Out += "psi " + logic::serializeTerm(SK.Psi) + "\n";
+    Out += "nec " + std::to_string(SK.Counters.size()) + "\n";
+    for (const auto &[K2, Body] : SK.Counters) {
+      Out += "eck " + logic::serializeTerm(K2) + "\n";
+      Out += "ecb " + logic::serializeTerm(Body) + "\n";
+    }
+    Out += "neit " + std::to_string(SK.Extra.size()) + "\n";
+    for (Term E : SK.Extra)
+      Out += "eit " + logic::serializeTerm(E) + "\n";
+    Out += "ground " + logic::serializeTerm(R.Ground) + "\n";
+    std::snprintf(Buf, sizeof(Buf), "meta %d %u %u %u %u %u %u %d\n",
+                  R.Complete ? 1 : 0, R.NumRounds, R.NumAxioms, R.NumInstances,
+                  R.NumDeferred, R.NumFilteredInstances, R.NumVennRegions,
+                  R.VennApplied ? 1 : 0);
+    Out += Buf;
+    Out += "ncv " + std::to_string(R.CardVars.size()) + "\n";
+    for (const auto &[C, K2] : R.CardVars) {
+      Out += "cvk " + logic::serializeTerm(C) + "\n";
+      Out += "cvv " + logic::serializeTerm(K2) + "\n";
+    }
+    Out += "end\n";
+    ++N;
+  }
+  return N;
+}
+
+namespace {
+/// Line cursor over the serialized cache text. Each line is "tag rest".
+struct LineCursor {
+  std::string_view In;
+  size_t Pos = 0;
+
+  bool next(std::string_view &Tag, std::string_view &Rest) {
+    if (Pos >= In.size())
+      return false;
+    size_t Eol = In.find('\n', Pos);
+    std::string_view Line =
+        In.substr(Pos, Eol == std::string_view::npos ? Eol : Eol - Pos);
+    Pos = Eol == std::string_view::npos ? In.size() : Eol + 1;
+    size_t Sp = Line.find(' ');
+    Tag = Line.substr(0, Sp);
+    Rest = Sp == std::string_view::npos ? std::string_view() : Line.substr(Sp + 1);
+    return true;
+  }
+};
+
+bool parseCount(std::string_view S, size_t Max, size_t &N) {
+  if (S.empty() || S.size() > 9 ||
+      S.find_first_not_of("0123456789") != std::string_view::npos)
+    return false;
+  N = 0;
+  for (char C : S)
+    N = N * 10 + static_cast<size_t>(C - '0');
+  return N <= Max;
+}
+} // namespace
+
+size_t sharpie::engine::ReduceCache::deserializeShared(
+    std::string_view In, std::string *CorruptNote) {
+  if (!HostM) {
+    if (CorruptNote)
+      *CorruptNote = "cache not in shared mode";
+    return 0;
+  }
+  std::lock_guard<std::mutex> Lock(*Mu);
+  LineCursor LC{In};
+  size_t Merged = 0;
+  std::string_view Tag, Rest;
+  auto Corrupt = [&](const std::string &Why) {
+    if (CorruptNote)
+      *CorruptNote = Why + " (entry " + std::to_string(Merged + 1) + ")";
+    return Merged;
+  };
+  // Every term parse goes through the sort-validating reader; a failure
+  // anywhere abandons the rest of the stream but keeps prior entries --
+  // a truncated or garbage tail costs hits, never correctness.
+  auto ParseTerm = [&](std::string_view Text, bool AllowNull,
+                       Term &T) -> bool {
+    std::string TErr;
+    T = logic::deserializeTerm(*HostM, Text, &TErr);
+    return !T.isNull() || (AllowNull && TErr.empty());
+  };
+  while (LC.next(Tag, Rest)) {
+    if (Tag.empty() && Rest.empty())
+      continue; // Blank line between entries.
+    if (Tag != "entry" || Rest != "v1")
+      return Corrupt("expected 'entry v1'");
+    SharedKey SK;
+    ReduceResult R;
+    if (!LC.next(Tag, Rest) || Tag != "fp" || Rest.empty() ||
+        Rest.size() > 16 ||
+        Rest.find_first_not_of("0123456789abcdef") != std::string_view::npos)
+      return Corrupt("bad fp line");
+    SK.OptsFp = 0;
+    for (char C : Rest)
+      SK.OptsFp = SK.OptsFp * 16 +
+                  static_cast<uint64_t>(C <= '9' ? C - '0' : C - 'a' + 10);
+    if (!LC.next(Tag, Rest) || Tag != "psi" || !ParseTerm(Rest, false, SK.Psi))
+      return Corrupt("bad psi term");
+    size_t NEc = 0;
+    if (!LC.next(Tag, Rest) || Tag != "nec" || !parseCount(Rest, 4096, NEc))
+      return Corrupt("bad nec count");
+    for (size_t I = 0; I < NEc; ++I) {
+      Term K2, Body;
+      if (!LC.next(Tag, Rest) || Tag != "eck" || !ParseTerm(Rest, false, K2))
+        return Corrupt("bad eck term");
+      if (!LC.next(Tag, Rest) || Tag != "ecb" || !ParseTerm(Rest, false, Body))
+        return Corrupt("bad ecb term");
+      SK.Counters.emplace_back(K2, Body);
+    }
+    size_t NEit = 0;
+    if (!LC.next(Tag, Rest) || Tag != "neit" || !parseCount(Rest, 65536, NEit))
+      return Corrupt("bad neit count");
+    for (size_t I = 0; I < NEit; ++I) {
+      Term E;
+      if (!LC.next(Tag, Rest) || Tag != "eit" || !ParseTerm(Rest, false, E))
+        return Corrupt("bad eit term");
+      SK.Extra.push_back(E);
+    }
+    if (!LC.next(Tag, Rest) || Tag != "ground" ||
+        !ParseTerm(Rest, false, R.Ground))
+      return Corrupt("bad ground term");
+    if (!LC.next(Tag, Rest) || Tag != "meta")
+      return Corrupt("bad meta line");
+    {
+      int Complete = 0, VennApplied = 0;
+      unsigned Rounds = 0, Axioms = 0, Insts = 0, Deferred = 0, Filtered = 0,
+               VennRegions = 0;
+      if (std::sscanf(std::string(Rest).c_str(), "%d %u %u %u %u %u %u %d",
+                      &Complete, &Rounds, &Axioms, &Insts, &Deferred,
+                      &Filtered, &VennRegions, &VennApplied) != 8)
+        return Corrupt("bad meta fields");
+      R.Complete = Complete != 0;
+      R.NumRounds = Rounds;
+      R.NumAxioms = Axioms;
+      R.NumInstances = Insts;
+      R.NumDeferred = Deferred;
+      R.NumFilteredInstances = Filtered;
+      R.NumVennRegions = VennRegions;
+      R.VennApplied = VennApplied != 0;
+    }
+    size_t NCv = 0;
+    if (!LC.next(Tag, Rest) || Tag != "ncv" || !parseCount(Rest, 65536, NCv))
+      return Corrupt("bad ncv count");
+    for (size_t I = 0; I < NCv; ++I) {
+      Term C, K2;
+      if (!LC.next(Tag, Rest) || Tag != "cvk" || !ParseTerm(Rest, false, C))
+        return Corrupt("bad cvk term");
+      if (!LC.next(Tag, Rest) || Tag != "cvv" || !ParseTerm(Rest, false, K2))
+        return Corrupt("bad cvv term");
+      R.CardVars[C] = K2;
+    }
+    if (!LC.next(Tag, Rest) || Tag != "end")
+      return Corrupt("missing end marker");
+    uint64_t Key = keyFromParts(SK.Psi, SK.OptsFp, SK.Counters, SK.Extra);
+    if (!Entries.count(Key)) {
+      Entries.emplace(Key, std::move(R));
+      KeyParts.emplace(Key, std::move(SK));
+      ++Merged;
+    }
+  }
+  return Merged;
 }
 
 ReduceResult sharpie::engine::reduceToGroundCached(

@@ -106,8 +106,10 @@ public:
              &ExternalCounters,
          const std::vector<logic::Term> &ExtraIndexTerms);
 
-  unsigned hits() const { return Hits; }
-  unsigned misses() const { return Misses; }
+  /// Hit/miss tallies. In shared mode these take the cache mutex, so a
+  /// cache_stats probe may race live workers safely.
+  unsigned hits() const;
+  unsigned misses() const;
 
   /// Flips the cache into shared (cross-manager) mode for the parallel
   /// search. Entries move into a private TermManager owned by the cache,
@@ -141,12 +143,51 @@ public:
                     const std::vector<logic::Term> &ExtraIndexTerms,
                     const ReduceResult &R);
 
+  // -- Persistence (the serving stack's tier-2 store, serve/Store.h) ---------
+  //
+  // Shared-mode entries round-trip through a line-based text encoding:
+  // every entry carries its key material (the host-translated Psi, the
+  // options fingerprint, external counters, extra index terms) alongside
+  // the ReduceResult, both serialized with logic/TermIO.h. Loading parses
+  // the key terms into this cache's host manager and recomputes the id
+  // key exactly as lookupShared would, so a cache written by one process
+  // serves hits in another: the keys are content, not ids. The id-based
+  // keys of Entries are process-local; only the text form travels.
+
+  /// Serializes every shared-mode entry (text, deterministic order).
+  /// Returns the number of entries written. Thread-safe; id mode writes
+  /// nothing (its keys are not portable by design).
+  size_t serializeShared(std::string &Out) const;
+
+  /// Parses entries serialized by serializeShared and merges them into
+  /// this cache (which must already be in shared mode; existing entries
+  /// win on key collisions). Corruption-tolerant: a malformed entry stops
+  /// the load at that point -- everything already parsed stays, nothing
+  /// throws, and \p CorruptNote (when non-null) records what was wrong.
+  /// Returns the number of entries merged. Thread-safe.
+  size_t deserializeShared(std::string_view In,
+                           std::string *CorruptNote = nullptr);
+
+  /// Number of live entries (diagnostics / cache_stats).
+  size_t size() const;
+
 private:
+  /// The content identity of a shared entry, retained so the entry can be
+  /// re-keyed after a round trip through disk (terms live in HostM).
+  struct SharedKey {
+    logic::Term Psi;
+    uint64_t OptsFp = 0;
+    std::vector<std::pair<logic::Term, logic::Term>> Counters;
+    std::vector<logic::Term> Extra;
+  };
+
   std::map<uint64_t, ReduceResult> Entries;
+  /// Shared mode only: key material per entry, same keys as Entries.
+  std::map<uint64_t, SharedKey> KeyParts;
   unsigned Hits = 0;
   unsigned Misses = 0;
-  /// Non-null exactly in shared mode. The mutex guards Entries, the
-  /// counters, and every translation touching HostM.
+  /// Non-null exactly in shared mode. The mutex guards Entries, KeyParts,
+  /// the counters, and every translation touching HostM.
   std::unique_ptr<logic::TermManager> HostM;
   std::unique_ptr<std::mutex> Mu;
 };

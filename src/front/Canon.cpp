@@ -1,0 +1,126 @@
+//===- front/Canon.cpp - Canonical hashing of lowered protocols ---------------===//
+//
+// Part of sharpie. See Canon.h.
+//
+//===----------------------------------------------------------------------===//
+
+#include "front/Canon.h"
+
+#include "logic/TermIO.h"
+
+#include <algorithm>
+#include <cstdio>
+
+using namespace sharpie;
+using namespace sharpie::front;
+using logic::Term;
+
+namespace {
+
+void field(std::string &Out, const char *Key, const std::string &Val) {
+  Out += Key;
+  Out += '=';
+  Out += Val;
+  Out += '\n';
+}
+
+void termField(std::string &Out, const char *Key, Term T) {
+  field(Out, Key, logic::serializeTerm(T));
+}
+
+/// Update maps are keyed by Term, i.e. by manager interning order; the
+/// canonical form re-sorts entries by the serialized key so two managers
+/// that interned the same variables in different orders agree.
+void updateMap(std::string &Out, const char *Key,
+               const std::map<Term, Term> &Upd) {
+  std::vector<std::pair<std::string, std::string>> Rows;
+  Rows.reserve(Upd.size());
+  for (const auto &[V, Val] : Upd)
+    Rows.emplace_back(logic::serializeTerm(V), logic::serializeTerm(Val));
+  std::sort(Rows.begin(), Rows.end());
+  for (const auto &[K, V] : Rows) {
+    Out += Key;
+    Out += '[';
+    Out += K;
+    Out += "]=";
+    Out += V;
+    Out += '\n';
+  }
+}
+
+} // namespace
+
+std::string CanonicalHash::hex() const {
+  char Buf[33];
+  std::snprintf(Buf, sizeof(Buf), "%016llx%016llx",
+                static_cast<unsigned long long>(Hi),
+                static_cast<unsigned long long>(Lo));
+  return Buf;
+}
+
+std::string sharpie::front::canonicalProblemText(
+    const sys::ParamSystem &Sys, const synth::ShapeTemplate &Shape,
+    Term QGuard, const explct::ExplicitOptions &Explicit, bool NeedsVenn,
+    bool ExpectSafe) {
+  std::string Out;
+  field(Out, "canon", "sharpie-canon-v1");
+  field(Out, "name", Sys.name());
+  field(Out, "mode", Sys.mode() == sys::Composition::Async ? "async" : "sync");
+  for (Term G : Sys.globals())
+    field(Out, "global", G->name());
+  for (Term L : Sys.locals())
+    field(Out, "local", L->name());
+  field(Out, "size_var",
+        Sys.sizeVar() ? (*Sys.sizeVar())->name() : std::string("-"));
+  termField(Out, "init", Sys.init());
+  termField(Out, "safe", Sys.safe());
+  for (const sys::Transition &T : Sys.transitions()) {
+    field(Out, "transition", T.Name);
+    termField(Out, "guard", T.Guard);
+    updateMap(Out, "gupd", T.GlobalUpd);
+    updateMap(Out, "lupd", T.LocalUpd);
+    for (Term C : T.Choices)
+      field(Out, "choice", C->name());
+    for (Term C : T.TidChoices)
+      field(Out, "tid_choice", C->name());
+    for (const sys::Transition::ArrayWrite &W : T.Writes) {
+      termField(Out, "write_arr", W.Arr);
+      termField(Out, "write_idx", W.Idx);
+      termField(Out, "write_val", W.Val);
+    }
+    termField(Out, "sync", T.SyncRelation);
+  }
+  field(Out, "choice_lo", std::to_string(Sys.ChoiceLo));
+  field(Out, "choice_hi", std::to_string(Sys.ChoiceHi));
+  field(Out, "shape_sets", std::to_string(Shape.NumSets));
+  for (logic::Sort S : Shape.Quantifiers)
+    field(Out, "shape_quant", logic::sortName(S));
+  termField(Out, "qguard", QGuard);
+  field(Out, "venn", NeedsVenn ? "1" : "0");
+  field(Out, "expect_safe", ExpectSafe ? "1" : "0");
+  field(Out, "explicit_threads", std::to_string(Explicit.NumThreads));
+  field(Out, "explicit_max_states", std::to_string(Explicit.MaxStates));
+  field(Out, "explicit_int_bound", std::to_string(Explicit.IntBound));
+  return Out;
+}
+
+CanonicalHash sharpie::front::canonicalProblemHash(
+    const sys::ParamSystem &Sys, const synth::ShapeTemplate &Shape,
+    Term QGuard, const explct::ExplicitOptions &Explicit, bool NeedsVenn,
+    bool ExpectSafe) {
+  std::string Text =
+      canonicalProblemText(Sys, Shape, QGuard, Explicit, NeedsVenn, ExpectSafe);
+  // FNV-1a, two independently seeded 64-bit lanes.
+  uint64_t Hi = 0xcbf29ce484222325ULL;
+  uint64_t Lo = 0x6c62272e07bb0142ULL;
+  for (unsigned char C : Text) {
+    Hi = (Hi ^ C) * 0x100000001b3ULL;
+    Lo = (Lo ^ (C + 0x9eULL)) * 0x100000001b3ULL;
+  }
+  return {Hi, Lo};
+}
+
+CanonicalHash sharpie::front::canonicalProblemHash(const FrontBundle &B) {
+  return canonicalProblemHash(*B.Sys, B.Shape, B.QGuard, B.Explicit,
+                              B.NeedsVenn, B.ExpectSafe);
+}

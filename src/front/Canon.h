@@ -1,0 +1,74 @@
+//===- front/Canon.h - Canonical hashing of lowered protocols ---*- C++ -*-===//
+//
+// Part of sharpie. The content address of a verification problem: a
+// 128-bit hash over the canonical text of the *lowered* system -- the
+// sys::ParamSystem plus everything else that determines the verdict (the
+// shape template, the quantifier guard, the Venn flag, the explicit
+// instance). Hashing the lowered form, not the source text, gives the two
+// stability properties the persistent result store needs:
+//
+//   * whitespace, comments and formatting edits of a `.sharpie` file do
+//     not move the hash (the lexer already erased them);
+//   * re-parsing, re-lowering, and sys::ParamSystem::cloneInto copies all
+//     hash identically: the canonical text is built from variable names
+//     and term structure via logic/TermIO.h, never from TermManager ids
+//     or interning order, and map-ordered components (update maps) are
+//     re-sorted by canonical key text.
+//
+// Conversely any semantic edit -- a guard tweak, a changed bound, one
+// more transition -- lands in the canonical text and moves the hash.
+// tests/serve_hash_test.cpp pins both directions.
+//
+// The hash is 128-bit FNV-1a (two independently seeded 64-bit lanes) over
+// the canonical text: not cryptographic, but with 128 bits a accidental
+// collision across cache entries is beyond the store's lifetime; the
+// store treats the hash as the entry's full identity.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SHARPIE_FRONT_CANON_H
+#define SHARPIE_FRONT_CANON_H
+
+#include "front/Front.h"
+
+#include <cstdint>
+#include <string>
+
+namespace sharpie {
+namespace front {
+
+/// A 128-bit content hash, printable as 32 lowercase hex digits.
+struct CanonicalHash {
+  uint64_t Hi = 0;
+  uint64_t Lo = 0;
+
+  std::string hex() const;
+  bool operator==(const CanonicalHash &O) const {
+    return Hi == O.Hi && Lo == O.Lo;
+  }
+  bool operator!=(const CanonicalHash &O) const { return !(*this == O); }
+};
+
+/// The canonical text of a lowered verification problem. Deterministic
+/// and manager-independent; the hash below is FNV-1a over these bytes.
+/// Exposed separately so tests can diff the text when a hash mismatch
+/// needs explaining.
+std::string canonicalProblemText(const sys::ParamSystem &Sys,
+                                 const synth::ShapeTemplate &Shape,
+                                 logic::Term QGuard,
+                                 const explct::ExplicitOptions &Explicit,
+                                 bool NeedsVenn, bool ExpectSafe);
+
+CanonicalHash canonicalProblemHash(const sys::ParamSystem &Sys,
+                                   const synth::ShapeTemplate &Shape,
+                                   logic::Term QGuard,
+                                   const explct::ExplicitOptions &Explicit,
+                                   bool NeedsVenn, bool ExpectSafe);
+
+/// Convenience over a frontend bundle.
+CanonicalHash canonicalProblemHash(const FrontBundle &B);
+
+} // namespace front
+} // namespace sharpie
+
+#endif // SHARPIE_FRONT_CANON_H

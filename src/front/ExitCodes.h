@@ -1,0 +1,60 @@
+//===- front/ExitCodes.h - Deterministic driver exit codes ------*- C++ -*-===//
+//
+// Part of sharpie. The one definition of the pipeline's scriptable exit
+// codes, shared by every surface that reports a verdict: the `sharpie`
+// CLI, `example_run_protocol`, the `sharpied` daemon and its thin-client
+// mode (`sharpie --server`). The values are a wire contract -- scripts,
+// the ctest entries and sweep.sh key on them -- so they are pinned by
+// tests/exit_codes_test.cpp and must never be renumbered.
+//
+//   0  verified safe (invariant printed)
+//   1  unsafe (explicit counterexample printed)
+//   2  unknown: the search space was exhausted without a verdict
+//   3  frontend error (parse/elaboration/I-O/protocol), message on stderr
+//   4  inconclusive: no verdict AND some recorded failure (timeout,
+//      skipped tuple, injected fault, exhausted budget) may have hidden
+//      one
+//
+// `example_run_protocol` layers expected-outcome semantics on top (a
+// counterexample on a protocol declared `expect unsafe` exits 0, and its
+// code 2 doubles as "usage error"), but draws the raw values from here.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SHARPIE_FRONT_EXITCODES_H
+#define SHARPIE_FRONT_EXITCODES_H
+
+namespace sharpie {
+namespace front {
+
+enum ExitCode : int {
+  ExitVerified = 0,
+  ExitUnsafe = 1,
+  ExitUnknown = 2,
+  ExitError = 3,
+  ExitInconclusive = 4,
+};
+
+/// Short machine-readable verdict names, one per exit code; used by the
+/// serving protocol (serve/Proto.h) and the bench scripts.
+inline const char *exitCodeName(int Code) {
+  switch (Code) {
+  case ExitVerified:
+    return "verified";
+  case ExitUnsafe:
+    return "unsafe";
+  case ExitUnknown:
+    return "unknown";
+  case ExitError:
+    return "error";
+  case ExitInconclusive:
+    return "inconclusive";
+  default:
+    return "invalid";
+  }
+}
+
+} // namespace front
+} // namespace sharpie
+
+#endif // SHARPIE_FRONT_EXITCODES_H

@@ -193,6 +193,14 @@ public:
   /// variable created so far.
   Term freshVar(const std::string &Prefix, Sort S);
 
+  /// Returns the live variable bound to \p Name, or a null Term. Lets
+  /// deserializers (logic/TermIO.h) reject a name/sort conflict with this
+  /// manager's existing bindings instead of tripping mkVar's assert.
+  Term findVar(const std::string &Name) const {
+    auto It = Vars.find(Name);
+    return It == Vars.end() ? Term() : It->second;
+  }
+
   Term mkInt(int64_t V);
   Term mkBool(bool V);
   Term mkTrue() { return mkBool(true); }

@@ -131,7 +131,8 @@ double Tracer::microsSinceEpoch() const {
 void Tracer::writeLogLine(LogLevel L, unsigned Worker, const char *Text) {
   std::lock_guard<std::mutex> Lk(Mu);
   FILE *Out = Cfg.LogStream ? Cfg.LogStream : stderr;
-  std::fprintf(Out, "[%c w%u] %s\n", std::toupper(logLevelName(L)[0]), Worker,
+  std::fprintf(Out, "[%c%s%s w%u] %s\n", std::toupper(logLevelName(L)[0]),
+               Cfg.LogPrefix.empty() ? "" : " ", Cfg.LogPrefix.c_str(), Worker,
                Text);
   std::fflush(Out);
 }

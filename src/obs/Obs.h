@@ -131,6 +131,10 @@ struct TracerConfig {
   LogLevel Level = LogLevel::Quiet; ///< Human-log threshold.
   bool CollectEvents = false;       ///< Buffer events for trace export.
   FILE *LogStream = nullptr;        ///< Log sink; nullptr means stderr.
+  /// Tag inserted into every log line after the level letter. The daemon
+  /// sets it to the request id ("r17") so interleaved per-request tracer
+  /// output stays attributable; empty adds nothing.
+  std::string LogPrefix;
 };
 
 /// Owns the per-worker buffers and the log sink. Thread-safe operations:

@@ -28,6 +28,8 @@ const char *sharpie::resil::failureClassName(FailureClass C) {
     return "solver_exception";
   case FailureClass::BudgetExhausted:
     return "budget_exhausted";
+  case FailureClass::CorruptStore:
+    return "corrupt_store";
   }
   return "?";
 }

@@ -47,6 +47,11 @@ enum class FailureClass : uint8_t {
   InjectedFault,   ///< A FaultPlan rule fired.
   SolverException, ///< The back end threw; contained here.
   BudgetExhausted, ///< Global TimeBudgetSeconds left no time to check.
+  /// A persistent-store file (serve/Store.h) failed to parse: truncated
+  /// write, version skew, or plain corruption. Always degrades to a cache
+  /// miss -- the class exists so store incidents surface in the same
+  /// taxonomy as solver incidents instead of as ad-hoc strings.
+  CorruptStore,
 };
 
 const char *failureClassName(FailureClass C);

@@ -1,0 +1,113 @@
+//===- serve/Client.cpp - Thin client for the sharpied protocol ---------------===//
+//
+// Part of sharpie. See Client.h.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Client.h"
+
+#include <arpa/inet.h>
+#include <cstring>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace sharpie;
+using namespace sharpie::serve;
+
+Client::~Client() { close(); }
+
+void Client::close() {
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+  RecvBuf.clear();
+}
+
+bool Client::connect(const Addr &A, std::string &Err) {
+  close();
+  if (A.IsUnix) {
+    Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (Fd < 0) {
+      Err = std::string("socket: ") + std::strerror(errno);
+      return false;
+    }
+    sockaddr_un SA{};
+    SA.sun_family = AF_UNIX;
+    if (A.Path.size() >= sizeof(SA.sun_path)) {
+      Err = "unix socket path too long: " + A.Path;
+      close();
+      return false;
+    }
+    std::strncpy(SA.sun_path, A.Path.c_str(), sizeof(SA.sun_path) - 1);
+    if (::connect(Fd, reinterpret_cast<sockaddr *>(&SA), sizeof(SA)) < 0) {
+      Err = "connect " + A.Path + ": " + std::strerror(errno);
+      close();
+      return false;
+    }
+    return true;
+  }
+  Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    Err = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  sockaddr_in SA{};
+  SA.sin_family = AF_INET;
+  SA.sin_port = htons(static_cast<uint16_t>(A.Port));
+  if (::inet_pton(AF_INET, A.Host.c_str(), &SA.sin_addr) != 1) {
+    Err = "bad host '" + A.Host + "' (numeric IPv4 only)";
+    close();
+    return false;
+  }
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&SA), sizeof(SA)) < 0) {
+    Err = "connect " + A.Host + ":" + std::to_string(A.Port) + ": " +
+          std::strerror(errno);
+    close();
+    return false;
+  }
+  return true;
+}
+
+bool Client::roundTrip(const Json &J, Json &Response, std::string &Err) {
+  if (Fd < 0) {
+    Err = "not connected";
+    return false;
+  }
+  std::string Out = J.dump();
+  Out += '\n';
+  size_t Off = 0;
+  while (Off < Out.size()) {
+    ssize_t N = ::send(Fd, Out.data() + Off, Out.size() - Off, MSG_NOSIGNAL);
+    if (N <= 0) {
+      Err = std::string("send: ") + std::strerror(errno);
+      return false;
+    }
+    Off += static_cast<size_t>(N);
+  }
+  char Chunk[4096];
+  size_t Nl;
+  while ((Nl = RecvBuf.find('\n')) == std::string::npos) {
+    ssize_t N = ::recv(Fd, Chunk, sizeof(Chunk), 0);
+    if (N == 0) {
+      Err = "server closed the connection";
+      return false;
+    }
+    if (N < 0) {
+      Err = std::string("recv: ") + std::strerror(errno);
+      return false;
+    }
+    RecvBuf.append(Chunk, static_cast<size_t>(N));
+  }
+  std::string Line = RecvBuf.substr(0, Nl);
+  RecvBuf.erase(0, Nl + 1);
+  std::string PErr;
+  Response = parseJson(Line, &PErr);
+  if (!PErr.empty()) {
+    Err = "malformed response: " + PErr;
+    return false;
+  }
+  return true;
+}

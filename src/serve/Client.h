@@ -1,0 +1,46 @@
+//===- serve/Client.h - Thin client for the sharpied protocol ---*- C++ -*-===//
+//
+// Part of sharpie. The socket side of `sharpie --server` and
+// `sharpied --ctl`: connect, send one JSON line, read one JSON line.
+// Deliberately synchronous and stateless beyond the fd -- all protocol
+// semantics live in serve/Proto.h.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SHARPIE_SERVE_CLIENT_H
+#define SHARPIE_SERVE_CLIENT_H
+
+#include "serve/Proto.h"
+
+#include <string>
+
+namespace sharpie {
+namespace serve {
+
+class Client {
+public:
+  Client() = default;
+  ~Client();
+
+  Client(const Client &) = delete;
+  Client &operator=(const Client &) = delete;
+
+  /// Connects to \p A. False with \p Err on failure.
+  bool connect(const Addr &A, std::string &Err);
+
+  /// Sends \p J as one line and reads the one-line response into
+  /// \p Response. False with \p Err on socket failure or a malformed
+  /// response.
+  bool roundTrip(const Json &J, Json &Response, std::string &Err);
+
+  void close();
+
+private:
+  int Fd = -1;
+  std::string RecvBuf;
+};
+
+} // namespace serve
+} // namespace sharpie
+
+#endif // SHARPIE_SERVE_CLIENT_H

@@ -1,0 +1,120 @@
+//===- serve/Json.h - Minimal JSON for the wire protocol --------*- C++ -*-===//
+//
+// Part of sharpie. A deliberately small JSON value type for the sharpied
+// line protocol: objects, arrays, strings, doubles, integers, booleans,
+// null. One value per line on the wire (serialization never emits raw
+// newlines; they are escaped inside strings), so framing is `\n` and a
+// parse never needs lookahead across lines.
+//
+// The parser is defensive in the same way logic/TermIO.h is: any
+// malformed input yields an error string, never a crash or an exception
+// -- the daemon parses bytes from arbitrary clients. Depth is bounded.
+//
+// Not a general JSON library on purpose: no comments, no NaN/Inf, no
+// \uXXXX surrogate pairs beyond the BMP pass-through, integers beyond
+// int64 fall back to double.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SHARPIE_SERVE_JSON_H
+#define SHARPIE_SERVE_JSON_H
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sharpie {
+namespace serve {
+
+class Json;
+using JsonObject = std::map<std::string, Json>;
+using JsonArray = std::vector<Json>;
+
+class Json {
+public:
+  enum class Type { Null, Bool, Int, Double, String, Array, Object };
+
+  Json() : Ty(Type::Null) {}
+  Json(bool B) : Ty(Type::Bool), B(B) {}
+  Json(int64_t I) : Ty(Type::Int), I(I) {}
+  Json(int I) : Ty(Type::Int), I(I) {}
+  Json(unsigned I) : Ty(Type::Int), I(I) {}
+  Json(uint64_t I) : Ty(Type::Int), I(static_cast<int64_t>(I)) {}
+  Json(double D) : Ty(Type::Double), D(D) {}
+  Json(const char *S) : Ty(Type::String), S(S) {}
+  Json(std::string S) : Ty(Type::String), S(std::move(S)) {}
+  Json(JsonArray A) : Ty(Type::Array), A(std::move(A)) {}
+  Json(JsonObject O) : Ty(Type::Object), O(std::move(O)) {}
+
+  Type type() const { return Ty; }
+  bool isNull() const { return Ty == Type::Null; }
+  bool isObject() const { return Ty == Type::Object; }
+  bool isArray() const { return Ty == Type::Array; }
+  bool isString() const { return Ty == Type::String; }
+
+  /// Typed accessors with defaults -- lenient on purpose: a request
+  /// missing a field reads as the default rather than faulting, and the
+  /// handler validates semantically.
+  bool asBool(bool Default = false) const {
+    return Ty == Type::Bool ? B : Default;
+  }
+  int64_t asInt(int64_t Default = 0) const {
+    if (Ty == Type::Int)
+      return I;
+    if (Ty == Type::Double)
+      return static_cast<int64_t>(D);
+    return Default;
+  }
+  double asDouble(double Default = 0) const {
+    if (Ty == Type::Double)
+      return D;
+    if (Ty == Type::Int)
+      return static_cast<double>(I);
+    return Default;
+  }
+  const std::string &asString() const {
+    static const std::string Empty;
+    return Ty == Type::String ? S : Empty;
+  }
+  const JsonArray &asArray() const {
+    static const JsonArray Empty;
+    return Ty == Type::Array ? A : Empty;
+  }
+  const JsonObject &asObject() const {
+    static const JsonObject Empty;
+    return Ty == Type::Object ? O : Empty;
+  }
+
+  /// Object field lookup; returns a null Json when absent or not an
+  /// object.
+  const Json &get(const std::string &Key) const;
+
+  /// Mutable object field access (makes this an object if null).
+  Json &operator[](const std::string &Key);
+
+  /// Compact single-line serialization. Strings escape `"`, `\`, control
+  /// characters and newlines, so the output never contains a raw '\n'.
+  std::string dump() const;
+
+private:
+  Type Ty;
+  bool B = false;
+  int64_t I = 0;
+  double D = 0;
+  std::string S;
+  JsonArray A;
+  JsonObject O;
+};
+
+/// Parses one JSON value from \p Text (whole-string: trailing garbage is
+/// an error). On failure returns null and sets \p Err when non-null.
+/// Never throws; depth-bounded.
+Json parseJson(std::string_view Text, std::string *Err = nullptr);
+
+} // namespace serve
+} // namespace sharpie
+
+#endif // SHARPIE_SERVE_JSON_H

@@ -1,0 +1,423 @@
+//===- serve/Server.cpp - The sharpied verification server --------------------===//
+//
+// Part of sharpie. See Server.h.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Server.h"
+
+#include "front/ExitCodes.h"
+#include "front/Front.h"
+#include "resil/Fault.h"
+
+#include <arpa/inet.h>
+#include <condition_variable>
+#include <cstring>
+#include <memory>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace sharpie;
+using namespace sharpie::serve;
+
+namespace {
+
+double secondsSince(std::chrono::steady_clock::time_point T0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - T0)
+      .count();
+}
+
+} // namespace
+
+Server::Server(ServerOptions O)
+    : Opts(std::move(O)), Store(Opts.StoreDir),
+      Pool(Opts.RequestWorkers ? Opts.RequestWorkers : 1),
+      Start(std::chrono::steady_clock::now()) {
+  // The reduce cache is shared-mode from birth: requests run on pool
+  // threads with private managers, exactly the cross-manager case.
+  RC.enableSharing();
+  // A corrupt tier-2 file degrades to whatever prefix parsed; the note
+  // surfaces through status/cache_stats rather than a log line (the
+  // daemon may be running --log-level quiet).
+  Store.loadReduceCache(RC, &StartupNote);
+}
+
+Server::~Server() {
+  requestShutdown();
+  {
+    std::lock_guard<std::mutex> Lock(ConnsMu);
+    for (std::thread &T : Conns)
+      if (T.joinable())
+        T.join();
+    Conns.clear();
+  }
+  if (ListenFd >= 0)
+    ::close(ListenFd);
+  if (!UnixPath.empty())
+    ::unlink(UnixPath.c_str());
+}
+
+VerifyResponse Server::verify(const VerifyRequest &Req,
+                              const engine::CancellationToken *Cancel) {
+  uint64_t Id = NextRequestId.fetch_add(1);
+  InFlight.fetch_add(1);
+  struct InFlightGuard {
+    std::atomic<uint64_t> &F;
+    std::atomic<uint64_t> &S;
+    ~InFlightGuard() {
+      F.fetch_sub(1);
+      S.fetch_add(1);
+    }
+  } Guard{InFlight, Served};
+
+  auto T0 = std::chrono::steady_clock::now();
+  VerifyResponse Resp;
+
+  // Per-request observability: its own tracer, log lines tagged with the
+  // request id so interleaved requests stay attributable.
+  obs::TracerConfig TC;
+  TC.Level = Opts.Level;
+  TC.LogPrefix = "r" + std::to_string(Id);
+  obs::Tracer Tracer(TC);
+  obs::TraceBuffer *TB = Tracer.worker(0);
+  obs::Span Sp(TB, "serve_verify");
+
+  resil::FaultPlan Faults;
+  if (!Req.Faults.empty()) {
+    std::string FErr;
+    if (auto P = resil::FaultPlan::parse(Req.Faults, &FErr)) {
+      Faults = std::move(*P);
+    } else {
+      Resp.Exit = front::ExitError;
+      Resp.Error = "error: bad fault plan: " + FErr + "\n";
+      Resp.ServerSeconds = secondsSince(T0);
+      return Resp;
+    }
+  }
+
+  logic::TermManager M;
+  front::LoadResult L = front::loadProtocolString(M, Req.ProtocolText,
+                                                  Req.File, TB);
+  if (!L.ok()) {
+    Resp.Exit = front::ExitError;
+    Resp.Error = L.Error->render() + "\n";
+    Resp.ServerSeconds = secondsSince(T0);
+    return Resp;
+  }
+  double ParseSeconds = secondsSince(T0);
+  front::FrontBundle &B = *L.Bundle;
+
+  Resp.Hash = front::canonicalProblemHash(B).hex();
+  std::string Header = renderHeader(B.Sys->name(), B.Property);
+
+  // Chaos requests bypass both cache tiers: injected faults make the run
+  // non-canonical, and nothing a fault produced may be served later.
+  bool Cacheable = Req.Faults.empty();
+
+  // -- Tier 1 ----------------------------------------------------------------
+  front::CanonicalHash H = front::canonicalProblemHash(B);
+  if (Cacheable && Store.enabled()) {
+    auto TL = std::chrono::steady_clock::now();
+    std::optional<ResultStore::T1Entry> Hit = Store.lookup(H);
+    Resp.CacheLookupSeconds = secondsSince(TL);
+    TB->counter(Hit ? "serve_t1_hits" : "serve_t1_misses", 1);
+    if (Hit) {
+      Resp.Exit = Hit->Exit;
+      Resp.Cache = "hit";
+      Resp.Output = Header;
+      if (Req.JsonLine)
+        Resp.Output += renderJsonLine(
+            B.Sys->name(), Req.File, Hit->Exit == front::ExitVerified,
+            Hit->Exit == front::ExitUnsafe, /*Inconclusive=*/false,
+            ParseSeconds, Resp.CacheLookupSeconds, /*SynthSeconds=*/0.0,
+            secondsSince(T0), Hit->StatsJson);
+      Resp.Output += Hit->Verdict;
+      Resp.ServerSeconds = secondsSince(T0);
+      return Resp;
+    }
+    Resp.Cache = "miss";
+  }
+
+  // -- Solve -----------------------------------------------------------------
+  synth::SynthOptions SO;
+  SO.Shape = B.Shape;
+  SO.QGuard = B.QGuard;
+  SO.Reduce.Card.Venn = B.NeedsVenn;
+  SO.Explicit = B.Explicit;
+  SO.Trace = &Tracer;
+  SO.NumWorkers = Req.Workers;
+  if (Opts.SynthWorkers &&
+      (Req.Workers == 0 || Req.Workers > Opts.SynthWorkers))
+    SO.NumWorkers = Opts.SynthWorkers;
+  SO.TimeBudgetSeconds = Req.TimeBudget;
+  if (Opts.MaxRequestSeconds > 0 &&
+      (SO.TimeBudgetSeconds <= 0 ||
+       SO.TimeBudgetSeconds > Opts.MaxRequestSeconds))
+    SO.TimeBudgetSeconds = Opts.MaxRequestSeconds;
+  if (Req.MaxTuples)
+    SO.MaxTuples = Req.MaxTuples;
+  SO.Supervise.Enabled = !Req.NoSupervise;
+  SO.Incremental = !Req.NoIncremental;
+  if (Req.SmtTimeoutMs)
+    SO.SmtTimeoutMs = Req.SmtTimeoutMs;
+  if (!Faults.empty())
+    SO.Faults = &Faults;
+  SO.Cancel = Cancel;
+  if (Cacheable)
+    SO.ReuseReduceCache = &RC; // Tier 2: warm across requests.
+
+  auto T1 = std::chrono::steady_clock::now();
+  synth::SynthResult Res = synth::synthesize(*B.Sys, SO);
+  double SynthSeconds = secondsSince(T1);
+
+  RenderedVerdict V = renderVerdict(Res, B.ExpectSafe, ParseSeconds);
+  Resp.Exit = V.Exit;
+  Resp.Output = Header;
+  if (Req.JsonLine)
+    Resp.Output += renderJsonLine(
+        B.Sys->name(), Req.File, Res.Verified, Res.Cex.has_value(),
+        Res.Inconclusive, ParseSeconds, Resp.CacheLookupSeconds, SynthSeconds,
+        secondsSince(T0), synth::statsJsonFields(Res.Stats));
+  Resp.Output += V.Text;
+
+  // -- Write-back ------------------------------------------------------------
+  // Settled verdicts only, and never from a cancelled run (a disconnect
+  // mid-solve must not publish a partial result).
+  bool Cancelled = Cancel && Cancel->cancelled();
+  if (Cacheable && Store.enabled() && !Cancelled &&
+      (V.Exit == front::ExitVerified || V.Exit == front::ExitUnsafe)) {
+    ResultStore::T1Entry E;
+    E.Exit = V.Exit;
+    E.Protocol = B.Sys->name();
+    E.StatsJson = synth::statsJsonFields(Res.Stats);
+    E.SynthSeconds = SynthSeconds;
+    E.Verdict = V.Text;
+    Store.store(H, E);
+    Store.saveReduceCache(RC);
+  }
+
+  Resp.ServerSeconds = secondsSince(T0);
+  return Resp;
+}
+
+Json Server::handle(const Json &Request,
+                    const engine::CancellationToken *Cancel) {
+  const std::string &Op = Request.get("op").asString();
+  if (Op == "verify")
+    return verify(VerifyRequest::decode(Request), Cancel).encode();
+  if (Op == "status")
+    return statusJson();
+  if (Op == "cache_stats")
+    return cacheStatsJson();
+  if (Op == "shutdown") {
+    requestShutdown();
+    Json J;
+    J["ok"] = Json(true);
+    J["shutting_down"] = Json(true);
+    return J;
+  }
+  Json J;
+  J["ok"] = Json(false);
+  J["error"] = Json("unknown op '" + Op + "'");
+  return J;
+}
+
+Json Server::statusJson() const {
+  Json J;
+  J["ok"] = Json(true);
+  J["uptime_seconds"] = Json(secondsSince(Start));
+  J["served"] = Json(Served.load());
+  J["in_flight"] = Json(InFlight.load());
+  J["request_workers"] = Json(Pool.size());
+  J["store_enabled"] = Json(Store.enabled());
+  J["store_dir"] = Json(Store.dir());
+  if (!StartupNote.empty())
+    J["store_note"] = Json(StartupNote);
+  return J;
+}
+
+Json Server::cacheStatsJson() const {
+  StoreStats S = Store.stats();
+  Json J;
+  J["ok"] = Json(true);
+  J["t1_hits"] = Json(S.T1Hits);
+  J["t1_misses"] = Json(S.T1Misses);
+  J["t1_writes"] = Json(S.T1Writes);
+  J["t1_corrupt"] = Json(S.T1Corrupt);
+  J["t2_loaded"] = Json(S.T2Entries);
+  J["t2_corrupt"] = Json(S.T2Corrupt);
+  J["t2_live_entries"] = Json(static_cast<uint64_t>(RC.size()));
+  J["t2_hits"] = Json(RC.hits());
+  J["t2_misses"] = Json(RC.misses());
+  return J;
+}
+
+// -- Socket front end --------------------------------------------------------
+
+bool Server::listen(const Addr &A, std::string &Err) {
+  if (A.IsUnix) {
+    ListenFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (ListenFd < 0) {
+      Err = std::string("socket: ") + std::strerror(errno);
+      return false;
+    }
+    sockaddr_un SA{};
+    SA.sun_family = AF_UNIX;
+    if (A.Path.size() >= sizeof(SA.sun_path)) {
+      Err = "unix socket path too long: " + A.Path;
+      return false;
+    }
+    std::strncpy(SA.sun_path, A.Path.c_str(), sizeof(SA.sun_path) - 1);
+    ::unlink(A.Path.c_str()); // Stale socket from a previous daemon.
+    if (::bind(ListenFd, reinterpret_cast<sockaddr *>(&SA), sizeof(SA)) < 0) {
+      Err = "bind " + A.Path + ": " + std::strerror(errno);
+      return false;
+    }
+    UnixPath = A.Path;
+    Bound = "unix:" + A.Path;
+  } else {
+    ListenFd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (ListenFd < 0) {
+      Err = std::string("socket: ") + std::strerror(errno);
+      return false;
+    }
+    int One = 1;
+    ::setsockopt(ListenFd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+    sockaddr_in SA{};
+    SA.sin_family = AF_INET;
+    SA.sin_port = htons(static_cast<uint16_t>(A.Port));
+    if (::inet_pton(AF_INET, A.Host.c_str(), &SA.sin_addr) != 1) {
+      Err = "bad host '" + A.Host + "' (numeric IPv4 only)";
+      return false;
+    }
+    if (::bind(ListenFd, reinterpret_cast<sockaddr *>(&SA), sizeof(SA)) < 0) {
+      Err = "bind " + A.Host + ":" + std::to_string(A.Port) + ": " +
+            std::strerror(errno);
+      return false;
+    }
+    sockaddr_in Actual{};
+    socklen_t Len = sizeof(Actual);
+    ::getsockname(ListenFd, reinterpret_cast<sockaddr *>(&Actual), &Len);
+    Bound = A.Host + ":" + std::to_string(ntohs(Actual.sin_port));
+  }
+  if (::listen(ListenFd, 16) < 0) {
+    Err = std::string("listen: ") + std::strerror(errno);
+    return false;
+  }
+  return true;
+}
+
+void Server::serve() {
+  while (!shutdownRequested()) {
+    pollfd P{ListenFd, POLLIN, 0};
+    int N = ::poll(&P, 1, 200 /*ms*/);
+    if (N <= 0)
+      continue; // Timeout or EINTR: re-check the shutdown flag.
+    int Fd = ::accept(ListenFd, nullptr, nullptr);
+    if (Fd < 0)
+      continue;
+    std::lock_guard<std::mutex> Lock(ConnsMu);
+    Conns.emplace_back([this, Fd] { handleConnection(Fd); });
+  }
+  // Let in-flight connections finish before the dtor tears down state.
+  {
+    std::lock_guard<std::mutex> Lock(ConnsMu);
+    for (std::thread &T : Conns)
+      if (T.joinable())
+        T.join();
+    Conns.clear();
+  }
+  Pool.wait();
+}
+
+void Server::handleConnection(int Fd) {
+  std::string Buf;
+  char Chunk[4096];
+  bool Open = true;
+  while (Open && !shutdownRequested()) {
+    // Frame one line.
+    size_t Nl;
+    while ((Nl = Buf.find('\n')) == std::string::npos) {
+      ssize_t N = ::recv(Fd, Chunk, sizeof(Chunk), 0);
+      if (N <= 0) {
+        Open = false;
+        break;
+      }
+      Buf.append(Chunk, static_cast<size_t>(N));
+      if (Buf.size() > (64u << 20)) { // Runaway client; drop it.
+        Open = false;
+        break;
+      }
+    }
+    if (!Open)
+      break;
+    std::string Line = Buf.substr(0, Nl);
+    Buf.erase(0, Nl + 1);
+    if (Line.empty())
+      continue;
+
+    std::string PErr;
+    Json Req = parseJson(Line, &PErr);
+    Json Resp;
+    if (!PErr.empty()) {
+      Resp["ok"] = Json(false);
+      Resp["error"] = Json("bad request: " + PErr);
+    } else {
+      // Ship the work to the warm pool; this thread watches the socket
+      // so a vanished client cancels its request instead of occupying a
+      // pool worker to completion.
+      struct Pending {
+        std::mutex M;
+        std::condition_variable CV;
+        bool Done = false;
+        Json Resp;
+      };
+      auto P = std::make_shared<Pending>();
+      auto Tok = std::make_shared<engine::CancellationToken>();
+      Pool.submit([this, Req, P, Tok] {
+        Json R = handle(Req, Tok.get());
+        std::lock_guard<std::mutex> Lock(P->M);
+        P->Resp = std::move(R);
+        P->Done = true;
+        P->CV.notify_all();
+      });
+      bool ClientGone = false;
+      {
+        std::unique_lock<std::mutex> Lock(P->M);
+        while (!P->Done) {
+          P->CV.wait_for(Lock, std::chrono::milliseconds(100));
+          if (P->Done)
+            break;
+          Lock.unlock();
+          // EOF probe: a readable-but-empty socket means the client hung
+          // up (it owes us nothing until our response).
+          char Peek;
+          ssize_t R = ::recv(Fd, &Peek, 1, MSG_PEEK | MSG_DONTWAIT);
+          if (R == 0 && !ClientGone) {
+            ClientGone = true;
+            Tok->cancel();
+          }
+          Lock.lock();
+        }
+        Resp = P->Resp;
+      }
+      if (ClientGone)
+        break;
+    }
+    std::string Out = Resp.dump();
+    Out += '\n';
+    size_t Off = 0;
+    while (Off < Out.size()) {
+      ssize_t N = ::send(Fd, Out.data() + Off, Out.size() - Off, MSG_NOSIGNAL);
+      if (N <= 0) {
+        Open = false;
+        break;
+      }
+      Off += static_cast<size_t>(N);
+    }
+  }
+  ::close(Fd);
+}

@@ -1,0 +1,130 @@
+//===- serve/Server.h - The sharpied verification server --------*- C++ -*-===//
+//
+// Part of sharpie. The long-running daemon behind `sharpied`: accepts
+// line-delimited JSON requests (serve/Proto.h) over a Unix or TCP
+// socket, runs verifications on a warm engine::ThreadPool, and answers
+// from / feeds the persistent two-tier result store (serve/Store.h).
+//
+// Layering: the socket front end is a thin shell -- every operation is
+// also a plain method (verify(), handle(), statusJson(), ...) so the
+// tests drive a Server in-process with no sockets or subprocesses, and
+// the request semantics cannot drift from the wire semantics.
+//
+// Concurrency model: one OS thread per accepted connection does framing
+// only; verify work is submitted to the request pool (RequestWorkers
+// threads, warm for the daemon's lifetime). While a verify is in
+// flight its connection thread polls the socket; EOF (client gone)
+// cancels the request's engine::CancellationToken, which the synthesis
+// observes at every budget poll (SynthOptions::Cancel) -- a disconnected
+// client stops burning CPU within one poll interval. Each request gets
+// its own obs::Tracer (log lines tagged "r<id>") and SynthOptions; the
+// shared state is the store, the cross-request reduce cache, and the
+// counters, each behind its own lock.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SHARPIE_SERVE_SERVER_H
+#define SHARPIE_SERVE_SERVER_H
+
+#include "engine/Pool.h"
+#include "obs/Obs.h"
+#include "serve/Proto.h"
+#include "serve/Store.h"
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace sharpie {
+namespace serve {
+
+struct ServerOptions {
+  /// Store directory; empty runs the daemon memory-only (tier 2 still
+  /// warms across requests in-process, nothing persists).
+  std::string StoreDir;
+  /// Verify requests processed concurrently (the warm pool's size).
+  unsigned RequestWorkers = 2;
+  /// Cap on a single request's synthesis workers; requests asking for
+  /// more (or for 0 = all cores) are clamped to this.
+  unsigned SynthWorkers = 1;
+  /// Hard ceiling on any request's time budget; 0 = no ceiling. A
+  /// request with no budget of its own gets exactly this ceiling.
+  double MaxRequestSeconds = 0;
+  obs::LogLevel Level = obs::LogLevel::Quiet;
+};
+
+class Server {
+public:
+  explicit Server(ServerOptions O);
+  ~Server();
+
+  Server(const Server &) = delete;
+  Server &operator=(const Server &) = delete;
+
+  // -- In-process API --------------------------------------------------------
+
+  /// Runs one verify request start to finish on the calling thread
+  /// (parse, tier-1 lookup, synthesis, store write-back). \p Cancel,
+  /// when non-null, aborts the synthesis cooperatively.
+  VerifyResponse verify(const VerifyRequest &R,
+                        const engine::CancellationToken *Cancel = nullptr);
+
+  /// Dispatches one decoded request to its handler; always returns a
+  /// response object (unknown ops get {"ok":false,"error":...}).
+  Json handle(const Json &Request,
+              const engine::CancellationToken *Cancel = nullptr);
+
+  Json statusJson() const;
+  Json cacheStatsJson() const;
+
+  ResultStore &store() { return Store; }
+  void requestShutdown() { ShutdownFlag.store(true); }
+  bool shutdownRequested() const { return ShutdownFlag.load(); }
+
+  // -- Socket front end ------------------------------------------------------
+
+  /// Binds and listens on \p A. Returns false with \p Err on failure.
+  /// For TCP port 0 the kernel-assigned port is reflected into
+  /// boundAddress().
+  bool listen(const Addr &A, std::string &Err);
+
+  /// The address actually bound ("unix:<path>" or "<host>:<port>");
+  /// empty before listen().
+  const std::string &boundAddress() const { return Bound; }
+
+  /// Accept loop; returns after requestShutdown() (checked a few times a
+  /// second) once in-flight connections finish.
+  void serve();
+
+private:
+  void handleConnection(int Fd);
+
+  ServerOptions Opts;
+  ResultStore Store;
+  /// Cross-request reduce cache (tier 2), shared mode from birth; loaded
+  /// from / saved to the store around each uncached solve.
+  engine::ReduceCache RC;
+  engine::ThreadPool Pool;
+
+  std::atomic<bool> ShutdownFlag{false};
+  std::atomic<uint64_t> NextRequestId{1};
+  std::atomic<uint64_t> Served{0};
+  std::atomic<uint64_t> InFlight{0};
+  std::chrono::steady_clock::time_point Start;
+
+  /// Corrupt-store note from the startup tier-2 load; shown in status.
+  std::string StartupNote;
+
+  int ListenFd = -1;
+  std::string Bound;
+  std::string UnixPath; ///< For unlink on shutdown.
+  std::vector<std::thread> Conns;
+  std::mutex ConnsMu;
+};
+
+} // namespace serve
+} // namespace sharpie
+
+#endif // SHARPIE_SERVE_SERVER_H

@@ -1,0 +1,114 @@
+//===- serve/Store.h - Persistent two-tier result store ---------*- C++ -*-===//
+//
+// Part of sharpie. The on-disk memory of the serving stack (and of
+// `sharpie --store DIR` local runs). Two tiers, both versioned text
+// formats, both written atomically (temp file + rename in the same
+// directory) and both corruption-tolerant on load: a truncated, garbled
+// or wrong-version file reads as a cache miss -- never an error, never a
+// wrong result -- and the incident is counted and classified as
+// resil::FailureClass::CorruptStore.
+//
+//   tier 1   <dir>/t1/<hash>.entry
+//            Final verdicts keyed by front::CanonicalHash of the lowered
+//            problem (see front/Canon.h for what the hash covers and why
+//            it is stable across reformatting, re-parsing and cloning).
+//            An entry stores the exit code, the rendered verdict block
+//            and the stats JSON fragment of the original solve, so a warm
+//            verify replays the identical invariant. Only settled
+//            verdicts are stored: exit 0 (verified) and exit 1 (unsafe).
+//            Unknown/inconclusive outcomes are budget- and
+//            machine-dependent, and fault-injected runs are chaos, so
+//            neither is ever written -- the cache can serve stale
+//            timings, never a stale verdict.
+//
+//   tier 2   <dir>/t2/reduce.cache
+//            The shared-mode engine::ReduceCache, serialized with its own
+//            content-keyed format (engine/Reduce.h, "Persistence"): every
+//            entry travels with its key terms, so a cache written by one
+//            process re-keys and serves hits in any other.
+//
+// Invalidation is by construction: tier 1 keys include the canon format
+// version (front/Canon.h bumps "sharpie-canon-v1" on any semantic
+// change), tier-1/2 file formats carry their own version headers, and
+// tier-2 keys include the reduce-options fingerprint. Nothing is ever
+// rewritten in place, so a crashed writer leaves either the old file or
+// a stray temp file, both safe.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SHARPIE_SERVE_STORE_H
+#define SHARPIE_SERVE_STORE_H
+
+#include "engine/Reduce.h"
+#include "front/Canon.h"
+
+#include <mutex>
+#include <optional>
+#include <string>
+
+namespace sharpie {
+namespace serve {
+
+/// Store activity counters (cache_stats responses, bench scripts).
+struct StoreStats {
+  uint64_t T1Hits = 0;
+  uint64_t T1Misses = 0;
+  uint64_t T1Writes = 0;
+  uint64_t T1Corrupt = 0; ///< Entry files that failed to parse (each also
+                          ///< counted as a miss).
+  uint64_t T2Entries = 0; ///< Entries merged by the last tier-2 load.
+  uint64_t T2Corrupt = 0; ///< Tier-2 loads that hit corruption (the
+                          ///< parsed prefix was still merged).
+};
+
+class ResultStore {
+public:
+  /// A settled verdict, exactly what a warm verify needs to replay.
+  struct T1Entry {
+    int Exit = 0;              ///< front::ExitVerified or ExitUnsafe.
+    std::string Protocol;      ///< System name (diagnostics only).
+    std::string StatsJson;     ///< statsJsonFields() of the original solve.
+    double SynthSeconds = 0;   ///< Original solve wall time.
+    std::string Verdict;       ///< Rendered verdict block, byte-exact.
+  };
+
+  /// Opens (creating directories as needed) the store rooted at \p Dir.
+  /// An empty \p Dir makes a disabled store: every lookup misses, every
+  /// write is a no-op -- callers need no "is there a store?" branching.
+  explicit ResultStore(std::string Dir);
+
+  bool enabled() const { return !Dir.empty(); }
+  const std::string &dir() const { return Dir; }
+
+  /// Tier-1 lookup. Counts a hit or a miss; a malformed entry file counts
+  /// T1Corrupt too and reads as a miss.
+  std::optional<T1Entry> lookup(const front::CanonicalHash &H);
+
+  /// Tier-1 write (atomic temp+rename). Returns false on I/O failure
+  /// (the store keeps serving; persistence is best-effort by design).
+  bool store(const front::CanonicalHash &H, const T1Entry &E);
+
+  /// Tier-2: merges the on-disk reduce cache into \p C (which must be in
+  /// shared mode). Corruption keeps the parsed prefix and counts
+  /// T2Corrupt; \p Note, when non-null, receives a classified
+  /// "corrupt_store: ..." description for logging.
+  size_t loadReduceCache(engine::ReduceCache &C, std::string *Note = nullptr);
+
+  /// Tier-2: serializes \p C to disk (atomic). Returns entries written,
+  /// or 0 on I/O failure or an empty/unshared cache.
+  size_t saveReduceCache(const engine::ReduceCache &C);
+
+  StoreStats stats() const;
+
+private:
+  std::string t1Path(const front::CanonicalHash &H) const;
+
+  std::string Dir; ///< Empty = disabled.
+  mutable std::mutex Mu;
+  StoreStats S;
+};
+
+} // namespace serve
+} // namespace sharpie
+
+#endif // SHARPIE_SERVE_STORE_H

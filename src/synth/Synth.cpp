@@ -104,7 +104,12 @@ public:
       RC = Opts.ReuseReduceCache;
   }
 
+  // External cancellation rides the budget path: every "did the budget
+  // run out?" poll also observes the caller's token, so a cancelled run
+  // winds down exactly like a budget-exhausted one.
   bool outOfTime() const {
+    if (Opts.Cancel && Opts.Cancel->cancelled())
+      return true;
     return std::chrono::steady_clock::now() > Deadline;
   }
 

@@ -37,6 +37,7 @@
 #ifndef SHARPIE_SYNTH_SYNTH_H
 #define SHARPIE_SYNTH_SYNTH_H
 
+#include "engine/Pool.h"
 #include "engine/Reduce.h"
 #include "explicit/Explicit.h"
 #include "obs/Obs.h"
@@ -135,6 +136,14 @@ struct SynthOptions {
   /// cache stays shared (later serial runs keep hitting the same
   /// entries). Not owned; must outlive every run that uses it.
   engine::ReduceCache *ReuseReduceCache = nullptr;
+  /// Cooperative external cancellation (the serving stack's
+  /// client-disconnect signal; see serve/Server.h). Polled wherever the
+  /// time budget is polled -- between tuples, between Houdini iterations,
+  /// between the checks inside one iteration -- so cancellation is
+  /// coarse-grained like the budget, never a hard kill. A cancelled run
+  /// returns like a budget-exhausted one (Inconclusive with the best
+  /// partial candidate). Not owned; must outlive the call.
+  const engine::CancellationToken *Cancel = nullptr;
 };
 
 struct SynthStats {

@@ -1,0 +1,38 @@
+//===- tests/exit_codes_test.cpp - Exit-code contract tests -------------------===//
+//
+// Part of sharpie. front/ExitCodes.h is a wire contract: scripts, the
+// ctest entries, sweep.sh and the serving protocol all key on the
+// numeric values. This test pins them -- a renumbering must fail loudly
+// here, not silently break every consumer.
+//
+//===----------------------------------------------------------------------===//
+
+#include "front/ExitCodes.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+using namespace sharpie::front;
+
+TEST(ExitCodes, ValuesArePinned) {
+  EXPECT_EQ(0, ExitVerified);
+  EXPECT_EQ(1, ExitUnsafe);
+  EXPECT_EQ(2, ExitUnknown);
+  EXPECT_EQ(3, ExitError);
+  EXPECT_EQ(4, ExitInconclusive);
+}
+
+TEST(ExitCodes, NamesMatchTheProtocolVocabulary) {
+  EXPECT_STREQ("verified", exitCodeName(ExitVerified));
+  EXPECT_STREQ("unsafe", exitCodeName(ExitUnsafe));
+  EXPECT_STREQ("unknown", exitCodeName(ExitUnknown));
+  EXPECT_STREQ("error", exitCodeName(ExitError));
+  EXPECT_STREQ("inconclusive", exitCodeName(ExitInconclusive));
+}
+
+TEST(ExitCodes, OutOfRangeCodesAreInvalidNotUB) {
+  EXPECT_STREQ("invalid", exitCodeName(-1));
+  EXPECT_STREQ("invalid", exitCodeName(5));
+  EXPECT_STREQ("invalid", exitCodeName(255));
+}

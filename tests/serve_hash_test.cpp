@@ -1,0 +1,138 @@
+//===- tests/serve_hash_test.cpp - Canonical content-hash tests ---------------===//
+//
+// Part of sharpie. front/Canon.h is the identity of every tier-1 store
+// entry, so its stability properties are pinned in both directions:
+//
+//   stable:   re-parsing, whitespace/comment edits of the source,
+//             sys::ParamSystem::cloneInto copies -- same hash;
+//   distinct: semantic edits (a guard tweak, a changed check bound, a
+//             flipped expectation) -- different hash.
+//
+//===----------------------------------------------------------------------===//
+
+#include "front/Canon.h"
+#include "front/Front.h"
+
+#include <gtest/gtest.h>
+
+using namespace sharpie;
+
+namespace {
+
+const char *BaseProtocol = R"(
+protocol increment {
+  global a;
+  local pc;
+
+  init: a == 0 && forall t. pc[t] == 1;
+  safe: forall t. pc[t] >= 2 ==> a > 0;
+
+  transition inc {
+    guard: pc[self] == 1;
+    a := a + 1;
+    pc[self] := 2;
+  }
+
+  template {
+    sets: 1;
+  }
+
+  check {
+    threads: 3;
+    start { pc := 1; }
+  }
+
+  property "(exists t: pc(t) >= 2) -> a > 0";
+  expect safe;
+}
+)";
+
+front::CanonicalHash hashOf(const std::string &Source) {
+  logic::TermManager M;
+  front::LoadResult L = front::loadProtocolString(M, Source);
+  EXPECT_TRUE(L.ok()) << (L.Error ? L.Error->render() : "");
+  return front::canonicalProblemHash(*L.Bundle);
+}
+
+TEST(CanonicalHash, HexIs32LowercaseDigits) {
+  front::CanonicalHash H = hashOf(BaseProtocol);
+  EXPECT_EQ(32u, H.hex().size());
+  EXPECT_EQ(std::string::npos,
+            H.hex().find_first_not_of("0123456789abcdef"));
+  EXPECT_FALSE(H == front::CanonicalHash{});
+}
+
+TEST(CanonicalHash, StableAcrossReparse) {
+  EXPECT_EQ(hashOf(BaseProtocol), hashOf(BaseProtocol));
+}
+
+TEST(CanonicalHash, StableAcrossWhitespaceAndCommentEdits) {
+  std::string Reformatted = BaseProtocol;
+  // Inject comments and mangle whitespace without touching semantics.
+  size_t P = Reformatted.find("guard:");
+  ASSERT_NE(std::string::npos, P);
+  Reformatted.insert(P, "// the mover must still be at its first step\n    ");
+  P = Reformatted.find("a := a + 1;");
+  ASSERT_NE(std::string::npos, P);
+  Reformatted.insert(P, "\n\n      ");
+  Reformatted.insert(0, "// leading comment\n\n");
+  EXPECT_EQ(hashOf(BaseProtocol), hashOf(Reformatted));
+}
+
+TEST(CanonicalHash, StableAcrossCloneInto) {
+  logic::TermManager M;
+  front::LoadResult L = front::loadProtocolString(M, BaseProtocol);
+  ASSERT_TRUE(L.ok());
+  front::FrontBundle &B = *L.Bundle;
+  front::CanonicalHash Original = front::canonicalProblemHash(B);
+
+  // A copy in a fresh manager interns terms in a different order; the
+  // canonical text must not notice.
+  logic::TermManager M2;
+  std::unique_ptr<sys::ParamSystem> Clone = B.Sys->cloneInto(M2);
+  front::CanonicalHash Cloned = front::canonicalProblemHash(
+      *Clone, B.Shape, B.QGuard, B.Explicit, B.NeedsVenn, B.ExpectSafe);
+  // QGuard still lives in the original manager; that is the point --
+  // serialization reads term structure and names only, never manager
+  // ids, so mixing managers cannot move the hash.
+  EXPECT_EQ(Original, Cloned);
+}
+
+TEST(CanonicalHash, GuardTweakMovesTheHash) {
+  std::string Tweaked = BaseProtocol;
+  size_t P = Tweaked.find("guard: pc[self] == 1;");
+  ASSERT_NE(std::string::npos, P);
+  Tweaked.replace(P, std::string("guard: pc[self] == 1;").size(),
+                  "guard: pc[self] <= 1;");
+  EXPECT_NE(hashOf(BaseProtocol), hashOf(Tweaked));
+}
+
+TEST(CanonicalHash, CheckBoundChangeMovesTheHash) {
+  std::string Tweaked = BaseProtocol;
+  size_t P = Tweaked.find("threads: 3;");
+  ASSERT_NE(std::string::npos, P);
+  Tweaked.replace(P, std::string("threads: 3;").size(), "threads: 4;");
+  EXPECT_NE(hashOf(BaseProtocol), hashOf(Tweaked));
+}
+
+TEST(CanonicalHash, ExpectationFlipMovesTheHash) {
+  std::string Tweaked = BaseProtocol;
+  size_t P = Tweaked.find("expect safe;");
+  ASSERT_NE(std::string::npos, P);
+  Tweaked.replace(P, std::string("expect safe;").size(), "expect unsafe;");
+  EXPECT_NE(hashOf(BaseProtocol), hashOf(Tweaked));
+}
+
+TEST(CanonicalHash, CanonicalTextIsDiffable) {
+  logic::TermManager M;
+  front::LoadResult L = front::loadProtocolString(M, BaseProtocol);
+  ASSERT_TRUE(L.ok());
+  front::FrontBundle &B = *L.Bundle;
+  std::string Text = front::canonicalProblemText(
+      *B.Sys, B.Shape, B.QGuard, B.Explicit, B.NeedsVenn, B.ExpectSafe);
+  EXPECT_NE(std::string::npos, Text.find("canon=sharpie-canon-v1"));
+  EXPECT_NE(std::string::npos, Text.find("name=increment"));
+  EXPECT_NE(std::string::npos, Text.find("transition=inc"));
+}
+
+} // namespace

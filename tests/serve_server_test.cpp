@@ -1,0 +1,248 @@
+//===- tests/serve_server_test.cpp - In-process server tests ------------------===//
+//
+// Part of sharpie. Drives serve::Server through its in-process API (no
+// sockets, no subprocesses) -- the same methods the socket shell calls,
+// so these tests pin the request semantics the wire exposes: cold
+// verify, warm tier-1 hit with byte-identical output, chaos bypass,
+// error surfaces, cooperative cancellation, and concurrent requests
+// against one store (the TSan target).
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Server.h"
+
+#include "front/ExitCodes.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+using namespace sharpie;
+using namespace sharpie::serve;
+
+namespace {
+
+const char *IncrementProtocol = R"(
+protocol increment {
+  global a;
+  local pc;
+
+  init: a == 0 && forall t. pc[t] == 1;
+  safe: forall t. pc[t] >= 2 ==> a > 0;
+
+  transition inc {
+    guard: pc[self] == 1;
+    a := a + 1;
+    pc[self] := 2;
+  }
+
+  template {
+    sets: 1;
+  }
+
+  check {
+    threads: 3;
+    start { pc := 1; }
+  }
+
+  property "(exists t: pc(t) >= 2) -> a > 0";
+  expect safe;
+}
+)";
+
+class ServerTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    Dir = ::testing::TempDir() + "sharpie_serve_" +
+          std::to_string(::getpid()) + "_" +
+          ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::string Cmd = "rm -rf '" + Dir + "'";
+    ASSERT_EQ(0, std::system(Cmd.c_str()));
+  }
+
+  void TearDown() override {
+    std::string Cmd = "rm -rf '" + Dir + "'";
+    (void)std::system(Cmd.c_str());
+  }
+
+  ServerOptions options() {
+    ServerOptions O;
+    O.StoreDir = Dir;
+    O.RequestWorkers = 2;
+    O.SynthWorkers = 1;
+    return O;
+  }
+
+  VerifyRequest request() {
+    VerifyRequest R;
+    R.ProtocolText = IncrementProtocol;
+    R.File = "increment.sharpie";
+    return R;
+  }
+
+  std::string Dir;
+};
+
+TEST_F(ServerTest, ColdVerifySolvesAndPopulatesTheStore) {
+  Server Srv(options());
+  VerifyResponse Resp = Srv.verify(request());
+  EXPECT_EQ(front::ExitVerified, Resp.Exit);
+  EXPECT_EQ("miss", Resp.Cache);
+  EXPECT_EQ(32u, Resp.Hash.size());
+  EXPECT_NE(std::string::npos, Resp.Output.find("== increment =="));
+  EXPECT_NE(std::string::npos, Resp.Output.find("VERIFIED"));
+  EXPECT_TRUE(Resp.Error.empty());
+  StoreStats St = Srv.store().stats();
+  EXPECT_EQ(1u, St.T1Writes);
+  EXPECT_EQ(1u, St.T1Misses);
+}
+
+TEST_F(ServerTest, WarmVerifyReplaysTheIdenticalOutput) {
+  Server Srv(options());
+  VerifyResponse Cold = Srv.verify(request());
+  ASSERT_EQ(front::ExitVerified, Cold.Exit);
+  VerifyResponse Warm = Srv.verify(request());
+  EXPECT_EQ(front::ExitVerified, Warm.Exit);
+  EXPECT_EQ("hit", Warm.Cache);
+  EXPECT_EQ(Cold.Hash, Warm.Hash);
+  // The stored verdict is byte-exact, so without the timing-bearing JSON
+  // line the warm output is the cold output.
+  EXPECT_EQ(Cold.Output, Warm.Output);
+}
+
+TEST_F(ServerTest, WarmHitSurvivesAServerRestart) {
+  {
+    Server Srv(options());
+    ASSERT_EQ(front::ExitVerified, Srv.verify(request()).Exit);
+  }
+  Server Srv2(options()); // Fresh process stand-in: same store dir.
+  VerifyResponse Warm = Srv2.verify(request());
+  EXPECT_EQ(front::ExitVerified, Warm.Exit);
+  EXPECT_EQ("hit", Warm.Cache);
+}
+
+TEST_F(ServerTest, ReformattedSourceStillHits) {
+  Server Srv(options());
+  ASSERT_EQ("miss", Srv.verify(request()).Cache);
+  VerifyRequest R = request();
+  R.ProtocolText =
+      "// a comment the lexer erases\n" + R.ProtocolText + "\n\n";
+  EXPECT_EQ("hit", Srv.verify(R).Cache);
+}
+
+TEST_F(ServerTest, JsonLineCarriesCacheLookupTiming) {
+  Server Srv(options());
+  VerifyRequest R = request();
+  R.JsonLine = true;
+  VerifyResponse Cold = Srv.verify(R);
+  EXPECT_NE(std::string::npos, Cold.Output.find("\"cache_lookup_seconds\":"));
+  VerifyResponse Warm = Srv.verify(R);
+  EXPECT_EQ("hit", Warm.Cache);
+  EXPECT_NE(std::string::npos, Warm.Output.find("\"cache_lookup_seconds\":"));
+  EXPECT_NE(std::string::npos, Warm.Output.find("\"synth_seconds\":0.000"));
+}
+
+TEST_F(ServerTest, ParseErrorReturnsExitErrorWithDiagnostic) {
+  Server Srv(options());
+  VerifyRequest R = request();
+  R.ProtocolText = "protocol broken {";
+  VerifyResponse Resp = Srv.verify(R);
+  EXPECT_EQ(front::ExitError, Resp.Exit);
+  EXPECT_FALSE(Resp.Error.empty());
+  EXPECT_TRUE(Resp.Hash.empty()); // No lowered problem, no identity.
+  EXPECT_EQ(0u, Srv.store().stats().T1Writes);
+}
+
+TEST_F(ServerTest, BadFaultPlanReturnsExitError) {
+  Server Srv(options());
+  VerifyRequest R = request();
+  R.Faults = "this is not a fault plan";
+  VerifyResponse Resp = Srv.verify(R);
+  EXPECT_EQ(front::ExitError, Resp.Exit);
+  EXPECT_NE(std::string::npos, Resp.Error.find("bad fault plan"));
+}
+
+TEST_F(ServerTest, ChaosRequestsBypassTheCacheBothWays) {
+  Server Srv(options());
+  // Warm the cache first so a fault request *could* hit if it looked.
+  ASSERT_EQ(front::ExitVerified, Srv.verify(request()).Exit);
+  VerifyRequest R = request();
+  R.Faults = "seed=7;smt_check:timeout@p=0.3";
+  VerifyResponse Resp = Srv.verify(R);
+  EXPECT_EQ("off", Resp.Cache); // Never looked at tier 1.
+  StoreStats St = Srv.store().stats();
+  EXPECT_EQ(1u, St.T1Writes); // And never wrote, whatever the outcome.
+  EXPECT_EQ(1u, St.T1Hits + St.T1Misses); // Only the warming run looked.
+}
+
+TEST_F(ServerTest, PreCancelledRequestIsInconclusiveNotWedged) {
+  Server Srv(options());
+  engine::CancellationToken Tok;
+  Tok.cancel();
+  VerifyResponse Resp = Srv.verify(request(), &Tok);
+  EXPECT_EQ(front::ExitInconclusive, Resp.Exit);
+  // A cancelled run must never publish its partial result.
+  EXPECT_EQ(0u, Srv.store().stats().T1Writes);
+}
+
+TEST_F(ServerTest, HandleDispatchesAndRejectsUnknownOps) {
+  Server Srv(options());
+  Json Status = Srv.handle(parseJson("{\"op\":\"status\"}", nullptr));
+  EXPECT_TRUE(Status.get("ok").asBool());
+  EXPECT_TRUE(Status.get("store_enabled").asBool());
+  EXPECT_EQ(2, Status.get("request_workers").asInt());
+
+  Json Stats = Srv.handle(parseJson("{\"op\":\"cache_stats\"}", nullptr));
+  EXPECT_TRUE(Stats.get("ok").asBool());
+  EXPECT_EQ(0, Stats.get("t1_hits").asInt());
+
+  Json Bad = Srv.handle(parseJson("{\"op\":\"frobnicate\"}", nullptr));
+  EXPECT_FALSE(Bad.get("ok").asBool());
+  EXPECT_NE(std::string::npos, Bad.get("error").asString().find("frobnicate"));
+
+  Json Down = Srv.handle(parseJson("{\"op\":\"shutdown\"}", nullptr));
+  EXPECT_TRUE(Down.get("ok").asBool());
+  EXPECT_TRUE(Srv.shutdownRequested());
+}
+
+TEST_F(ServerTest, VerifyViaHandleRoundTripsTheWireEncoding) {
+  Server Srv(options());
+  VerifyRequest R = request();
+  R.JsonLine = true;
+  Json Wire = Srv.handle(R.encode());
+  VerifyResponse Resp = VerifyResponse::decode(Wire);
+  EXPECT_EQ(front::ExitVerified, Resp.Exit);
+  EXPECT_NE(std::string::npos, Resp.Output.find("VERIFIED"));
+  EXPECT_EQ("miss", Resp.Cache);
+}
+
+TEST_F(ServerTest, ConcurrentRequestsShareOneStoreSafely) {
+  // Four threads, one server, one store: mixed cold/warm traffic plus
+  // status/cache_stats probes racing the solves. Run under TSan this
+  // pins the locking of ResultStore, ReduceCache and the counters.
+  Server Srv(options());
+  std::vector<std::thread> Ts;
+  std::atomic<int> Verified{0};
+  for (int I = 0; I < 4; ++I)
+    Ts.emplace_back([&, I] {
+      VerifyRequest R = request();
+      R.File = "req" + std::to_string(I) + ".sharpie";
+      VerifyResponse Resp = Srv.verify(R);
+      if (Resp.Exit == front::ExitVerified)
+        Verified.fetch_add(1);
+      (void)Srv.statusJson().dump();
+      (void)Srv.cacheStatsJson().dump();
+    });
+  for (std::thread &T : Ts)
+    T.join();
+  EXPECT_EQ(4, Verified.load());
+  StoreStats St = Srv.store().stats();
+  // Every request either hit or missed tier 1; post-race totals add up.
+  EXPECT_EQ(4u, St.T1Hits + St.T1Misses);
+  EXPECT_GE(St.T1Writes, 1u);
+}
+
+} // namespace

@@ -9,6 +9,7 @@
 //           [--faults PLAN] [--no-supervise] [--no-incremental]
 //           [--smt-timeout MS] [--trace-out FILE] [--events-out FILE]
 //           [--log-level quiet|info|debug|trace] [--stats]
+//           [--server ADDR] [--store DIR]
 //
 // Observability (see src/obs/): --trace-out writes a Chrome trace-event /
 // Perfetto JSON with one track per search worker; --events-out a JSONL
@@ -33,7 +34,15 @@
 // baseline of BENCH_PR5.json. Both modes produce identical verdicts and
 // invariants.
 //
-// Exit codes (deterministic, scriptable):
+// Serving (see src/serve/): --server ADDR turns this binary into a thin
+// client of a running `sharpied` daemon -- the file is parsed locally
+// for fast diagnostics, then its text is shipped; the daemon's response
+// replays here byte-exactly (same output, same exit code), warm results
+// arriving from the daemon's persistent store. --store DIR gives a local
+// (daemonless) run the same persistent cache: warm re-verifications of
+// an already-solved protocol replay the stored verdict without solving.
+//
+// Exit codes (front/ExitCodes.h; deterministic, scriptable):
 //   0  verified safe (invariant printed)
 //   1  unsafe (explicit counterexample printed)
 //   2  unknown: the search space was exhausted without a verdict
@@ -44,19 +53,26 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "front/ExitCodes.h"
 #include "front/Front.h"
 #include "logic/TermOps.h"
 #include "obs/Cli.h"
 #include "resil/Fault.h"
+#include "serve/Client.h"
+#include "serve/Proto.h"
+#include "serve/Store.h"
 #include "synth/Synth.h"
 
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
 
 using namespace sharpie;
+using front::ExitError;
 
 namespace {
 
@@ -65,7 +81,7 @@ void usage(const char *Argv0) {
                "usage: %s <file.sharpie> [--workers N] [--json] [--verbose]"
                " [--time-budget SECONDS] [--max-tuples N]\n"
                "       [--faults PLAN] [--no-supervise] [--no-incremental]\n"
-               "       [--smt-timeout MS]\n"
+               "       [--smt-timeout MS] [--server ADDR] [--store DIR]\n"
                "       %s\n"
                "exit codes: 0 safe, 1 unsafe, 2 unknown, 3 error,"
                " 4 inconclusive\n",
@@ -86,6 +102,8 @@ int run(int argc, char **argv) {
   unsigned MaxTuples = 0;
   unsigned SmtTimeoutMs = 0; // 0 = keep the SynthOptions default.
   std::string FaultSpec;
+  std::string ServerAddr;
+  std::string StoreDir;
   if (const char *Env = std::getenv("SHARPIE_FAULTS"))
     FaultSpec = Env; // --faults below overrides the environment.
   obs::CliObs Obs;
@@ -96,7 +114,7 @@ int run(int argc, char **argv) {
       if (!ObsErr.empty()) {
         std::fprintf(stderr, "error: %s\n", ObsErr.c_str());
         usage(argv[0]);
-        return 3;
+        return ExitError;
       }
     } else if (!std::strcmp(argv[I], "--json"))
       Json = true;
@@ -117,24 +135,37 @@ int run(int argc, char **argv) {
     else if (!std::strcmp(argv[I], "--smt-timeout") && I + 1 < argc)
       SmtTimeoutMs =
           static_cast<unsigned>(std::strtol(argv[++I], nullptr, 10));
+    else if (!std::strcmp(argv[I], "--server") && I + 1 < argc) {
+      ServerAddr = argv[++I];
+      // An empty ADDR (typically an unset shell variable) must not
+      // silently degrade to a local run -- the modes are intentionally
+      // indistinguishable by output, so the mixup would be invisible.
+      if (ServerAddr.empty()) {
+        std::fprintf(stderr, "error: --server needs a non-empty address "
+                             "(unix:/path or host:port)\n");
+        return ExitError;
+      }
+    }
+    else if (!std::strcmp(argv[I], "--store") && I + 1 < argc)
+      StoreDir = argv[++I];
     else if (!std::strcmp(argv[I], "--help") || !std::strcmp(argv[I], "-h")) {
       usage(argv[0]);
       return 0;
     } else if (argv[I][0] == '-') {
       std::fprintf(stderr, "error: unknown option '%s'\n", argv[I]);
       usage(argv[0]);
-      return 3;
+      return ExitError;
     } else if (File.empty())
       File = argv[I];
     else {
       std::fprintf(stderr, "error: more than one input file\n");
       usage(argv[0]);
-      return 3;
+      return ExitError;
     }
   }
   if (File.empty()) {
     usage(argv[0]);
-    return 3;
+    return ExitError;
   }
   // --verbose is the back-compat spelling of --log-level debug.
   if (Verbose &&
@@ -147,9 +178,77 @@ int run(int argc, char **argv) {
       Faults = std::move(*P);
     else {
       std::fprintf(stderr, "error: bad fault plan: %s\n", FErr.c_str());
-      return 3;
+      return ExitError;
     }
   }
+
+  // -- Thin-client mode ------------------------------------------------------
+  // Parse locally for fast, identical diagnostics; ship the text. The
+  // daemon's response carries the complete stdout a local run would have
+  // printed, so scripts cannot tell the difference.
+  if (!ServerAddr.empty()) {
+    std::ifstream In(File, std::ios::binary);
+    std::ostringstream SS;
+    SS << In.rdbuf();
+    if (!In || In.bad()) {
+      // Route through the frontend's file loader so the diagnostic text
+      // matches a local run's exactly.
+      logic::TermManager M;
+      front::LoadResult L = front::loadProtocolFile(M, File);
+      std::fprintf(stderr, "%s\n",
+                   L.ok() ? ("error: cannot read '" + File + "'").c_str()
+                          : L.Error->render().c_str());
+      return ExitError;
+    }
+    std::string Text = SS.str();
+    {
+      logic::TermManager M;
+      front::LoadResult L = front::loadProtocolString(M, Text, File);
+      if (!L.ok()) {
+        std::fprintf(stderr, "%s\n", L.Error->render().c_str());
+        return ExitError;
+      }
+    }
+    std::string Err;
+    auto A = serve::parseAddr(ServerAddr, &Err);
+    if (!A) {
+      std::fprintf(stderr, "error: %s\n", Err.c_str());
+      return ExitError;
+    }
+    serve::VerifyRequest Req;
+    Req.ProtocolText = std::move(Text);
+    Req.File = File;
+    Req.Workers = Workers;
+    Req.TimeBudget = TimeBudget;
+    Req.MaxTuples = MaxTuples;
+    Req.SmtTimeoutMs = SmtTimeoutMs;
+    Req.NoSupervise = NoSupervise;
+    Req.NoIncremental = NoIncremental;
+    Req.Faults = FaultSpec;
+    Req.JsonLine = Json;
+    serve::Client C;
+    if (!C.connect(*A, Err)) {
+      std::fprintf(stderr, "error: %s\n", Err.c_str());
+      return ExitError;
+    }
+    serve::Json RespJ;
+    if (!C.roundTrip(Req.encode(), RespJ, Err)) {
+      std::fprintf(stderr, "error: %s\n", Err.c_str());
+      return ExitError;
+    }
+    if (RespJ.get("error").isString() && RespJ.get("exit").isNull()) {
+      // Protocol-level rejection (bad request framing), not a verdict.
+      std::fprintf(stderr, "error: %s\n",
+                   RespJ.get("error").asString().c_str());
+      return ExitError;
+    }
+    serve::VerifyResponse Resp = serve::VerifyResponse::decode(RespJ);
+    std::fwrite(Resp.Output.data(), 1, Resp.Output.size(), stdout);
+    if (!Resp.Error.empty())
+      std::fwrite(Resp.Error.data(), 1, Resp.Error.size(), stderr);
+    return Resp.Exit;
+  }
+
   std::unique_ptr<obs::Tracer> Tracer = Obs.makeTracer();
 
   // One clock for all reported times: total_seconds spans parse through
@@ -161,14 +260,43 @@ int run(int argc, char **argv) {
       M, File, Tracer ? Tracer->worker(0) : nullptr);
   if (!L.ok()) {
     std::fprintf(stderr, "%s\n", L.Error->render().c_str());
-    return 3;
+    return ExitError;
   }
   double ParseSeconds = secondsSince(T0);
   front::FrontBundle &B = *L.Bundle;
 
-  std::printf("== %s ==\n", B.Sys->name().c_str());
-  if (!B.Property.empty())
-    std::printf("property: %s\n", B.Property.c_str());
+  std::string Header = serve::renderHeader(B.Sys->name(), B.Property);
+  std::fwrite(Header.data(), 1, Header.size(), stdout);
+  std::fflush(stdout);
+
+  // -- Persistent store (local mode) -----------------------------------------
+  // Chaos runs bypass the store in both directions, mirroring the
+  // daemon's policy: injected faults must neither read nor feed it.
+  serve::ResultStore Store(Faults.empty() ? StoreDir : std::string());
+  double CacheLookupSeconds = 0;
+  front::CanonicalHash Hash = front::canonicalProblemHash(B);
+  if (Store.enabled()) {
+    auto TL = std::chrono::steady_clock::now();
+    std::optional<serve::ResultStore::T1Entry> Hit = Store.lookup(Hash);
+    CacheLookupSeconds = secondsSince(TL);
+    if (Hit) {
+      if (Json) {
+        std::string JL = serve::renderJsonLine(
+            B.Sys->name(), File, Hit->Exit == front::ExitVerified,
+            Hit->Exit == front::ExitUnsafe, /*Inconclusive=*/false,
+            ParseSeconds, CacheLookupSeconds, /*SynthSeconds=*/0.0,
+            secondsSince(T0), Hit->StatsJson);
+        std::fwrite(JL.data(), 1, JL.size(), stdout);
+      }
+      std::fwrite(Hit->Verdict.data(), 1, Hit->Verdict.size(), stdout);
+      return Hit->Exit;
+    }
+  }
+  engine::ReduceCache RC;
+  if (Store.enabled()) {
+    RC.enableSharing();
+    Store.loadReduceCache(RC);
+  }
 
   synth::SynthOptions Opts;
   Opts.Shape = B.Shape;
@@ -187,6 +315,8 @@ int run(int argc, char **argv) {
     Opts.SmtTimeoutMs = SmtTimeoutMs;
   if (!Faults.empty())
     Opts.Faults = &Faults;
+  if (Store.enabled())
+    Opts.ReuseReduceCache = &RC;
 
   auto T1 = std::chrono::steady_clock::now();
   synth::SynthResult Res = synth::synthesize(*B.Sys, Opts);
@@ -203,46 +333,29 @@ int run(int argc, char **argv) {
                  synth::renderStatsTable(Res.Stats, SynthSeconds).c_str());
 
   if (Json) {
-    std::printf("{\"protocol\":\"%s\",\"file\":\"%s\",\"verified\":%s,"
-                "\"found_cex\":%s,\"inconclusive\":%s,\"parse_seconds\":%.6f,"
-                "\"synth_seconds\":%.3f,\"total_seconds\":%.3f,%s}\n",
-                B.Sys->name().c_str(), File.c_str(),
-                Res.Verified ? "true" : "false", Res.Cex ? "true" : "false",
-                Res.Inconclusive ? "true" : "false", ParseSeconds,
-                SynthSeconds, TotalSeconds,
-                synth::statsJsonFields(Res.Stats).c_str());
+    std::string JL = serve::renderJsonLine(
+        B.Sys->name(), File, Res.Verified, Res.Cex.has_value(),
+        Res.Inconclusive, ParseSeconds, CacheLookupSeconds, SynthSeconds,
+        TotalSeconds, synth::statsJsonFields(Res.Stats));
+    std::fwrite(JL.data(), 1, JL.size(), stdout);
   }
 
-  if (Res.Verified) {
-    std::printf("VERIFIED in %.2fs (%u tuples, %u SMT checks; parse %.1fms)\n",
-                Res.Stats.Seconds, Res.Stats.TuplesTried, Res.Stats.SmtChecks,
-                ParseSeconds * 1e3);
-    std::printf("inferred cardinalities:\n");
-    for (logic::Term S : Res.SetBodies)
-      std::printf("  #{t | %s}\n", logic::toString(S).c_str());
-    std::printf("invariant atoms (%zu):\n", Res.Atoms.size());
-    for (logic::Term A : Res.Atoms)
-      std::printf("  %s\n", logic::toString(A).c_str());
-    return 0;
+  serve::RenderedVerdict V = serve::renderVerdict(Res, B.ExpectSafe,
+                                                  ParseSeconds);
+  std::fwrite(V.Text.data(), 1, V.Text.size(), stdout);
+
+  if (Store.enabled() &&
+      (V.Exit == front::ExitVerified || V.Exit == front::ExitUnsafe)) {
+    serve::ResultStore::T1Entry E;
+    E.Exit = V.Exit;
+    E.Protocol = B.Sys->name();
+    E.StatsJson = synth::statsJsonFields(Res.Stats);
+    E.SynthSeconds = SynthSeconds;
+    E.Verdict = V.Text;
+    Store.store(Hash, E);
+    Store.saveReduceCache(RC);
   }
-  if (Res.Cex) {
-    std::printf("UNSAFE: explicit counterexample (%zu steps):\n",
-                Res.Cex->TransitionNames.size());
-    for (const std::string &S : Res.Cex->TransitionNames)
-      std::printf("  %s\n", S.c_str());
-    if (B.ExpectSafe)
-      std::printf("note: protocol declares 'expect safe'\n");
-    return 1;
-  }
-  if (Res.Inconclusive) {
-    std::printf("INCONCLUSIVE after %.2fs: %s\n", Res.Stats.Seconds,
-                Res.Note.c_str());
-    std::printf("%s", synth::renderInconclusiveReport(Res).c_str());
-    return 4;
-  }
-  std::printf("UNKNOWN after %.2fs: %s\n", Res.Stats.Seconds,
-              Res.Note.c_str());
-  return 2;
+  return V.Exit;
 }
 
 } // namespace
@@ -254,9 +367,9 @@ int main(int argc, char **argv) {
     return run(argc, argv);
   } catch (const std::exception &E) {
     std::fprintf(stderr, "error: %s\n", E.what());
-    return 3;
+    return ExitError;
   } catch (...) {
     std::fprintf(stderr, "error: unknown failure\n");
-    return 3;
+    return ExitError;
   }
 }

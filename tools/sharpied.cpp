@@ -1,0 +1,167 @@
+//===- tools/sharpied.cpp - The sharpie verification daemon ---------------===//
+//
+// Part of sharpie. Verification-as-a-service: a long-running daemon that
+// accepts line-delimited JSON requests (see serve/Proto.h) over a Unix
+// or TCP socket, shards verify work across a warm thread pool, and
+// answers warm requests from the persistent two-tier result store
+// (serve/Store.h).
+//
+//   sharpied --listen ADDR [--store DIR] [--request-workers N]
+//            [--synth-workers N] [--max-request-seconds S]
+//            [--log-level quiet|info|debug|trace]
+//
+//   sharpied --ctl ADDR --op status|cache_stats|shutdown
+//
+// ADDR is "unix:/path/to.sock" or "HOST:PORT" (numeric IPv4; port 0 asks
+// the kernel for a free port, printed in the banner). On startup the
+// daemon prints exactly one line, "sharpied listening on <addr>", so
+// scripts can wait for readiness. SIGINT/SIGTERM drain and exit 0.
+//
+// The verify client side lives in the main CLI: `sharpie FILE --server
+// ADDR` ships the protocol text to a daemon and replays its byte-exact
+// output and exit code.
+//
+//===----------------------------------------------------------------------===//
+
+#include "front/ExitCodes.h"
+#include "obs/Obs.h"
+#include "serve/Client.h"
+#include "serve/Server.h"
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+using namespace sharpie;
+
+namespace {
+
+void usage(const char *Argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --listen ADDR [--store DIR] [--request-workers N]\n"
+      "       [--synth-workers N] [--max-request-seconds S]\n"
+      "       [--log-level quiet|info|debug|trace]\n"
+      "   or: %s --ctl ADDR --op status|cache_stats|shutdown\n"
+      "ADDR: unix:/path/to.sock or HOST:PORT\n",
+      Argv0, Argv0);
+}
+
+serve::Server *ActiveServer = nullptr;
+
+void onSignal(int) {
+  if (ActiveServer)
+    ActiveServer->requestShutdown();
+}
+
+int runCtl(const std::string &AddrSpec, const std::string &Op) {
+  std::string Err;
+  auto A = serve::parseAddr(AddrSpec, &Err);
+  if (!A) {
+    std::fprintf(stderr, "error: %s\n", Err.c_str());
+    return front::ExitError;
+  }
+  serve::Client C;
+  if (!C.connect(*A, Err)) {
+    std::fprintf(stderr, "error: %s\n", Err.c_str());
+    return front::ExitError;
+  }
+  serve::Json Req;
+  Req["op"] = serve::Json(Op);
+  serve::Json Resp;
+  if (!C.roundTrip(Req, Resp, Err)) {
+    std::fprintf(stderr, "error: %s\n", Err.c_str());
+    return front::ExitError;
+  }
+  std::printf("%s\n", Resp.dump().c_str());
+  return Resp.get("ok").asBool(false) ? 0 : front::ExitError;
+}
+
+int run(int argc, char **argv) {
+  std::string Listen, Ctl, Op;
+  serve::ServerOptions SO;
+  for (int I = 1; I < argc; ++I) {
+    if (!std::strcmp(argv[I], "--listen") && I + 1 < argc)
+      Listen = argv[++I];
+    else if (!std::strcmp(argv[I], "--ctl") && I + 1 < argc)
+      Ctl = argv[++I];
+    else if (!std::strcmp(argv[I], "--op") && I + 1 < argc)
+      Op = argv[++I];
+    else if (!std::strcmp(argv[I], "--store") && I + 1 < argc)
+      SO.StoreDir = argv[++I];
+    else if (!std::strcmp(argv[I], "--request-workers") && I + 1 < argc)
+      SO.RequestWorkers =
+          static_cast<unsigned>(std::strtol(argv[++I], nullptr, 10));
+    else if (!std::strcmp(argv[I], "--synth-workers") && I + 1 < argc)
+      SO.SynthWorkers =
+          static_cast<unsigned>(std::strtol(argv[++I], nullptr, 10));
+    else if (!std::strcmp(argv[I], "--max-request-seconds") && I + 1 < argc)
+      SO.MaxRequestSeconds = std::strtod(argv[++I], nullptr);
+    else if (!std::strcmp(argv[I], "--log-level") && I + 1 < argc) {
+      std::string L = argv[++I];
+      if (auto P = obs::parseLogLevel(L)) {
+        SO.Level = *P;
+      } else {
+        std::fprintf(stderr, "error: bad log level '%s'\n", L.c_str());
+        return front::ExitError;
+      }
+    } else if (!std::strcmp(argv[I], "--help") || !std::strcmp(argv[I], "-h")) {
+      usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "error: unknown option '%s'\n", argv[I]);
+      usage(argv[0]);
+      return front::ExitError;
+    }
+  }
+
+  if (!Ctl.empty()) {
+    if (Op != "status" && Op != "cache_stats" && Op != "shutdown") {
+      std::fprintf(stderr, "error: --ctl needs --op status|cache_stats|"
+                           "shutdown\n");
+      return front::ExitError;
+    }
+    return runCtl(Ctl, Op);
+  }
+  if (Listen.empty()) {
+    usage(argv[0]);
+    return front::ExitError;
+  }
+
+  std::string Err;
+  auto A = serve::parseAddr(Listen, &Err);
+  if (!A) {
+    std::fprintf(stderr, "error: %s\n", Err.c_str());
+    return front::ExitError;
+  }
+  serve::Server S(SO);
+  if (!S.listen(*A, Err)) {
+    std::fprintf(stderr, "error: %s\n", Err.c_str());
+    return front::ExitError;
+  }
+  ActiveServer = &S;
+  std::signal(SIGINT, onSignal);
+  std::signal(SIGTERM, onSignal);
+  std::signal(SIGPIPE, SIG_IGN);
+  std::printf("sharpied listening on %s\n", S.boundAddress().c_str());
+  std::fflush(stdout);
+  S.serve();
+  ActiveServer = nullptr;
+  return 0;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception &E) {
+    std::fprintf(stderr, "error: %s\n", E.what());
+    return front::ExitError;
+  } catch (...) {
+    std::fprintf(stderr, "error: unknown failure\n");
+    return front::ExitError;
+  }
+}

@@ -32,6 +32,20 @@
 #                              comparing the first two modes' seconds
 #                              bounds the supervision overhead (<2%
 #                              expected when no faults fire).
+#   tools/sweep.sh --bench-pr7 serving-stack benchmark: boots a sharpied
+#                              daemon on a fresh store, runs each protocol
+#                              twice through the thin client (cold, then
+#                              warm) and writes BENCH_PR7.json. Each line
+#                              carries both client wall times and the
+#                              daemon-side total_seconds; the script diffs
+#                              the timing-free output across the two runs
+#                              (any difference fails the bench) and
+#                              asserts the warm request is at least
+#                              MIN_SPEEDUP (default 10) times faster than
+#                              the cold one whenever the cold request took
+#                              a measurable MIN_COLD seconds. The final
+#                              meta line records the daemon's cache_stats
+#                              counters (t1 hits/writes per protocol).
 #   tools/sweep.sh --bench-pr5 incremental-Houdini A/B: runs each protocol
 #                              in the default incremental mode and under
 #                              --no-incremental (the monolithic baseline)
@@ -229,6 +243,91 @@ if [ "$1" = "--bench-pr5" ]; then
   for f in $SHARPIE_PROTOS; do
     pr5_ab "$(basename "$f" .sharpie)" "$SHARPIE_BIN" "$f"
   done
+  echo "wrote $OUT"
+  exit $FAIL
+fi
+
+if [ "$1" = "--bench-pr7" ]; then
+  OUT=${OUT:-BENCH_PR7.json}
+  SHARPIED_BIN=${SHARPIED_BIN:-build/tools/sharpied}
+  PROTODIR=${PROTODIR:-examples/protocols}
+  # The quick protocol plus a search-heavy one: increment pins the fixed
+  # per-request floor, ticket_lock shows the cache absorbing real work.
+  PR7_PROTOS=${PR7_PROTOS:-"increment.sharpie ticket_lock.sharpie"}
+  MIN_SPEEDUP=${MIN_SPEEDUP:-10}
+  # Below this cold client wall the request is all fixed overhead (process
+  # start, parse, framing -- identical cold and warm), so the speedup gate
+  # would measure noise, not the cache.
+  MIN_COLD=${MIN_COLD:-0.5}
+  FAIL=0
+  WORK=$(mktemp -d)
+  trap 'rm -rf "$WORK"' EXIT
+  SOCK="$WORK/sharpied.sock"
+  "$SHARPIED_BIN" --listen "unix:$SOCK" --store "$WORK/store" \
+    > "$WORK/daemon.log" 2>&1 &
+  DPID=$!
+  i=0
+  while [ $i -lt 100 ]; do
+    grep -q "listening on" "$WORK/daemon.log" 2>/dev/null && break
+    kill -0 "$DPID" 2>/dev/null || { echo "daemon died:"; cat "$WORK/daemon.log"; exit 1; }
+    sleep 0.1
+    i=$((i + 1))
+  done
+  printf '{"meta":{"nproc":%s,"min_speedup":%s,"min_cold":%s}}\n' \
+    "$(nproc 2>/dev/null || echo 0)" "$MIN_SPEEDUP" "$MIN_COLD" > "$OUT"
+  pr7_wall() { # $1=outfile $2=protocol file; prints client wall seconds
+    w0=$(date +%s%N)
+    timeout "$TIMEOUT" "$SHARPIE_BIN" --server "unix:$SOCK" "$2" --json \
+      > "$1" 2>/dev/null
+    w1=$(date +%s%N)
+    awk -v a="$w0" -v b="$w1" 'BEGIN { printf "%.3f", (b - a) / 1e9 }'
+  }
+  for f in $PR7_PROTOS; do
+    file="$PROTODIR/$f"
+    name=$(basename "$f" .sharpie)
+    cold_wall=$(pr7_wall "$WORK/cold.out" "$file")
+    warm_wall=$(pr7_wall "$WORK/warm.out" "$file")
+    cold_srv=$(grep '^{' "$WORK/cold.out" | head -1 \
+               | sed -n 's/.*"total_seconds":\([0-9.]*\).*/\1/p')
+    warm_srv=$(grep '^{' "$WORK/warm.out" | head -1 \
+               | sed -n 's/.*"total_seconds":\([0-9.]*\).*/\1/p')
+    if [ -z "$cold_srv" ] || [ -z "$warm_srv" ]; then
+      printf '{"protocol":"%s","error":"no result"}\n' "$name" >> "$OUT"
+      printf '%-14s FAIL: no result (timeout or daemon error)\n' "$name"
+      FAIL=1
+      continue
+    fi
+    # Parity gate: everything but the timing-bearing JSON line must be
+    # byte-identical -- the warm run replays the stored verdict.
+    parity=ok
+    grep -v '^{' "$WORK/cold.out" > "$WORK/cold.inv"
+    grep -v '^{' "$WORK/warm.out" > "$WORK/warm.inv"
+    if ! cmp -s "$WORK/cold.inv" "$WORK/warm.inv"; then
+      parity=differs
+      printf '%-14s PARITY FAIL: warm output differs from cold\n' "$name"
+      FAIL=1
+    fi
+    # Speedup over end-to-end client wall: the daemon-side warm time
+    # underflows the wire format's millisecond resolution, the wall
+    # includes it plus the (cache-independent) client overhead.
+    speedup=$(awk -v c="$cold_wall" -v w="$warm_wall" \
+      'BEGIN { printf "%.1f", (w > 0) ? c / w : 0 }')
+    printf '{"protocol":"%s","cold_wall":%s,"warm_wall":%s,"cold_server_seconds":%s,"warm_server_seconds":%s,"speedup":%s,"parity":"%s"}\n' \
+      "$name" "$cold_wall" "$warm_wall" "$cold_srv" "$warm_srv" \
+      "$speedup" "$parity" >> "$OUT"
+    printf '%-14s cold=%ss warm=%ss (server: %ss -> %ss, %sx)\n' \
+      "$name" "$cold_wall" "$warm_wall" "$cold_srv" "$warm_srv" "$speedup"
+    if awk -v c="$cold_wall" -v m="$MIN_COLD" 'BEGIN { exit !(c >= m) }' &&
+       awk -v s="$speedup" -v m="$MIN_SPEEDUP" 'BEGIN { exit !(s < m) }'; then
+      printf '%-14s SPEEDUP FAIL: %sx < %sx\n' "$name" "$speedup" "$MIN_SPEEDUP"
+      FAIL=1
+    fi
+  done
+  stats=$("$SHARPIED_BIN" --ctl "unix:$SOCK" --op cache_stats 2>/dev/null)
+  printf '{"cache_stats":%s}\n' "${stats:-null}" >> "$OUT"
+  echo "cache_stats: $stats"
+  "$SHARPIED_BIN" --ctl "unix:$SOCK" --op shutdown > /dev/null 2>&1
+  wait "$DPID" 2>/dev/null
   echo "wrote $OUT"
   exit $FAIL
 fi

@@ -14,6 +14,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "obs/Flight.h"
+#include "obs/Metrics.h"
 #include "obs/Obs.h"
 #include "protocols/Protocols.h"
 
@@ -120,6 +122,76 @@ void BM_SynthIncrementTraced(benchmark::State &State) {
   }
 }
 BENCHMARK(BM_SynthIncrementTraced)->Unit(benchmark::kMillisecond);
+
+// Registry aggregation: what the daemon pays once per finished request
+// to fold a realistic MetricsSummary (a handful of counters, a few
+// histograms) into the process-wide registry. Must stay microseconds --
+// it runs on the request thread after the verdict.
+void BM_RegistryRecord(benchmark::State &State) {
+  obs::Tracer T;
+  obs::TraceBuffer *TB = T.worker(0);
+  for (int I = 0; I < 50; ++I) {
+    TB->counter("smt_checks", 1);
+    TB->counter("tuples_tried", 1);
+    TB->sample("smt_ms", 0.5 + I);
+    TB->sample("reduce_ms", 1.0 + I);
+  }
+  obs::MetricsSummary S = T.metrics();
+  obs::MetricsRegistry R;
+  for (auto _ : State) {
+    R.record(obs::Outcome::Verified, obs::CacheTier::Cold, S, 0.25);
+    benchmark::DoNotOptimize(R.recorded());
+  }
+}
+BENCHMARK(BM_RegistryRecord);
+
+// Flight-recorder capture: the per-request cost of retaining a full
+// event stream (clip, account, evict) at the default limits.
+void BM_FlightRecord(benchmark::State &State) {
+  obs::FlightRecorder F({32, 4096, 96});
+  uint64_t Id = 0;
+  for (auto _ : State) {
+    State.PauseTiming();
+    obs::FlightRecord R;
+    R.RequestId = ++Id;
+    R.Outcome = "verified";
+    for (int I = 0; I < 512; ++I) {
+      obs::Event E;
+      E.Kind = I % 2 ? obs::EventKind::SpanEnd : obs::EventKind::SpanBegin;
+      E.Worker = 0;
+      E.Name = "site";
+      E.Detail = "detail text of plausible length for a span";
+      E.TimeUs = I;
+      R.Events.push_back(std::move(E));
+    }
+    State.ResumeTiming();
+    F.record(std::move(R));
+    benchmark::DoNotOptimize(F.approxBytes());
+  }
+}
+BENCHMARK(BM_FlightRecord);
+
+// A Prometheus scrape of a populated registry -- bounds the cost a
+// monitoring poll imposes on the daemon.
+void BM_PromScrape(benchmark::State &State) {
+  obs::Tracer T;
+  obs::TraceBuffer *TB = T.worker(0);
+  for (int I = 0; I < 50; ++I) {
+    TB->counter("smt_checks", 1);
+    TB->sample("smt_ms", 0.5 + I);
+  }
+  obs::MetricsSummary S = T.metrics();
+  obs::MetricsRegistry R;
+  for (int I = 0; I < 100; ++I)
+    R.record(obs::Outcome::Verified, obs::CacheTier::Cold, S, 0.25);
+  std::vector<obs::PromGauge> G;
+  G.push_back({"in_flight_requests", "help", 1, {}});
+  for (auto _ : State) {
+    std::string P = obs::renderProm(R.snapshot(), G);
+    benchmark::DoNotOptimize(P.size());
+  }
+}
+BENCHMARK(BM_PromScrape);
 
 } // namespace
 

@@ -60,6 +60,13 @@ public:
   /// Number of jobs that escaped with an exception.
   uint64_t jobFailures() const { return Failures.load(std::memory_order_relaxed); }
 
+  /// Jobs currently queued or running -- a point-in-time depth gauge for
+  /// monitoring; racy by nature, never used for synchronization.
+  unsigned pending() const {
+    std::lock_guard<std::mutex> L(Mu);
+    return Pending;
+  }
+
   /// what() of the first escaped exception ("" when none, "unknown
   /// exception" for non-std throws). Read after wait().
   std::string firstJobError() const;

@@ -178,6 +178,14 @@ ReduceResult sharpie::engine::reduceToGround(
     Trace->counter("axioms_lazy_deferred",
                    AS.NumDeferred + Res.NumFilteredInstances);
     Trace->counter("quant_instances", Res.NumInstances);
+    // Ground-formula size proxy: the number of distinct atomic
+    // comparisons after reduction, the knob that actually drives SMT
+    // check cost (and the histogram operators watch for blowup).
+    std::set<Term> Atoms = logic::collectSubterms(Res.Ground, [](Term T) {
+      return T.kind() == Kind::Eq || T.kind() == Kind::Le ||
+             T.kind() == Kind::Lt;
+    });
+    Trace->sample("formula_atoms", static_cast<double>(Atoms.size()));
     Trace->sample("reduce_ms",
                   std::chrono::duration<double, std::milli>(
                       std::chrono::steady_clock::now() - T0)

@@ -1,0 +1,195 @@
+//===- obs/Flight.cpp - Continuous flight recorder for the daemon -------------===//
+//
+// Part of sharpie. See Flight.h.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Flight.h"
+
+#include "obs/Export.h"
+
+#include <cstdio>
+
+using namespace sharpie;
+using namespace sharpie::obs;
+
+size_t FlightRecorder::eventBytes(const Event &E) {
+  return sizeof(Event) + E.Detail.capacity();
+}
+
+void FlightRecorder::record(FlightRecord R) {
+  if (!Cfg.Capacity)
+    return;
+  if (R.Events.size() > Cfg.MaxEventsPerRequest) {
+    R.DroppedEvents += R.Events.size() - Cfg.MaxEventsPerRequest;
+    R.Events.resize(Cfg.MaxEventsPerRequest);
+  }
+  size_t NewBytes = 0;
+  for (Event &E : R.Events) {
+    if (E.Detail.size() > Cfg.MaxDetailBytes)
+      E.Detail.resize(Cfg.MaxDetailBytes);
+    if (E.Detail.capacity() > Cfg.MaxDetailBytes)
+      E.Detail.shrink_to_fit();
+    NewBytes += eventBytes(E);
+  }
+  R.Events.shrink_to_fit();
+  std::lock_guard<std::mutex> L(Mu);
+  while (Ring.size() >= Cfg.Capacity) {
+    for (const Event &E : Ring.front().Events)
+      Bytes -= eventBytes(E);
+    Ring.pop_front();
+  }
+  Bytes += NewBytes;
+  Ring.push_back(std::move(R));
+}
+
+std::vector<FlightRecord> FlightRecorder::dump(uint64_t RequestId) const {
+  std::lock_guard<std::mutex> L(Mu);
+  std::vector<FlightRecord> Out;
+  for (const FlightRecord &R : Ring)
+    if (!RequestId || R.RequestId == RequestId)
+      Out.push_back(R);
+  return Out;
+}
+
+size_t FlightRecorder::retained() const {
+  std::lock_guard<std::mutex> L(Mu);
+  return Ring.size();
+}
+
+size_t FlightRecorder::approxBytes() const {
+  std::lock_guard<std::mutex> L(Mu);
+  return Bytes;
+}
+
+size_t FlightRecorder::memoryCeilingBytes() const {
+  // Each retained event is the Event struct plus a detail string clipped
+  // to MaxDetailBytes; string capacity never exceeds the pre-clip size
+  // after shrink_to_fit, and small-string storage is inside the struct,
+  // so a per-event allowance of MaxDetailBytes + slack covers it.
+  size_t PerEvent = sizeof(Event) + Cfg.MaxDetailBytes + 32;
+  return Cfg.Capacity * Cfg.MaxEventsPerRequest * PerEvent;
+}
+
+namespace {
+
+void appendEscaped(std::string &Out, const char *S) {
+  Out += jsonEscape(S);
+}
+
+const char *kindName(EventKind K) {
+  switch (K) {
+  case EventKind::SpanBegin:
+    return "begin";
+  case EventKind::SpanEnd:
+    return "end";
+  case EventKind::Counter:
+    return "counter";
+  case EventKind::Instant:
+    return "instant";
+  }
+  return "?";
+}
+
+} // namespace
+
+std::string
+sharpie::obs::renderFlightTrace(const std::vector<FlightRecord> &Records) {
+  std::string Out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  char Buf[256];
+  bool First = true;
+  auto Sep = [&] {
+    Out += First ? "\n" : ",\n";
+    First = false;
+  };
+  for (const FlightRecord &R : Records) {
+    unsigned long long Pid = R.RequestId;
+    // Name the process after the request so the Perfetto track list reads
+    // "r17 verified (a1b2c3...)".
+    Sep();
+    std::string PName = "r" + std::to_string(R.RequestId);
+    if (!R.Outcome.empty())
+      PName += " " + R.Outcome;
+    if (!R.Hash.empty())
+      PName += " (" + R.Hash.substr(0, 12) + ")";
+    std::snprintf(Buf, sizeof(Buf),
+                  "{\"ph\":\"M\",\"pid\":%llu,\"tid\":0,\"name\":"
+                  "\"process_name\",\"args\":{\"name\":\"",
+                  Pid);
+    Out += Buf;
+    Out += jsonEscape(PName) + "\"}}";
+    for (const Event &E : R.Events) {
+      Sep();
+      switch (E.Kind) {
+      case EventKind::SpanBegin:
+        std::snprintf(Buf, sizeof(Buf),
+                      "{\"ph\":\"B\",\"pid\":%llu,\"tid\":%u,\"ts\":%.3f,"
+                      "\"cat\":\"sharpie\",\"name\":\"",
+                      Pid, E.Worker, E.TimeUs);
+        Out += Buf;
+        appendEscaped(Out, E.Name);
+        Out += "\"";
+        if (!E.Detail.empty())
+          Out += ",\"args\":{\"detail\":\"" + jsonEscape(E.Detail) + "\"}";
+        Out += "}";
+        break;
+      case EventKind::SpanEnd:
+        std::snprintf(Buf, sizeof(Buf),
+                      "{\"ph\":\"E\",\"pid\":%llu,\"tid\":%u,\"ts\":%.3f,"
+                      "\"cat\":\"sharpie\",\"name\":\"",
+                      Pid, E.Worker, E.TimeUs);
+        Out += Buf;
+        appendEscaped(Out, E.Name);
+        Out += "\"}";
+        break;
+      case EventKind::Counter:
+        std::snprintf(Buf, sizeof(Buf),
+                      "{\"ph\":\"C\",\"pid\":%llu,\"tid\":%u,\"ts\":%.3f,"
+                      "\"name\":\"",
+                      Pid, E.Worker, E.TimeUs);
+        Out += Buf;
+        appendEscaped(Out, E.Name);
+        std::snprintf(Buf, sizeof(Buf),
+                      " (w%u)\",\"args\":{\"value\":%lld}}", E.Worker,
+                      static_cast<long long>(E.Value));
+        Out += Buf;
+        break;
+      case EventKind::Instant:
+        std::snprintf(Buf, sizeof(Buf),
+                      "{\"ph\":\"i\",\"pid\":%llu,\"tid\":%u,\"ts\":%.3f,"
+                      "\"s\":\"t\",\"name\":\"",
+                      Pid, E.Worker, E.TimeUs);
+        Out += Buf;
+        appendEscaped(Out, E.Name);
+        Out += "\",\"args\":{\"detail\":\"" + jsonEscape(E.Detail) + "\"";
+        std::snprintf(Buf, sizeof(Buf), ",\"value\":%lld}}",
+                      static_cast<long long>(E.Value));
+        Out += Buf;
+        break;
+      }
+    }
+  }
+  Out += "\n]}\n";
+  return Out;
+}
+
+std::string
+sharpie::obs::renderFlightJsonl(const std::vector<FlightRecord> &Records) {
+  std::string Out;
+  char Buf[256];
+  for (const FlightRecord &R : Records)
+    for (const Event &E : R.Events) {
+      std::snprintf(Buf, sizeof(Buf),
+                    "{\"request\":%llu,\"kind\":\"%s\",\"worker\":%u,"
+                    "\"name\":\"",
+                    static_cast<unsigned long long>(R.RequestId),
+                    kindName(E.Kind), E.Worker);
+      Out += Buf;
+      appendEscaped(Out, E.Name);
+      Out += "\",\"detail\":\"" + jsonEscape(E.Detail) + "\"";
+      std::snprintf(Buf, sizeof(Buf), ",\"value\":%lld,\"ts_us\":%.3f}\n",
+                    static_cast<long long>(E.Value), E.TimeUs);
+      Out += Buf;
+    }
+  return Out;
+}

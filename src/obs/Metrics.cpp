@@ -1,0 +1,224 @@
+//===- obs/Metrics.cpp - Process-wide metrics registry for serving ------------===//
+//
+// Part of sharpie. See Metrics.h.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Metrics.h"
+
+#include <cctype>
+#include <cstdarg>
+#include <cstdio>
+
+using namespace sharpie;
+using namespace sharpie::obs;
+
+const char *sharpie::obs::outcomeName(Outcome O) {
+  switch (O) {
+  case Outcome::Verified:
+    return "verified";
+  case Outcome::NotVerified:
+    return "not_verified";
+  case Outcome::Inconclusive:
+    return "inconclusive";
+  case Outcome::Error:
+    return "error";
+  }
+  return "?";
+}
+
+const char *sharpie::obs::cacheTierName(CacheTier T) {
+  switch (T) {
+  case CacheTier::T1Hit:
+    return "t1_hit";
+  case CacheTier::T2Warm:
+    return "t2_warm";
+  case CacheTier::Cold:
+    return "cold";
+  }
+  return "?";
+}
+
+void MetricsRegistry::record(Outcome O, CacheTier T, const MetricsSummary &S,
+                             double Seconds) {
+  std::lock_guard<std::mutex> L(Mu);
+  unsigned OI = static_cast<unsigned>(O), TI = static_cast<unsigned>(T);
+  ++Requests[OI][TI];
+  RequestSeconds[OI][TI] += Seconds;
+  for (const auto &[N, V] : S.Counters)
+    Counters[N] += V;
+  for (const auto &[N, H] : S.Hists)
+    Hists[N].merge(H);
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> L(Mu);
+  Snapshot Out;
+  for (unsigned O = 0; O < NumOutcomes; ++O)
+    for (unsigned T = 0; T < NumCacheTiers; ++T) {
+      Out.Requests[O][T] = Requests[O][T];
+      Out.RequestSeconds[O][T] = RequestSeconds[O][T];
+    }
+  for (const auto &[N, V] : Counters)
+    Out.Counters.emplace_back(N, V);
+  for (const auto &[N, H] : Hists)
+    Out.Hists.emplace_back(N, H);
+  return Out;
+}
+
+int64_t MetricsRegistry::counterSum(std::string_view Name) const {
+  std::lock_guard<std::mutex> L(Mu);
+  auto It = Counters.find(std::string(Name));
+  return It == Counters.end() ? 0 : It->second;
+}
+
+uint64_t MetricsRegistry::recorded() const {
+  std::lock_guard<std::mutex> L(Mu);
+  uint64_t N = 0;
+  for (unsigned O = 0; O < NumOutcomes; ++O)
+    for (unsigned T = 0; T < NumCacheTiers; ++T)
+      N += Requests[O][T];
+  return N;
+}
+
+std::string sharpie::obs::promSanitizeName(std::string_view Name) {
+  std::string Out;
+  Out.reserve(Name.size());
+  for (char C : Name) {
+    bool Ok = std::isalnum(static_cast<unsigned char>(C)) || C == '_' ||
+              C == ':';
+    Out += Ok ? C : '_';
+  }
+  if (!Out.empty() && std::isdigit(static_cast<unsigned char>(Out[0])))
+    Out.insert(Out.begin(), '_');
+  return Out;
+}
+
+std::string sharpie::obs::promEscapeLabel(std::string_view Value) {
+  std::string Out;
+  Out.reserve(Value.size());
+  for (char C : Value) {
+    switch (C) {
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    default:
+      Out += C;
+    }
+  }
+  return Out;
+}
+
+namespace {
+
+__attribute__((format(printf, 2, 3))) void appendf(std::string &Out,
+                                                   const char *Fmt, ...) {
+  char Buf[512];
+  va_list Ap;
+  va_start(Ap, Fmt);
+  std::vsnprintf(Buf, sizeof(Buf), Fmt, Ap);
+  va_end(Ap);
+  Out += Buf;
+}
+
+/// Formats a double the Prometheus way: integral values without a
+/// decimal point, everything else with enough digits to round-trip.
+std::string promNumber(double V) {
+  char Buf[64];
+  if (V == static_cast<double>(static_cast<long long>(V)) &&
+      V > -1e15 && V < 1e15) {
+    std::snprintf(Buf, sizeof(Buf), "%lld", static_cast<long long>(V));
+  } else {
+    std::snprintf(Buf, sizeof(Buf), "%.9g", V);
+  }
+  return Buf;
+}
+
+} // namespace
+
+std::string sharpie::obs::renderProm(const MetricsRegistry::Snapshot &S,
+                                     const std::vector<PromGauge> &Gauges) {
+  std::string Out;
+
+  Out += "# HELP sharpie_requests_total Completed verify requests by outcome"
+         " and cache tier.\n";
+  Out += "# TYPE sharpie_requests_total counter\n";
+  for (unsigned O = 0; O < NumOutcomes; ++O)
+    for (unsigned T = 0; T < NumCacheTiers; ++T)
+      appendf(Out,
+              "sharpie_requests_total{outcome=\"%s\",cache_tier=\"%s\"}"
+              " %llu\n",
+              outcomeName(static_cast<Outcome>(O)),
+              cacheTierName(static_cast<CacheTier>(T)),
+              static_cast<unsigned long long>(S.Requests[O][T]));
+
+  Out += "# HELP sharpie_request_seconds_total Server wall seconds spent on"
+         " requests by outcome and cache tier.\n";
+  Out += "# TYPE sharpie_request_seconds_total counter\n";
+  for (unsigned O = 0; O < NumOutcomes; ++O)
+    for (unsigned T = 0; T < NumCacheTiers; ++T)
+      appendf(Out,
+              "sharpie_request_seconds_total{outcome=\"%s\","
+              "cache_tier=\"%s\"} %s\n",
+              outcomeName(static_cast<Outcome>(O)),
+              cacheTierName(static_cast<CacheTier>(T)),
+              promNumber(S.RequestSeconds[O][T]).c_str());
+
+  for (const auto &[Name, V] : S.Counters) {
+    std::string N = "sharpie_ctr_" + promSanitizeName(Name) + "_total";
+    appendf(Out, "# HELP %s Cumulative per-request counter %s.\n", N.c_str(),
+            promSanitizeName(Name).c_str());
+    appendf(Out, "# TYPE %s counter\n", N.c_str());
+    appendf(Out, "%s %lld\n", N.c_str(), static_cast<long long>(V));
+  }
+
+  for (const auto &[Name, H] : S.Hists) {
+    std::string N = "sharpie_hist_" + promSanitizeName(Name);
+    appendf(Out, "# HELP %s Merged per-request histogram %s.\n", N.c_str(),
+            promSanitizeName(Name).c_str());
+    appendf(Out, "# TYPE %s histogram\n", N.c_str());
+    // Cumulative le-buckets; only boundaries where the count advances are
+    // emitted (plus +Inf), which keeps the exposition compact while
+    // remaining a valid Prometheus histogram.
+    uint64_t Cum = 0;
+    for (unsigned B = 0; B < HistSummary::NumBuckets; ++B) {
+      if (!H.Buckets[B])
+        continue;
+      Cum += H.Buckets[B];
+      appendf(Out, "%s_bucket{le=\"%s\"} %llu\n", N.c_str(),
+              promNumber(HistSummary::bucketUpperBound(B)).c_str(),
+              static_cast<unsigned long long>(Cum));
+    }
+    appendf(Out, "%s_bucket{le=\"+Inf\"} %llu\n", N.c_str(),
+            static_cast<unsigned long long>(H.Count));
+    appendf(Out, "%s_sum %s\n", N.c_str(), promNumber(H.Sum).c_str());
+    appendf(Out, "%s_count %llu\n", N.c_str(),
+            static_cast<unsigned long long>(H.Count));
+  }
+
+  for (const PromGauge &G : Gauges) {
+    std::string N = "sharpie_" + promSanitizeName(G.Name);
+    appendf(Out, "# HELP %s %s\n", N.c_str(), G.Help.c_str());
+    appendf(Out, "# TYPE %s gauge\n", N.c_str());
+    Out += N;
+    if (!G.Labels.empty()) {
+      Out += "{";
+      bool First = true;
+      for (const auto &[K, V] : G.Labels) {
+        if (!First)
+          Out += ",";
+        First = false;
+        Out += promSanitizeName(K) + "=\"" + promEscapeLabel(V) + "\"";
+      }
+      Out += "}";
+    }
+    Out += " " + promNumber(G.Value) + "\n";
+  }
+  return Out;
+}

@@ -1,0 +1,113 @@
+//===- obs/Metrics.h - Process-wide metrics registry for serving -*- C++ -*-===//
+//
+// Part of sharpie. PR 3's per-request metrics (the ctr_*/hist_* fields of
+// a MetricsSummary) die with the request; a long-running daemon needs
+// them to accumulate into service health. The MetricsRegistry is that
+// accumulator:
+//
+//   * each finished request is record()ed once, labeled by its outcome
+//     (verified / not_verified / inconclusive / error) and by the cache
+//     tier that answered it (t1_hit / t2_warm / cold);
+//   * counters sum; histograms merge through HistSummary's log2 buckets
+//     (obs/Obs.h), so cumulative percentiles stay available without the
+//     registry ever retaining a raw sample;
+//   * the snapshot renders two ways: structured JSON (serve/Server.cpp,
+//     the `metrics` wire op) and Prometheus text exposition
+//     (renderProm(), scrapeable by a stock Prometheus).
+//
+// Thread safety: record() and snapshot() take one internal mutex; they
+// are called once per request / per scrape, never on the synthesis hot
+// path, so contention is irrelevant. The zero-overhead contract of the
+// obs layer is untouched -- a pipeline with no tracer never reaches the
+// registry at all.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SHARPIE_OBS_METRICS_H
+#define SHARPIE_OBS_METRICS_H
+
+#include "obs/Obs.h"
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sharpie {
+namespace obs {
+
+/// Request outcome label, derived from the driver exit code.
+enum class Outcome : unsigned { Verified, NotVerified, Inconclusive, Error };
+constexpr unsigned NumOutcomes = 4;
+const char *outcomeName(Outcome O);
+
+/// Which cache tier answered the request: a tier-1 verdict replay, a
+/// solve warmed by tier-2 reduce-cache hits, or a fully cold solve.
+enum class CacheTier : unsigned { T1Hit, T2Warm, Cold };
+constexpr unsigned NumCacheTiers = 3;
+const char *cacheTierName(CacheTier T);
+
+/// A point-in-time server gauge handed to the renderers by the caller
+/// (the registry itself stores only cumulative request data). Labels are
+/// optional key/value pairs; values are escaped by the Prometheus
+/// renderer.
+struct PromGauge {
+  std::string Name; ///< Metric name without the "sharpie_" prefix.
+  std::string Help;
+  double Value = 0;
+  std::vector<std::pair<std::string, std::string>> Labels;
+};
+
+class MetricsRegistry {
+public:
+  struct Snapshot {
+    uint64_t Requests[NumOutcomes][NumCacheTiers] = {};
+    double RequestSeconds[NumOutcomes][NumCacheTiers] = {};
+    std::vector<std::pair<std::string, int64_t>> Counters;
+    std::vector<std::pair<std::string, HistSummary>> Hists;
+  };
+
+  /// Folds one finished request's merged metrics into the cumulative
+  /// state. \p Seconds is the request's server-side wall time.
+  void record(Outcome O, CacheTier T, const MetricsSummary &S,
+              double Seconds);
+
+  Snapshot snapshot() const;
+
+  /// Cumulative sum of counter \p Name over all recorded requests (0
+  /// when never emitted).
+  int64_t counterSum(std::string_view Name) const;
+
+  /// Total requests recorded, all labels.
+  uint64_t recorded() const;
+
+private:
+  mutable std::mutex Mu;
+  uint64_t Requests[NumOutcomes][NumCacheTiers] = {};
+  double RequestSeconds[NumOutcomes][NumCacheTiers] = {};
+  std::map<std::string, int64_t> Counters;
+  std::map<std::string, HistSummary> Hists;
+};
+
+/// Sanitizes an internal metric name ("card_axioms.unary") into a
+/// Prometheus metric-name fragment: [a-zA-Z0-9_:], everything else
+/// becomes '_', and a leading digit gains a '_' prefix.
+std::string promSanitizeName(std::string_view Name);
+
+/// Escapes a Prometheus label value: backslash, double quote, newline.
+std::string promEscapeLabel(std::string_view Value);
+
+/// Renders the full Prometheus text exposition (version 0.0.4): the
+/// outcome/cache-tier labeled request totals, every cumulative counter
+/// as `sharpie_ctr_<name>_total`, every merged histogram as a native
+/// Prometheus histogram (`_bucket{le=...}/_sum/_count`) under
+/// `sharpie_hist_<name>`, then the caller's gauges. Deterministic for a
+/// given snapshot (names sorted, all label combinations emitted).
+std::string renderProm(const MetricsRegistry::Snapshot &S,
+                       const std::vector<PromGauge> &Gauges);
+
+} // namespace obs
+} // namespace sharpie
+
+#endif // SHARPIE_OBS_METRICS_H

@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cmath>
 #include <cstdarg>
 
 using namespace sharpie;
@@ -39,6 +40,59 @@ std::optional<LogLevel> sharpie::obs::parseLogLevel(std::string_view Name) {
   return std::nullopt;
 }
 
+// -- HistSummary -------------------------------------------------------------
+
+unsigned HistSummary::bucketFor(double V) {
+  if (!(V > bucketUpperBound(0)))
+    return 0; // Includes NaN and everything at or below 2^MinExp.
+  int E = 0;
+  double Mant = std::frexp(V, &E); // V = Mant * 2^E, Mant in [0.5, 1).
+  // frexp(2^k) yields (0.5, k+1); the bucket upper bound is inclusive,
+  // so an exact power of two belongs one bucket lower.
+  if (Mant == 0.5)
+    --E;
+  long B = static_cast<long>(E) - MinExp;
+  if (B < 0)
+    return 0;
+  if (B >= static_cast<long>(NumBuckets))
+    return NumBuckets - 1;
+  return static_cast<unsigned>(B);
+}
+
+double HistSummary::bucketUpperBound(unsigned B) {
+  return std::ldexp(1.0, static_cast<int>(B) + MinExp);
+}
+
+double HistSummary::percentileFromBuckets(double Q) const {
+  if (!Count)
+    return 0;
+  uint64_t Rank = static_cast<uint64_t>(
+      std::ceil(Q * static_cast<double>(Count)));
+  if (Rank == 0)
+    Rank = 1;
+  uint64_t Cum = 0;
+  for (unsigned B = 0; B < NumBuckets; ++B) {
+    Cum += Buckets[B];
+    if (Cum >= Rank)
+      return std::min(Max, std::max(Min, bucketUpperBound(B)));
+  }
+  return Max;
+}
+
+void HistSummary::merge(const HistSummary &O) {
+  if (!O.Count)
+    return;
+  Min = Count ? std::min(Min, O.Min) : O.Min;
+  Max = Count ? std::max(Max, O.Max) : O.Max;
+  Count += O.Count;
+  Sum += O.Sum;
+  for (unsigned B = 0; B < NumBuckets; ++B)
+    Buckets[B] += O.Buckets[B];
+  P50 = percentileFromBuckets(0.50);
+  P90 = percentileFromBuckets(0.90);
+  P99 = percentileFromBuckets(0.99);
+}
+
 const int64_t *MetricsSummary::counter(std::string_view Name) const {
   for (const auto &[N, V] : Counters)
     if (N == Name)
@@ -57,15 +111,25 @@ const HistSummary *MetricsSummary::hist(std::string_view Name) const {
 
 bool TraceBuffer::eventsEnabled() const { return T.Cfg.CollectEvents; }
 
-void TraceBuffer::begin(const char *Name, std::string Detail) {
+bool TraceBuffer::admitEvent() {
   if (!eventsEnabled())
+    return false;
+  if (T.Cfg.MaxEvents && Events.size() >= T.Cfg.MaxEvents) {
+    ++Dropped;
+    return false;
+  }
+  return true;
+}
+
+void TraceBuffer::begin(const char *Name, std::string Detail) {
+  if (!admitEvent())
     return;
   Events.push_back({EventKind::SpanBegin, Worker, Name, std::move(Detail), 0,
                     T.microsSinceEpoch()});
 }
 
 void TraceBuffer::end(const char *Name) {
-  if (!eventsEnabled())
+  if (!admitEvent())
     return;
   Events.push_back(
       {EventKind::SpanEnd, Worker, Name, {}, 0, T.microsSinceEpoch()});
@@ -73,7 +137,7 @@ void TraceBuffer::end(const char *Name) {
 
 void TraceBuffer::counter(const char *Name, int64_t Delta) {
   int64_t Total = (Counters[Name] += Delta);
-  if (!eventsEnabled())
+  if (!admitEvent())
     return;
   Events.push_back(
       {EventKind::Counter, Worker, Name, {}, Total, T.microsSinceEpoch()});
@@ -85,7 +149,7 @@ void TraceBuffer::sample(const char *Name, double Value) {
 
 void TraceBuffer::instant(const char *Name, std::string Detail,
                           int64_t Value) {
-  if (!eventsEnabled())
+  if (!admitEvent())
     return;
   Events.push_back({EventKind::Instant, Worker, Name, std::move(Detail),
                     Value, T.microsSinceEpoch()});
@@ -110,7 +174,8 @@ void TraceBuffer::logf(LogLevel L, const char *Fmt, ...) {
 // -- Tracer ------------------------------------------------------------------
 
 Tracer::Tracer(TracerConfig Cfg)
-    : Cfg(Cfg), Epoch(std::chrono::steady_clock::now()) {}
+    : Cfg(Cfg), Epoch(Cfg.EpochAt ? *Cfg.EpochAt
+                                  : std::chrono::steady_clock::now()) {}
 
 Tracer::~Tracer() = default;
 
@@ -137,6 +202,19 @@ void Tracer::writeLogLine(LogLevel L, unsigned Worker, const char *Text) {
   std::fflush(Out);
 }
 
+uint64_t Tracer::droppedEvents() const {
+  std::lock_guard<std::mutex> L(Mu);
+  uint64_t N = 0;
+  for (const auto &[Rank, B] : Buffers)
+    N += B->Dropped;
+  return N;
+}
+
+unsigned Tracer::workerCount() const {
+  std::lock_guard<std::mutex> L(Mu);
+  return static_cast<unsigned>(Buffers.size());
+}
+
 std::vector<Event> Tracer::mergedEvents() const {
   std::lock_guard<std::mutex> L(Mu);
   std::vector<Event> Out;
@@ -155,11 +233,19 @@ HistSummary summarize(std::vector<double> Samples) {
   std::sort(Samples.begin(), Samples.end());
   S.Min = Samples.front();
   S.Max = Samples.back();
-  for (double V : Samples)
+  for (double V : Samples) {
     S.Sum += V;
-  auto Pct = [&](double P) {
-    size_t I = static_cast<size_t>(P * static_cast<double>(Samples.size() - 1));
-    return Samples[I];
+    ++S.Buckets[HistSummary::bucketFor(V)];
+  }
+  // Nearest-rank: the sample at 1-based rank ceil(Q * n). Exact here (the
+  // samples are at hand); HistSummary::merge() approximates the same
+  // definition from the buckets.
+  auto Pct = [&](double Q) {
+    size_t R = static_cast<size_t>(
+        std::ceil(Q * static_cast<double>(Samples.size())));
+    if (R == 0)
+      R = 1;
+    return Samples[R - 1];
   };
   S.P50 = Pct(0.50);
   S.P90 = Pct(0.90);

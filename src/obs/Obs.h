@@ -67,12 +67,45 @@ struct Event {
   double TimeUs = 0;
 };
 
-/// Five-number summary of a histogram, produced at merge time.
+/// Summary of a histogram, produced at merge time. Alongside the exact
+/// five-number summary it carries fixed log2-spaced bucket counts, which
+/// makes two summaries *mergeable* (counts, sum, min/max and buckets all
+/// add) -- the property the process-wide MetricsRegistry needs to
+/// aggregate per-request summaries without retaining raw samples.
+///
+/// Percentiles are nearest-rank: P(q) is the smallest sample whose rank
+/// r (1-based, over the sorted samples) satisfies r >= ceil(q * count).
+/// For 1 sample every percentile is that sample; for 2 samples P50 is
+/// the lower and P90/P99 the upper. After a merge() the percentiles are
+/// recomputed from the buckets and become upper-bound approximations
+/// (clamped to [Min, Max]); summarize()'s are exact.
 struct HistSummary {
+  /// Bucket b counts samples in (upperBound(b-1), upperBound(b)], with
+  /// upperBound(b) = 2^(b + MinExp). Everything <= 2^MinExp lands in
+  /// bucket 0, everything > 2^(NumBuckets-1+MinExp) in the last bucket.
+  /// The range 2^-10 (~1us in ms units) .. 2^29 (~5e8) covers every
+  /// latency and count histogram the pipeline emits.
+  static constexpr unsigned NumBuckets = 40;
+  static constexpr int MinExp = -10;
+
   uint64_t Count = 0;
   double Min = 0, Max = 0, Sum = 0;
   double P50 = 0, P90 = 0, P99 = 0;
+  uint64_t Buckets[NumBuckets] = {};
+
   double mean() const { return Count ? Sum / static_cast<double>(Count) : 0; }
+
+  /// The bucket index a sample value falls into.
+  static unsigned bucketFor(double V);
+  /// The inclusive upper bound of bucket \p B (2^(B + MinExp)).
+  static double bucketUpperBound(unsigned B);
+
+  /// Folds \p O into this summary (counts/sum/min/max/buckets add) and
+  /// recomputes P50/P90/P99 from the merged buckets.
+  void merge(const HistSummary &O);
+  /// Nearest-rank percentile over the bucket counts: the upper bound of
+  /// the bucket holding rank ceil(Q * Count), clamped to [Min, Max].
+  double percentileFromBuckets(double Q) const;
 };
 
 /// Counters summed and histograms merged over all workers, sorted by name
@@ -120,9 +153,14 @@ private:
   friend class Tracer;
   TraceBuffer(Tracer &T, unsigned Worker) : T(T), Worker(Worker) {}
 
+  /// True when another event may be buffered (events enabled and the
+  /// MaxEvents cap, if any, not yet reached); counts the drop otherwise.
+  bool admitEvent();
+
   Tracer &T;
   unsigned Worker;
   std::vector<Event> Events;
+  uint64_t Dropped = 0; ///< Events discarded by the MaxEvents cap.
   std::map<std::string, int64_t> Counters;
   std::map<std::string, std::vector<double>> Hists;
 };
@@ -135,6 +173,16 @@ struct TracerConfig {
   /// sets it to the request id ("r17") so interleaved per-request tracer
   /// output stays attributable; empty adds nothing.
   std::string LogPrefix;
+  /// When set, event timestamps are relative to this instant instead of
+  /// the tracer's construction time. The daemon pins it to the request
+  /// arrival, so flight-recorder dumps from different requests all start
+  /// at t=0 and phase offsets are comparable across requests.
+  std::optional<std::chrono::steady_clock::time_point> EpochAt;
+  /// Per-buffer cap on buffered events; 0 = unbounded. Once a buffer is
+  /// full further events are counted (droppedEvents()) but not stored --
+  /// the flight recorder's fixed-memory guarantee. A truncated stream
+  /// can end with unbalanced span begins; the exporters tolerate that.
+  uint32_t MaxEvents = 0;
 };
 
 /// Owns the per-worker buffers and the log sink. Thread-safe operations:
@@ -161,7 +209,16 @@ public:
   /// Counters summed and histograms merged over all workers.
   MetricsSummary metrics() const;
 
-  /// Microseconds since the tracer was created (the trace epoch).
+  /// Events discarded because a buffer hit Cfg.MaxEvents, summed over
+  /// all workers.
+  uint64_t droppedEvents() const;
+
+  /// Number of distinct workers that registered a buffer -- the peak
+  /// worker count of the traced run.
+  unsigned workerCount() const;
+
+  /// Microseconds since the trace epoch (construction time, or
+  /// Cfg.EpochAt when set).
   double microsSinceEpoch() const;
 
 private:

@@ -12,8 +12,16 @@
 //                 "output":"<full stdout text>","error":"",
 //                 "cache":"hit|miss|off","hash":"<32hex>",
 //                 "cache_lookup_seconds":F,"server_seconds":F}
-//   status       -> uptime, requests in flight / served, workers
+//   status       -> uptime, requests in flight / served, workers,
+//                   cumulative ctr_* sums, store-tier hit/miss traffic
 //   cache_stats  -> StoreStats + tier-2 entry count
+//   metrics      {"op":"metrics","format":"json|prom"} -> cumulative
+//                   outcome x cache-tier request counts/seconds, counter
+//                   sums, merged histograms and server gauges; "prom"
+//                   answers {"ok":true,"text":"<exposition>"} instead
+//   dump_trace   {"op":"dump_trace","format":"perfetto|jsonl",
+//                 "request":ID} -> {"ok":true,"trace":"<document>"},
+//                   the flight recorder's retained requests (ID 0 = all)
 //   shutdown     -> {"ok":true}; the daemon drains and exits
 //
 // The protocol ships *source text*, not terms: the daemon re-parses and

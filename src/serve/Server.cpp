@@ -10,8 +10,8 @@
 #include "front/Front.h"
 #include "resil/Fault.h"
 
+#include <algorithm>
 #include <arpa/inet.h>
-#include <condition_variable>
 #include <cstring>
 #include <memory>
 #include <netinet/in.h>
@@ -35,6 +35,8 @@ double secondsSince(std::chrono::steady_clock::time_point T0) {
 Server::Server(ServerOptions O)
     : Opts(std::move(O)), Store(Opts.StoreDir),
       Pool(Opts.RequestWorkers ? Opts.RequestWorkers : 1),
+      Flight(obs::FlightRecorder::Config{
+          Opts.Telemetry ? Opts.FlightCapacity : 0, 4096, 96}),
       Start(std::chrono::steady_clock::now()) {
   // The reduce cache is shared-mode from birth: requests run on pool
   // threads with private managers, exactly the cross-manager case.
@@ -43,10 +45,34 @@ Server::Server(ServerOptions O)
   // surfaces through status/cache_stats rather than a log line (the
   // daemon may be running --log-level quiet).
   Store.loadReduceCache(RC, &StartupNote);
+
+  if (!Opts.AccessLogPath.empty()) {
+    if (Opts.AccessLogPath == "-") {
+      AccessLog = stderr;
+    } else {
+      AccessLog = std::fopen(Opts.AccessLogPath.c_str(), "a");
+      if (AccessLog) {
+        OwnAccessLog = true;
+      } else {
+        if (!StartupNote.empty())
+          StartupNote += "; ";
+        StartupNote += "access log '" + Opts.AccessLogPath + "' not writable";
+      }
+    }
+  }
+  if (Opts.SlowRequestSeconds > 0)
+    Watchdog = std::thread([this] { watchdogLoop(); });
 }
 
 Server::~Server() {
   requestShutdown();
+  {
+    std::lock_guard<std::mutex> Lock(WatchdogMu);
+    WatchdogStop = true;
+  }
+  WatchdogCV.notify_all();
+  if (Watchdog.joinable())
+    Watchdog.join();
   {
     std::lock_guard<std::mutex> Lock(ConnsMu);
     for (std::thread &T : Conns)
@@ -58,6 +84,80 @@ Server::~Server() {
     ::close(ListenFd);
   if (!UnixPath.empty())
     ::unlink(UnixPath.c_str());
+  if (AccessLog && OwnAccessLog)
+    std::fclose(AccessLog);
+}
+
+void Server::requestShutdown() { ShutdownFlag.store(true); }
+
+obs::Outcome Server::outcomeForExit(int Exit) {
+  switch (Exit) {
+  case front::ExitVerified:
+    return obs::Outcome::Verified;
+  case front::ExitUnsafe:
+    return obs::Outcome::NotVerified;
+  case front::ExitUnknown:
+  case front::ExitInconclusive:
+    return obs::Outcome::Inconclusive;
+  default:
+    return obs::Outcome::Error;
+  }
+}
+
+void Server::writeAccessLine(const std::string &Line) {
+  if (!AccessLog)
+    return;
+  std::lock_guard<std::mutex> Lock(AccessLogMu);
+  std::fwrite(Line.data(), 1, Line.size(), AccessLog);
+  std::fwrite("\n", 1, 1, AccessLog);
+  std::fflush(AccessLog);
+}
+
+void Server::watchdogLoop() {
+  // Poll a few times per threshold so a slow request is flagged promptly
+  // without burning CPU on tight thresholds.
+  auto Interval = std::chrono::duration<double>(Opts.SlowRequestSeconds / 4);
+  auto Poll = std::chrono::duration_cast<std::chrono::milliseconds>(Interval);
+  if (Poll < std::chrono::milliseconds(5))
+    Poll = std::chrono::milliseconds(5);
+  if (Poll > std::chrono::milliseconds(200))
+    Poll = std::chrono::milliseconds(200);
+
+  std::unique_lock<std::mutex> Lock(WatchdogMu);
+  while (!WatchdogStop) {
+    WatchdogCV.wait_for(Lock, Poll);
+    if (WatchdogStop)
+      break;
+    Lock.unlock();
+    auto Now = std::chrono::steady_clock::now();
+    std::vector<std::string> Lines;
+    {
+      std::lock_guard<std::mutex> L(LiveMu);
+      for (auto &[Id, LR] : Live) {
+        double Elapsed =
+            std::chrono::duration<double>(Now - LR->Start).count();
+        if (Elapsed <= Opts.SlowRequestSeconds || LR->Slow.load())
+          continue;
+        // The watchdog only touches the request's atomics -- the live
+        // "span stack" it reports is the phase the owner last published,
+        // never the owner-private TraceBuffer.
+        const char *Phase = LR->Phase.load();
+        LR->SlowPhase.store(Phase);
+        LR->Slow.store(true);
+        SlowRequests.fetch_add(1);
+        Json J;
+        J["event"] = Json("slow_request");
+        J["id"] = Json(Id);
+        J["phase"] = Json(Phase);
+        J["elapsed_seconds"] = Json(Elapsed);
+        J["threshold_seconds"] = Json(Opts.SlowRequestSeconds);
+        Lines.push_back(J.dump());
+      }
+    }
+    for (const std::string &L : Lines)
+      writeAccessLine(L);
+    Lock.lock();
+  }
 }
 
 VerifyResponse Server::verify(const VerifyRequest &Req,
@@ -74,16 +174,111 @@ VerifyResponse Server::verify(const VerifyRequest &Req,
   } Guard{InFlight, Served};
 
   auto T0 = std::chrono::steady_clock::now();
-  VerifyResponse Resp;
 
   // Per-request observability: its own tracer, log lines tagged with the
-  // request id so interleaved requests stay attributable.
+  // request id so interleaved requests stay attributable. The epoch is
+  // pinned to the request arrival so flight-recorder dumps from
+  // different requests are comparable (every request starts at t=0),
+  // and the event cap bounds the recorder's memory per request.
+  bool CollectEvents = Opts.Telemetry && Opts.FlightCapacity > 0;
   obs::TracerConfig TC;
   TC.Level = Opts.Level;
   TC.LogPrefix = "r" + std::to_string(Id);
+  TC.EpochAt = T0;
+  TC.CollectEvents = CollectEvents;
+  if (CollectEvents)
+    TC.MaxEvents = static_cast<uint32_t>(Flight.config().MaxEventsPerRequest);
   obs::Tracer Tracer(TC);
   obs::TraceBuffer *TB = Tracer.worker(0);
-  obs::Span Sp(TB, "serve_verify");
+
+  // Register with the watchdog for the duration of the request.
+  LiveRequest LR;
+  LR.Id = Id;
+  LR.Start = T0;
+  struct LiveGuard {
+    Server &Srv;
+    uint64_t Id;
+    bool Armed;
+    ~LiveGuard() {
+      if (!Armed)
+        return;
+      std::lock_guard<std::mutex> L(Srv.LiveMu);
+      Srv.Live.erase(Id);
+    }
+  } LG{*this, Id, Opts.SlowRequestSeconds > 0};
+  if (LG.Armed) {
+    std::lock_guard<std::mutex> L(LiveMu);
+    Live[Id] = &LR;
+  }
+
+  double ParseSeconds = 0, SynthSeconds = 0;
+  VerifyResponse Resp;
+  {
+    obs::Span Sp(TB, "request");
+    Resp = verifyImpl(Id, Req, Cancel, Tracer, TB, T0, LR, ParseSeconds,
+                      SynthSeconds);
+  }
+  // The owner thread stamps the watchdog's verdict into the trace at
+  // completion -- deterministically placed (after the request span), so
+  // tests can assert on it without racing the watchdog.
+  if (LR.Slow.load()) {
+    const char *Phase = LR.SlowPhase.load();
+    TB->instant("slow_request", Phase ? Phase : "request",
+                static_cast<int64_t>(secondsSince(T0) * 1000));
+  }
+  Resp.ServerSeconds = secondsSince(T0);
+
+  if (Opts.Telemetry) {
+    obs::MetricsSummary MS = Tracer.metrics();
+    obs::Outcome O = outcomeForExit(Resp.Exit);
+    obs::CacheTier Tier = obs::CacheTier::Cold;
+    if (Resp.Cache == "hit") {
+      Tier = obs::CacheTier::T1Hit;
+    } else if (const int64_t *H = MS.counter("reduce_cache_hits");
+               H && *H > 0) {
+      Tier = obs::CacheTier::T2Warm;
+    }
+    Registry.record(O, Tier, MS, Resp.ServerSeconds);
+
+    if (CollectEvents) {
+      obs::FlightRecord FR;
+      FR.RequestId = Id;
+      FR.Hash = Resp.Hash;
+      FR.Outcome = obs::outcomeName(O);
+      FR.TotalSeconds = Resp.ServerSeconds;
+      FR.DroppedEvents = Tracer.droppedEvents();
+      FR.Events = Tracer.mergedEvents();
+      Flight.record(std::move(FR));
+    }
+
+    if (AccessLog) {
+      Json L;
+      L["event"] = Json("request");
+      L["id"] = Json(Id);
+      L["hash"] = Json(Resp.Hash);
+      L["outcome"] = Json(obs::outcomeName(O));
+      L["cache_tier"] = Json(obs::cacheTierName(Tier));
+      L["parse_seconds"] = Json(ParseSeconds);
+      L["cache_lookup_seconds"] = Json(Resp.CacheLookupSeconds);
+      L["synth_seconds"] = Json(SynthSeconds);
+      L["server_seconds"] = Json(Resp.ServerSeconds);
+      L["workers"] = Json(Tracer.workerCount());
+      L["dropped_events"] = Json(Tracer.droppedEvents());
+      L["slow"] = Json(LR.Slow.load());
+      writeAccessLine(L.dump());
+    }
+  }
+  return Resp;
+}
+
+VerifyResponse Server::verifyImpl(uint64_t Id, const VerifyRequest &Req,
+                                  const engine::CancellationToken *Cancel,
+                                  obs::Tracer &Tracer, obs::TraceBuffer *TB,
+                                  std::chrono::steady_clock::time_point T0,
+                                  LiveRequest &Live, double &ParseSeconds,
+                                  double &SynthSeconds) {
+  (void)Id;
+  VerifyResponse Resp;
 
   resil::FaultPlan Faults;
   if (!Req.Faults.empty()) {
@@ -98,50 +293,58 @@ VerifyResponse Server::verify(const VerifyRequest &Req,
     }
   }
 
+  Live.Phase.store("parse");
   logic::TermManager M;
-  front::LoadResult L = front::loadProtocolString(M, Req.ProtocolText,
-                                                  Req.File, TB);
+  front::LoadResult L = [&] {
+    obs::Span ParseSp(TB, "parse");
+    return front::loadProtocolString(M, Req.ProtocolText, Req.File, TB);
+  }();
   if (!L.ok()) {
     Resp.Exit = front::ExitError;
     Resp.Error = L.Error->render() + "\n";
     Resp.ServerSeconds = secondsSince(T0);
     return Resp;
   }
-  double ParseSeconds = secondsSince(T0);
+  ParseSeconds = secondsSince(T0);
   front::FrontBundle &B = *L.Bundle;
-
-  Resp.Hash = front::canonicalProblemHash(B).hex();
-  std::string Header = renderHeader(B.Sys->name(), B.Property);
 
   // Chaos requests bypass both cache tiers: injected faults make the run
   // non-canonical, and nothing a fault produced may be served later.
   bool Cacheable = Req.Faults.empty();
 
   // -- Tier 1 ----------------------------------------------------------------
-  front::CanonicalHash H = front::canonicalProblemHash(B);
-  if (Cacheable && Store.enabled()) {
-    auto TL = std::chrono::steady_clock::now();
-    std::optional<ResultStore::T1Entry> Hit = Store.lookup(H);
-    Resp.CacheLookupSeconds = secondsSince(TL);
-    TB->counter(Hit ? "serve_t1_hits" : "serve_t1_misses", 1);
-    if (Hit) {
-      Resp.Exit = Hit->Exit;
-      Resp.Cache = "hit";
-      Resp.Output = Header;
-      if (Req.JsonLine)
-        Resp.Output += renderJsonLine(
-            B.Sys->name(), Req.File, Hit->Exit == front::ExitVerified,
-            Hit->Exit == front::ExitUnsafe, /*Inconclusive=*/false,
-            ParseSeconds, Resp.CacheLookupSeconds, /*SynthSeconds=*/0.0,
-            secondsSince(T0), Hit->StatsJson);
-      Resp.Output += Hit->Verdict;
-      Resp.ServerSeconds = secondsSince(T0);
-      return Resp;
+  Live.Phase.store("hash_lookup");
+  front::CanonicalHash H;
+  {
+    obs::Span LookupSp(TB, "hash_lookup");
+    H = front::canonicalProblemHash(B);
+    Resp.Hash = H.hex();
+    if (Cacheable && Store.enabled()) {
+      auto TL = std::chrono::steady_clock::now();
+      std::optional<ResultStore::T1Entry> Hit = Store.lookup(H);
+      Resp.CacheLookupSeconds = secondsSince(TL);
+      TB->counter(Hit ? "serve_t1_hits" : "serve_t1_misses", 1);
+      if (Hit) {
+        Resp.Exit = Hit->Exit;
+        Resp.Cache = "hit";
+        Resp.Output = renderHeader(B.Sys->name(), B.Property);
+        if (Req.JsonLine)
+          Resp.Output += renderJsonLine(
+              B.Sys->name(), Req.File, Hit->Exit == front::ExitVerified,
+              Hit->Exit == front::ExitUnsafe, /*Inconclusive=*/false,
+              ParseSeconds, Resp.CacheLookupSeconds, /*SynthSeconds=*/0.0,
+              secondsSince(T0), Hit->StatsJson);
+        Resp.Output += Hit->Verdict;
+        Resp.ServerSeconds = secondsSince(T0);
+        return Resp;
+      }
+      Resp.Cache = "miss";
     }
-    Resp.Cache = "miss";
   }
+  std::string Header = renderHeader(B.Sys->name(), B.Property);
 
   // -- Solve -----------------------------------------------------------------
+  Live.Phase.store("synth");
   synth::SynthOptions SO;
   SO.Shape = B.Shape;
   SO.QGuard = B.QGuard;
@@ -170,9 +373,15 @@ VerifyResponse Server::verify(const VerifyRequest &Req,
     SO.ReuseReduceCache = &RC; // Tier 2: warm across requests.
 
   auto T1 = std::chrono::steady_clock::now();
-  synth::SynthResult Res = synth::synthesize(*B.Sys, SO);
-  double SynthSeconds = secondsSince(T1);
+  synth::SynthResult Res;
+  {
+    obs::Span SynthSp(TB, "synth");
+    Res = synth::synthesize(*B.Sys, SO);
+  }
+  SynthSeconds = secondsSince(T1);
 
+  Live.Phase.store("render");
+  obs::Span RenderSp(TB, "render");
   RenderedVerdict V = renderVerdict(Res, B.ExpectSafe, ParseSeconds);
   Resp.Exit = V.Exit;
   Resp.Output = Header;
@@ -212,6 +421,27 @@ Json Server::handle(const Json &Request,
     return statusJson();
   if (Op == "cache_stats")
     return cacheStatsJson();
+  if (Op == "metrics") {
+    const std::string &F = Request.get("format").asString();
+    if (F == "prom" || F == "prometheus") {
+      Json J;
+      J["ok"] = Json(true);
+      J["format"] = Json("prom");
+      J["text"] = Json(metricsProm());
+      return J;
+    }
+    if (!F.empty() && F != "json") {
+      Json J;
+      J["ok"] = Json(false);
+      J["error"] = Json("unknown metrics format '" + F + "' (json|prom)");
+      return J;
+    }
+    return metricsJson();
+  }
+  if (Op == "dump_trace")
+    return dumpTraceJson(
+        static_cast<uint64_t>(Request.get("request").asInt(0)),
+        Request.get("format").asString());
   if (Op == "shutdown") {
     requestShutdown();
     Json J;
@@ -226,6 +456,7 @@ Json Server::handle(const Json &Request,
 }
 
 Json Server::statusJson() const {
+  StoreStats SS = Store.stats();
   Json J;
   J["ok"] = Json(true);
   J["uptime_seconds"] = Json(secondsSince(Start));
@@ -234,6 +465,18 @@ Json Server::statusJson() const {
   J["request_workers"] = Json(Pool.size());
   J["store_enabled"] = Json(Store.enabled());
   J["store_dir"] = Json(Store.dir());
+  J["telemetry"] = Json(Opts.Telemetry);
+  // Cumulative engine counters over all recorded requests, plus the
+  // store-tier traffic -- enough to see daemon health at a glance
+  // without a full metrics scrape.
+  J["ctr_retries"] = Json(Registry.counterSum("retries"));
+  J["ctr_fallbacks"] = Json(Registry.counterSum("fallbacks"));
+  J["ctr_tuples_skipped"] = Json(Registry.counterSum("tuples_skipped"));
+  J["t1_hits"] = Json(SS.T1Hits);
+  J["t1_misses"] = Json(SS.T1Misses);
+  J["t2_hits"] = Json(RC.hits());
+  J["t2_misses"] = Json(RC.misses());
+  J["slow_requests"] = Json(SlowRequests.load());
   if (!StartupNote.empty())
     J["store_note"] = Json(StartupNote);
   return J;
@@ -252,6 +495,115 @@ Json Server::cacheStatsJson() const {
   J["t2_live_entries"] = Json(static_cast<uint64_t>(RC.size()));
   J["t2_hits"] = Json(RC.hits());
   J["t2_misses"] = Json(RC.misses());
+  return J;
+}
+
+std::vector<obs::PromGauge> Server::gauges() const {
+  std::vector<obs::PromGauge> G;
+  auto Add = [&](const char *Name, const char *Help, double Value) {
+    G.push_back({Name, Help, Value, {}});
+  };
+  Add("uptime_seconds", "Seconds since daemon start.", secondsSince(Start));
+  Add("served_requests", "Requests completed since start.",
+      static_cast<double>(Served.load()));
+  Add("in_flight_requests", "Verify requests currently executing.",
+      static_cast<double>(InFlight.load()));
+  unsigned Pending = Pool.pending();
+  unsigned Size = Pool.size();
+  Add("request_queue_depth", "Jobs waiting behind the busy request pool.",
+      static_cast<double>(Pending > Size ? Pending - Size : 0));
+  Add("request_pool_utilization", "Busy request workers / pool size.",
+      Size ? static_cast<double>(std::min(Pending, Size)) / Size : 0.0);
+  Add("store_t2_live_entries", "Reduce-cache entries resident in memory.",
+      static_cast<double>(RC.size()));
+  Add("flight_retained_requests", "Requests held by the flight recorder.",
+      static_cast<double>(Flight.retained()));
+  Add("flight_bytes", "Approximate flight-recorder memory footprint.",
+      static_cast<double>(Flight.approxBytes()));
+  Add("flight_bytes_ceiling",
+      "Configured upper bound on flight-recorder memory.",
+      static_cast<double>(Flight.memoryCeilingBytes()));
+  Add("slow_requests", "Requests that exceeded --slow-request-seconds.",
+      static_cast<double>(SlowRequests.load()));
+  obs::PromGauge Info;
+  Info.Name = "server_info";
+  Info.Help = "Daemon identity; the value is always 1.";
+  Info.Value = 1;
+  Info.Labels = {{"store_dir", Store.dir()}, {"bound", Bound}};
+  G.push_back(std::move(Info));
+  return G;
+}
+
+Json Server::metricsJson() const {
+  obs::MetricsRegistry::Snapshot S = Registry.snapshot();
+  Json J;
+  J["ok"] = Json(true);
+  J["telemetry"] = Json(Opts.Telemetry);
+
+  Json Reqs, Secs;
+  for (unsigned O = 0; O < obs::NumOutcomes; ++O) {
+    Json RowR, RowS;
+    for (unsigned T = 0; T < obs::NumCacheTiers; ++T) {
+      const char *TN = obs::cacheTierName(static_cast<obs::CacheTier>(T));
+      RowR[TN] = Json(S.Requests[O][T]);
+      RowS[TN] = Json(S.RequestSeconds[O][T]);
+    }
+    const char *ON = obs::outcomeName(static_cast<obs::Outcome>(O));
+    Reqs[ON] = std::move(RowR);
+    Secs[ON] = std::move(RowS);
+  }
+  J["requests"] = std::move(Reqs);
+  J["request_seconds"] = std::move(Secs);
+
+  Json Ctrs;
+  for (const auto &[N, V] : S.Counters)
+    Ctrs[N] = Json(V);
+  J["counters"] = std::move(Ctrs);
+
+  Json Hists;
+  for (const auto &[N, H] : S.Hists) {
+    Json HJ;
+    HJ["count"] = Json(H.Count);
+    HJ["min"] = Json(H.Min);
+    HJ["max"] = Json(H.Max);
+    HJ["mean"] = Json(H.mean());
+    HJ["p50"] = Json(H.P50);
+    HJ["p90"] = Json(H.P90);
+    HJ["p99"] = Json(H.P99);
+    Hists[N] = std::move(HJ);
+  }
+  J["hists"] = std::move(Hists);
+
+  Json Gs;
+  for (const obs::PromGauge &G : gauges())
+    Gs[G.Name] = Json(G.Value);
+  J["gauges"] = std::move(Gs);
+  return J;
+}
+
+std::string Server::metricsProm() const {
+  return obs::renderProm(Registry.snapshot(), gauges());
+}
+
+Json Server::dumpTraceJson(uint64_t RequestId,
+                           const std::string &Format) const {
+  Json J;
+  std::string F = Format.empty() ? "perfetto" : Format;
+  std::vector<obs::FlightRecord> Recs = Flight.dump(RequestId);
+  if (F == "perfetto" || F == "chrome") {
+    J["trace"] = Json(renderFlightTrace(Recs));
+    F = "perfetto";
+  } else if (F == "jsonl") {
+    J["trace"] = Json(renderFlightJsonl(Recs));
+  } else {
+    J["ok"] = Json(false);
+    J["error"] = Json("unknown trace format '" + F + "' (perfetto|jsonl)");
+    return J;
+  }
+  J["ok"] = Json(true);
+  J["format"] = Json(F);
+  J["retained"] = Json(static_cast<uint64_t>(Flight.retained()));
+  J["matched"] = Json(static_cast<uint64_t>(Recs.size()));
   return J;
 }
 

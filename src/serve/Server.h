@@ -21,18 +21,41 @@
 // shared state is the store, the cross-request reduce cache, and the
 // counters, each behind its own lock.
 //
+// Telemetry (on by default, Opts.Telemetry=false strips it all):
+//
+//   * every finished request folds its per-request MetricsSummary into
+//     the process-wide obs::MetricsRegistry, labeled by outcome and by
+//     the cache tier that answered it; the `metrics` op exposes the
+//     cumulative state as JSON or Prometheus text;
+//   * every request's event stream is captured into a bounded
+//     obs::FlightRecorder (fixed memory: ring of FlightCapacity
+//     requests, MaxEvents-capped tracers), dumped by `dump_trace`;
+//   * with --access-log, one structured JSON line per finished request;
+//   * with --slow-request-seconds, a watchdog thread flags requests
+//     exceeding the threshold while still running (access-log line with
+//     the live phase) and the owner thread stamps a `slow_request`
+//     instant into the trace at completion.
+//
+// The per-request tracer respects the obs single-owner rule: the
+// watchdog never touches TraceBuffers, only the request's atomics in
+// the live-request table.
+//
 //===----------------------------------------------------------------------===//
 
 #ifndef SHARPIE_SERVE_SERVER_H
 #define SHARPIE_SERVE_SERVER_H
 
 #include "engine/Pool.h"
+#include "obs/Flight.h"
+#include "obs/Metrics.h"
 #include "obs/Obs.h"
 #include "serve/Proto.h"
 #include "serve/Store.h"
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
+#include <map>
 #include <string>
 #include <thread>
 #include <vector>
@@ -53,6 +76,20 @@ struct ServerOptions {
   /// request with no budget of its own gets exactly this ceiling.
   double MaxRequestSeconds = 0;
   obs::LogLevel Level = obs::LogLevel::Quiet;
+
+  /// Structured access log: one JSON line per finished request (plus
+  /// watchdog slow-request lines). Empty = disabled; "-" = stderr.
+  std::string AccessLogPath;
+  /// Requests running longer than this are flagged by the watchdog and
+  /// stamped with a slow_request instant. 0 = watchdog disabled.
+  double SlowRequestSeconds = 0;
+  /// Requests retained by the flight recorder; 0 disables event
+  /// capture entirely (metrics still aggregate).
+  size_t FlightCapacity = 32;
+  /// Master switch (--no-telemetry): false disables the registry, the
+  /// flight recorder and per-request event collection -- the A/B
+  /// baseline for the telemetry-overhead bench.
+  bool Telemetry = true;
 };
 
 class Server {
@@ -79,8 +116,26 @@ public:
   Json statusJson() const;
   Json cacheStatsJson() const;
 
+  /// The `metrics` op: cumulative request counts/seconds by
+  /// outcome x cache tier, counter sums, merged histograms, gauges.
+  Json metricsJson() const;
+  /// Prometheus text exposition of the same state.
+  std::string metricsProm() const;
+  /// Point-in-time server gauges (in-flight, queue depth, pool
+  /// utilization, store sizes, flight-recorder footprint, ...).
+  std::vector<obs::PromGauge> gauges() const;
+
+  /// The `dump_trace` op: flight-recorder contents as a Perfetto trace
+  /// document or JSONL. \p RequestId 0 = all retained requests.
+  Json dumpTraceJson(uint64_t RequestId = 0,
+                     const std::string &Format = "perfetto") const;
+
   ResultStore &store() { return Store; }
-  void requestShutdown() { ShutdownFlag.store(true); }
+  const obs::MetricsRegistry &registry() const { return Registry; }
+  const obs::FlightRecorder &flight() const { return Flight; }
+  uint64_t slowRequests() const { return SlowRequests.load(); }
+
+  void requestShutdown();
   bool shutdownRequested() const { return ShutdownFlag.load(); }
 
   // -- Socket front end ------------------------------------------------------
@@ -99,7 +154,28 @@ public:
   void serve();
 
 private:
+  /// Watchdog's view of a running request. The owning request thread
+  /// publishes its current phase; the watchdog only reads/writes these
+  /// atomics (never the request's TraceBuffers).
+  struct LiveRequest {
+    uint64_t Id = 0;
+    std::chrono::steady_clock::time_point Start;
+    std::atomic<const char *> Phase{"request"};
+    std::atomic<bool> Slow{false};
+    /// Phase observed by the watchdog when it flagged the request.
+    std::atomic<const char *> SlowPhase{nullptr};
+  };
+
   void handleConnection(int Fd);
+  VerifyResponse verifyImpl(uint64_t Id, const VerifyRequest &Req,
+                            const engine::CancellationToken *Cancel,
+                            obs::Tracer &Tracer, obs::TraceBuffer *TB,
+                            std::chrono::steady_clock::time_point T0,
+                            LiveRequest &Live, double &ParseSeconds,
+                            double &SynthSeconds);
+  void writeAccessLine(const std::string &Line);
+  void watchdogLoop();
+  static obs::Outcome outcomeForExit(int Exit);
 
   ServerOptions Opts;
   ResultStore Store;
@@ -107,6 +183,20 @@ private:
   /// from / saved to the store around each uncached solve.
   engine::ReduceCache RC;
   engine::ThreadPool Pool;
+
+  obs::MetricsRegistry Registry;
+  obs::FlightRecorder Flight;
+  FILE *AccessLog = nullptr;
+  bool OwnAccessLog = false; ///< False when AccessLog is stderr.
+  std::mutex AccessLogMu;
+  std::atomic<uint64_t> SlowRequests{0};
+
+  mutable std::mutex LiveMu;
+  std::map<uint64_t, LiveRequest *> Live;
+  std::thread Watchdog;
+  std::mutex WatchdogMu;
+  std::condition_variable WatchdogCV;
+  bool WatchdogStop = false;
 
   std::atomic<bool> ShutdownFlag{false};
   std::atomic<uint64_t> NextRequestId{1};

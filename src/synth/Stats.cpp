@@ -57,9 +57,13 @@ std::string sharpie::synth::renderStatsTable(const SynthStats &S,
     const char *Name;
     double Seconds;
   } Phases[] = {
-      {"explicit", S.ExplicitSeconds},   {"enumerate", S.EnumerateSeconds},
-      {"prefilter", S.PrefilterSeconds}, {"reduce", S.ReduceSeconds},
-      {"houdini", S.HoudiniSeconds},     {"recheck", S.RecheckSeconds},
+      {"cache_lookup", S.CacheLookupSeconds},
+      {"explicit", S.ExplicitSeconds},
+      {"enumerate", S.EnumerateSeconds},
+      {"prefilter", S.PrefilterSeconds},
+      {"reduce", S.ReduceSeconds},
+      {"houdini", S.HoudiniSeconds},
+      {"recheck", S.RecheckSeconds},
   };
   // Phase times are busy (per-worker) seconds; with several workers they
   // legitimately sum past the wall clock, so the share is vs. worker-time.
@@ -68,11 +72,11 @@ std::string sharpie::synth::renderStatsTable(const SynthStats &S,
           S.NumWorkers, S.NumWorkers == 1 ? "" : "s");
   double Accounted = 0;
   for (const PhaseRow &P : Phases) {
-    appendf(Out, "    %-10s %8.3fs %5.1f%%\n", P.Name, P.Seconds,
+    appendf(Out, "    %-12s %8.3fs %5.1f%%\n", P.Name, P.Seconds,
             Denom > 0 ? 100.0 * P.Seconds / Denom : 0.0);
     Accounted += P.Seconds;
   }
-  appendf(Out, "    %-10s %8.3fs %5.1f%%\n", "(total)", Accounted,
+  appendf(Out, "    %-12s %8.3fs %5.1f%%\n", "(total)", Accounted,
           Denom > 0 ? 100.0 * Accounted / Denom : 0.0);
 
   if (!S.Metrics.Counters.empty()) {

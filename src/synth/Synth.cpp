@@ -82,6 +82,9 @@ struct ReducedClause {
   /// Ground is a weakening of the full reduction: a Sat answer must be
   /// confirmed against the full reduction before a model is trusted.
   bool LazyWeakened = false;
+  /// Quantifier instances the reduction expanded into Ground; summed per
+  /// Houdini check into the instantiations_per_check histogram.
+  uint64_t NumInstances = 0;
 };
 
 class Synthesizer {
@@ -254,6 +257,10 @@ private:
     std::vector<std::pair<size_t, bool>> Core;
     bool CoreKnown = false;
     unsigned Checks = 0; ///< Checks answered by this context.
+    /// Quantifier instances asserted into the merged context so far
+    /// (lazy grounds at setup plus full-reduction escalations); sampled
+    /// per incCheck as instantiations_per_check.
+    uint64_t Instances = 0;
     smt::SmtSolver *Oracle = nullptr; ///< Borrowed, for escalation reduces.
   };
 
@@ -631,6 +638,7 @@ Synthesizer::buildClauses(const std::vector<Term> &SetBodies,
         RC, M, C.Raw, BuildRO, Oracle, Externals, C.Extra, TB);
     C.Ground = R.Ground;
     C.LazyWeakened = R.NumDeferred + R.NumFilteredInstances > 0;
+    C.NumInstances = R.NumInstances;
     SHARPIE_LOGF(TB, obs::LogLevel::Debug,
                  "[reduce] %-16s size=%-7zu inst=%-6u axioms=%-5u venn=%s/%u"
                  " deferred=%u",
@@ -770,6 +778,11 @@ bool Synthesizer::houdini(const std::vector<ReducedClause> &Clauses,
       SatResult R =
           smt::checkTraced(*Solver, TB, "smt_ms.houdini", C.Name.c_str());
       ++Stats.SmtChecks;
+      // Monolithic checks see exactly one clause's ground formula, so the
+      // per-check instantiation load is that clause's expansion count.
+      if (TB)
+        TB->sample("instantiations_per_check",
+                   static_cast<double>(C.NumInstances));
       if (R == SatResult::Unsat) {
         Solver->pop();
         continue;
@@ -826,6 +839,9 @@ bool Synthesizer::houdini(const std::vector<ReducedClause> &Clauses,
         SatResult R =
             smt::checkTraced(*Solver, TB, "smt_ms.safety", C.Name.c_str());
         ++Stats.SmtChecks;
+        if (TB)
+          TB->sample("instantiations_per_check",
+                     static_cast<double>(C.NumInstances));
         Solver->pop();
         if (R == SatResult::Unsat)
           return true;
@@ -910,6 +926,7 @@ void Synthesizer::incSetup(const std::vector<ReducedClause> &Clauses,
     if (C.IsSafety)
       Inc.SafetyIdx = CI;
     Inc.S->add(M.mkImplies(Sel, C.Ground));
+    Inc.Instances += C.NumInstances;
     // Tie every placeholder occurrence to the indicators: P_I holds iff
     // every live atom holds at instance I. Only the implication direction
     // a placeholder's polarity in the ground formula needs is asserted
@@ -997,6 +1014,7 @@ void Synthesizer::ensureFullAsserted(const ReducedClause &C, size_t CI) {
   // their conjunction.
   Inc.S->add(M.mkImplies(Inc.Sel[CI], R.Ground));
   Inc.FullAsserted[CI] = 1;
+  Inc.Instances += R.NumInstances;
   if (TB)
     TB->counter("lazy_escalations", 1);
   SHARPIE_LOGF(TB, obs::LogLevel::Debug,
@@ -1019,6 +1037,11 @@ SatResult Synthesizer::incCheck(const std::vector<ReducedClause> &Clauses,
     const char *Detail = std::strncmp(Hist, "smt_ms.", 7) == 0 ? Hist + 7 : Hist;
     SatResult R = smt::checkAssumingTraced(*Inc.S, A, TB, Hist, Detail);
     ++Stats.SmtChecks;
+    // The merged context carries every clause's expansions at once; the
+    // running total is this check's instantiation load.
+    if (TB)
+      TB->sample("instantiations_per_check",
+                 static_cast<double>(Inc.Instances));
     if (R == SatResult::Unsat) {
       incRecordCore();
       return R;

@@ -171,6 +171,10 @@ struct SynthStats {
   double ReduceSeconds = 0;
   double HoudiniSeconds = 0;
   double RecheckSeconds = 0;
+  /// Result-store lookup time, set by the drivers (the store sits above
+  /// the synthesis; synthesize() leaves this 0) so the phase table
+  /// accounts for cache-tier latency next to the engine phases.
+  double CacheLookupSeconds = 0;
   /// Busy worker-seconds divided by workers * search wall time; 1.0 means
   /// every worker was processing tuples the whole search.
   double WorkerUtilization = 1.0;

@@ -1,0 +1,38 @@
+#!/bin/sh
+# Part of sharpie. Lint: every counter/histogram name the library emits
+# must be documented in DESIGN.md's metric name reference (section 12).
+# An undocumented metric is invisible to operators reading the docs and
+# silently skews dashboards; this makes adding the doc row part of
+# adding the metric.
+#
+#   usage: lint_metrics.sh <repo-root>
+#
+# Emission sites: TraceBuffer::counter()/sample() calls, the traced
+# solver-check helpers (checkTraced / checkAssumingTraced carry the
+# phase-histogram name), and resil's bump() counter forwarder. Names are
+# the quoted [a-z0-9_.] literals on those lines; comment-only lines are
+# ignored so prose mentioning a histogram does not count as an emission.
+ROOT=${1:?usage: lint_metrics.sh repo-root}
+DESIGN="$ROOT/DESIGN.md"
+
+[ -r "$DESIGN" ] || { echo "missing $DESIGN"; exit 1; }
+
+NAMES=$(grep -rhE '(->counter\(|->sample\(|\bbump\(|checkTraced|checkAssumingTraced)' \
+          "$ROOT/src" --include='*.cpp' --include='*.h' \
+        | grep -vE '^[[:space:]]*//' \
+        | grep -ohE '"[a-z][a-z0-9_.]*"' | tr -d '"' | sort -u)
+
+[ -n "$NAMES" ] || { echo "no metric emissions found -- lint is broken"; exit 1; }
+
+MISSING=
+for N in $NAMES; do
+  grep -qF "\`$N\`" "$DESIGN" || MISSING="$MISSING $N"
+done
+
+if [ -n "$MISSING" ]; then
+  echo "metric names emitted in src/ but undocumented in DESIGN.md"
+  echo "section 12 (add a table row with unit and meaning):"
+  for N in $MISSING; do echo "  $N"; done
+  exit 1
+fi
+exit 0

@@ -16,6 +16,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <fstream>
 #include <thread>
 #include <unistd.h>
 #include <vector>
@@ -217,6 +218,211 @@ TEST_F(ServerTest, VerifyViaHandleRoundTripsTheWireEncoding) {
   EXPECT_EQ(front::ExitVerified, Resp.Exit);
   EXPECT_NE(std::string::npos, Resp.Output.find("VERIFIED"));
   EXPECT_EQ("miss", Resp.Cache);
+}
+
+// -- Telemetry ---------------------------------------------------------------
+
+TEST_F(ServerTest, MetricsLabelColdThenWarmRequests) {
+  Server Srv(options());
+  ASSERT_EQ("miss", Srv.verify(request()).Cache);
+  ASSERT_EQ("hit", Srv.verify(request()).Cache);
+  EXPECT_EQ(2u, Srv.registry().recorded());
+
+  Json M = Srv.metricsJson();
+  EXPECT_TRUE(M.get("ok").asBool());
+  EXPECT_TRUE(M.get("telemetry").asBool());
+  // The cold miss and the tier-1 replay land in distinct labeled cells.
+  EXPECT_EQ(1, M.get("requests").get("verified").get("cold").asInt());
+  EXPECT_EQ(1, M.get("requests").get("verified").get("t1_hit").asInt());
+  EXPECT_EQ(0, M.get("requests").get("error").get("cold").asInt());
+  EXPECT_GT(M.get("request_seconds").get("verified").get("cold").asDouble(),
+            0.0);
+  // Each request counted its own store-tier probe.
+  EXPECT_EQ(1, M.get("counters").get("serve_t1_hits").asInt());
+  EXPECT_EQ(1, M.get("counters").get("serve_t1_misses").asInt());
+  // The cold solve sampled engine histograms into the registry.
+  EXPECT_GE(M.get("hists").get("reduce_ms").get("count").asInt(), 1);
+  EXPECT_GE(M.get("hists").get("formula_atoms").get("count").asInt(), 1);
+  EXPECT_GE(M.get("hists").get("instantiations_per_check").get("count")
+                .asInt(), 1);
+  EXPECT_EQ(2.0, M.get("gauges").get("served_requests").asDouble());
+
+  std::string P = Srv.metricsProm();
+  EXPECT_NE(std::string::npos,
+            P.find("sharpie_requests_total{outcome=\"verified\","
+                   "cache_tier=\"cold\"} 1\n"));
+  EXPECT_NE(std::string::npos,
+            P.find("sharpie_requests_total{outcome=\"verified\","
+                   "cache_tier=\"t1_hit\"} 1\n"));
+  EXPECT_NE(std::string::npos,
+            P.find("sharpie_ctr_serve_t1_hits_total 1\n"));
+  EXPECT_NE(std::string::npos, P.find("# TYPE sharpie_hist_reduce_ms"
+                                      " histogram\n"));
+  EXPECT_NE(std::string::npos, P.find("# TYPE sharpie_served_requests"
+                                      " gauge\n"));
+}
+
+TEST_F(ServerTest, MetricsOpSpeaksJsonAndPromOnTheWire) {
+  Server Srv(options());
+  ASSERT_EQ(front::ExitVerified, Srv.verify(request()).Exit);
+
+  Json J = Srv.handle(parseJson("{\"op\":\"metrics\"}", nullptr));
+  EXPECT_TRUE(J.get("ok").asBool());
+  EXPECT_EQ(1, J.get("requests").get("verified").get("cold").asInt());
+
+  Json P = Srv.handle(
+      parseJson("{\"op\":\"metrics\",\"format\":\"prom\"}", nullptr));
+  EXPECT_TRUE(P.get("ok").asBool());
+  EXPECT_EQ("prom", P.get("format").asString());
+  EXPECT_NE(std::string::npos,
+            P.get("text").asString().find(
+                "# TYPE sharpie_requests_total counter\n"));
+
+  Json Bad = Srv.handle(
+      parseJson("{\"op\":\"metrics\",\"format\":\"xml\"}", nullptr));
+  EXPECT_FALSE(Bad.get("ok").asBool());
+}
+
+TEST_F(ServerTest, DumpTraceCoversNeverExplicitlyTracedRequests) {
+  // No tracing was requested anywhere: the flight recorder alone must be
+  // able to produce a loadable trace for a past request.
+  Server Srv(options());
+  ASSERT_EQ(front::ExitVerified, Srv.verify(request()).Exit);
+  EXPECT_EQ(1u, Srv.flight().retained());
+  EXPECT_LE(Srv.flight().approxBytes(), Srv.flight().memoryCeilingBytes());
+
+  Json D = Srv.handle(parseJson("{\"op\":\"dump_trace\"}", nullptr));
+  EXPECT_TRUE(D.get("ok").asBool());
+  EXPECT_EQ("perfetto", D.get("format").asString());
+  EXPECT_EQ(1, D.get("matched").asInt());
+  const std::string &Doc = D.get("trace").asString();
+  std::string Err;
+  Json T = parseJson(Doc, &Err);
+  ASSERT_TRUE(Err.empty()) << Err;
+  ASSERT_TRUE(T.get("traceEvents").isArray());
+  EXPECT_GT(T.get("traceEvents").asArray().size(), 4u);
+  // The request's phase spans all made it into the document.
+  for (const char *Phase :
+       {"request", "parse", "hash_lookup", "synth", "render"})
+    EXPECT_NE(std::string::npos,
+              Doc.find("\"name\":\"" + std::string(Phase) + "\""))
+        << Phase;
+
+  Json L = Srv.dumpTraceJson(1, "jsonl");
+  EXPECT_TRUE(L.get("ok").asBool());
+  EXPECT_EQ(1, L.get("matched").asInt());
+  EXPECT_NE(std::string::npos, L.get("trace").asString().find(
+                                   "\"request\":1,"));
+  EXPECT_EQ(0, Srv.dumpTraceJson(999).get("matched").asInt());
+  EXPECT_FALSE(Srv.dumpTraceJson(0, "xml").get("ok").asBool());
+}
+
+TEST_F(ServerTest, AccessLogWritesOneParseableJsonLinePerRequest) {
+  std::string LogPath = Dir + "_access.log";
+  ::unlink(LogPath.c_str());
+  ServerOptions O = options();
+  O.AccessLogPath = LogPath;
+  {
+    Server Srv(O);
+    ASSERT_EQ(front::ExitVerified, Srv.verify(request()).Exit);
+    ASSERT_EQ("hit", Srv.verify(request()).Cache);
+  }
+  std::ifstream In(LogPath);
+  ASSERT_TRUE(In.good());
+  std::vector<Json> Lines;
+  std::string Line;
+  while (std::getline(In, Line)) {
+    std::string Err;
+    Json J = parseJson(Line, &Err);
+    ASSERT_TRUE(Err.empty()) << Err << " in: " << Line;
+    Lines.push_back(J);
+  }
+  ::unlink(LogPath.c_str());
+  ASSERT_EQ(2u, Lines.size());
+  EXPECT_EQ("request", Lines[0].get("event").asString());
+  EXPECT_EQ(1, Lines[0].get("id").asInt());
+  EXPECT_EQ(2, Lines[1].get("id").asInt());
+  EXPECT_EQ("verified", Lines[0].get("outcome").asString());
+  EXPECT_EQ("cold", Lines[0].get("cache_tier").asString());
+  EXPECT_EQ("t1_hit", Lines[1].get("cache_tier").asString());
+  EXPECT_EQ(32u, Lines[0].get("hash").asString().size());
+  EXPECT_EQ(Lines[0].get("hash").asString(),
+            Lines[1].get("hash").asString());
+  EXPECT_GT(Lines[0].get("server_seconds").asDouble(), 0.0);
+  EXPECT_GE(Lines[0].get("workers").asInt(), 1);
+  EXPECT_FALSE(Lines[0].get("slow").asBool());
+}
+
+TEST_F(ServerTest, WatchdogFlagsSlowRequestsAndStampsTheTrace) {
+  ServerOptions O = options();
+  O.SlowRequestSeconds = 0.0001; // Everything is slow at 100us.
+  Server Srv(O);
+  ASSERT_EQ(front::ExitVerified, Srv.verify(request()).Exit);
+  EXPECT_GE(Srv.slowRequests(), 1u);
+  Json D = Srv.dumpTraceJson(1);
+  ASSERT_TRUE(D.get("ok").asBool());
+  EXPECT_NE(std::string::npos,
+            D.get("trace").asString().find("slow_request"));
+  EXPECT_GE(Srv.statusJson().get("slow_requests").asInt(), 1);
+}
+
+TEST_F(ServerTest, StatusCarriesCumulativeCountersAndTierTraffic) {
+  Server Srv(options());
+  ASSERT_EQ("miss", Srv.verify(request()).Cache);
+  ASSERT_EQ("hit", Srv.verify(request()).Cache);
+  Json S = Srv.statusJson();
+  EXPECT_TRUE(S.get("telemetry").asBool());
+  EXPECT_EQ(1, S.get("t1_hits").asInt());
+  EXPECT_EQ(1, S.get("t1_misses").asInt());
+  EXPECT_EQ(0, S.get("slow_requests").asInt());
+  // The clean run retried/fell back/skipped nothing, but the cumulative
+  // fields are present (distinguish 0 from absent).
+  EXPECT_EQ(Json::Type::Int, S.get("ctr_retries").type());
+  EXPECT_EQ(Json::Type::Int, S.get("ctr_fallbacks").type());
+  EXPECT_EQ(Json::Type::Int, S.get("ctr_tuples_skipped").type());
+  EXPECT_GE(S.get("t2_misses").asInt() + S.get("t2_hits").asInt(), 0);
+}
+
+TEST_F(ServerTest, NoTelemetryDisablesRegistryAndFlightRecorder) {
+  ServerOptions O = options();
+  O.Telemetry = false;
+  Server Srv(O);
+  ASSERT_EQ(front::ExitVerified, Srv.verify(request()).Exit);
+  EXPECT_EQ(0u, Srv.registry().recorded());
+  EXPECT_EQ(0u, Srv.flight().retained());
+  Json M = Srv.metricsJson();
+  EXPECT_TRUE(M.get("ok").asBool());
+  EXPECT_FALSE(M.get("telemetry").asBool());
+  EXPECT_EQ(0, M.get("requests").get("verified").get("cold").asInt());
+  EXPECT_FALSE(Srv.statusJson().get("telemetry").asBool());
+}
+
+TEST_F(ServerTest, ConcurrentRequestsMetricsScrapesAndDumpsAreSafe) {
+  // The TSan companion to ConcurrentRequestsShareOneStoreSafely: verify
+  // traffic racing metrics scrapes, trace dumps and the watchdog. Pins
+  // the registry/flight/live-table locking the telemetry layer adds.
+  ServerOptions O = options();
+  O.SlowRequestSeconds = 0.001;
+  Server Srv(O);
+  std::vector<std::thread> Ts;
+  std::atomic<int> Verified{0};
+  for (int I = 0; I < 4; ++I)
+    Ts.emplace_back([&, I] {
+      VerifyRequest R = request();
+      R.File = "req" + std::to_string(I) + ".sharpie";
+      if (Srv.verify(R).Exit == front::ExitVerified)
+        Verified.fetch_add(1);
+      (void)Srv.metricsJson().dump();
+      (void)Srv.metricsProm();
+      (void)Srv.dumpTraceJson().dump();
+      (void)Srv.statusJson().dump();
+    });
+  for (std::thread &T : Ts)
+    T.join();
+  EXPECT_EQ(4, Verified.load());
+  EXPECT_EQ(4u, Srv.registry().recorded());
+  EXPECT_EQ(4u, Srv.flight().retained());
+  EXPECT_LE(Srv.flight().approxBytes(), Srv.flight().memoryCeilingBytes());
 }
 
 TEST_F(ServerTest, ConcurrentRequestsShareOneStoreSafely) {

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# prom_scrape.sh -- fetch a sharpied daemon's Prometheus text exposition.
+#
+# Usage:
+#   tools/prom_scrape.sh ADDR [OUT_FILE]
+#
+# ADDR is the daemon address ("unix:/path/to.sock" or "HOST:PORT").
+# Prints the exposition to stdout (or OUT_FILE), exit 0 on success --
+# the shape a Prometheus file-based scrape job or a cron textfile
+# collector wants. Requires the sharpie binary next to this script's
+# build tree or on PATH.
+set -euo pipefail
+
+if [ $# -lt 1 ] || [ $# -gt 2 ]; then
+  echo "usage: $0 ADDR [OUT_FILE]" >&2
+  exit 2
+fi
+ADDR=$1
+OUT=${2:-}
+
+# Locate the sharpie client: PATH first, then the conventional build dir
+# relative to this script.
+HERE=$(cd "$(dirname "$0")" && pwd)
+SHARPIE=$(command -v sharpie || true)
+if [ -z "$SHARPIE" ]; then
+  for CAND in "$HERE/../build/tools/sharpie" "$HERE/../build/sharpie"; do
+    if [ -x "$CAND" ]; then SHARPIE=$CAND; break; fi
+  done
+fi
+if [ -z "$SHARPIE" ]; then
+  echo "error: sharpie binary not found (PATH or build/tools)" >&2
+  exit 1
+fi
+
+if [ -n "$OUT" ]; then
+  TMP=$(mktemp "${OUT}.XXXXXX")
+  trap 'rm -f "$TMP"' EXIT
+  "$SHARPIE" --server "$ADDR" metrics --format prom >"$TMP"
+  mv "$TMP" "$OUT" # Atomic publish: scrapers never see a partial file.
+  trap - EXIT
+else
+  exec "$SHARPIE" --server "$ADDR" metrics --format prom
+fi

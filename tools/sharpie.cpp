@@ -42,6 +42,15 @@
 // (daemonless) run the same persistent cache: warm re-verifications of
 // an already-solved protocol replay the stored verdict without solving.
 //
+// With --server, the positional words `metrics` and `dump-trace` are
+// telemetry ops instead of a file: `sharpie --server ADDR metrics
+// [--format json|prom]` prints the daemon's cumulative metrics (JSON
+// object, or Prometheus text exposition with --format prom);
+// `sharpie --server ADDR dump-trace [--format perfetto|jsonl]
+// [--request ID]` prints the flight recorder's retained request traces
+// (a Perfetto-loadable document by default; --request selects one
+// request id, 0/default dumps all).
+//
 // Exit codes (front/ExitCodes.h; deterministic, scriptable):
 //   0  verified safe (invariant printed)
 //   1  unsafe (explicit counterexample printed)
@@ -83,9 +92,12 @@ void usage(const char *Argv0) {
                "       [--faults PLAN] [--no-supervise] [--no-incremental]\n"
                "       [--smt-timeout MS] [--server ADDR] [--store DIR]\n"
                "       %s\n"
+               "       %s --server ADDR metrics [--format json|prom]\n"
+               "       %s --server ADDR dump-trace [--format perfetto|jsonl]"
+               " [--request ID]\n"
                "exit codes: 0 safe, 1 unsafe, 2 unknown, 3 error,"
                " 4 inconclusive\n",
-               Argv0, obs::CliObs::usageFragment());
+               Argv0, obs::CliObs::usageFragment(), Argv0, Argv0);
 }
 
 double secondsSince(std::chrono::steady_clock::time_point T0) {
@@ -104,6 +116,8 @@ int run(int argc, char **argv) {
   std::string FaultSpec;
   std::string ServerAddr;
   std::string StoreDir;
+  std::string Format;       // --format, for the metrics/dump-trace ops.
+  uint64_t RequestId = 0;   // --request, for dump-trace.
   if (const char *Env = std::getenv("SHARPIE_FAULTS"))
     FaultSpec = Env; // --faults below overrides the environment.
   obs::CliObs Obs;
@@ -148,6 +162,11 @@ int run(int argc, char **argv) {
     }
     else if (!std::strcmp(argv[I], "--store") && I + 1 < argc)
       StoreDir = argv[++I];
+    else if (!std::strcmp(argv[I], "--format") && I + 1 < argc)
+      Format = argv[++I];
+    else if (!std::strcmp(argv[I], "--request") && I + 1 < argc)
+      RequestId =
+          static_cast<uint64_t>(std::strtoull(argv[++I], nullptr, 10));
     else if (!std::strcmp(argv[I], "--help") || !std::strcmp(argv[I], "-h")) {
       usage(argv[0]);
       return 0;
@@ -180,6 +199,46 @@ int run(int argc, char **argv) {
       std::fprintf(stderr, "error: bad fault plan: %s\n", FErr.c_str());
       return ExitError;
     }
+  }
+
+  // -- Telemetry ops (thin client) -------------------------------------------
+  // `metrics` and `dump-trace` are daemon queries, not files: print the
+  // scrape (Prometheus text with --format prom) or the flight-recorder
+  // trace document and exit 0.
+  if (!ServerAddr.empty() && (File == "metrics" || File == "dump-trace")) {
+    bool Metrics = File == "metrics";
+    std::string Err;
+    auto A = serve::parseAddr(ServerAddr, &Err);
+    if (!A) {
+      std::fprintf(stderr, "error: %s\n", Err.c_str());
+      return ExitError;
+    }
+    serve::Json Req;
+    Req["op"] = serve::Json(Metrics ? "metrics" : "dump_trace");
+    if (!Format.empty())
+      Req["format"] = serve::Json(Format);
+    if (RequestId)
+      Req["request"] = serve::Json(RequestId);
+    serve::Client C;
+    serve::Json RespJ;
+    if (!C.connect(*A, Err) || !C.roundTrip(Req, RespJ, Err)) {
+      std::fprintf(stderr, "error: %s\n", Err.c_str());
+      return ExitError;
+    }
+    if (!RespJ.get("ok").asBool()) {
+      std::fprintf(stderr, "error: %s\n",
+                   RespJ.get("error").asString().c_str());
+      return ExitError;
+    }
+    std::string Out;
+    if (Metrics && RespJ.get("format").asString() == "prom")
+      Out = RespJ.get("text").asString(); // Raw exposition, scrapeable.
+    else if (!Metrics)
+      Out = RespJ.get("trace").asString(); // Perfetto/JSONL document.
+    else
+      Out = RespJ.dump() + "\n";
+    std::fwrite(Out.data(), 1, Out.size(), stdout);
+    return 0;
   }
 
   // -- Thin-client mode ------------------------------------------------------
@@ -322,6 +381,7 @@ int run(int argc, char **argv) {
   synth::SynthResult Res = synth::synthesize(*B.Sys, Opts);
   double SynthSeconds = secondsSince(T1);
   double TotalSeconds = secondsSince(T0);
+  Res.Stats.CacheLookupSeconds = CacheLookupSeconds;
 
   if (Tracer) {
     std::string Err;

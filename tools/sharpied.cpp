@@ -9,13 +9,27 @@
 //   sharpied --listen ADDR [--store DIR] [--request-workers N]
 //            [--synth-workers N] [--max-request-seconds S]
 //            [--log-level quiet|info|debug|trace]
+//            [--access-log FILE] [--slow-request-seconds S]
+//            [--flight-recorder N] [--no-telemetry]
 //
-//   sharpied --ctl ADDR --op status|cache_stats|shutdown
+//   sharpied --ctl ADDR --op status|cache_stats|metrics|dump_trace|shutdown
+//            [--format FMT] [--request ID]
 //
 // ADDR is "unix:/path/to.sock" or "HOST:PORT" (numeric IPv4; port 0 asks
 // the kernel for a free port, printed in the banner). On startup the
 // daemon prints exactly one line, "sharpied listening on <addr>", so
 // scripts can wait for readiness. SIGINT/SIGTERM drain and exit 0.
+//
+// Telemetry (see serve/Server.h): --access-log FILE appends one JSON
+// line per finished request ("-" = stderr); --slow-request-seconds S
+// arms a watchdog that flags still-running requests past S seconds;
+// --flight-recorder N sets how many requests the bounded trace ring
+// retains (default 32, 0 disables event capture); --no-telemetry turns
+// the metrics registry and flight recorder off entirely (the
+// overhead-bench baseline). The `metrics` ctl op takes --format
+// json|prom (prom prints the raw Prometheus exposition); `dump_trace`
+// takes --format perfetto|jsonl and --request ID (0 = all) and prints
+// the trace document itself.
 //
 // The verify client side lives in the main CLI: `sharpie FILE --server
 // ADDR` ships the protocol text to a daemon and replays its byte-exact
@@ -44,7 +58,11 @@ void usage(const char *Argv0) {
       "usage: %s --listen ADDR [--store DIR] [--request-workers N]\n"
       "       [--synth-workers N] [--max-request-seconds S]\n"
       "       [--log-level quiet|info|debug|trace]\n"
-      "   or: %s --ctl ADDR --op status|cache_stats|shutdown\n"
+      "       [--access-log FILE] [--slow-request-seconds S]\n"
+      "       [--flight-recorder N] [--no-telemetry]\n"
+      "   or: %s --ctl ADDR --op status|cache_stats|metrics|dump_trace|"
+      "shutdown\n"
+      "       [--format json|prom|perfetto|jsonl] [--request ID]\n"
       "ADDR: unix:/path/to.sock or HOST:PORT\n",
       Argv0, Argv0);
 }
@@ -56,7 +74,8 @@ void onSignal(int) {
     ActiveServer->requestShutdown();
 }
 
-int runCtl(const std::string &AddrSpec, const std::string &Op) {
+int runCtl(const std::string &AddrSpec, const std::string &Op,
+           const std::string &Format, uint64_t RequestId) {
   std::string Err;
   auto A = serve::parseAddr(AddrSpec, &Err);
   if (!A) {
@@ -70,17 +89,30 @@ int runCtl(const std::string &AddrSpec, const std::string &Op) {
   }
   serve::Json Req;
   Req["op"] = serve::Json(Op);
+  if (!Format.empty())
+    Req["format"] = serve::Json(Format);
+  if (RequestId)
+    Req["request"] = serve::Json(RequestId);
   serve::Json Resp;
   if (!C.roundTrip(Req, Resp, Err)) {
     std::fprintf(stderr, "error: %s\n", Err.c_str());
     return front::ExitError;
   }
-  std::printf("%s\n", Resp.dump().c_str());
-  return Resp.get("ok").asBool(false) ? 0 : front::ExitError;
+  bool Ok = Resp.get("ok").asBool(false);
+  // Text payloads print raw so the output pipes straight into a scraper
+  // or Perfetto; everything else prints the JSON response.
+  if (Ok && Op == "metrics" && Resp.get("format").asString() == "prom")
+    std::printf("%s", Resp.get("text").asString().c_str());
+  else if (Ok && Op == "dump_trace")
+    std::printf("%s", Resp.get("trace").asString().c_str());
+  else
+    std::printf("%s\n", Resp.dump().c_str());
+  return Ok ? 0 : front::ExitError;
 }
 
 int run(int argc, char **argv) {
-  std::string Listen, Ctl, Op;
+  std::string Listen, Ctl, Op, Format;
+  uint64_t RequestId = 0;
   serve::ServerOptions SO;
   for (int I = 1; I < argc; ++I) {
     if (!std::strcmp(argv[I], "--listen") && I + 1 < argc)
@@ -89,6 +121,11 @@ int run(int argc, char **argv) {
       Ctl = argv[++I];
     else if (!std::strcmp(argv[I], "--op") && I + 1 < argc)
       Op = argv[++I];
+    else if (!std::strcmp(argv[I], "--format") && I + 1 < argc)
+      Format = argv[++I];
+    else if (!std::strcmp(argv[I], "--request") && I + 1 < argc)
+      RequestId =
+          static_cast<uint64_t>(std::strtoull(argv[++I], nullptr, 10));
     else if (!std::strcmp(argv[I], "--store") && I + 1 < argc)
       SO.StoreDir = argv[++I];
     else if (!std::strcmp(argv[I], "--request-workers") && I + 1 < argc)
@@ -99,6 +136,15 @@ int run(int argc, char **argv) {
           static_cast<unsigned>(std::strtol(argv[++I], nullptr, 10));
     else if (!std::strcmp(argv[I], "--max-request-seconds") && I + 1 < argc)
       SO.MaxRequestSeconds = std::strtod(argv[++I], nullptr);
+    else if (!std::strcmp(argv[I], "--access-log") && I + 1 < argc)
+      SO.AccessLogPath = argv[++I];
+    else if (!std::strcmp(argv[I], "--slow-request-seconds") && I + 1 < argc)
+      SO.SlowRequestSeconds = std::strtod(argv[++I], nullptr);
+    else if (!std::strcmp(argv[I], "--flight-recorder") && I + 1 < argc)
+      SO.FlightCapacity =
+          static_cast<size_t>(std::strtoull(argv[++I], nullptr, 10));
+    else if (!std::strcmp(argv[I], "--no-telemetry"))
+      SO.Telemetry = false;
     else if (!std::strcmp(argv[I], "--log-level") && I + 1 < argc) {
       std::string L = argv[++I];
       if (auto P = obs::parseLogLevel(L)) {
@@ -118,12 +164,13 @@ int run(int argc, char **argv) {
   }
 
   if (!Ctl.empty()) {
-    if (Op != "status" && Op != "cache_stats" && Op != "shutdown") {
+    if (Op != "status" && Op != "cache_stats" && Op != "metrics" &&
+        Op != "dump_trace" && Op != "shutdown") {
       std::fprintf(stderr, "error: --ctl needs --op status|cache_stats|"
-                           "shutdown\n");
+                           "metrics|dump_trace|shutdown\n");
       return front::ExitError;
     }
-    return runCtl(Ctl, Op);
+    return runCtl(Ctl, Op, Format, RequestId);
   }
   if (Listen.empty()) {
     usage(argv[0]);

@@ -46,6 +46,21 @@
 #                              a measurable MIN_COLD seconds. The final
 #                              meta line records the daemon's cache_stats
 #                              counters (t1 hits/writes per protocol).
+#   tools/sweep.sh --bench-pr8 telemetry-overhead benchmark: boots two
+#                              sharpied daemons on fresh stores -- one
+#                              with telemetry (default) and one with
+#                              --no-telemetry -- runs PR8_PROTO cold and
+#                              warm through each, and writes
+#                              BENCH_PR8.json. Gates: the telemetry
+#                              daemon's cold wall must stay within
+#                              OVERHEAD_MAX percent (default 2, plus an
+#                              ABS_SLACK noise floor) of the baseline;
+#                              the metrics endpoint must expose the
+#                              cold/warm requests in labeled counters;
+#                              the flight recorder's measured bytes must
+#                              sit under its configured ceiling. Also
+#                              records the average Prometheus scrape
+#                              latency and a dump_trace sanity probe.
 #   tools/sweep.sh --bench-pr5 incremental-Houdini A/B: runs each protocol
 #                              in the default incremental mode and under
 #                              --no-incremental (the monolithic baseline)
@@ -328,6 +343,128 @@ if [ "$1" = "--bench-pr7" ]; then
   echo "cache_stats: $stats"
   "$SHARPIED_BIN" --ctl "unix:$SOCK" --op shutdown > /dev/null 2>&1
   wait "$DPID" 2>/dev/null
+  echo "wrote $OUT"
+  exit $FAIL
+fi
+
+if [ "$1" = "--bench-pr8" ]; then
+  OUT=${OUT:-BENCH_PR8.json}
+  SHARPIED_BIN=${SHARPIED_BIN:-build/tools/sharpied}
+  PROTODIR=${PROTODIR:-examples/protocols}
+  # A search-heavy protocol: fixed request overhead is negligible against
+  # the solve, so the A/B isolates the aggregation cost.
+  PR8_PROTO=${PR8_PROTO:-ticket_lock.sharpie}
+  OVERHEAD_MAX=${OVERHEAD_MAX:-2}   # percent of the baseline cold wall
+  ABS_SLACK=${ABS_SLACK:-0.15}      # seconds; scheduler noise floor
+  SCRAPES=${SCRAPES:-20}
+  FAIL=0
+  WORK=$(mktemp -d)
+  trap 'rm -rf "$WORK"' EXIT
+
+  pr8_boot() { # $1=sock $2=store $3=log $4=extra flags; sets BOOT_PID
+    # shellcheck disable=SC2086
+    "$SHARPIED_BIN" --listen "unix:$1" --store "$2" $4 > "$3" 2>&1 &
+    BOOT_PID=$!
+    i=0
+    while [ $i -lt 100 ]; do
+      grep -q "listening on" "$3" 2>/dev/null && break
+      kill -0 "$BOOT_PID" 2>/dev/null || \
+        { echo "daemon died:"; cat "$3"; exit 1; }
+      sleep 0.1
+      i=$((i + 1))
+    done
+  }
+  pr8_wall() { # $1=sock $2=protocol file; prints client wall seconds
+    w0=$(date +%s%N)
+    timeout "$TIMEOUT" "$SHARPIE_BIN" --server "unix:$1" "$2" \
+      > /dev/null 2>&1 || true
+    w1=$(date +%s%N)
+    awk -v a="$w0" -v b="$w1" 'BEGIN { printf "%.3f", (b - a) / 1e9 }'
+  }
+
+  file="$PROTODIR/$PR8_PROTO"
+  name=$(basename "$PR8_PROTO" .sharpie)
+  printf '{"meta":{"nproc":%s,"protocol":"%s","overhead_max_pct":%s,"abs_slack_s":%s}}\n' \
+    "$(nproc 2>/dev/null || echo 0)" "$name" "$OVERHEAD_MAX" "$ABS_SLACK" > "$OUT"
+
+  # Baseline: telemetry stripped entirely.
+  SOCK_B="$WORK/base.sock"
+  pr8_boot "$SOCK_B" "$WORK/store_base" "$WORK/base.log" "--no-telemetry"
+  PID_B=$BOOT_PID
+  base_cold=$(pr8_wall "$SOCK_B" "$file")
+  base_warm=$(pr8_wall "$SOCK_B" "$file")
+  "$SHARPIED_BIN" --ctl "unix:$SOCK_B" --op shutdown > /dev/null 2>&1
+  wait "$PID_B" 2>/dev/null
+
+  # Telemetry on (defaults: registry + flight recorder + event capture).
+  SOCK_T="$WORK/tele.sock"
+  pr8_boot "$SOCK_T" "$WORK/store_tele" "$WORK/tele.log" ""
+  PID_T=$BOOT_PID
+  tele_cold=$(pr8_wall "$SOCK_T" "$file")
+  tele_warm=$(pr8_wall "$SOCK_T" "$file")
+
+  # Metrics endpoint: the cold solve and the tier-1 replay must be
+  # visible in the labeled Prometheus counters.
+  "$SHARPIE_BIN" --server "unix:$SOCK_T" metrics --format prom \
+    > "$WORK/prom.txt" 2>/dev/null
+  for want in \
+    'sharpie_requests_total{outcome="verified",cache_tier="cold"} 1' \
+    'sharpie_requests_total{outcome="verified",cache_tier="t1_hit"} 1' \
+    '# TYPE sharpie_requests_total counter'; do
+    if ! grep -qF "$want" "$WORK/prom.txt"; then
+      printf 'METRICS FAIL: missing %s\n' "$want"
+      FAIL=1
+    fi
+  done
+
+  # Scrape latency: average over SCRAPES Prometheus pulls.
+  s0=$(date +%s%N)
+  i=0
+  while [ $i -lt "$SCRAPES" ]; do
+    "$SHARPIE_BIN" --server "unix:$SOCK_T" metrics --format prom > /dev/null 2>&1
+    i=$((i + 1))
+  done
+  s1=$(date +%s%N)
+  scrape_ms=$(awk -v a="$s0" -v b="$s1" -v n="$SCRAPES" \
+    'BEGIN { printf "%.2f", (b - a) / 1e6 / n }')
+
+  # Flight recorder: measured footprint under its configured ceiling,
+  # and dump_trace yields a trace document for the past requests.
+  gauges=$("$SHARPIE_BIN" --server "unix:$SOCK_T" metrics 2>/dev/null)
+  fb=$(printf '%s' "$gauges" | sed -n 's/.*"flight_bytes":\([0-9.e+]*\).*/\1/p')
+  fc=$(printf '%s' "$gauges" | sed -n 's/.*"flight_bytes_ceiling":\([0-9.e+]*\).*/\1/p')
+  if [ -z "$fb" ] || [ -z "$fc" ] || \
+     ! awk -v b="$fb" -v c="$fc" 'BEGIN { exit !(b <= c && c > 0) }'; then
+    printf 'FLIGHT FAIL: bytes=%s ceiling=%s\n' "${fb:-?}" "${fc:-?}"
+    FAIL=1
+  fi
+  if ! "$SHARPIED_BIN" --ctl "unix:$SOCK_T" --op dump_trace 2>/dev/null \
+       | grep -q '"traceEvents"'; then
+    echo "DUMP_TRACE FAIL: no trace document"
+    FAIL=1
+  fi
+  "$SHARPIED_BIN" --ctl "unix:$SOCK_T" --op shutdown > /dev/null 2>&1
+  wait "$PID_T" 2>/dev/null
+
+  # Overhead gate: telemetry cold wall within OVERHEAD_MAX percent of the
+  # baseline, with ABS_SLACK absorbing scheduler noise on fast solves.
+  overhead_pct=$(awk -v t="$tele_cold" -v b="$base_cold" \
+    'BEGIN { printf "%.2f", (b > 0) ? (t - b) * 100 / b : 0 }')
+  if ! awk -v t="$tele_cold" -v b="$base_cold" -v m="$OVERHEAD_MAX" \
+         -v s="$ABS_SLACK" \
+         'BEGIN { exit !((t - b) <= b * m / 100 || (t - b) <= s) }'; then
+    printf 'OVERHEAD FAIL: telemetry cold %ss vs baseline %ss (%s%%)\n' \
+      "$tele_cold" "$base_cold" "$overhead_pct"
+    FAIL=1
+  fi
+
+  printf '{"protocol":"%s","baseline_cold_wall":%s,"baseline_warm_wall":%s,"telemetry_cold_wall":%s,"telemetry_warm_wall":%s,"overhead_pct":%s,"scrape_ms":%s,"flight_bytes":%s,"flight_bytes_ceiling":%s}\n' \
+    "$name" "$base_cold" "$base_warm" "$tele_cold" "$tele_warm" \
+    "$overhead_pct" "$scrape_ms" "${fb:-0}" "${fc:-0}" >> "$OUT"
+  printf '%-14s base cold=%ss warm=%ss | telemetry cold=%ss warm=%ss (%s%% overhead)\n' \
+    "$name" "$base_cold" "$base_warm" "$tele_cold" "$tele_warm" "$overhead_pct"
+  printf '%-14s scrape=%sms flight=%s/%s bytes\n' "$name" "$scrape_ms" \
+    "${fb:-0}" "${fc:-0}"
   echo "wrote $OUT"
   exit $FAIL
 fi

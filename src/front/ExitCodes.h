@@ -14,6 +14,9 @@
 //   4  inconclusive: no verdict AND some recorded failure (timeout,
 //      skipped tuple, injected fault, exhausted budget) may have hidden
 //      one
+//   5  overloaded: the daemon shed the request (admission queue full or
+//      draining) and the client exhausted its retry budget; the request
+//      was never attempted, so resubmitting later is always safe
 //
 // `example_run_protocol` layers expected-outcome semantics on top (a
 // counterexample on a protocol declared `expect unsafe` exits 0, and its
@@ -33,6 +36,7 @@ enum ExitCode : int {
   ExitUnknown = 2,
   ExitError = 3,
   ExitInconclusive = 4,
+  ExitOverloaded = 5,
 };
 
 /// Short machine-readable verdict names, one per exit code; used by the
@@ -49,6 +53,8 @@ inline const char *exitCodeName(int Code) {
     return "error";
   case ExitInconclusive:
     return "inconclusive";
+  case ExitOverloaded:
+    return "overloaded";
   default:
     return "invalid";
   }

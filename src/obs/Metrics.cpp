@@ -66,6 +66,11 @@ MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
   return Out;
 }
 
+void MetricsRegistry::bump(std::string_view Name, int64_t V) {
+  std::lock_guard<std::mutex> L(Mu);
+  Counters[std::string(Name)] += V;
+}
+
 int64_t MetricsRegistry::counterSum(std::string_view Name) const {
   std::lock_guard<std::mutex> L(Mu);
   auto It = Counters.find(std::string(Name));

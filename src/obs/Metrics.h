@@ -75,6 +75,13 @@ public:
 
   Snapshot snapshot() const;
 
+  /// Increments a service-level counter that belongs to no single
+  /// request (requests shed at admission, drain cancellations): those
+  /// events never produce a MetricsSummary to record(), but must still
+  /// reach the metrics/Prometheus surface. Does not count as a recorded
+  /// request.
+  void bump(std::string_view Name, int64_t V = 1);
+
   /// Cumulative sum of counter \p Name over all recorded requests (0
   /// when never emitted).
   int64_t counterSum(std::string_view Name) const;

@@ -4,7 +4,11 @@
 // resilience layer (resil/Resil.h): a FaultPlan names the faults to
 // inject (timeouts, Unknowns, exceptions, latency) at the supervised
 // sites (`smt_check`, `smt_check_assuming`, `reduce`, `worker_task`),
-// and a FaultInjector turns the plan into per-invocation decisions.
+// and a FaultInjector turns the plan into per-invocation decisions. The
+// serving daemon (serve/Server.h) adds its own sites on top: `accept`,
+// `wire_read`, `wire_write` on the connection path and `store_read`,
+// `store_write` inside the result store -- same grammar, same
+// determinism, scoped per server lifetime rather than per tuple.
 //
 // Determinism: every decision is a pure function of (plan seed, site
 // name, scope, invocation index) hashed through splitmix64 -- no global
@@ -23,7 +27,8 @@
 //   plan    := ["seed=" INT] (";" rule)*
 //   rule    := site ":" kind ["@" trigger ("," trigger)*]
 //   site    := "smt_check" | "smt_check_assuming" | "reduce"
-//            | "worker_task"                            (any name matches)
+//            | "worker_task" | "accept" | "wire_read" | "wire_write"
+//            | "store_read" | "store_write"             (any name matches)
 //   kind    := "timeout" | "unknown" | "throw" | "latency=" MS
 //   trigger := "always" | "p=" FLOAT | "every=" N | "worker=" W
 //

@@ -6,11 +6,15 @@
 
 #include "serve/Client.h"
 
+#include "serve/Wire.h"
+
 #include <arpa/inet.h>
+#include <chrono>
 #include <cstring>
 #include <netinet/in.h>
 #include <sys/socket.h>
 #include <sys/un.h>
+#include <thread>
 #include <unistd.h>
 
 using namespace sharpie;
@@ -42,7 +46,11 @@ bool Client::connect(const Addr &A, std::string &Err) {
       return false;
     }
     std::strncpy(SA.sun_path, A.Path.c_str(), sizeof(SA.sun_path) - 1);
-    if (::connect(Fd, reinterpret_cast<sockaddr *>(&SA), sizeof(SA)) < 0) {
+    int R;
+    do {
+      R = ::connect(Fd, reinterpret_cast<sockaddr *>(&SA), sizeof(SA));
+    } while (R < 0 && errno == EINTR);
+    if (R < 0) {
       Err = "connect " + A.Path + ": " + std::strerror(errno);
       close();
       return false;
@@ -62,7 +70,11 @@ bool Client::connect(const Addr &A, std::string &Err) {
     close();
     return false;
   }
-  if (::connect(Fd, reinterpret_cast<sockaddr *>(&SA), sizeof(SA)) < 0) {
+  int R;
+  do {
+    R = ::connect(Fd, reinterpret_cast<sockaddr *>(&SA), sizeof(SA));
+  } while (R < 0 && errno == EINTR);
+  if (R < 0) {
     Err = "connect " + A.Host + ":" + std::to_string(A.Port) + ": " +
           std::strerror(errno);
     close();
@@ -78,19 +90,14 @@ bool Client::roundTrip(const Json &J, Json &Response, std::string &Err) {
   }
   std::string Out = J.dump();
   Out += '\n';
-  size_t Off = 0;
-  while (Off < Out.size()) {
-    ssize_t N = ::send(Fd, Out.data() + Off, Out.size() - Off, MSG_NOSIGNAL);
-    if (N <= 0) {
-      Err = std::string("send: ") + std::strerror(errno);
-      return false;
-    }
-    Off += static_cast<size_t>(N);
+  if (!wire::writeAll(Fd, Out)) {
+    Err = std::string("send: ") + std::strerror(errno);
+    return false;
   }
   char Chunk[4096];
   size_t Nl;
   while ((Nl = RecvBuf.find('\n')) == std::string::npos) {
-    ssize_t N = ::recv(Fd, Chunk, sizeof(Chunk), 0);
+    ssize_t N = wire::readSome(Fd, Chunk, sizeof(Chunk));
     if (N == 0) {
       Err = "server closed the connection";
       return false;
@@ -110,4 +117,65 @@ bool Client::roundTrip(const Json &J, Json &Response, std::string &Err) {
     return false;
   }
   return true;
+}
+
+// -- Retry discipline --------------------------------------------------------
+
+namespace {
+// Same mixer the fault injector uses (resil/Fault.cpp): decisions stay a
+// pure function of their key, which is all "deterministic jitter" means.
+uint64_t splitmix64(uint64_t X) {
+  X += 0x9e3779b97f4a7c15ULL;
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebULL;
+  return X ^ (X >> 31);
+}
+} // namespace
+
+int64_t sharpie::serve::backoffDelayMs(const RetryPolicy &P, unsigned Attempt,
+                                       int64_t RetryAfterMs) {
+  if (Attempt == 0)
+    return 0;
+  unsigned Shift = Attempt - 1 > 20 ? 20 : Attempt - 1;
+  double Exp = static_cast<double>(P.BaseMs) * static_cast<double>(1u << Shift);
+  // Jitter factor in [0.75, 1.25): +/-25% is enough to decorrelate a
+  // thundering herd without making the schedule unrecognizable.
+  uint64_t Key = splitmix64(P.Seed * 0x100000001b3ULL + Attempt);
+  double Frac = static_cast<double>(Key >> 11) * (1.0 / 9007199254740992.0);
+  int64_t Delay = static_cast<int64_t>(Exp * (0.75 + 0.5 * Frac));
+  if (Delay < RetryAfterMs)
+    Delay = RetryAfterMs; // The daemon's hint is a floor, never ignored.
+  if (Delay > P.MaxDelayMs)
+    Delay = P.MaxDelayMs;
+  return Delay;
+}
+
+RetryOutcome sharpie::serve::requestWithRetry(const Addr &A,
+                                              const Json &Request,
+                                              const RetryPolicy &P,
+                                              Json &Response) {
+  RetryOutcome Out;
+  int64_t RetryAfterMs = 0;
+  for (unsigned Attempt = 0;; ++Attempt) {
+    Out.Attempts = Attempt + 1;
+    Client C;
+    std::string Err;
+    bool Got = C.connect(A, Err) && C.roundTrip(Request, Response, Err);
+    if (Got) {
+      Out.Ok = true;
+      Out.Overloaded = Response.get("overloaded").asBool(false);
+      if (!Out.Overloaded)
+        return Out; // Success (or a settled error): done.
+      RetryAfterMs = Response.get("retry_after_ms").asInt(0);
+    } else {
+      Out.Ok = false;
+      Out.Overloaded = false;
+      Out.Err = Err;
+      RetryAfterMs = 0;
+    }
+    if (Attempt >= P.MaxRetries)
+      return Out; // Budget exhausted; the last outcome stands.
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(backoffDelayMs(P, Attempt + 1, RetryAfterMs)));
+  }
 }

@@ -5,6 +5,16 @@
 // Deliberately synchronous and stateless beyond the fd -- all protocol
 // semantics live in serve/Proto.h.
 //
+// Resilience (PR 9): verify requests are idempotent by content hash (the
+// daemon answers a repeat from the store), so the client may retry
+// freely. requestWithRetry() handles the two transient failures a
+// healthy deployment produces -- connect refused (daemon restarting) and
+// overloaded sheds -- with exponential backoff plus *deterministic*
+// jitter: the schedule is a pure function of (seed, attempt), so tests
+// pin it exactly and two clients with different seeds still decorrelate.
+// A shed response's retry_after_ms hint is a floor on the next delay;
+// the daemon knows its queue better than the client's guess.
+//
 //===----------------------------------------------------------------------===//
 
 #ifndef SHARPIE_SERVE_CLIENT_H
@@ -39,6 +49,38 @@ private:
   int Fd = -1;
   std::string RecvBuf;
 };
+
+/// Deterministic retry schedule for connect failures and overload sheds.
+struct RetryPolicy {
+  unsigned MaxRetries = 4;    ///< Retries after the first attempt.
+  int64_t BaseMs = 100;       ///< Backoff before the first retry.
+  int64_t MaxDelayMs = 30000; ///< Per-delay ceiling.
+  uint64_t Seed = 0; ///< Jitter key; derive from the content hash so
+                     ///< concurrent clients decorrelate deterministically.
+};
+
+/// Pure backoff computation: the delay before retry \p Attempt (1-based).
+/// BaseMs * 2^(Attempt-1), scaled by a deterministic jitter factor in
+/// [0.75, 1.25) keyed on (Seed, Attempt) via splitmix64, floored by the
+/// server's \p RetryAfterMs hint, capped at MaxDelayMs. No RNG state, no
+/// wall clock: a fixed (policy, attempt) pair always yields the same
+/// delay, which the backoff test pins.
+int64_t backoffDelayMs(const RetryPolicy &P, unsigned Attempt,
+                       int64_t RetryAfterMs);
+
+/// One logical request with the full retry discipline: (re)connect and
+/// round-trip, retrying connect failures, dropped connections and
+/// overloaded sheds up to P.MaxRetries times, sleeping backoffDelayMs()
+/// between attempts. Returns the final response (which may still be an
+/// overloaded shed -- the caller maps that to front::ExitOverloaded).
+struct RetryOutcome {
+  bool Ok = false;         ///< A response was obtained (even a shed).
+  bool Overloaded = false; ///< Final response was an overload shed.
+  unsigned Attempts = 1;   ///< Total attempts made.
+  std::string Err;         ///< Transport error when !Ok.
+};
+RetryOutcome requestWithRetry(const Addr &A, const Json &Request,
+                              const RetryPolicy &P, Json &Response);
 
 } // namespace serve
 } // namespace sharpie

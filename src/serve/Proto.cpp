@@ -48,7 +48,7 @@ VerifyRequest VerifyRequest::decode(const serve::Json &J) {
 
 Json VerifyResponse::encode() const {
   Json J;
-  J["ok"] = Json(Exit != front::ExitError);
+  J["ok"] = Json(Exit != front::ExitError && Exit != front::ExitOverloaded);
   J["exit"] = Json(Exit);
   J["verdict"] = Json(std::string(front::exitCodeName(Exit)));
   J["output"] = Json(Output);
@@ -57,6 +57,11 @@ Json VerifyResponse::encode() const {
   J["hash"] = Json(Hash);
   J["cache_lookup_seconds"] = Json(CacheLookupSeconds);
   J["server_seconds"] = Json(ServerSeconds);
+  J["disposition"] = Json(Disposition);
+  if (Overloaded) {
+    J["overloaded"] = Json(true);
+    J["retry_after_ms"] = Json(RetryAfterMs);
+  }
   return J;
 }
 
@@ -69,6 +74,11 @@ VerifyResponse VerifyResponse::decode(const serve::Json &J) {
   R.Hash = J.get("hash").asString();
   R.CacheLookupSeconds = J.get("cache_lookup_seconds").asDouble(0);
   R.ServerSeconds = J.get("server_seconds").asDouble(0);
+  R.Overloaded = J.get("overloaded").asBool(false);
+  R.RetryAfterMs = J.get("retry_after_ms").asInt(0);
+  std::string D = J.get("disposition").asString();
+  if (!D.empty())
+    R.Disposition = D;
   return R;
 }
 

@@ -22,7 +22,22 @@
 //   dump_trace   {"op":"dump_trace","format":"perfetto|jsonl",
 //                 "request":ID} -> {"ok":true,"trace":"<document>"},
 //                   the flight recorder's retained requests (ID 0 = all)
+//   health       -> {"ok":true,"state":"ready|draining|overloaded",
+//                   "admitted":N,"admission_capacity":N,
+//                   "store_breaker":"closed|open|half_open",...}; cheap
+//                   and answered inline on the connection thread, so it
+//                   stays responsive while every worker is busy
 //   shutdown     -> {"ok":true}; the daemon drains and exits
+//
+// Overload: a verify that arrives with the admission queue full (or the
+// daemon draining) is *shed* -- answered immediately with
+// {"ok":false,"exit":5,"verdict":"overloaded","overloaded":true,
+// "retry_after_ms":N,...} and never executed. retry_after_ms is derived
+// from observed service times and the queue's current excess; requests
+// are idempotent by content hash, so clients retry safely after the
+// hint. Responses also carry "disposition": how the request left the
+// server ("ok", "shed", "draining", "deadline", "cancelled",
+// "drain_cancelled").
 //
 // The protocol ships *source text*, not terms: the daemon re-parses and
 // re-lowers, which is cheap, keeps the wire format trivially stable, and
@@ -75,6 +90,11 @@ struct VerifyResponse {
   std::string Hash;          ///< Canonical hash hex; empty on parse error.
   double CacheLookupSeconds = 0;
   double ServerSeconds = 0; ///< Daemon-side wall time for the request.
+  bool Overloaded = false;  ///< Shed (queue full / draining / deadline
+                            ///< expired in queue); never executed.
+  int64_t RetryAfterMs = 0; ///< Backoff hint; meaningful when Overloaded.
+  std::string Disposition = "ok"; ///< ok|shed|draining|deadline|cancelled|
+                                  ///< drain_cancelled (access-log field).
 
   serve::Json encode() const;
   static VerifyResponse decode(const serve::Json &J);

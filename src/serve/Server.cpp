@@ -9,6 +9,7 @@
 #include "front/ExitCodes.h"
 #include "front/Front.h"
 #include "resil/Fault.h"
+#include "serve/Wire.h"
 
 #include <algorithm>
 #include <arpa/inet.h>
@@ -38,6 +39,25 @@ Server::Server(ServerOptions O)
       Flight(obs::FlightRecorder::Config{
           Opts.Telemetry ? Opts.FlightCapacity : 0, 4096, 96}),
       Start(std::chrono::steady_clock::now()) {
+  Store.setTuning(Opts.StoreTuning);
+  if (!Opts.Faults.empty()) {
+    std::string FErr;
+    if (auto P = resil::FaultPlan::parse(Opts.Faults, &FErr)) {
+      ServeInj.emplace(std::move(*P));
+      ServeInj->beginScope(0); // One scope for the daemon lifetime.
+      // The store consults the same plan for its sites; the hook runs
+      // outside the store mutex, so the latency sleep in serveFault()
+      // cannot serialize lookups.
+      Store.setFaultHook([this](const char *Site) {
+        return serveFault(Site) != resil::FaultKind::None;
+      });
+    } else {
+      if (!StartupNote.empty())
+        StartupNote += "; ";
+      StartupNote += "bad serve fault plan ignored: " + FErr;
+    }
+  }
+
   // The reduce cache is shared-mode from birth: requests run on pool
   // threads with private managers, exactly the cross-manager case.
   RC.enableSharing();
@@ -89,6 +109,148 @@ Server::~Server() {
 }
 
 void Server::requestShutdown() { ShutdownFlag.store(true); }
+
+unsigned Server::admissionCapacity() const {
+  return (Opts.RequestWorkers ? Opts.RequestWorkers : 1) + Opts.QueueDepth;
+}
+
+int64_t Server::retryAfterMsHint() const {
+  // Expected time until a queue slot frees: mean observed service time
+  // times the per-worker backlog. Before any request completes, assume
+  // 500ms -- wrong is fine, the client's exponential backoff dominates
+  // after the first retry. Clamped so a hint is never a busy-loop (50ms
+  // floor) nor a give-up signal (30s ceiling).
+  uint64_t Cnt = ServiceCount.load();
+  double MeanMs = Cnt ? ServiceMicros.load() / 1000.0 / Cnt : 500.0;
+  unsigned Workers = Opts.RequestWorkers ? Opts.RequestWorkers : 1;
+  uint64_t Adm = Admitted.load();
+  double PerWorkerBacklog =
+      Adm > Workers ? static_cast<double>(Adm - Workers) / Workers : 1.0;
+  double Hint = MeanMs * PerWorkerBacklog;
+  return static_cast<int64_t>(std::min(30000.0, std::max(50.0, Hint)));
+}
+
+Json Server::shedResponse(const char *Why) {
+  VerifyResponse R;
+  R.Exit = front::ExitOverloaded;
+  R.Overloaded = true;
+  R.RetryAfterMs = retryAfterMsHint();
+  R.Disposition = Why;
+  R.Error = std::string("error: server ") +
+            (std::string(Why) == "draining" ? "is draining"
+                                            : "overloaded (queue full)") +
+            "; retry after " + std::to_string(R.RetryAfterMs) + "ms\n";
+  if (Opts.Telemetry) {
+    Registry.bump("requests_shed");
+    if (AccessLog) {
+      Json L;
+      L["event"] = Json("request");
+      L["id"] = Json(NextRequestId.fetch_add(1));
+      L["disposition"] = Json(std::string(Why));
+      L["retry_after_ms"] = Json(R.RetryAfterMs);
+      L["admitted"] = Json(Admitted.load());
+      L["capacity"] = Json(static_cast<uint64_t>(admissionCapacity()));
+      writeAccessLine(L.dump());
+    }
+  }
+  return R.encode();
+}
+
+resil::FaultKind Server::serveFault(const char *Site) {
+  if (!ServeInj)
+    return resil::FaultKind::None;
+  resil::FaultDecision D;
+  {
+    std::lock_guard<std::mutex> Lock(FaultMu);
+    D = ServeInj->next(Site);
+  }
+  if (D.Kind == resil::FaultKind::None)
+    return D.Kind;
+  if (Opts.Telemetry)
+    Registry.bump("serve_faults_injected");
+  if (D.Kind == resil::FaultKind::Latency) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(D.LatencyMs));
+    return resil::FaultKind::None; // Slow, not broken.
+  }
+  return D.Kind;
+}
+
+uint64_t Server::registerToken(std::shared_ptr<engine::CancellationToken> T) {
+  std::lock_guard<std::mutex> Lock(TokMu);
+  uint64_t Id = NextTokId++;
+  LiveToks[Id] = std::move(T);
+  return Id;
+}
+
+void Server::unregisterToken(uint64_t Id) {
+  std::lock_guard<std::mutex> Lock(TokMu);
+  LiveToks.erase(Id);
+}
+
+void Server::syncBreakerTrips() {
+  if (!Opts.Telemetry)
+    return;
+  uint64_t Now = Store.breakerTrips();
+  std::lock_guard<std::mutex> Lock(TripsMu);
+  if (Now > BreakerTripsSeen) {
+    Registry.bump("breaker_trips", static_cast<int64_t>(Now - BreakerTripsSeen));
+    BreakerTripsSeen = Now;
+  }
+}
+
+void Server::drain() {
+  DrainingFlag.store(true);
+  ShutdownFlag.store(true);
+  if (Drained.exchange(true))
+    return; // Idempotent: serve() and the dtor may both get here.
+
+  auto DrainStart = std::chrono::steady_clock::now();
+  auto SettleWait = [&](double Seconds) {
+    auto Until = std::chrono::steady_clock::now() +
+                 std::chrono::duration<double>(Seconds);
+    while (Admitted.load() > 0 && std::chrono::steady_clock::now() < Until)
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    return Admitted.load() == 0;
+  };
+
+  uint64_t Cancelled = 0;
+  if (!SettleWait(Opts.DrainTimeoutSeconds)) {
+    // Timeout: cancel the stragglers. The synthesis observes the token
+    // at its next budget poll, so give it a generous second window --
+    // but never hang forever on a wedged request.
+    {
+      std::lock_guard<std::mutex> Lock(TokMu);
+      for (auto &[Id, Tok] : LiveToks)
+        if (Tok && !Tok->cancelled()) {
+          Tok->cancel();
+          ++Cancelled;
+        }
+    }
+    if (Cancelled && Opts.Telemetry)
+      Registry.bump("drain_cancelled", static_cast<int64_t>(Cancelled));
+    SettleWait(std::max(5.0, Opts.DrainTimeoutSeconds));
+  }
+
+  // Flush: tier-2 cache to disk (best effort; the t1 entries were
+  // written at their verdicts) and the access log. Metrics live in
+  // memory and die with the process by design -- the final scrape
+  // already happened or never will.
+  if (Store.enabled())
+    Store.saveReduceCache(RC);
+  if (Opts.Telemetry && AccessLog) {
+    Json L;
+    L["event"] = Json("drain");
+    L["drain_seconds"] =
+        Json(std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                           DrainStart)
+                 .count());
+    L["cancelled"] = Json(Cancelled);
+    L["remaining"] = Json(Admitted.load());
+    writeAccessLine(L.dump());
+    std::lock_guard<std::mutex> Lock(AccessLogMu);
+    std::fflush(AccessLog);
+  }
+}
 
 obs::Outcome Server::outcomeForExit(int Exit) {
   switch (Exit) {
@@ -161,7 +323,8 @@ void Server::watchdogLoop() {
 }
 
 VerifyResponse Server::verify(const VerifyRequest &Req,
-                              const engine::CancellationToken *Cancel) {
+                              const engine::CancellationToken *Cancel,
+                              std::chrono::steady_clock::time_point Arrival) {
   uint64_t Id = NextRequestId.fetch_add(1);
   InFlight.fetch_add(1);
   struct InFlightGuard {
@@ -174,6 +337,8 @@ VerifyResponse Server::verify(const VerifyRequest &Req,
   } Guard{InFlight, Served};
 
   auto T0 = std::chrono::steady_clock::now();
+  if (Arrival == std::chrono::steady_clock::time_point{})
+    Arrival = T0; // Direct call: no queue wait to charge.
 
   // Per-request observability: its own tracer, log lines tagged with the
   // request id so interleaved requests stay attributable. The epoch is
@@ -216,7 +381,7 @@ VerifyResponse Server::verify(const VerifyRequest &Req,
   {
     obs::Span Sp(TB, "request");
     Resp = verifyImpl(Id, Req, Cancel, Tracer, TB, T0, LR, ParseSeconds,
-                      SynthSeconds);
+                      SynthSeconds, Arrival);
   }
   // The owner thread stamps the watchdog's verdict into the trace at
   // completion -- deterministically placed (after the request span), so
@@ -227,6 +392,20 @@ VerifyResponse Server::verify(const VerifyRequest &Req,
                 static_cast<int64_t>(secondsSince(T0) * 1000));
   }
   Resp.ServerSeconds = secondsSince(T0);
+
+  // Disposition: how the request left the server. A cancelled token
+  // means the client vanished (EOF probe) or drain() pulled the plug.
+  if (Resp.Disposition == "ok" && Cancel && Cancel->cancelled())
+    Resp.Disposition = DrainingFlag.load() ? "drain_cancelled" : "cancelled";
+
+  // Feed the retry_after_ms estimator with real service times (not shed
+  // or deadline-expired rejections, which finish in microseconds and
+  // would talk the hint down to its floor).
+  if (!Resp.Overloaded) {
+    ServiceMicros.fetch_add(static_cast<uint64_t>(Resp.ServerSeconds * 1e6));
+    ServiceCount.fetch_add(1);
+  }
+  syncBreakerTrips();
 
   if (Opts.Telemetry) {
     obs::MetricsSummary MS = Tracer.metrics();
@@ -265,6 +444,9 @@ VerifyResponse Server::verify(const VerifyRequest &Req,
       L["workers"] = Json(Tracer.workerCount());
       L["dropped_events"] = Json(Tracer.droppedEvents());
       L["slow"] = Json(LR.Slow.load());
+      L["disposition"] = Json(Resp.Disposition);
+      L["queue_seconds"] =
+          Json(std::chrono::duration<double>(T0 - Arrival).count());
       writeAccessLine(L.dump());
     }
   }
@@ -276,9 +458,35 @@ VerifyResponse Server::verifyImpl(uint64_t Id, const VerifyRequest &Req,
                                   obs::Tracer &Tracer, obs::TraceBuffer *TB,
                                   std::chrono::steady_clock::time_point T0,
                                   LiveRequest &Live, double &ParseSeconds,
-                                  double &SynthSeconds) {
+                                  double &SynthSeconds,
+                                  std::chrono::steady_clock::time_point Arrival) {
   (void)Id;
   VerifyResponse Resp;
+
+  // Deadline propagation: the clock started at admission, so time spent
+  // waiting for a worker is already gone. A request whose whole budget
+  // evaporated in the queue is rejected before parsing a byte -- the
+  // worker moves straight on to one that can still make its deadline.
+  double QueueSeconds = std::chrono::duration<double>(T0 - Arrival).count();
+  double RemainingSeconds = 0; // 0 = no ceiling.
+  if (Opts.MaxRequestSeconds > 0) {
+    RemainingSeconds = Opts.MaxRequestSeconds - QueueSeconds;
+    if (RemainingSeconds <= 0) {
+      Resp.Exit = front::ExitOverloaded;
+      Resp.Overloaded = true;
+      Resp.RetryAfterMs = retryAfterMsHint();
+      Resp.Disposition = "deadline";
+      char Buf[160];
+      std::snprintf(Buf, sizeof(Buf),
+                    "error: deadline exceeded in queue (waited %.2fs of a "
+                    "%.2fs budget); retry after %lldms\n",
+                    QueueSeconds, Opts.MaxRequestSeconds,
+                    static_cast<long long>(Resp.RetryAfterMs));
+      Resp.Error = Buf;
+      Resp.ServerSeconds = secondsSince(T0);
+      return Resp;
+    }
+  }
 
   resil::FaultPlan Faults;
   if (!Req.Faults.empty()) {
@@ -356,10 +564,12 @@ VerifyResponse Server::verifyImpl(uint64_t Id, const VerifyRequest &Req,
       (Req.Workers == 0 || Req.Workers > Opts.SynthWorkers))
     SO.NumWorkers = Opts.SynthWorkers;
   SO.TimeBudgetSeconds = Req.TimeBudget;
-  if (Opts.MaxRequestSeconds > 0 &&
-      (SO.TimeBudgetSeconds <= 0 ||
-       SO.TimeBudgetSeconds > Opts.MaxRequestSeconds))
-    SO.TimeBudgetSeconds = Opts.MaxRequestSeconds;
+  // Clamp by what is left of the deadline, not the full ceiling: queue
+  // wait already spent part of it (RemainingSeconds > 0 was checked at
+  // entry).
+  if (RemainingSeconds > 0 && (SO.TimeBudgetSeconds <= 0 ||
+                               SO.TimeBudgetSeconds > RemainingSeconds))
+    SO.TimeBudgetSeconds = RemainingSeconds;
   if (Req.MaxTuples)
     SO.MaxTuples = Req.MaxTuples;
   SO.Supervise.Enabled = !Req.NoSupervise;
@@ -419,6 +629,8 @@ Json Server::handle(const Json &Request,
     return verify(VerifyRequest::decode(Request), Cancel).encode();
   if (Op == "status")
     return statusJson();
+  if (Op == "health")
+    return healthJson();
   if (Op == "cache_stats")
     return cacheStatsJson();
   if (Op == "metrics") {
@@ -455,6 +667,53 @@ Json Server::handle(const Json &Request,
   return J;
 }
 
+Json Server::dispatch(const Json &Request) {
+  const std::string &Op = Request.get("op").asString();
+  // Cheap ops answer inline on the calling (connection) thread: they
+  // must stay responsive precisely when every pool worker is busy.
+  if (Op != "verify")
+    return handle(Request);
+
+  // Admission: reserve a slot or shed, before the pool queue ever sees
+  // the request. fetch_add-then-check keeps the race window harmless --
+  // two simultaneous arrivals at the boundary shed at most one request
+  // early, never admit one late.
+  if (DrainingFlag.load())
+    return shedResponse("draining");
+  if (Admitted.fetch_add(1) >= admissionCapacity()) {
+    Admitted.fetch_sub(1);
+    return shedResponse("shed");
+  }
+  auto Arrival = std::chrono::steady_clock::now();
+
+  struct Pending {
+    std::mutex M;
+    std::condition_variable CV;
+    bool Done = false;
+    Json Resp;
+  };
+  auto P = std::make_shared<Pending>();
+  auto Tok = std::make_shared<engine::CancellationToken>();
+  uint64_t TokId = registerToken(Tok);
+  VerifyRequest VR = VerifyRequest::decode(Request);
+  Pool.submit([this, VR = std::move(VR), P, Tok, Arrival] {
+    Json R = verify(VR, Tok.get(), Arrival).encode();
+    std::lock_guard<std::mutex> Lock(P->M);
+    P->Resp = std::move(R);
+    P->Done = true;
+    P->CV.notify_all();
+  });
+  Json Resp;
+  {
+    std::unique_lock<std::mutex> Lock(P->M);
+    P->CV.wait(Lock, [&] { return P->Done; });
+    Resp = P->Resp;
+  }
+  unregisterToken(TokId);
+  Admitted.fetch_sub(1);
+  return Resp;
+}
+
 Json Server::statusJson() const {
   StoreStats SS = Store.stats();
   Json J;
@@ -477,8 +736,35 @@ Json Server::statusJson() const {
   J["t2_hits"] = Json(RC.hits());
   J["t2_misses"] = Json(RC.misses());
   J["slow_requests"] = Json(SlowRequests.load());
+  J["draining"] = Json(DrainingFlag.load());
+  J["admitted"] = Json(Admitted.load());
+  J["admission_capacity"] = Json(static_cast<uint64_t>(admissionCapacity()));
+  J["store_breaker"] = Json(std::string(Store.breakerStateName()));
+  J["breaker_trips"] = Json(Store.breakerTrips());
+  J["ctr_requests_shed"] = Json(Registry.counterSum("requests_shed"));
+  J["ctr_drain_cancelled"] = Json(Registry.counterSum("drain_cancelled"));
   if (!StartupNote.empty())
     J["store_note"] = Json(StartupNote);
+  return J;
+}
+
+Json Server::healthJson() const {
+  uint64_t Adm = Admitted.load();
+  unsigned Cap = admissionCapacity();
+  bool IsDraining = DrainingFlag.load();
+  Json J;
+  J["ok"] = Json(true);
+  J["state"] = Json(std::string(IsDraining ? "draining"
+                                : Adm >= Cap ? "overloaded"
+                                             : "ready"));
+  J["draining"] = Json(IsDraining);
+  J["admitted"] = Json(Adm);
+  J["admission_capacity"] = Json(static_cast<uint64_t>(Cap));
+  J["in_flight"] = Json(InFlight.load());
+  J["retry_after_ms"] = Json(retryAfterMsHint());
+  J["store_enabled"] = Json(Store.enabled());
+  J["store_breaker"] = Json(std::string(Store.breakerStateName()));
+  J["breaker_trips"] = Json(Store.breakerTrips());
   return J;
 }
 
@@ -525,6 +811,17 @@ std::vector<obs::PromGauge> Server::gauges() const {
       static_cast<double>(Flight.memoryCeilingBytes()));
   Add("slow_requests", "Requests that exceeded --slow-request-seconds.",
       static_cast<double>(SlowRequests.load()));
+  Add("admitted_requests", "Verify requests admitted (queued + executing).",
+      static_cast<double>(Admitted.load()));
+  Add("admission_capacity", "Request workers + admission queue depth.",
+      static_cast<double>(admissionCapacity()));
+  Add("draining", "1 while the daemon is draining, else 0.",
+      DrainingFlag.load() ? 1.0 : 0.0);
+  Add("store_breaker_open",
+      "1 while the store circuit breaker blocks disk access, else 0.",
+      std::string(Store.breakerStateName()) == "open" ? 1.0 : 0.0);
+  Add("store_breaker_trips", "Times the store circuit breaker tripped open.",
+      static_cast<double>(Store.breakerTrips()));
   obs::PromGauge Info;
   Info.Name = "server_info";
   Info.Help = "Daemon identity; the value is always 1.";
@@ -668,12 +965,24 @@ void Server::serve() {
     int N = ::poll(&P, 1, 200 /*ms*/);
     if (N <= 0)
       continue; // Timeout or EINTR: re-check the shutdown flag.
-    int Fd = ::accept(ListenFd, nullptr, nullptr);
+    int Fd = wire::acceptRetry(ListenFd);
+    if (Fd == -2)
+      continue; // Transient (aborted handshake): back to poll.
     if (Fd < 0)
       continue;
+    // `accept` fault site: an injected failure drops the connection on
+    // the floor (the client sees a reset and retries); latency holds
+    // the accept loop itself, modeling a starved acceptor.
+    if (serveFault("accept") != resil::FaultKind::None) {
+      ::close(Fd);
+      continue;
+    }
     std::lock_guard<std::mutex> Lock(ConnsMu);
     Conns.emplace_back([this, Fd] { handleConnection(Fd); });
   }
+  // Graceful drain: no new admissions, in-flight work finishes or is
+  // cancelled under the drain timeout, store + access log flushed.
+  drain();
   // Let in-flight connections finish before the dtor tears down state.
   {
     std::lock_guard<std::mutex> Lock(ConnsMu);
@@ -690,10 +999,32 @@ void Server::handleConnection(int Fd) {
   char Chunk[4096];
   bool Open = true;
   while (Open && !shutdownRequested()) {
-    // Frame one line.
+    // Frame one line. The read waits in poll() slices, not a blocking
+    // recv(): an idle keep-alive connection must notice shutdown and
+    // release its thread, or drain would hang on the join.
     size_t Nl;
     while ((Nl = Buf.find('\n')) == std::string::npos) {
-      ssize_t N = ::recv(Fd, Chunk, sizeof(Chunk), 0);
+      pollfd P{Fd, POLLIN, 0};
+      int PR = ::poll(&P, 1, 100 /*ms*/);
+      if (shutdownRequested()) {
+        Open = false;
+        break;
+      }
+      if (PR == 0)
+        continue;
+      if (PR < 0) {
+        if (errno == EINTR)
+          continue;
+        Open = false;
+        break;
+      }
+      // `wire_read` fault site: any failure kind severs the connection
+      // (a torn read is unrecoverable for line framing anyway).
+      if (serveFault("wire_read") != resil::FaultKind::None) {
+        Open = false;
+        break;
+      }
+      ssize_t N = wire::readSome(Fd, Chunk, sizeof(Chunk));
       if (N <= 0) {
         Open = false;
         break;
@@ -717,10 +1048,24 @@ void Server::handleConnection(int Fd) {
     if (!PErr.empty()) {
       Resp["ok"] = Json(false);
       Resp["error"] = Json("bad request: " + PErr);
+    } else if (Req.get("op").asString() != "verify") {
+      // Cheap ops (status/health/metrics/...) answer inline: they must
+      // work precisely when the pool is saturated.
+      Resp = dispatch(Req);
+    } else if (DrainingFlag.load()) {
+      Resp = shedResponse("draining");
+    } else if (Admitted.fetch_add(1) >= admissionCapacity()) {
+      // Admission happens here, on the connection thread, so the pool
+      // queue stays bounded no matter how many clients pile on.
+      Admitted.fetch_sub(1);
+      Resp = shedResponse("shed");
     } else {
-      // Ship the work to the warm pool; this thread watches the socket
-      // so a vanished client cancels its request instead of occupying a
-      // pool worker to completion.
+      // Admitted: ship the work to the warm pool; this thread watches
+      // the socket so a vanished client cancels its request instead of
+      // occupying a pool worker to completion. The deadline clock
+      // starts now -- queue wait is the request's problem, not the next
+      // one's.
+      auto Arrival = std::chrono::steady_clock::now();
       struct Pending {
         std::mutex M;
         std::condition_variable CV;
@@ -729,8 +1074,10 @@ void Server::handleConnection(int Fd) {
       };
       auto P = std::make_shared<Pending>();
       auto Tok = std::make_shared<engine::CancellationToken>();
-      Pool.submit([this, Req, P, Tok] {
-        Json R = handle(Req, Tok.get());
+      uint64_t TokId = registerToken(Tok);
+      VerifyRequest VR = VerifyRequest::decode(Req);
+      Pool.submit([this, VR = std::move(VR), P, Tok, Arrival] {
+        Json R = verify(VR, Tok.get(), Arrival).encode();
         std::lock_guard<std::mutex> Lock(P->M);
         P->Resp = std::move(R);
         P->Done = true;
@@ -756,20 +1103,20 @@ void Server::handleConnection(int Fd) {
         }
         Resp = P->Resp;
       }
+      unregisterToken(TokId);
+      Admitted.fetch_sub(1);
       if (ClientGone)
         break;
     }
+    // `wire_write` fault site, then the EINTR/short-write-safe send.
+    if (serveFault("wire_write") != resil::FaultKind::None) {
+      Open = false;
+      break;
+    }
     std::string Out = Resp.dump();
     Out += '\n';
-    size_t Off = 0;
-    while (Off < Out.size()) {
-      ssize_t N = ::send(Fd, Out.data() + Off, Out.size() - Off, MSG_NOSIGNAL);
-      if (N <= 0) {
-        Open = false;
-        break;
-      }
-      Off += static_cast<size_t>(N);
-    }
+    if (!wire::writeAll(Fd, Out))
+      Open = false;
   }
   ::close(Fd);
 }

@@ -40,6 +40,37 @@
 // watchdog never touches TraceBuffers, only the request's atomics in
 // the live-request table.
 //
+// Overload discipline (PR 9): quantified-SMT check times are long-tailed
+// -- a single request can legitimately run for minutes -- so the daemon
+// must bound what it promises:
+//
+//   * admission control: at most RequestWorkers + QueueDepth verify
+//     requests are admitted (executing + waiting). Excess requests are
+//     shed *on the connection thread*, before ever touching the pool
+//     queue, with a structured overloaded response whose retry_after_ms
+//     hint comes from the observed mean service time times the queue
+//     excess (cheap ops -- status, health, metrics -- are also answered
+//     on the connection thread, so introspection stays responsive while
+//     every worker is busy);
+//   * deadline propagation: a request's clock starts at *admission*, so
+//     queue wait counts against MaxRequestSeconds. What is left when a
+//     worker picks the request up becomes its synthesis budget; a
+//     request whose deadline expired while queued is rejected without
+//     burning the worker (disposition "deadline");
+//   * graceful drain: requestShutdown() (SIGTERM/SIGINT) stops
+//     admissions ("draining" sheds), lets in-flight work finish for
+//     DrainTimeoutSeconds, then cancels the stragglers through their
+//     registered cancellation tokens, flushes the store and the access
+//     log, and serve() returns so the driver can exit 0;
+//   * fault injection: Opts.Faults scripts the serve-layer sites
+//     (accept / wire_read / wire_write via a mutex-wrapped
+//     FaultInjector, store_read / store_write via the store's fault
+//     hook), and the store's circuit breaker (serve/Store.h) keeps a
+//     corrupting disk from taxing the request path.
+//
+// Every terminal path writes an access-log line with a `disposition`
+// field: ok, shed, draining, deadline, cancelled, drain_cancelled.
+//
 //===----------------------------------------------------------------------===//
 
 #ifndef SHARPIE_SERVE_SERVER_H
@@ -49,6 +80,7 @@
 #include "obs/Flight.h"
 #include "obs/Metrics.h"
 #include "obs/Obs.h"
+#include "resil/Fault.h"
 #include "serve/Proto.h"
 #include "serve/Store.h"
 
@@ -56,6 +88,8 @@
 #include <chrono>
 #include <condition_variable>
 #include <map>
+#include <memory>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -90,6 +124,21 @@ struct ServerOptions {
   /// flight recorder and per-request event collection -- the A/B
   /// baseline for the telemetry-overhead bench.
   bool Telemetry = true;
+
+  /// Admission queue depth: verify requests allowed to *wait* behind a
+  /// fully busy pool. Total admitted capacity is RequestWorkers +
+  /// QueueDepth; anything past that is shed with retry_after_ms.
+  unsigned QueueDepth = 8;
+  /// Graceful drain: seconds in-flight requests get to finish after
+  /// shutdown before their cancellation tokens fire. 0 = cancel
+  /// immediately.
+  double DrainTimeoutSeconds = 5.0;
+  /// Serve-layer fault plan (resil/Fault.h grammar over the sites
+  /// accept / wire_read / wire_write / store_read / store_write).
+  /// Empty = no injection. Chaos-test only.
+  std::string Faults;
+  /// Store circuit-breaker tuning (threshold/cooldown).
+  ResultStore::Tuning StoreTuning;
 };
 
 class Server {
@@ -104,17 +153,35 @@ public:
 
   /// Runs one verify request start to finish on the calling thread
   /// (parse, tier-1 lookup, synthesis, store write-back). \p Cancel,
-  /// when non-null, aborts the synthesis cooperatively.
+  /// when non-null, aborts the synthesis cooperatively. \p Arrival,
+  /// when set, is the admission time: the elapsed queue wait is charged
+  /// against MaxRequestSeconds and an already-expired deadline rejects
+  /// the request without solving (default = now, i.e. no queue wait).
   VerifyResponse verify(const VerifyRequest &R,
-                        const engine::CancellationToken *Cancel = nullptr);
+                        const engine::CancellationToken *Cancel = nullptr,
+                        std::chrono::steady_clock::time_point Arrival =
+                            std::chrono::steady_clock::time_point{});
 
   /// Dispatches one decoded request to its handler; always returns a
   /// response object (unknown ops get {"ok":false,"error":...}).
+  /// Bypasses admission control -- the direct entry for tests and for
+  /// already-admitted pool work.
   Json handle(const Json &Request,
               const engine::CancellationToken *Cancel = nullptr);
 
+  /// The full daemon request path minus the socket: cheap ops inline,
+  /// verify through admission control + the warm pool, sheds when the
+  /// queue is full or the server is draining. What handleConnection()
+  /// runs per line; public so tests drive overload and drain
+  /// in-process.
+  Json dispatch(const Json &Request);
+
   Json statusJson() const;
   Json cacheStatsJson() const;
+
+  /// The `health` op: ready/draining/overloaded, admission load, store
+  /// breaker state. Lock-light by design (atomics + one store mutex).
+  Json healthJson() const;
 
   /// The `metrics` op: cumulative request counts/seconds by
   /// outcome x cache tier, counter sums, merged histograms, gauges.
@@ -137,6 +204,21 @@ public:
 
   void requestShutdown();
   bool shutdownRequested() const { return ShutdownFlag.load(); }
+
+  /// Graceful drain (idempotent): stop admitting, wait up to
+  /// DrainTimeoutSeconds for admitted requests, cancel the stragglers,
+  /// wait for them to observe it, flush store + access log. serve()
+  /// runs this after the accept loop; in-process tests call it
+  /// directly.
+  void drain();
+  bool draining() const { return DrainingFlag.load(); }
+
+  /// Verify requests currently admitted (queued + executing).
+  uint64_t admitted() const { return Admitted.load(); }
+  /// RequestWorkers + QueueDepth.
+  unsigned admissionCapacity() const;
+  /// The backoff hint a shed response would carry right now.
+  int64_t retryAfterMsHint() const;
 
   // -- Socket front end ------------------------------------------------------
 
@@ -172,10 +254,27 @@ private:
                             obs::Tracer &Tracer, obs::TraceBuffer *TB,
                             std::chrono::steady_clock::time_point T0,
                             LiveRequest &Live, double &ParseSeconds,
-                            double &SynthSeconds);
+                            double &SynthSeconds,
+                            std::chrono::steady_clock::time_point Arrival);
   void writeAccessLine(const std::string &Line);
   void watchdogLoop();
   static obs::Outcome outcomeForExit(int Exit);
+
+  /// Builds the structured shed response (exit 5, retry_after_ms) and
+  /// writes its access-log line. \p Why is "shed" or "draining".
+  Json shedResponse(const char *Why);
+  /// Mutex-wrapped serve-site fault decision; FaultKind::None when no
+  /// plan is installed or the site doesn't fire. Latency faults sleep
+  /// here (outside every lock) and then report None.
+  resil::FaultKind serveFault(const char *Site);
+  /// Registers/unregisters a cancellable in-flight request so drain()
+  /// can reach it.
+  uint64_t registerToken(std::shared_ptr<engine::CancellationToken> T);
+  void unregisterToken(uint64_t Id);
+  /// Folds newly observed store breaker trips into the registry
+  /// (called from non-const request paths; the registry counter backs
+  /// ctr_breaker_trips).
+  void syncBreakerTrips();
 
   ServerOptions Opts;
   ResultStore Store;
@@ -199,10 +298,38 @@ private:
   bool WatchdogStop = false;
 
   std::atomic<bool> ShutdownFlag{false};
+  std::atomic<bool> DrainingFlag{false};
+  std::atomic<bool> Drained{false}; ///< drain() already ran to the end.
   std::atomic<uint64_t> NextRequestId{1};
   std::atomic<uint64_t> Served{0};
   std::atomic<uint64_t> InFlight{0};
   std::chrono::steady_clock::time_point Start;
+
+  /// Admission accounting: verify requests admitted and not yet done
+  /// (queued + executing); dispatch() sheds when a fetch_add would pass
+  /// admissionCapacity().
+  std::atomic<uint64_t> Admitted{0};
+  /// Completed-request service time (microseconds / count) feeding the
+  /// retry_after_ms estimate. Atomics: touched once per request.
+  std::atomic<uint64_t> ServiceMicros{0};
+  std::atomic<uint64_t> ServiceCount{0};
+
+  /// In-flight cancellation tokens, so drain() can cancel work it did
+  /// not start. Keyed by a private id (not the request id: tokens are
+  /// registered before the request id exists).
+  std::mutex TokMu;
+  std::map<uint64_t, std::shared_ptr<engine::CancellationToken>> LiveToks;
+  uint64_t NextTokId = 1;
+
+  /// Serve-layer fault injection (sites accept/wire_read/wire_write and
+  /// the store hook). One injector for the whole daemon behind a mutex:
+  /// FaultInjector is single-owner by contract, and these sites are off
+  /// the synthesis hot path.
+  std::mutex FaultMu;
+  std::optional<resil::FaultInjector> ServeInj;
+
+  std::mutex TripsMu;
+  uint64_t BreakerTripsSeen = 0;
 
   /// Corrupt-store note from the startup tier-2 load; shown in status.
   std::string StartupNote;

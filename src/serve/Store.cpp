@@ -9,6 +9,7 @@
 #include "resil/Resil.h"
 
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -16,6 +17,15 @@
 #include <sstream>
 #include <sys/stat.h>
 #include <unistd.h>
+
+namespace {
+/// Monotonic seconds for breaker cooldown arithmetic.
+double monoSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+} // namespace
 
 using namespace sharpie;
 using namespace sharpie::serve;
@@ -97,15 +107,38 @@ std::optional<ResultStore::T1Entry>
 ResultStore::lookup(const front::CanonicalHash &H) {
   if (!enabled())
     return std::nullopt;
-  std::optional<std::string> Data = slurp(t1Path(H));
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    if (breakerBlockedLocked()) {
+      ++S.T1Misses;
+      ++S.Bypassed;
+      return std::nullopt;
+    }
+  }
+  bool Injected = Hook && Hook("store_read");
+  std::optional<std::string> Data =
+      Injected ? std::nullopt : slurp(t1Path(H));
   std::lock_guard<std::mutex> Lock(Mu);
+  if (Injected) {
+    ++S.T1Misses;
+    ++S.T1Corrupt;
+    noteCorruptLocked();
+    return std::nullopt;
+  }
   if (!Data) {
     ++S.T1Misses;
+    noteOkLocked();
     return std::nullopt;
   }
   auto Corrupt = [&]() -> std::optional<T1Entry> {
     ++S.T1Misses;
     ++S.T1Corrupt;
+    noteCorruptLocked();
+    // Self-heal: the file can never parse again, so keep it from taxing
+    // every future lookup of this hash. The slot becomes a clean miss
+    // and the next solve rewrites it.
+    if (std::remove(t1Path(H).c_str()) == 0)
+      ++S.T1Healed;
     return std::nullopt;
   };
   std::istringstream In(*Data);
@@ -149,6 +182,7 @@ ResultStore::lookup(const front::CanonicalHash &H) {
   if (Tail.rfind("\nend\n", 0) != 0)
     return Corrupt();
   ++S.T1Hits;
+  noteOkLocked();
   return E;
 }
 
@@ -157,6 +191,18 @@ bool ResultStore::store(const front::CanonicalHash &H, const T1Entry &E) {
     return false;
   if (E.Exit != 0 && E.Exit != 1)
     return false; // Only settled verdicts; see Store.h.
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    if (breakerBlockedLocked()) {
+      ++S.Bypassed;
+      return false;
+    }
+  }
+  if (Hook && Hook("store_write")) {
+    std::lock_guard<std::mutex> Lock(Mu);
+    noteCorruptLocked();
+    return false;
+  }
   std::string Out;
   Out += T1Magic;
   Out += "\nhash " + H.hex();
@@ -171,8 +217,10 @@ bool ResultStore::store(const front::CanonicalHash &H, const T1Entry &E) {
   Out += "\nend\n";
   bool Ok = writeAtomic(t1Path(H), Out);
   std::lock_guard<std::mutex> Lock(Mu);
-  if (Ok)
+  if (Ok) {
     ++S.T1Writes;
+    noteOkLocked();
+  }
   return Ok;
 }
 
@@ -188,6 +236,7 @@ size_t ResultStore::loadReduceCache(engine::ReduceCache &C,
   if (Body.rfind(Magic, 0) != 0) {
     std::lock_guard<std::mutex> Lock(Mu);
     ++S.T2Corrupt;
+    noteCorruptLocked();
     if (Note)
       *Note = std::string(resil::failureClassName(
                   resil::FailureClass::CorruptStore)) +
@@ -201,6 +250,7 @@ size_t ResultStore::loadReduceCache(engine::ReduceCache &C,
   S.T2Entries = N;
   if (!CorruptNote.empty()) {
     ++S.T2Corrupt;
+    noteCorruptLocked();
     if (Note)
       *Note = std::string(resil::failureClassName(
                   resil::FailureClass::CorruptStore)) +
@@ -224,4 +274,62 @@ size_t ResultStore::saveReduceCache(const engine::ReduceCache &C) {
 StoreStats ResultStore::stats() const {
   std::lock_guard<std::mutex> Lock(Mu);
   return S;
+}
+
+void ResultStore::setTuning(const Tuning &T) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Tune = T;
+}
+
+bool ResultStore::breakerBlockedLocked() {
+  if (Breaker != BreakerState::Open)
+    return false;
+  if (monoSeconds() - TripAtSeconds < Tune.BreakerCooldownSeconds)
+    return true;
+  Breaker = BreakerState::HalfOpen; // Cooldown over: let probes through.
+  return false;
+}
+
+void ResultStore::noteCorruptLocked() {
+  if (Tune.BreakerThreshold <= 0)
+    return;
+  ++CorruptStreak;
+  // A half-open probe that comes back corrupt re-trips immediately; a
+  // closed breaker waits for the full streak.
+  if (Breaker == BreakerState::HalfOpen ||
+      (Breaker == BreakerState::Closed &&
+       CorruptStreak >= Tune.BreakerThreshold)) {
+    Breaker = BreakerState::Open;
+    TripAtSeconds = monoSeconds();
+    CorruptStreak = 0;
+    ++S.BreakerTrips;
+  }
+}
+
+void ResultStore::noteOkLocked() {
+  CorruptStreak = 0;
+  if (Breaker == BreakerState::HalfOpen)
+    Breaker = BreakerState::Closed;
+}
+
+const char *ResultStore::breakerStateName() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  switch (Breaker) {
+  case BreakerState::Closed:
+    return "closed";
+  case BreakerState::Open:
+    // Report the cooldown transition without mutating state in a const
+    // accessor; the next lookup/store performs the real move.
+    return monoSeconds() - TripAtSeconds < Tune.BreakerCooldownSeconds
+               ? "open"
+               : "half_open";
+  case BreakerState::HalfOpen:
+    return "half_open";
+  }
+  return "?";
+}
+
+uint64_t ResultStore::breakerTrips() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return S.BreakerTrips;
 }

@@ -34,6 +34,27 @@
 // rewritten in place, so a crashed writer leaves either the old file or
 // a stray temp file, both safe.
 //
+// Self-protection (PR 9): corruption-tolerant is not the same as
+// corruption-resilient. A store on a sick disk can serve an endless
+// stream of corrupt reads, each costing a file read plus a failed parse
+// on the request path. Two defenses:
+//
+//   * self-healing: a tier-1 entry that fails to parse is unlinked on
+//     the spot (counted T1Healed), so the next lookup of that hash is a
+//     clean miss and the slot can be rewritten by the next solve;
+//   * circuit breaker: BreakerThreshold *consecutive* CorruptStore
+//     incidents trip the breaker open -- lookups and writes bypass the
+//     disk entirely (counted Bypassed) and the daemon keeps serving,
+//     just cold. After BreakerCooldownSeconds it goes half-open and
+//     lets probes through; the first non-corrupt operation closes it,
+//     another corrupt one re-trips it. State is visible through the
+//     `health` wire op and the breaker gauges.
+//
+// Deterministic fault injection enters through setFaultHook(): the
+// server installs a hook that consults its resil::FaultPlan for the
+// `store_read` / `store_write` sites, so chaos tests can script corrupt
+// streaks without touching the disk.
+//
 //===----------------------------------------------------------------------===//
 
 #ifndef SHARPIE_SERVE_STORE_H
@@ -42,6 +63,7 @@
 #include "engine/Reduce.h"
 #include "front/Canon.h"
 
+#include <functional>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -59,6 +81,9 @@ struct StoreStats {
   uint64_t T2Entries = 0; ///< Entries merged by the last tier-2 load.
   uint64_t T2Corrupt = 0; ///< Tier-2 loads that hit corruption (the
                           ///< parsed prefix was still merged).
+  uint64_t T1Healed = 0;  ///< Corrupt tier-1 entry files unlinked.
+  uint64_t Bypassed = 0;  ///< Lookups/writes skipped by an open breaker.
+  uint64_t BreakerTrips = 0; ///< Closed/half-open -> open transitions.
 };
 
 class ResultStore {
@@ -100,12 +125,49 @@ public:
 
   StoreStats stats() const;
 
+  /// Circuit-breaker tuning; defaults suit a long-running daemon, tests
+  /// shrink the cooldown. Set before serving starts.
+  struct Tuning {
+    int BreakerThreshold = 3; ///< Consecutive CorruptStore incidents
+                              ///< that trip the breaker (<=0 disables).
+    double BreakerCooldownSeconds = 30.0; ///< Open -> half-open delay.
+  };
+  void setTuning(const Tuning &T);
+
+  /// Fault hook for the `store_read` / `store_write` sites: called with
+  /// the site name before each disk touch; returning true injects a
+  /// CorruptStore incident (the disk is never touched). Install before
+  /// serving starts; the hook itself must be thread-safe (it is called
+  /// outside the store mutex so latency faults don't serialize).
+  using FaultHook = std::function<bool(const char *Site)>;
+  void setFaultHook(FaultHook H) { Hook = std::move(H); }
+
+  enum class BreakerState : unsigned { Closed, Open, HalfOpen };
+  /// Current state, re-evaluating the cooldown ("open" becomes
+  /// "half_open" once elapsed). Names: closed / open / half_open.
+  const char *breakerStateName() const;
+  uint64_t breakerTrips() const;
+
 private:
   std::string t1Path(const front::CanonicalHash &H) const;
 
+  /// True when the breaker blocks disk access right now; may move
+  /// Open -> HalfOpen when the cooldown has elapsed. Caller holds Mu.
+  bool breakerBlockedLocked();
+  /// Feeds one CorruptStore incident to the breaker. Caller holds Mu.
+  void noteCorruptLocked();
+  /// Feeds one healthy disk operation (hit, clean miss, successful
+  /// write): resets the streak and closes a half-open breaker.
+  void noteOkLocked();
+
   std::string Dir; ///< Empty = disabled.
+  FaultHook Hook;  ///< Null unless fault injection is scripted.
   mutable std::mutex Mu;
   StoreStats S;
+  Tuning Tune;
+  BreakerState Breaker = BreakerState::Closed;
+  int CorruptStreak = 0;
+  double TripAtSeconds = 0; ///< Monotonic time of the last trip.
 };
 
 } // namespace serve

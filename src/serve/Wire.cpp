@@ -1,0 +1,53 @@
+//===- serve/Wire.cpp - Signal-safe socket I/O primitives ---------------------===//
+//
+// Part of sharpie. See Wire.h.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Wire.h"
+
+#include <cerrno>
+#include <sys/socket.h>
+
+using namespace sharpie;
+using namespace sharpie::serve;
+
+ssize_t wire::readSome(int Fd, void *Buf, size_t Len) {
+  for (;;) {
+    ssize_t N = ::recv(Fd, Buf, Len, 0);
+    if (N >= 0)
+      return N;
+    if (errno == EINTR)
+      continue;
+    return -1;
+  }
+}
+
+bool wire::writeAll(int Fd, std::string_view Data) {
+  size_t Off = 0;
+  while (Off < Data.size()) {
+    ssize_t N = ::send(Fd, Data.data() + Off, Data.size() - Off, MSG_NOSIGNAL);
+    if (N > 0) {
+      Off += static_cast<size_t>(N);
+      continue;
+    }
+    if (N < 0 && errno == EINTR)
+      continue;
+    return false; // 0 or a real error: the peer is gone.
+  }
+  return true;
+}
+
+int wire::acceptRetry(int ListenFd) {
+  for (;;) {
+    int Fd = ::accept(ListenFd, nullptr, nullptr);
+    if (Fd >= 0)
+      return Fd;
+    if (errno == EINTR)
+      continue;
+    if (errno == ECONNABORTED || errno == EPROTO || errno == EAGAIN ||
+        errno == EWOULDBLOCK)
+      return -2;
+    return -1;
+  }
+}

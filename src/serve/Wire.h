@@ -1,0 +1,52 @@
+//===- serve/Wire.h - Signal-safe socket I/O primitives ---------*- C++ -*-===//
+//
+// Part of sharpie. The one place raw recv/send/accept is allowed to
+// happen in the serving stack. POSIX stream I/O has two sharp edges a
+// line-delimited JSON protocol must not expose:
+//
+//   * partial writes: send() may accept any prefix of the buffer, and a
+//     naive caller that treats a short count as success ships half a
+//     JSON line -- the peer's framing then glues the next message onto
+//     the torn one and every subsequent exchange is garbage;
+//   * EINTR: any blocking call can be interrupted by a signal (the
+//     daemon installs SIGTERM/SIGINT handlers for graceful drain, so
+//     interruptions are routine, not exotic) and must be retried, not
+//     treated as a connection error.
+//
+// These helpers loop until the full buffer moved, the peer hung up, or
+// a real error occurred. Both the daemon (serve/Server.cpp) and the
+// thin client (serve/Client.cpp) frame exclusively through them.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SHARPIE_SERVE_WIRE_H
+#define SHARPIE_SERVE_WIRE_H
+
+#include <cstddef>
+#include <string_view>
+#include <sys/types.h>
+
+namespace sharpie {
+namespace serve {
+namespace wire {
+
+/// recv() retrying EINTR. Returns >0 bytes read, 0 on orderly peer
+/// shutdown, -1 on a real error (errno preserved).
+ssize_t readSome(int Fd, void *Buf, size_t Len);
+
+/// Sends the whole of \p Data, looping over short writes and retrying
+/// EINTR, with MSG_NOSIGNAL (a dead peer is a return value, never a
+/// SIGPIPE). False on error or peer hangup.
+bool writeAll(int Fd, std::string_view Data);
+
+/// accept() retrying EINTR and the transient per-connection errnos
+/// (ECONNABORTED, EPROTO): a client that connected and vanished before
+/// we accepted must not look like a listener failure. Returns the new
+/// fd, or -1 on a real error / -2 on a retryable one (caller re-polls).
+int acceptRetry(int ListenFd);
+
+} // namespace wire
+} // namespace serve
+} // namespace sharpie
+
+#endif // SHARPIE_SERVE_WIRE_H

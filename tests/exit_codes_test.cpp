@@ -21,6 +21,7 @@ TEST(ExitCodes, ValuesArePinned) {
   EXPECT_EQ(2, ExitUnknown);
   EXPECT_EQ(3, ExitError);
   EXPECT_EQ(4, ExitInconclusive);
+  EXPECT_EQ(5, ExitOverloaded);
 }
 
 TEST(ExitCodes, NamesMatchTheProtocolVocabulary) {
@@ -29,10 +30,11 @@ TEST(ExitCodes, NamesMatchTheProtocolVocabulary) {
   EXPECT_STREQ("unknown", exitCodeName(ExitUnknown));
   EXPECT_STREQ("error", exitCodeName(ExitError));
   EXPECT_STREQ("inconclusive", exitCodeName(ExitInconclusive));
+  EXPECT_STREQ("overloaded", exitCodeName(ExitOverloaded));
 }
 
 TEST(ExitCodes, OutOfRangeCodesAreInvalidNotUB) {
   EXPECT_STREQ("invalid", exitCodeName(-1));
-  EXPECT_STREQ("invalid", exitCodeName(5));
+  EXPECT_STREQ("invalid", exitCodeName(6));
   EXPECT_STREQ("invalid", exitCodeName(255));
 }

@@ -35,4 +35,15 @@ if [ -n "$MISSING" ]; then
   for N in $MISSING; do echo "  $N"; done
   exit 1
 fi
+
+# The overload runbook (README, DESIGN.md section 13) depends on the
+# resilience counters; losing an emission site silently blinds it. Each
+# must still be emitted somewhere in src/ (documentation is enforced by
+# the generic pass above).
+for R in requests_shed drain_cancelled breaker_trips serve_faults_injected; do
+  echo "$NAMES" | grep -qx "$R" || {
+    echo "required resilience counter '$R' is no longer emitted in src/"
+    exit 1
+  }
+done
 exit 0

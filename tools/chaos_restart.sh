@@ -1,0 +1,92 @@
+#!/bin/sh
+# Crash-recovery chaos for the serving stack: SIGKILL a daemon in the
+# middle of a verify and prove the persistent store survives. Asserts:
+#   * a kill -9 mid-solve leaves the store loadable -- atomic writes
+#     mean every tier-1/2 file is either the old version or the new
+#     one, never torn (a fresh daemon on the same dir boots clean,
+#     breaker closed);
+#   * the verdict completed before the crash is still served warm
+#     (tier-1 hit, byte-identical output) by the restarted daemon;
+#   * the client caught mid-request fails with an error instead of
+#     hanging (its retries find no daemon and give up).
+#
+# usage: chaos_restart.sh <sharpied> <sharpie> <protocol.sharpie>
+set -e
+
+SHARPIED=$1
+SHARPIE=$2
+PROTO=$3
+
+DIR=$(mktemp -d)
+PID=
+CLIENT=
+cleanup() {
+  [ -n "$PID" ] && kill "$PID" 2>/dev/null
+  [ -n "$CLIENT" ] && kill "$CLIENT" 2>/dev/null
+  rm -rf "$DIR"
+}
+trap cleanup EXIT
+
+boot() { # boot <sock> -> daemon pid in $PID
+  : > "$DIR/banner.txt"
+  "$SHARPIED" --listen "unix:$1" --store "$DIR/store" \
+    > "$DIR/banner.txt" &
+  PID=$!
+  ok=
+  for _ in $(seq 1 100); do
+    if grep -q "listening on" "$DIR/banner.txt" 2>/dev/null; then
+      ok=1
+      break
+    fi
+    sleep 0.1
+  done
+  [ -n "$ok" ] || { echo "daemon never came up"; exit 1; }
+}
+
+# -- Phase 1: a settled verdict lands in the store ---------------------------
+SOCK1="$DIR/d1.sock"
+boot "$SOCK1"
+"$SHARPIE" "$PROTO" --server "unix:$SOCK1" --json > "$DIR/cold.out"
+grep -v '^{' "$DIR/cold.out" > "$DIR/cold.v"
+
+# -- Phase 2: kill -9 mid-verify ---------------------------------------------
+# Per-tuple latency faults keep the in-flight solve alive for seconds
+# (a faulted request also bypasses the cache, so the warm slot from
+# phase 1 is not consulted); the SIGKILL lands mid-solve.
+"$SHARPIE" "$PROTO" --server "unix:$SOCK1" \
+    --faults "worker_task:latency=5000@always" \
+    --retries 1 --retry-base-ms 50 > /dev/null 2>&1 &
+CLIENT=$!
+sleep 1
+kill -9 "$PID"
+PID=
+
+# The orphaned client must fail fast, not hang.
+set +e
+wait "$CLIENT"
+STATUS=$?
+set -e
+CLIENT=
+[ "$STATUS" -ne 0 ] || { echo "client exited 0 against a dead daemon"; exit 1; }
+
+# -- Phase 3: restart on the same store --------------------------------------
+SOCK2="$DIR/d2.sock"
+boot "$SOCK2"
+
+# The store loaded clean: breaker closed, no corruption incident.
+"$SHARPIED" --ctl "unix:$SOCK2" --op health > "$DIR/health.json"
+grep -q '"store_breaker":"closed"' "$DIR/health.json"
+grep -q '"state":"ready"' "$DIR/health.json"
+
+# The phase-1 verdict survived: warm tier-1 hit, byte-identical output.
+"$SHARPIE" "$PROTO" --server "unix:$SOCK2" --json > "$DIR/warm.out"
+grep -v '^{' "$DIR/warm.out" > "$DIR/warm.v"
+cmp "$DIR/cold.v" "$DIR/warm.v"
+"$SHARPIED" --ctl "unix:$SOCK2" --op cache_stats > "$DIR/stats.json"
+grep -q '"t1_hits":1' "$DIR/stats.json"
+grep -q '"t1_corrupt":0' "$DIR/stats.json"
+
+"$SHARPIED" --ctl "unix:$SOCK2" --op shutdown > /dev/null
+wait "$PID"
+PID=
+echo "chaos restart: OK"

@@ -10,6 +10,7 @@
 //           [--smt-timeout MS] [--trace-out FILE] [--events-out FILE]
 //           [--log-level quiet|info|debug|trace] [--stats]
 //           [--server ADDR] [--store DIR]
+//           [--retries N] [--retry-base-ms MS]
 //
 // Observability (see src/obs/): --trace-out writes a Chrome trace-event /
 // Perfetto JSON with one track per search worker; --events-out a JSONL
@@ -42,6 +43,13 @@
 // (daemonless) run the same persistent cache: warm re-verifications of
 // an already-solved protocol replay the stored verdict without solving.
 //
+// Thin-client resilience: requests are idempotent by content hash, so
+// connect failures and overload sheds are retried --retries times
+// (default 4) with exponential backoff from --retry-base-ms (default
+// 100), deterministic jitter seeded by the protocol text, honoring the
+// daemon's retry_after_ms hint. Retries exhausted while the daemon is
+// still shedding exits 5 ("overloaded").
+//
 // With --server, the positional words `metrics` and `dump-trace` are
 // telemetry ops instead of a file: `sharpie --server ADDR metrics
 // [--format json|prom]` prints the daemon's cumulative metrics (JSON
@@ -59,6 +67,8 @@
 //   4  inconclusive: no verdict AND some failure (timeout, skipped tuple,
 //      injected fault, exhausted budget) may have hidden one; the report
 //      lists failure classes and the best partial candidate
+//   5  overloaded: the daemon shed the request and --retries were
+//      exhausted; the request was never attempted, resubmit later
 //
 //===----------------------------------------------------------------------===//
 
@@ -91,12 +101,13 @@ void usage(const char *Argv0) {
                " [--time-budget SECONDS] [--max-tuples N]\n"
                "       [--faults PLAN] [--no-supervise] [--no-incremental]\n"
                "       [--smt-timeout MS] [--server ADDR] [--store DIR]\n"
+               "       [--retries N] [--retry-base-ms MS]\n"
                "       %s\n"
                "       %s --server ADDR metrics [--format json|prom]\n"
                "       %s --server ADDR dump-trace [--format perfetto|jsonl]"
                " [--request ID]\n"
                "exit codes: 0 safe, 1 unsafe, 2 unknown, 3 error,"
-               " 4 inconclusive\n",
+               " 4 inconclusive, 5 overloaded\n",
                Argv0, obs::CliObs::usageFragment(), Argv0, Argv0);
 }
 
@@ -118,6 +129,7 @@ int run(int argc, char **argv) {
   std::string StoreDir;
   std::string Format;       // --format, for the metrics/dump-trace ops.
   uint64_t RequestId = 0;   // --request, for dump-trace.
+  serve::RetryPolicy Retry; // --retries / --retry-base-ms (thin client).
   if (const char *Env = std::getenv("SHARPIE_FAULTS"))
     FaultSpec = Env; // --faults below overrides the environment.
   obs::CliObs Obs;
@@ -167,6 +179,11 @@ int run(int argc, char **argv) {
     else if (!std::strcmp(argv[I], "--request") && I + 1 < argc)
       RequestId =
           static_cast<uint64_t>(std::strtoull(argv[++I], nullptr, 10));
+    else if (!std::strcmp(argv[I], "--retries") && I + 1 < argc)
+      Retry.MaxRetries =
+          static_cast<unsigned>(std::strtol(argv[++I], nullptr, 10));
+    else if (!std::strcmp(argv[I], "--retry-base-ms") && I + 1 < argc)
+      Retry.BaseMs = std::strtol(argv[++I], nullptr, 10);
     else if (!std::strcmp(argv[I], "--help") || !std::strcmp(argv[I], "-h")) {
       usage(argv[0]);
       return 0;
@@ -285,14 +302,24 @@ int run(int argc, char **argv) {
     Req.NoIncremental = NoIncremental;
     Req.Faults = FaultSpec;
     Req.JsonLine = Json;
-    serve::Client C;
-    if (!C.connect(*A, Err)) {
-      std::fprintf(stderr, "error: %s\n", Err.c_str());
-      return ExitError;
+    // Verify requests are idempotent by content hash, so connect
+    // failures and overload sheds retry with deterministic jitter keyed
+    // on the protocol text: the schedule is reproducible per input, and
+    // concurrent clients verifying different files decorrelate.
+    serve::RetryPolicy Policy = Retry;
+    if (!Policy.Seed) {
+      uint64_t H = 1469598103934665603ULL; // FNV-1a over the text.
+      for (unsigned char Ch : Req.ProtocolText)
+        H = (H ^ Ch) * 1099511628211ULL;
+      Policy.Seed = H;
     }
     serve::Json RespJ;
-    if (!C.roundTrip(Req.encode(), RespJ, Err)) {
-      std::fprintf(stderr, "error: %s\n", Err.c_str());
+    serve::RetryOutcome Out =
+        serve::requestWithRetry(*A, Req.encode(), Policy, RespJ);
+    if (!Out.Ok) {
+      std::fprintf(stderr, "error: %s (after %u attempt%s)\n",
+                   Out.Err.c_str(), Out.Attempts,
+                   Out.Attempts == 1 ? "" : "s");
       return ExitError;
     }
     if (RespJ.get("error").isString() && RespJ.get("exit").isNull()) {

@@ -8,17 +8,26 @@
 //
 //   sharpied --listen ADDR [--store DIR] [--request-workers N]
 //            [--synth-workers N] [--max-request-seconds S]
+//            [--queue-depth N] [--drain-timeout S] [--faults PLAN]
 //            [--log-level quiet|info|debug|trace]
 //            [--access-log FILE] [--slow-request-seconds S]
 //            [--flight-recorder N] [--no-telemetry]
 //
-//   sharpied --ctl ADDR --op status|cache_stats|metrics|dump_trace|shutdown
-//            [--format FMT] [--request ID]
+//   sharpied --ctl ADDR --op status|health|cache_stats|metrics|dump_trace|
+//            shutdown [--format FMT] [--request ID]
 //
 // ADDR is "unix:/path/to.sock" or "HOST:PORT" (numeric IPv4; port 0 asks
 // the kernel for a free port, printed in the banner). On startup the
 // daemon prints exactly one line, "sharpied listening on <addr>", so
 // scripts can wait for readiness. SIGINT/SIGTERM drain and exit 0.
+//
+// Overload policy (see serve/Server.h and DESIGN.md section 13): at most
+// request-workers + queue-depth verifies are admitted; excess is shed
+// with a retry_after_ms hint. --max-request-seconds is a *deadline from
+// admission* -- queue wait counts. On SIGTERM the daemon stops
+// admitting, gives in-flight work --drain-timeout seconds, cancels the
+// rest, flushes the store, and exits 0. --faults scripts the serve-layer
+// chaos sites (accept/wire_read/wire_write/store_read/store_write).
 //
 // Telemetry (see serve/Server.h): --access-log FILE appends one JSON
 // line per finished request ("-" = stderr); --slow-request-seconds S
@@ -57,11 +66,12 @@ void usage(const char *Argv0) {
       stderr,
       "usage: %s --listen ADDR [--store DIR] [--request-workers N]\n"
       "       [--synth-workers N] [--max-request-seconds S]\n"
+      "       [--queue-depth N] [--drain-timeout S] [--faults PLAN]\n"
       "       [--log-level quiet|info|debug|trace]\n"
       "       [--access-log FILE] [--slow-request-seconds S]\n"
       "       [--flight-recorder N] [--no-telemetry]\n"
-      "   or: %s --ctl ADDR --op status|cache_stats|metrics|dump_trace|"
-      "shutdown\n"
+      "   or: %s --ctl ADDR --op status|health|cache_stats|metrics|"
+      "dump_trace|shutdown\n"
       "       [--format json|prom|perfetto|jsonl] [--request ID]\n"
       "ADDR: unix:/path/to.sock or HOST:PORT\n",
       Argv0, Argv0);
@@ -136,6 +146,13 @@ int run(int argc, char **argv) {
           static_cast<unsigned>(std::strtol(argv[++I], nullptr, 10));
     else if (!std::strcmp(argv[I], "--max-request-seconds") && I + 1 < argc)
       SO.MaxRequestSeconds = std::strtod(argv[++I], nullptr);
+    else if (!std::strcmp(argv[I], "--queue-depth") && I + 1 < argc)
+      SO.QueueDepth =
+          static_cast<unsigned>(std::strtol(argv[++I], nullptr, 10));
+    else if (!std::strcmp(argv[I], "--drain-timeout") && I + 1 < argc)
+      SO.DrainTimeoutSeconds = std::strtod(argv[++I], nullptr);
+    else if (!std::strcmp(argv[I], "--faults") && I + 1 < argc)
+      SO.Faults = argv[++I];
     else if (!std::strcmp(argv[I], "--access-log") && I + 1 < argc)
       SO.AccessLogPath = argv[++I];
     else if (!std::strcmp(argv[I], "--slow-request-seconds") && I + 1 < argc)
@@ -164,10 +181,10 @@ int run(int argc, char **argv) {
   }
 
   if (!Ctl.empty()) {
-    if (Op != "status" && Op != "cache_stats" && Op != "metrics" &&
-        Op != "dump_trace" && Op != "shutdown") {
-      std::fprintf(stderr, "error: --ctl needs --op status|cache_stats|"
-                           "metrics|dump_trace|shutdown\n");
+    if (Op != "status" && Op != "health" && Op != "cache_stats" &&
+        Op != "metrics" && Op != "dump_trace" && Op != "shutdown") {
+      std::fprintf(stderr, "error: --ctl needs --op status|health|"
+                           "cache_stats|metrics|dump_trace|shutdown\n");
       return front::ExitError;
     }
     return runCtl(Ctl, Op, Format, RequestId);

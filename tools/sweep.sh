@@ -61,6 +61,21 @@
 #                              sit under its configured ceiling. Also
 #                              records the average Prometheus scrape
 #                              latency and a dump_trace sanity probe.
+#   tools/sweep.sh --bench-pr9 overload-discipline benchmark: boots a
+#                              sharpied daemon with a small admission
+#                              window (--request-workers 2
+#                              --queue-depth 4) and fires 4x its
+#                              capacity in concurrent slow verifies.
+#                              Writes BENCH_PR9.json: shed-response
+#                              client walls (the shed decision is
+#                              connection-thread-only, so these stay
+#                              near process-start cost), completed-
+#                              request walls, storm wall, the mid-storm
+#                              health probe, and the daemon's final
+#                              shed counters. Gates: every client exits
+#                              (zero hung), completed <= capacity,
+#                              shed >= clients - capacity, and health
+#                              answers ok mid-storm.
 #   tools/sweep.sh --bench-pr5 incremental-Houdini A/B: runs each protocol
 #                              in the default incremental mode and under
 #                              --no-incremental (the monolithic baseline)
@@ -465,6 +480,138 @@ if [ "$1" = "--bench-pr8" ]; then
     "$name" "$base_cold" "$base_warm" "$tele_cold" "$tele_warm" "$overhead_pct"
   printf '%-14s scrape=%sms flight=%s/%s bytes\n' "$name" "$scrape_ms" \
     "${fb:-0}" "${fc:-0}"
+  echo "wrote $OUT"
+  exit $FAIL
+fi
+
+if [ "$1" = "--bench-pr9" ]; then
+  OUT=${OUT:-BENCH_PR9.json}
+  SHARPIED_BIN=${SHARPIED_BIN:-build/tools/sharpied}
+  PROTODIR=${PROTODIR:-examples/protocols}
+  PR9_PROTO=${PR9_PROTO:-increment.sharpie}
+  WORKERS=${WORKERS:-2}
+  QUEUE_DEPTH=${QUEUE_DEPTH:-4}
+  CAPACITY=$((WORKERS + QUEUE_DEPTH))
+  CLIENTS=${CLIENTS:-$((CAPACITY * 4))}
+  # Per-tuple latency keeping each admitted solve slow enough that the
+  # storm actually saturates the queue (a faulted request also bypasses
+  # the cache, so identical texts cannot collapse into warm hits).
+  HOLD_MS=${HOLD_MS:-2000}
+  FAIL=0
+  WORK=$(mktemp -d)
+  trap 'rm -rf "$WORK"' EXIT
+
+  SOCK="$WORK/sharpied.sock"
+  "$SHARPIED_BIN" --listen "unix:$SOCK" --store "$WORK/store" \
+    --request-workers "$WORKERS" --queue-depth "$QUEUE_DEPTH" \
+    > "$WORK/daemon.log" 2>&1 &
+  DPID=$!
+  i=0
+  while [ $i -lt 100 ]; do
+    grep -q "listening on" "$WORK/daemon.log" 2>/dev/null && break
+    kill -0 "$DPID" 2>/dev/null || \
+      { echo "daemon died:"; cat "$WORK/daemon.log"; exit 1; }
+    sleep 0.1
+    i=$((i + 1))
+  done
+
+  file="$PROTODIR/$PR9_PROTO"
+  printf '{"meta":{"nproc":%s,"protocol":"%s","request_workers":%s,"queue_depth":%s,"capacity":%s,"clients":%s,"hold_ms":%s}}\n' \
+    "$(nproc 2>/dev/null || echo 0)" "$(basename "$PR9_PROTO" .sharpie)" \
+    "$WORKERS" "$QUEUE_DEPTH" "$CAPACITY" "$CLIENTS" "$HOLD_MS" > "$OUT"
+
+  # The storm: CLIENTS concurrent verifies, each with retries off so a
+  # shed comes straight back as exit 5. Every client records its exit
+  # code and wall; `timeout` turns a hung client into exit 124.
+  storm0=$(date +%s%N)
+  CPIDS=
+  i=0
+  while [ $i -lt "$CLIENTS" ]; do
+    i=$((i + 1))
+    (
+      c0=$(date +%s%N)
+      timeout "$TIMEOUT" "$SHARPIE_BIN" --server "unix:$SOCK" "$file" \
+        --faults "worker_task:latency=${HOLD_MS}@always" \
+        --retries 0 > /dev/null 2>&1
+      code=$?
+      c1=$(date +%s%N)
+      awk -v a="$c0" -v b="$c1" -v c="$code" \
+        'BEGIN { printf "%d %.3f\n", c, (b - a) / 1e9 }' \
+        > "$WORK/client.$i"
+    ) &
+    CPIDS="$CPIDS $!"
+  done
+
+  # Mid-storm: introspection must answer while every worker is busy.
+  sleep 1
+  "$SHARPIED_BIN" --ctl "unix:$SOCK" --op health > "$WORK/health.json" 2>&1
+  health=fail
+  grep -q '"ok":true' "$WORK/health.json" && health=ok
+  [ "$health" = ok ] || { echo "HEALTH FAIL: no answer mid-storm"; FAIL=1; }
+
+  # Wait on the clients only -- a bare `wait` would also wait on the
+  # daemon, which does not exit until the shutdown op below.
+  for p in $CPIDS; do
+    wait "$p" 2>/dev/null
+  done
+  storm1=$(date +%s%N)
+  storm_wall=$(awk -v a="$storm0" -v b="$storm1" \
+    'BEGIN { printf "%.3f", (b - a) / 1e9 }')
+
+  # Classify the client outcomes.
+  cat "$WORK"/client.* > "$WORK/clients.txt"
+  summary=$(awk '
+    { code = $1; wall = $2 }
+    code == 0   { ok++;   okw[ok] = wall }
+    code == 5   { shed++; sw[shed] = wall }
+    code == 124 { hung++ }
+    code != 0 && code != 5 && code != 124 { other++ }
+    END {
+      omin = omax = (ok ? okw[1] : 0)
+      for (i = 1; i <= ok; i++) { if (okw[i] < omin) omin = okw[i]
+                                  if (okw[i] > omax) omax = okw[i] }
+      smin = smax = (shed ? sw[1] : 0); ssum = 0
+      for (i = 1; i <= shed; i++) { if (sw[i] < smin) smin = sw[i]
+                                    if (sw[i] > smax) smax = sw[i]
+                                    ssum += sw[i] }
+      printf "%d %d %d %d %.3f %.3f %.3f %.3f %.3f",
+        ok+0, shed+0, hung+0, other+0, omin, omax, smin, smax,
+        (shed ? ssum / shed : 0)
+    }' "$WORK/clients.txt")
+  ok=$(echo "$summary" | cut -d' ' -f1)
+  shed=$(echo "$summary" | cut -d' ' -f2)
+  hung=$(echo "$summary" | cut -d' ' -f3)
+  other=$(echo "$summary" | cut -d' ' -f4)
+  ok_min=$(echo "$summary" | cut -d' ' -f5)
+  ok_max=$(echo "$summary" | cut -d' ' -f6)
+  shed_min=$(echo "$summary" | cut -d' ' -f7)
+  shed_max=$(echo "$summary" | cut -d' ' -f8)
+  shed_mean=$(echo "$summary" | cut -d' ' -f9)
+
+  # Gates: nothing hangs, nothing errors, the books balance, admission
+  # held the line, and the surplus was shed.
+  [ "$hung" -eq 0 ] || { echo "HUNG FAIL: $hung clients never returned"; FAIL=1; }
+  [ "$other" -eq 0 ] || { echo "EXIT FAIL: $other clients exited oddly"; FAIL=1; }
+  [ $((ok + shed + hung + other)) -eq "$CLIENTS" ] || \
+    { echo "COUNT FAIL: $ok+$shed+$hung+$other != $CLIENTS"; FAIL=1; }
+  [ "$ok" -le "$CAPACITY" ] || \
+    { echo "ADMISSION FAIL: $ok completed > capacity $CAPACITY"; FAIL=1; }
+  [ "$shed" -ge $((CLIENTS - CAPACITY)) ] || \
+    { echo "SHED FAIL: only $shed shed of >= $((CLIENTS - CAPACITY))"; FAIL=1; }
+
+  status=$("$SHARPIED_BIN" --ctl "unix:$SOCK" --op status 2>/dev/null)
+  printf '{"storm_wall":%s,"completed":{"count":%s,"wall_min":%s,"wall_max":%s},"shed":{"count":%s,"wall_min":%s,"wall_mean":%s,"wall_max":%s},"hung":%s,"health_mid_storm":"%s"}\n' \
+    "$storm_wall" "$ok" "$ok_min" "$ok_max" "$shed" "$shed_min" \
+    "$shed_mean" "$shed_max" "$hung" "$health" >> "$OUT"
+  printf '{"status":%s}\n' "${status:-null}" >> "$OUT"
+  printf 'storm: %s clients -> %s completed, %s shed, %s hung in %ss\n' \
+    "$CLIENTS" "$ok" "$shed" "$hung" "$storm_wall"
+  printf 'shed wall: min=%ss mean=%ss max=%ss | completed wall: %ss..%ss\n' \
+    "$shed_min" "$shed_mean" "$shed_max" "$ok_min" "$ok_max"
+  printf 'health mid-storm: %s\n' "$health"
+
+  "$SHARPIED_BIN" --ctl "unix:$SOCK" --op shutdown > /dev/null 2>&1
+  wait "$DPID" 2>/dev/null
   echo "wrote $OUT"
   exit $FAIL
 fi

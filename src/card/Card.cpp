@@ -135,8 +135,11 @@ void AxiomEngine::setContext(Term Facts) {
 }
 
 std::vector<Term>
-AxiomEngine::emitNew(const std::vector<Term> &UpdateEqs) {
+AxiomEngine::emitNew(const std::vector<Term> &UpdateEqs,
+                     std::vector<Term> *Deferred) {
   std::vector<Term> Out;
+  PartitionAll = Deferred != nullptr;
+  size_t D0 = Deferred ? Deferred->size() : 0;
   size_t N = Reg.defs().size();
   if (N > Opts.MaxDefs) {
     N = Opts.MaxDefs;
@@ -148,12 +151,15 @@ AxiomEngine::emitNew(const std::vector<Term> &UpdateEqs) {
     // within one engine the relevant set is fixed, and the escalation
     // path re-reduces with a fresh, unfiltered engine, so there is never
     // a second chance this engine would owe the skipped instance to.
+    // Partition mode instead emits every slot and routes by shape.
     bool RelA = relevant(A);
     if (EmittedUnary.insert(A.K.id()).second) {
       if (RelA) {
         size_t B0 = Out.size();
-        emitUnary(A, Out);
-        Stats.NumUnary += static_cast<unsigned>(Out.size() - B0);
+        size_t DB = Deferred ? Deferred->size() : 0;
+        emitUnary(A, Out, Deferred);
+        Stats.NumUnary += static_cast<unsigned>(
+            Out.size() - B0 + (Deferred ? Deferred->size() - DB : 0));
       } else {
         ++Stats.NumDeferred;
       }
@@ -167,14 +173,16 @@ AxiomEngine::emitNew(const std::vector<Term> &UpdateEqs) {
           EmittedPairs.insert({A.K.id(), B.K.id()}).second) {
         if (RelPair) {
           size_t B0 = Out.size();
-          emitPair(A, B, Out);
-          Stats.NumPairwise += static_cast<unsigned>(Out.size() - B0);
+          size_t DB = Deferred ? Deferred->size() : 0;
+          emitPair(A, B, Out, Deferred);
+          Stats.NumPairwise += static_cast<unsigned>(
+              Out.size() - B0 + (Deferred ? Deferred->size() - DB : 0));
         } else {
           ++Stats.NumDeferred;
         }
       }
       if (Opts.Update && RelPair)
-        emitUpdate(A, B, UpdateEqs, Out);
+        emitUpdate(A, B, UpdateEqs, Out, Deferred);
     }
   }
   if (Opts.Venn && Reg.defs().size() > VennDefsCovered) {
@@ -182,33 +190,43 @@ AxiomEngine::emitNew(const std::vector<Term> &UpdateEqs) {
     emitVenn(Out);
     Stats.NumVennAxioms += static_cast<unsigned>(Out.size() - B0);
   }
-  Stats.NumAxioms += static_cast<unsigned>(Out.size());
+  Stats.NumAxioms += static_cast<unsigned>(
+      Out.size() + (Deferred ? Deferred->size() - D0 : 0));
+  if (Deferred)
+    Stats.NumDeferred += static_cast<unsigned>(Deferred->size() - D0);
   return Out;
 }
 
-void AxiomEngine::emitUnary(const CardDef &D, std::vector<Term> &Out) {
+void AxiomEngine::emitUnary(const CardDef &D, std::vector<Term> &Out,
+                            std::vector<Term> *Deferred) {
+  // Witness-bearing instances are the manifest candidates in partition
+  // mode: each mints a fresh Tid constant (or carries a universal) that
+  // the surrounding clause would re-expand over.
+  std::vector<Term> &Wit = Deferred ? *Deferred : Out;
   // CARD>=0.
   Out.push_back(M.mkLe(M.mkInt(0), D.K));
   // CARD_0, skolemized NNF of (forall t: !phi) -> k <= 0:
   //   phi(c) \/ k <= 0 for a fresh witness c.
   Term C = M.freshVar("wit", Sort::Tid);
-  Out.push_back(M.mkOr(D.at(M, C), M.mkLe(D.K, M.mkInt(0))));
+  Wit.push_back(M.mkOr(D.at(M, C), M.mkLe(D.K, M.mkInt(0))));
   // CARD>0: (exists t: phi) -> k > 0, i.e. (forall t: !phi) \/ k > 0.
-  Out.push_back(M.mkOr(M.mkForall({Reg.canonicalBoundVar()}, M.mkNot(D.Body)),
+  Wit.push_back(M.mkOr(M.mkForall({Reg.canonicalBoundVar()}, M.mkNot(D.Body)),
                        M.mkLt(M.mkInt(0), D.K)));
 }
 
 void AxiomEngine::emitPair(const CardDef &A, const CardDef &B,
-                           std::vector<Term> &Out) {
+                           std::vector<Term> &Out,
+                           std::vector<Term> *Deferred) {
+  std::vector<Term> &Wit = Deferred ? *Deferred : Out;
   // CARD<=, skolemized NNF of (forall t: a -> b) -> ka <= kb:
   //   (a(c) /\ !b(c)) \/ ka <= kb.
   Term C = M.freshVar("wit", Sort::Tid);
-  Out.push_back(M.mkOr(M.mkAnd(A.at(M, C), M.mkNot(B.at(M, C))),
+  Wit.push_back(M.mkOr(M.mkAnd(A.at(M, C), M.mkNot(B.at(M, C))),
                        M.mkLe(A.K, B.K)));
   // CARD<: ((forall t: a -> b) /\ (exists t: !a /\ b)) -> ka < kb, in
   // skolemized NNF: (a(c') /\ !b(c')) \/ (forall t: a \/ !b) \/ ka < kb.
   Term C2 = M.freshVar("wit", Sort::Tid);
-  Out.push_back(
+  Wit.push_back(
       M.mkOr({M.mkAnd(A.at(M, C2), M.mkNot(B.at(M, C2))),
               M.mkForall({Reg.canonicalBoundVar()},
                          M.mkOr(A.Body, M.mkNot(B.Body))),
@@ -271,7 +289,8 @@ std::vector<UpdateEq> parseUpdates(const std::vector<Term> &Eqs) {
 
 void AxiomEngine::emitUpdate(const CardDef &A, const CardDef &B,
                              const std::vector<Term> &UpdateEqs,
-                             std::vector<Term> &Out) {
+                             std::vector<Term> &Out,
+                             std::vector<Term> *Deferred) {
   if (!A.indexedOnlyByBoundVar() || !B.indexedOnlyByBoundVar())
     return;
   std::vector<UpdateEq> Updates = parseUpdates(UpdateEqs);
@@ -328,9 +347,11 @@ void AxiomEngine::emitUpdate(const CardDef &A, const CardDef &B,
       if (S2.size() != S.size() &&
           logic::substitute(M, A.Body, S2) == B.Body) {
         // The threshold may have moved either way; both cover directions
-        // are sound, so emit both.
-        emitCover(A, B, Out);
-        emitCover(B, A, Out);
+        // are sound, so emit both. Cover instances are witness-bearing,
+        // hence manifest-routed in partition mode.
+        std::vector<Term> &CoverOut = Deferred ? *Deferred : Out;
+        emitCover(A, B, CoverOut);
+        emitCover(B, A, CoverOut);
       }
       continue;
     }

@@ -127,7 +127,9 @@ struct AxiomStats {
   unsigned NumCover = 0;    ///< CARD-COVER.
   unsigned NumVennAxioms = 0; ///< Venn region variables' sum equations.
   /// Emission slots skipped by AxiomOptions::RelevancyFilter (one per
-  /// suppressed unary batch / pair). The "axioms_lazy_deferred" counter.
+  /// suppressed unary batch / pair), or, in partition mode, the number of
+  /// axiom instances routed into the deferred manifest. The
+  /// "axioms_lazy_deferred" counter.
   unsigned NumDeferred = 0;
 };
 
@@ -160,17 +162,32 @@ public:
   /// in \p UpdateEqs (terms of shape g = store(f, j, v), used *guardedly*:
   /// each update axiom is emitted as an implication from its equations, so
   /// equations harvested from below disjunctions stay sound).
-  std::vector<logic::Term> emitNew(const std::vector<logic::Term> &UpdateEqs);
+  ///
+  /// With \p Deferred non-null the engine runs in *partition mode* (the
+  /// model-guided refinement path, engine/Reduce.cpp): every axiom family
+  /// is materialized individually instead of all-or-nothing, the relevancy
+  /// filter is ignored, and each instance is routed by shape -- ground
+  /// axioms (CARD>=0, CARD-UPD, CARD-DISJOINT, Venn regions and sums) into
+  /// the returned vector, witness-bearing ones (CARD_0, CARD>0, CARD<=,
+  /// CARD<, CARD-COVER; the instance-bloat source, each minting a fresh
+  /// Tid constant or universal) into \p Deferred. By construction
+  /// returned AND deferred equals the unfiltered emission, so asserting
+  /// the deferred part later recovers the full reduction exactly.
+  std::vector<logic::Term> emitNew(const std::vector<logic::Term> &UpdateEqs,
+                                   std::vector<logic::Term> *Deferred = nullptr);
 
   const AxiomStats &stats() const { return Stats; }
 
 private:
-  void emitUnary(const CardDef &D, std::vector<logic::Term> &Out);
+  void emitUnary(const CardDef &D, std::vector<logic::Term> &Out,
+                 std::vector<logic::Term> *Deferred);
   void emitPair(const CardDef &A, const CardDef &B,
-                std::vector<logic::Term> &Out);
+                std::vector<logic::Term> &Out,
+                std::vector<logic::Term> *Deferred);
   void emitUpdate(const CardDef &A, const CardDef &B,
                   const std::vector<logic::Term> &UpdateEqs,
-                  std::vector<logic::Term> &Out);
+                  std::vector<logic::Term> &Out,
+                  std::vector<logic::Term> *Deferred);
   /// CARD-COVER, a derived 3-set consequence of the Venn decomposition:
   /// (forall t: a -> b \/ c) -> ka <= kb + kc, emitted in skolemized NNF
   /// for pairs (a, b) that an update relates with a *moved threshold*
@@ -180,8 +197,11 @@ private:
   void emitCover(const CardDef &A, const CardDef &B,
                  std::vector<logic::Term> &Out);
   void emitVenn(std::vector<logic::Term> &Out);
+  /// True when partition mode (see emitNew) treats every def as relevant.
+  bool PartitionAll = false;
   bool relevant(const CardDef &D) const {
-    return !Opts.RelevancyFilter || RelevantKs.count(D.K.id()) != 0;
+    return PartitionAll || !Opts.RelevancyFilter ||
+           RelevantKs.count(D.K.id()) != 0;
   }
 
   logic::TermManager &M;

@@ -92,11 +92,34 @@ ReduceResult sharpie::engine::reduceToGround(
       IntSet.insert(Sk);
   std::vector<Term> IntTerms(IntSet.begin(), IntSet.end());
 
-  std::vector<Term> Axioms;
+  // Manifest mode (Opts.DeferManifest) runs the same fixed-point loop as
+  // the full reduction -- same axiom emission order, same witness cascade,
+  // same (full) instantiation domains -- but splits every conjunct stream
+  // in two: CoreAxioms/Expanded go into Ground, DefAxioms and the
+  // witness-binding obligation instances into the manifest. The per-round
+  // state is recomputed from scratch exactly like Expanded is today, so
+  // core AND manifest stays the full expansion at every round.
+  std::vector<Term> CoreAxioms;
+  std::vector<Term> DefAxioms;
+  std::vector<Term> DeferredConjs;
   Term Expanded = SK.Formula;
+  quant::ExpandOptions OrigExpand = Opts.Expand;
+  if (Opts.DeferManifest) {
+    OrigExpand.CollectDeferred = true;
+    OrigExpand.CoreTids = &Primary;
+  }
+  // Collects the ground card terms of a formula into the registry.
+  auto InternCards = [&](Term T) {
+    std::set<Term> Cards = logic::collectSubterms(
+        T, [](Term S) { return S.kind() == Kind::Card; });
+    for (Term C : Cards)
+      Reg.defFor(C);
+  };
   for (unsigned Round = 0;; ++Round) {
     Res.NumRounds = Round + 1;
-    Term AxiomConj = M.mkAnd(Axioms);
+    std::vector<Term> AllAxioms = CoreAxioms;
+    AllAxioms.insert(AllAxioms.end(), DefAxioms.begin(), DefAxioms.end());
+    Term AxiomConj = M.mkAnd(AllAxioms);
 
     std::vector<Term> TidAll = Primary;
     {
@@ -114,19 +137,29 @@ ReduceResult sharpie::engine::reduceToGround(
     }
 
     quant::ExpandResult ExOrig =
-        quant::expandForalls(M, SK.Formula, TidAll, IntTerms, Opts.Expand);
-    quant::ExpandResult ExAx =
-        quant::expandForalls(M, AxiomConj, Primary, IntTerms, Opts.Expand);
-    Res.Complete &= ExOrig.Complete && ExAx.Complete;
-    Res.NumInstances = ExOrig.NumInstances + ExAx.NumInstances;
+        quant::expandForalls(M, SK.Formula, TidAll, IntTerms, OrigExpand);
+    quant::ExpandResult ExAx = quant::expandForalls(
+        M, M.mkAnd(CoreAxioms), Primary, IntTerms, Opts.Expand);
+    quant::ExpandResult ExDef = quant::expandForalls(
+        M, M.mkAnd(DefAxioms), Primary, IntTerms, Opts.Expand);
+    Res.Complete &= ExOrig.Complete && ExAx.Complete && ExDef.Complete;
+    Res.NumInstances =
+        ExOrig.NumInstances + ExAx.NumInstances + ExDef.NumInstances;
     Res.NumFilteredInstances = ExOrig.NumFiltered + ExAx.NumFiltered;
     Expanded = M.mkAnd(ExOrig.Formula, ExAx.Formula);
+    std::vector<Term> OrigDeferred = std::move(ExOrig.Deferred);
+    DeferredConjs = OrigDeferred;
+    if (ExDef.Formula.kind() == Kind::And)
+      for (Term K : ExDef.Formula->kids())
+        DeferredConjs.push_back(K);
+    else if (!DefAxioms.empty())
+      DeferredConjs.push_back(ExDef.Formula);
 
-    // Intern every cardinality term that the expansion made ground.
-    std::set<Term> Cards = logic::collectSubterms(
-        Expanded, [](Term T) { return T.kind() == Kind::Card; });
-    for (Term C : Cards)
-      Reg.defFor(C);
+    // Intern every cardinality term that the expansion made ground; the
+    // manifest's card terms must resolve through the same registry.
+    InternCards(Expanded);
+    for (Term D : DeferredConjs)
+      InternCards(D);
 
     if (Round == 0 && Opts.Card.RelevancyFilter) {
       // Lazy mode: the relevant counters are exactly the definitions in
@@ -140,21 +173,33 @@ ReduceResult sharpie::engine::reduceToGround(
       AE.setRelevant(std::move(Relevant));
     }
 
-    std::vector<Term> NewAxioms = AE.emitNew(UpdateEqs);
-    if (NewAxioms.empty())
+    size_t DefBefore = DefAxioms.size();
+    std::vector<Term> NewAxioms =
+        AE.emitNew(UpdateEqs, Opts.DeferManifest ? &DefAxioms : nullptr);
+    if (NewAxioms.empty() && DefAxioms.size() == DefBefore)
       break;
-    Axioms.insert(Axioms.end(), NewAxioms.begin(), NewAxioms.end());
+    CoreAxioms.insert(CoreAxioms.end(), NewAxioms.begin(), NewAxioms.end());
     if (Round + 1 >= Opts.MaxRounds) {
       // Out of rounds with axioms pending: one final expansion so the new
       // axioms' quantifier-free parts are at least conjoined.
       quant::ExpandResult ExFinal = quant::expandForalls(
-          M, M.mkAnd(Axioms), Primary, IntTerms, Opts.Expand);
+          M, M.mkAnd(CoreAxioms), Primary, IntTerms, Opts.Expand);
       Res.Complete &= ExFinal.Complete;
       Expanded = M.mkAnd(ExOrig.Formula, ExFinal.Formula);
-      std::set<Term> Cards2 = logic::collectSubterms(
-          Expanded, [](Term T) { return T.kind() == Kind::Card; });
-      for (Term C : Cards2)
-        Reg.defFor(C);
+      InternCards(Expanded);
+      if (Opts.DeferManifest) {
+        quant::ExpandResult ExFinalDef = quant::expandForalls(
+            M, M.mkAnd(DefAxioms), Primary, IntTerms, Opts.Expand);
+        Res.Complete &= ExFinalDef.Complete;
+        DeferredConjs = std::move(OrigDeferred);
+        if (ExFinalDef.Formula.kind() == Kind::And)
+          for (Term K : ExFinalDef.Formula->kids())
+            DeferredConjs.push_back(K);
+        else if (!DefAxioms.empty())
+          DeferredConjs.push_back(ExFinalDef.Formula);
+        for (Term D : DeferredConjs)
+          InternCards(D);
+      }
       break;
     }
   }
@@ -168,6 +213,33 @@ ReduceResult sharpie::engine::reduceToGround(
   Res.Ground = logic::replaceAll(M, Expanded, Res.CardVars);
   assert(!logic::containsKind(Res.Ground, Kind::Card) &&
          "cardinality term survived the reduction");
+  if (Opts.DeferManifest) {
+    // Finalize the manifest: card-replace, flatten to conjuncts, drop
+    // trivially-true items and items already conjoined in Ground, and
+    // deduplicate (preserving order, which keys the deterministic clause
+    // naming the cache relies on).
+    std::set<Term> GroundConjs;
+    if (Res.Ground.kind() == Kind::And)
+      for (Term K : Res.Ground->kids())
+        GroundConjs.insert(K);
+    else
+      GroundConjs.insert(Res.Ground);
+    std::set<Term> Seen;
+    for (Term D : DeferredConjs) {
+      Term G = logic::replaceAll(M, D, Res.CardVars);
+      assert(!logic::containsKind(G, Kind::Card) &&
+             "cardinality term survived in the deferred manifest");
+      std::vector<Term> Items =
+          G.kind() == Kind::And ? G->kids() : std::vector<Term>{G};
+      for (Term I : Items) {
+        if (I.kind() == Kind::BoolConst && I->value())
+          continue;
+        if (GroundConjs.count(I) || !Seen.insert(I).second)
+          continue;
+        Res.Deferred.push_back(I);
+      }
+    }
+  }
   if (Trace) {
     const card::AxiomStats &AS = AE.stats();
     Trace->counter("card_axioms.unary", AS.NumUnary);
@@ -178,6 +250,10 @@ ReduceResult sharpie::engine::reduceToGround(
     Trace->counter("axioms_lazy_deferred",
                    AS.NumDeferred + Res.NumFilteredInstances);
     Trace->counter("quant_instances", Res.NumInstances);
+    Trace->counter("quant_instances_filtered", Res.NumFilteredInstances);
+    if (!Res.Deferred.empty())
+      Trace->counter("manifest_instances",
+                     static_cast<unsigned>(Res.Deferred.size()));
     // Ground-formula size proxy: the number of distinct atomic
     // comparisons after reduction, the knob that actually drives SMT
     // check cost (and the histogram operators watch for blowup).
@@ -218,6 +294,7 @@ uint64_t sharpie::engine::reduceOptionsFingerprint(const ReduceOptions &O) {
   H = hashMix(H, O.Expand.MaxIntTerms);
   H = hashMix(H, O.MaxRounds);
   H = hashMix(H, O.MaxWitnessInstances);
+  H = hashMix(H, O.DeferManifest);
   return H;
 }
 
@@ -327,6 +404,11 @@ std::optional<ReduceResult> sharpie::engine::ReduceCache::lookupShared(
   R.CardVars.clear();
   for (const auto &[C, K] : It->second.CardVars)
     R.CardVars[Out(C)] = Out(K);
+  // The manifest rides the same memoized translator, so its skolems stay
+  // consistent with Ground and CardVars.
+  R.Deferred.clear();
+  for (Term D : It->second.Deferred)
+    R.Deferred.push_back(Out(D));
   return R;
 }
 
@@ -345,6 +427,9 @@ void sharpie::engine::ReduceCache::insertShared(
   Host.CardVars.clear();
   for (const auto &[C, K] : R.CardVars)
     Host.CardVars[In(C)] = In(K);
+  Host.Deferred.clear();
+  for (Term D : R.Deferred)
+    Host.Deferred.push_back(In(D));
   Entries.emplace(Key, std::move(Host));
   // Retain the content identity so the entry can be re-keyed after a
   // round trip through the persistent store (the translator memoizes, so
@@ -408,6 +493,13 @@ size_t sharpie::engine::ReduceCache::serializeShared(std::string &Out) const {
     for (Term E : SK.Extra)
       Out += "eit " + logic::serializeTerm(E) + "\n";
     Out += "ground " + logic::serializeTerm(R.Ground) + "\n";
+    // The manifest lines are optional (absent for non-manifest entries),
+    // so caches written before manifest mode existed still parse.
+    if (!R.Deferred.empty()) {
+      Out += "ndef " + std::to_string(R.Deferred.size()) + "\n";
+      for (Term D : R.Deferred)
+        Out += "def " + logic::serializeTerm(D) + "\n";
+    }
     std::snprintf(Buf, sizeof(Buf), "meta %d %u %u %u %u %u %u %d\n",
                   R.Complete ? 1 : 0, R.NumRounds, R.NumAxioms, R.NumInstances,
                   R.NumDeferred, R.NumFilteredInstances, R.NumVennRegions,
@@ -520,7 +612,22 @@ size_t sharpie::engine::ReduceCache::deserializeShared(
     if (!LC.next(Tag, Rest) || Tag != "ground" ||
         !ParseTerm(Rest, false, R.Ground))
       return Corrupt("bad ground term");
-    if (!LC.next(Tag, Rest) || Tag != "meta")
+    if (!LC.next(Tag, Rest))
+      return Corrupt("truncated after ground");
+    if (Tag == "ndef") {
+      size_t NDef = 0;
+      if (!parseCount(Rest, 1 << 20, NDef))
+        return Corrupt("bad ndef count");
+      for (size_t I = 0; I < NDef; ++I) {
+        Term D;
+        if (!LC.next(Tag, Rest) || Tag != "def" || !ParseTerm(Rest, false, D))
+          return Corrupt("bad def term");
+        R.Deferred.push_back(D);
+      }
+      if (!LC.next(Tag, Rest))
+        return Corrupt("truncated after manifest");
+    }
+    if (Tag != "meta")
       return Corrupt("bad meta line");
     {
       int Complete = 0, VennApplied = 0;

@@ -45,6 +45,18 @@ struct ReduceOptions {
   /// makes the reduction quadratic-by-round; truncation only weakens the
   /// reduction (sound).
   unsigned MaxWitnessInstances = 32;
+  /// Model-guided refinement mode (the CEGAR instantiation loop in
+  /// synth/Synth.cpp): run the *full* reduction pipeline -- every axiom
+  /// family materialized, the full witness cascade, full instantiation
+  /// domains, no relevancy skipping -- but route each conjunct either into
+  /// ReduceResult::Ground (the core) or into the deferred-instance
+  /// manifest ReduceResult::Deferred, such that Ground AND the manifest is
+  /// logically the unpartitioned full reduction. Routed out are the
+  /// witness-bearing CARD axioms and the obligation instances that bind
+  /// axiom-witness constants (the instance-bloat sources); Unsat on the
+  /// core alone is therefore sound, and a model that satisfies every
+  /// manifest entry is a genuine model of the full reduction.
+  bool DeferManifest = false;
 };
 
 struct ReduceResult {
@@ -64,6 +76,12 @@ struct ReduceResult {
   bool VennApplied = false;
   /// Maps every cardinality term seen to the k variable standing for it.
   std::map<logic::Term, logic::Term> CardVars;
+  /// ReduceOptions::DeferManifest only: the deferred-instance manifest.
+  /// Each entry is ground and cardinality-free (card terms replaced via
+  /// CardVars like Ground itself), deduplicated, and not already a
+  /// conjunct of Ground. Ground AND all entries == the full reduction;
+  /// empty outside manifest mode.
+  std::vector<logic::Term> Deferred;
 };
 
 /// A stable fingerprint of every knob that changes reduceToGround's output

@@ -7,6 +7,7 @@
 #include "quant/Quant.h"
 
 #include "logic/TermOps.h"
+#include "smt/SmtSolver.h"
 
 using namespace sharpie;
 using namespace sharpie::quant;
@@ -83,6 +84,8 @@ public:
            const std::vector<Term> &IntTerms, const ExpandOptions &Opts,
            ExpandResult &R)
       : M(M), TidTerms(TidTerms), IntTerms(IntTerms), Opts(Opts), R(R) {
+    if (Opts.CollectDeferred && Opts.CoreTids)
+      CoreTidSet.insert(Opts.CoreTids->begin(), Opts.CoreTids->end());
     if (!Opts.RelevancyFilter)
       return;
     // Relevancy pre-pass: which arrays is each candidate index term used
@@ -94,19 +97,25 @@ public:
       ArraysIndexedBy[Rd->kid(1)].insert(Rd->kid(0));
   }
 
-  Term walk(Term T) {
+  /// \p Conjunctive: T is at a conjunctive position of the root -- every
+  /// conjunct of an expansion here is itself a conjunct of the whole, so
+  /// partition mode may route instances into the deferred manifest. Below
+  /// an Or that no longer holds and universals are expanded fully in
+  /// place.
+  Term walk(Term T, bool Conjunctive) {
     const logic::Node *N = T.node();
     switch (N->kind()) {
     case Kind::And:
     case Kind::Or: {
+      bool KidConj = Conjunctive && N->kind() == Kind::And;
       std::vector<Term> Kids;
       Kids.reserve(N->numKids());
       for (Term K : N->kids())
-        Kids.push_back(walk(K));
+        Kids.push_back(walk(K, KidConj));
       return N->kind() == Kind::And ? M.mkAnd(Kids) : M.mkOr(Kids);
     }
     case Kind::Forall:
-      return expand(T);
+      return expand(T, Conjunctive);
     case Kind::Exists:
       assert(false && "expandForalls requires an existential-free formula");
       return T;
@@ -116,14 +125,41 @@ public:
   }
 
 private:
-  Term expand(Term Q) {
+  Term expand(Term Q, bool Conjunctive) {
     const logic::Node *N = Q.node();
     const std::vector<Term> &Bs = N->binders();
-    // Per-binder domains, relevancy-filtered when enabled.
+    // Routing instances into the manifest is only sound at conjunctive
+    // positions; in partition mode enumeration always runs over the full
+    // domains (core AND deferred must equal the full expansion).
+    bool Partition = Opts.CollectDeferred && Conjunctive;
+    // Per-binder domains, relevancy-filtered when enabled (lazy mode) or
+    // full (partition mode, where the filter only steers routing).
     std::vector<std::vector<Term>> Doms;
     Doms.reserve(Bs.size());
-    for (Term B : Bs)
-      Doms.push_back(domainFor(N, B));
+    std::vector<std::set<Term>> CoreDoms;
+    if (Partition)
+      CoreDoms.reserve(Bs.size());
+    for (Term B : Bs) {
+      if (!Opts.CollectDeferred) {
+        Doms.push_back(domainFor(N, B));
+        continue;
+      }
+      Doms.push_back(B.sort() == Sort::Tid ? TidTerms : IntTerms);
+      if (!Partition)
+        continue;
+      // The core sub-domain: filter-kept terms intersected with the
+      // explicit worklist. Int binders are never the bloat source and
+      // stay core.
+      std::set<Term> Core;
+      if (B.sort() == Sort::Tid) {
+        for (Term D : domainFor(N, B))
+          if (CoreTidSet.empty() || CoreTidSet.count(D))
+            Core.insert(D);
+      } else {
+        Core.insert(Doms.back().begin(), Doms.back().end());
+      }
+      CoreDoms.push_back(std::move(Core));
+    }
     // Estimate the instance count; weaken to true on budget overrun.
     uint64_t Count = 1;
     for (const std::vector<Term> &Dom : Doms) {
@@ -140,8 +176,7 @@ private:
     }
     std::vector<Term> Instances;
     Subst S;
-    enumerate(N, Doms, 0, S, Instances);
-    R.NumInstances += static_cast<unsigned>(Instances.size());
+    enumerate(N, Doms, Partition ? &CoreDoms : nullptr, 0, S, Instances);
     return M.mkAnd(Instances);
   }
 
@@ -182,18 +217,35 @@ private:
   }
 
   void enumerate(const logic::Node *N,
-                 const std::vector<std::vector<Term>> &Doms, size_t I,
+                 const std::vector<std::vector<Term>> &Doms,
+                 const std::vector<std::set<Term>> *CoreDoms, size_t I,
                  Subst &S, std::vector<Term> &Out) {
     const std::vector<Term> &Bs = N->binders();
     if (I == Bs.size()) {
+      ++R.NumInstances;
+      bool Core = true;
+      if (CoreDoms)
+        for (size_t K = 0; K < Bs.size(); ++K)
+          if (!(*CoreDoms)[K].count(S.at(Bs[K]))) {
+            Core = false;
+            break;
+          }
+      if (CoreDoms && !Core) {
+        // Routed out: a deferred instance is a standalone conjunct, so any
+        // universal nested inside it is expanded fully in place.
+        R.Deferred.push_back(walk(substitute(M, N->body(), S),
+                                  /*Conjunctive=*/false));
+        return;
+      }
       // Recurse to expand nested universals inside the instantiated body.
-      Out.push_back(walk(substitute(M, N->body(), S)));
+      Out.push_back(walk(substitute(M, N->body(), S),
+                         /*Conjunctive=*/CoreDoms != nullptr));
       return;
     }
     Term B = Bs[I];
     for (Term D : Doms[I]) {
       S[B] = D;
-      enumerate(N, Doms, I + 1, S, Out);
+      enumerate(N, Doms, CoreDoms, I + 1, S, Out);
     }
     S.erase(B);
   }
@@ -206,6 +258,8 @@ private:
   /// index term -> arrays it is read with, over the whole input formula.
   /// Populated only when Opts.RelevancyFilter is set.
   std::map<Term, std::set<Term>> ArraysIndexedBy;
+  /// The explicit core worklist (partition mode); empty = no restriction.
+  std::set<Term> CoreTidSet;
 };
 
 } // namespace
@@ -220,7 +274,28 @@ ExpandResult sharpie::quant::expandForalls(TermManager &M, Term T,
     BoundedInt.resize(Opts.MaxIntTerms);
     R.Complete = false;
   }
-  R.Formula = Expander(M, T, TidTerms, BoundedInt, Opts, R).walk(T);
+  R.Formula = Expander(M, T, TidTerms, BoundedInt, Opts, R)
+                  .walk(T, /*Conjunctive=*/true);
+  return R;
+}
+
+// -- Violated-instance extraction ---------------------------------------------
+
+ViolatedResult sharpie::quant::selectViolated(smt::SmtModel &Model,
+                                              const std::vector<Term> &Items,
+                                              const std::vector<char> &Skip) {
+  ViolatedResult R;
+  for (size_t I = 0; I < Items.size(); ++I) {
+    if (I < Skip.size() && Skip[I])
+      continue;
+    std::optional<bool> V = Model.evalBool(Items[I]);
+    if (!V) {
+      R.EvalFailed = true;
+      continue;
+    }
+    if (!*V)
+      R.Violated.push_back(I);
+  }
   return R;
 }
 

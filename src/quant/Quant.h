@@ -28,6 +28,9 @@
 #include <vector>
 
 namespace sharpie {
+namespace smt {
+class SmtModel;
+}
 namespace quant {
 
 struct SkolemResult {
@@ -56,6 +59,21 @@ struct ExpandOptions {
   /// answer obtained under the filter may be spurious; callers escalate
   /// to an unfiltered expansion before trusting one.
   bool RelevancyFilter = false;
+  /// Partitioned expansion (model-guided refinement mode): instead of
+  /// *skipping* instances, every universal at a conjunctive position is
+  /// expanded over the full domain, and each instance is routed either
+  /// into the returned formula (the core) or into ExpandResult::Deferred,
+  /// so that Formula AND Deferred equals the unpartitioned expansion by
+  /// construction. An instance is core when every Tid binder draws from
+  /// \p CoreTids (when set) and survives the relevancy filter; everything
+  /// else -- witness-cascade instances in particular -- is deferred.
+  /// Universals below an Or cannot be split off (their instances are not
+  /// conjuncts of the whole) and are expanded fully in place.
+  bool CollectDeferred = false;
+  /// The explicit core instance worklist for CollectDeferred: Tid terms a
+  /// core instance may bind. Null means "no worklist restriction" (the
+  /// relevancy filter alone decides the routing).
+  const std::vector<logic::Term> *CoreTids = nullptr;
 };
 
 struct ExpandResult {
@@ -63,6 +81,9 @@ struct ExpandResult {
   unsigned NumInstances = 0;
   unsigned NumFiltered = 0; ///< Instances skipped by RelevancyFilter.
   bool Complete = true;  ///< False if the budget truncated an expansion.
+  /// CollectDeferred only: the routed-out instances (each universal-free).
+  /// Invariant: mkAnd(Formula, mkAnd(Deferred)) == the full expansion.
+  std::vector<logic::Term> Deferred;
 };
 
 /// Expands every universal quantifier in the NNF, existential-free formula
@@ -73,6 +94,28 @@ ExpandResult expandForalls(logic::TermManager &M, logic::Term T,
                            const std::vector<logic::Term> &TidTerms,
                            const std::vector<logic::Term> &IntTerms,
                            const ExpandOptions &Opts = {});
+
+/// Result of evaluating a deferred-instance manifest against a candidate
+/// model (the refinement step of CEGAR-style lazy instantiation).
+struct ViolatedResult {
+  /// Indices into the manifest of instances the model falsifies. Asserting
+  /// exactly these rules out the model while keeping the context minimal.
+  std::vector<size_t> Violated;
+  /// True when some instance could not be evaluated (a partial model, e.g.
+  /// MiniSolver's structural evaluator). The caller must then treat the
+  /// model as unvetted and fall back to asserting the whole manifest --
+  /// degrading to full grounding is sound, keeping the model is not.
+  bool EvalFailed = false;
+};
+
+/// Evaluates each manifest entry \p Items[I] with \p Skip[I] == 0 against
+/// \p Model and collects the violated ones. An entry that evaluates to
+/// true is genuinely satisfied (the conjuncts are ground and the model
+/// total when EvalFailed stays false), so a round that returns no
+/// violations certifies the model against the full reduction.
+ViolatedResult selectViolated(smt::SmtModel &Model,
+                              const std::vector<logic::Term> &Items,
+                              const std::vector<char> &Skip);
 
 /// Collects the Tid-sorted index set of \p T: all free Tid variables. (The
 /// term language has no compound Tid-sorted terms.)

@@ -3,8 +3,9 @@
 // Part of sharpie. A seeded, replayable fault-injection harness for the
 // resilience layer (resil/Resil.h): a FaultPlan names the faults to
 // inject (timeouts, Unknowns, exceptions, latency) at the supervised
-// sites (`smt_check`, `smt_check_assuming`, `reduce`, `worker_task`),
-// and a FaultInjector turns the plan into per-invocation decisions. The
+// sites (`smt_check`, `smt_check_assuming`, `reduce`, `worker_task`,
+// `refine`), and a FaultInjector turns the plan into per-invocation
+// decisions. The
 // serving daemon (serve/Server.h) adds its own sites on top: `accept`,
 // `wire_read`, `wire_write` on the connection path and `store_read`,
 // `store_write` inside the result store -- same grammar, same
@@ -27,8 +28,9 @@
 //   plan    := ["seed=" INT] (";" rule)*
 //   rule    := site ":" kind ["@" trigger ("," trigger)*]
 //   site    := "smt_check" | "smt_check_assuming" | "reduce"
-//            | "worker_task" | "accept" | "wire_read" | "wire_write"
-//            | "store_read" | "store_write"             (any name matches)
+//            | "worker_task" | "refine" | "accept" | "wire_read"
+//            | "wire_write" | "store_read" | "store_write"
+//                                                       (any name matches)
 //   kind    := "timeout" | "unknown" | "throw" | "latency=" MS
 //   trigger := "always" | "p=" FLOAT | "every=" N | "worker=" W
 //

@@ -82,6 +82,11 @@ struct ReducedClause {
   /// Ground is a weakening of the full reduction: a Sat answer must be
   /// confirmed against the full reduction before a model is trusted.
   bool LazyWeakened = false;
+  /// Refine mode: the deferred-instance manifest of the clause's reduction
+  /// (engine::ReduceResult::Deferred). Ground AND every entry is the full
+  /// reduction; entries are asserted individually as candidate models
+  /// violate them (incCheck's refinement loop).
+  std::vector<Term> Deferred;
   /// Quantifier instances the reduction expanded into Ground; summed per
   /// Houdini check into the instantiations_per_check histogram.
   uint64_t NumInstances = 0;
@@ -250,6 +255,14 @@ private:
     std::vector<Term> Sel;          ///< Sel[i] guards clause i's ground.
     std::vector<char> Lazy;         ///< Clause i's reduction was weakened.
     std::vector<char> FullAsserted; ///< Clause i escalated to full.
+    /// Refine mode: InstSel[i] guards clause i's refinement conjuncts
+    /// (houdini$inst$<i>). Sel[i] -> InstSel[i] is asserted at setup, so
+    /// manifest items asserted as InstSel[i] -> item bind exactly when the
+    /// clause is selected and retract with it.
+    std::vector<Term> InstSel;
+    /// Refine mode: DefAsserted[i][j] marks clause i's manifest entry j as
+    /// already asserted into the live context.
+    std::vector<std::vector<char>> DefAsserted;
     size_t SafetyIdx = static_cast<size_t>(-1);
     /// Unsat core of the last Unsat answer, as (atom index, assumed
     /// polarity) pairs over the indicator literals. Empty is valid (the
@@ -272,6 +285,15 @@ private:
     RO.Expand.RelevancyFilter = true;
     return RO;
   }
+  /// The manifest variant of Opts.Reduce for the refinement loop: the full
+  /// pipeline with witness-bearing conjuncts routed into a deferred
+  /// manifest instead of being skipped, so Ground AND the manifest equals
+  /// the full reduction (engine::ReduceOptions::DeferManifest).
+  engine::ReduceOptions refineReduceOptions() const {
+    engine::ReduceOptions RO = Opts.Reduce;
+    RO.DeferManifest = true;
+    return RO;
+  }
   void incSetup(const std::vector<ReducedClause> &Clauses,
                 const std::vector<Term> &Cand, smt::SmtSolver *Oracle);
   /// Destroys the merged context and forgets the tuple's state.
@@ -281,6 +303,19 @@ private:
   bool coreConsistent() const;
   void incRecordCore();
   void ensureFullAsserted(const ReducedClause &C, size_t CI);
+  /// Refine mode: asserts every not-yet-asserted manifest entry of clause
+  /// \p CI -- the full grounding, reached without a re-reduction because
+  /// core AND manifest is the full reduction by construction.
+  void assertAllDeferred(const ReducedClause &C, size_t CI);
+  /// One refinement round against a surviving candidate model: evaluates
+  /// every selected, still-lazy clause's manifest under \p Model and
+  /// asserts exactly the violated entries (a clause whose model evaluation
+  /// fails degrades to assertAllDeferred -- never an unsound keep).
+  /// Returns true when anything was asserted (the model is refuted and the
+  /// caller must re-check); false certifies the model against the full
+  /// reduction of every selected clause.
+  bool refineAgainstModel(const std::vector<ReducedClause> &Clauses,
+                          smt::SmtModel &Model, unsigned Round);
   /// One assumption-based check of the merged context, with the
   /// lazy->full escalation loop folded in: an Unsat records the core; a
   /// returned Sat comes with a model in which no selected clause's ground
@@ -625,11 +660,16 @@ Synthesizer::buildClauses(const std::vector<Term> &SetBodies,
     return Sk;
   };
 
-  // Incremental mode reduces lazily (relevancy-filtered axioms); the raw
-  // conjunction and index terms are retained on the clause so a surviving
-  // lazy model can trigger an on-demand full reduction (ensureFullAsserted).
+  // Incremental mode reduces lazily: refine mode (the default) partitions
+  // the full reduction into a core ground plus a deferred-instance
+  // manifest (model-guided refinement asserts manifest entries on demand);
+  // --no-refine keeps the PR5 relevancy-filtered reduction whose surviving
+  // models trigger one whole-clause escalation (ensureFullAsserted). The
+  // raw conjunction and index terms are retained for that coarse path.
   const engine::ReduceOptions BuildRO =
-      Opts.Incremental ? lazyReduceOptions() : Opts.Reduce;
+      !Opts.Incremental ? Opts.Reduce
+      : Opts.Refine     ? refineReduceOptions()
+                        : lazyReduceOptions();
   auto Reduce = [&](ReducedClause &C, const std::vector<Term> &Conj) {
     obs::Span Sp(TB, "reduce_clause", [&] { return C.Name; });
     C.Raw = M.mkAnd(Conj);
@@ -637,14 +677,17 @@ Synthesizer::buildClauses(const std::vector<Term> &SetBodies,
     engine::ReduceResult R = engine::reduceToGroundCached(
         RC, M, C.Raw, BuildRO, Oracle, Externals, C.Extra, TB);
     C.Ground = R.Ground;
-    C.LazyWeakened = R.NumDeferred + R.NumFilteredInstances > 0;
+    C.Deferred = std::move(R.Deferred);
+    C.LazyWeakened = BuildRO.DeferManifest
+                         ? !C.Deferred.empty()
+                         : R.NumDeferred + R.NumFilteredInstances > 0;
     C.NumInstances = R.NumInstances;
     SHARPIE_LOGF(TB, obs::LogLevel::Debug,
                  "[reduce] %-16s size=%-7zu inst=%-6u axioms=%-5u venn=%s/%u"
-                 " deferred=%u",
+                 " deferred=%u manifest=%zu",
                  C.Name.c_str(), logic::termSize(C.Ground), R.NumInstances,
                  R.NumAxioms, R.VennApplied ? "yes" : "no", R.NumVennRegions,
-                 R.NumDeferred + R.NumFilteredInstances);
+                 R.NumDeferred + R.NumFilteredInstances, C.Deferred.size());
   };
 
   // Clause (a): init /\ !Inv.
@@ -927,6 +970,16 @@ void Synthesizer::incSetup(const std::vector<ReducedClause> &Clauses,
       Inc.SafetyIdx = CI;
     Inc.S->add(M.mkImplies(Sel, C.Ground));
     Inc.Instances += C.NumInstances;
+    // Refinement conjuncts ride behind a dedicated per-clause selector
+    // (deterministically named like houdini$sel$): Sel -> InstSel is
+    // asserted once, manifest entries are added as InstSel -> entry, so
+    // they apply exactly when the clause is selected and retract with it
+    // while the assumption literals (the indicators) stay untouched.
+    Term ISel = M.mkVar("houdini$inst$" + std::to_string(CI), Sort::Bool);
+    Inc.InstSel.push_back(ISel);
+    Inc.DefAsserted.emplace_back(C.Deferred.size(), 0);
+    if (!C.Deferred.empty())
+      Inc.S->add(M.mkImplies(Sel, ISel));
     // Tie every placeholder occurrence to the indicators: P_I holds iff
     // every live atom holds at instance I. Only the implication direction
     // a placeholder's polarity in the ground formula needs is asserted
@@ -1004,7 +1057,7 @@ void Synthesizer::incRecordCore() {
 }
 
 void Synthesizer::ensureFullAsserted(const ReducedClause &C, size_t CI) {
-  obs::Span Sp(TB, "escalate_full", [&] { return C.Name; });
+  obs::Span Sp(TB, "refine_full", [&] { return C.Name; });
   engine::ReduceResult R = engine::reduceToGroundCached(
       RC, M, C.Raw, Opts.Reduce, Inc.Oracle, Sys.externalCounters(), C.Extra,
       TB);
@@ -1016,16 +1069,131 @@ void Synthesizer::ensureFullAsserted(const ReducedClause &C, size_t CI) {
   Inc.FullAsserted[CI] = 1;
   Inc.Instances += R.NumInstances;
   if (TB)
-    TB->counter("lazy_escalations", 1);
+    TB->counter("refine_full_groundings", 1);
   SHARPIE_LOGF(TB, obs::LogLevel::Debug,
                "[lazy] %s: model survived the lazy ground, escalating to the "
                "full reduction (size %zu)",
                C.Name.c_str(), logic::termSize(R.Ground));
 }
 
+void Synthesizer::assertAllDeferred(const ReducedClause &C, size_t CI) {
+  obs::Span Sp(TB, "refine_full", [&] { return C.Name; });
+  std::vector<char> &Done = Inc.DefAsserted[CI];
+  unsigned Added = 0;
+  for (size_t I = 0; I < C.Deferred.size(); ++I) {
+    if (Done[I])
+      continue;
+    Inc.S->add(M.mkImplies(Inc.InstSel[CI], C.Deferred[I]));
+    Done[I] = 1;
+    ++Added;
+  }
+  // Core plus the whole manifest is the unpartitioned full reduction by
+  // construction, so no re-reduction is needed (unlike the coarse
+  // --no-refine path, which must rebuild the clause without its filter).
+  Inc.FullAsserted[CI] = 1;
+  Inc.Instances += Added;
+  if (TB)
+    TB->counter("refine_full_groundings", 1);
+  SHARPIE_LOGF(TB, obs::LogLevel::Debug,
+               "[refine] %s: grounding the remaining manifest (%u of %zu "
+               "entries)",
+               C.Name.c_str(), Added, C.Deferred.size());
+}
+
+bool Synthesizer::refineAgainstModel(const std::vector<ReducedClause> &Clauses,
+                                     smt::SmtModel &Model, unsigned Round) {
+  obs::Span Sp(TB, "refine",
+               [&] { return "round=" + std::to_string(Round + 1); });
+  if (Faults) {
+    resil::FaultDecision D = Faults->next("refine");
+    if (D.Kind != resil::FaultKind::None) {
+      ++RCnt.FaultsInjected;
+      if (TB)
+        TB->counter("faults_injected", 1);
+      if (D.Kind == resil::FaultKind::Latency)
+        std::this_thread::sleep_for(std::chrono::milliseconds(D.LatencyMs));
+      else if (D.Kind == resil::FaultKind::Throw)
+        throw resil::InjectedFault("refine"); // Contained at attemptTuple.
+      else {
+        // Timeout/Unknown: the model became unusable mid-refinement.
+        // Degrade exactly like an evaluation failure -- fully ground
+        // every selected pending clause. Never an unsound "keep".
+        bool Any = false;
+        for (size_t CI = 0; CI < Clauses.size(); ++CI)
+          if (Inc.Lazy[CI] && !Inc.FullAsserted[CI]) {
+            assertAllDeferred(Clauses[CI], CI);
+            Any = true;
+          }
+        return Any;
+      }
+    }
+  }
+  // Pass 1 (read-only): evaluate the selectors and every pending manifest
+  // entry against the model BEFORE touching the solver -- SmtModel handles
+  // are valid only until the owning solver is mutated, so all evalBool
+  // calls must precede the first add().
+  struct ClausePlan {
+    size_t CI;
+    quant::ViolatedResult V;
+  };
+  std::vector<ClausePlan> Plans;
+  std::vector<size_t> Failed; // Eval failure => full grounding (sound).
+  for (size_t CI = 0; CI < Clauses.size(); ++CI) {
+    if (!Inc.Lazy[CI] || Inc.FullAsserted[CI])
+      continue;
+    if (!Model.evalBool(Inc.Sel[CI]).value_or(false))
+      continue; // Not selected: its ground (and manifest) are inert.
+    const std::vector<char> &Done = Inc.DefAsserted[CI];
+    quant::ViolatedResult V =
+        quant::selectViolated(Model, Clauses[CI].Deferred, Done);
+    if (V.EvalFailed) {
+      Failed.push_back(CI);
+      continue;
+    }
+    if (!V.Violated.empty())
+      Plans.push_back({CI, std::move(V)});
+  }
+  // Pass 2 (mutating): assert exactly the manifest entries the model
+  // violates, behind the clause's instance selector so they retract with
+  // the clause. Each round either asserts >= 1 new entry or fully grounds
+  // a clause, so the loop terminates with or without a budget.
+  bool Progress = false;
+  unsigned Asserted = 0;
+  for (size_t CI : Failed) {
+    assertAllDeferred(Clauses[CI], CI);
+    Progress = true;
+  }
+  for (const ClausePlan &P : Plans) {
+    const ReducedClause &C = Clauses[P.CI];
+    std::vector<char> &Done = Inc.DefAsserted[P.CI];
+    for (size_t I : P.V.Violated) {
+      Inc.S->add(M.mkImplies(Inc.InstSel[P.CI], C.Deferred[I]));
+      Done[I] = 1;
+      ++Asserted;
+    }
+    if (std::count(Done.begin(), Done.end(), 1) ==
+        static_cast<long>(Done.size()))
+      Inc.FullAsserted[P.CI] = 1;
+    Progress = true;
+    SHARPIE_LOGF(TB, obs::LogLevel::Debug,
+                 "[refine] %s: model violates %zu of %zu pending manifest "
+                 "entries",
+                 C.Name.c_str(), P.V.Violated.size(), C.Deferred.size());
+  }
+  Inc.Instances += Asserted;
+  if (TB && Asserted > 0)
+    TB->counter("refine_instances_asserted", Asserted);
+  return Progress;
+}
+
 SatResult Synthesizer::incCheck(const std::vector<ReducedClause> &Clauses,
                                 const char *Hist,
                                 std::unique_ptr<smt::SmtModel> &Model) {
+  unsigned RefineRounds = 0;
+  auto FlushRounds = [&] {
+    if (TB && RefineRounds > 0)
+      TB->sample("refine_rounds", static_cast<double>(RefineRounds));
+  };
   for (;;) {
     std::vector<Term> A = incAssumptions();
     if (TB && Inc.Checks > 0)
@@ -1044,26 +1212,73 @@ SatResult Synthesizer::incCheck(const std::vector<ReducedClause> &Clauses,
                  static_cast<double>(Inc.Instances));
     if (R == SatResult::Unsat) {
       incRecordCore();
+      FlushRounds();
       return R;
     }
-    if (R != SatResult::Sat)
+    if (R != SatResult::Sat) {
+      // An Unknown over a lean refined context gets one more chance on
+      // the fully-grounded one: grounding every pending manifest is
+      // always sound, changes the formula the back end (or the
+      // supervisor's fallback ladder) sees, and leaves nothing pending
+      // -- so a second Unknown returns here instead of looping.
+      if (Opts.Incremental && Opts.Refine) {
+        bool Any = false;
+        for (size_t CI = 0; CI < Clauses.size(); ++CI)
+          if (Inc.Lazy[CI] && !Inc.FullAsserted[CI]) {
+            assertAllDeferred(Clauses[CI], CI);
+            Any = true;
+          }
+        if (Any)
+          continue;
+      }
+      FlushRounds();
       return R;
+    }
     Model = Inc.S->model();
-    if (!Model)
+    if (!Model) {
+      FlushRounds();
       return R; // Callers treat a model-less Sat as a stuck iteration.
-    bool Escalated = false;
-    for (size_t CI = 0; CI < Clauses.size(); ++CI) {
-      if (!Inc.Lazy[CI] || Inc.FullAsserted[CI])
-        continue;
-      if (Model->evalBool(Inc.Sel[CI]).value_or(false)) {
-        ensureFullAsserted(Clauses[CI], CI);
-        Escalated = true;
+    }
+    bool Refined = false;
+    if (Opts.Incremental && Opts.Refine) {
+      // Model-guided refinement (CEGAR instantiation): assert only the
+      // manifest entries this model violates; the escalation budget
+      // bounds the rounds per check, falling back to full grounding.
+      if (RefineRounds >= Opts.RefineBudget) {
+        if (TB)
+          TB->counter("refine_budget_exhausted", 1);
+        for (size_t CI = 0; CI < Clauses.size(); ++CI)
+          if (Inc.Lazy[CI] && !Inc.FullAsserted[CI] &&
+              Model->evalBool(Inc.Sel[CI]).value_or(false)) {
+            assertAllDeferred(Clauses[CI], CI);
+            Refined = true;
+          }
+      } else {
+        Refined = refineAgainstModel(Clauses, *Model, RefineRounds);
+      }
+      if (Refined)
+        ++RefineRounds;
+    } else {
+      // Coarse --no-refine path (and the eager mode's no-op): a surviving
+      // model escalates every selected weakened clause to its full
+      // reduction in one step.
+      for (size_t CI = 0; CI < Clauses.size(); ++CI) {
+        if (!Inc.Lazy[CI] || Inc.FullAsserted[CI])
+          continue;
+        if (Model->evalBool(Inc.Sel[CI]).value_or(false)) {
+          ensureFullAsserted(Clauses[CI], CI);
+          Refined = true;
+        }
       }
     }
-    if (!Escalated)
-      return R; // Genuine: no selected clause's ground is a weakening.
-    // A model that only survived because axioms were deferred is
-    // counterexample-driven refinement's cue: add the rest and re-check.
+    if (!Refined) {
+      FlushRounds();
+      // Genuine: every selected clause's asserted ground satisfies its
+      // whole manifest (refine) or is the full reduction (coarse).
+      return R;
+    }
+    // A model that only survived because instances were deferred is
+    // counterexample-driven refinement's cue: add them and re-check.
   }
 }
 
@@ -1890,7 +2105,13 @@ SynthResult Synthesizer::run() {
     TB->counter("core_drops", 0);
     TB->counter("solver_context_reuses", 0);
     TB->counter("axioms_lazy_deferred", 0);
-    TB->counter("lazy_escalations", 0);
+    // Refinement-loop counters: present in every mode so eager /
+    // --no-refine / CEGAR runs stay schema-comparable.
+    TB->counter("refine_full_groundings", 0);
+    TB->counter("refine_instances_asserted", 0);
+    TB->counter("refine_budget_exhausted", 0);
+    TB->counter("quant_instances_filtered", 0);
+    TB->counter("manifest_instances", 0);
   }
 
   Res.Stats = Stats;

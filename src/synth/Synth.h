@@ -88,6 +88,27 @@ struct SynthOptions {
   /// monolithic per-check rebuild (--no-incremental in the drivers), the
   /// A/B baseline for BENCH_PR5.
   bool Incremental = true;
+  /// Model-guided instance refinement (CEGAR-style lazy instantiation, on
+  /// by default; only meaningful with Incremental). Clauses are reduced in
+  /// manifest mode (engine::ReduceOptions::DeferManifest): the live solver
+  /// context starts from each clause's core grounding, and when a
+  /// candidate model survives a check the deferred manifest is evaluated
+  /// *against that model* and only the violated instances are asserted
+  /// (behind a per-clause houdini$inst$ selector so they retract with the
+  /// clause), iterating until Unsat or until every manifest entry is
+  /// satisfied -- at which point the model is a genuine model of the full
+  /// reduction. Bounded by RefineBudget; exhaustion (or an unevaluable
+  /// model) asserts the whole remaining manifest, which IS the full
+  /// grounding, so verdicts and invariants match the eager path exactly.
+  /// false restores the PR5 coarse behavior: relevancy-filtered lazy
+  /// reduction with a single whole-clause escalation (--no-refine).
+  bool Refine = true;
+  /// Maximum refinement rounds per incremental check before the remaining
+  /// manifest is asserted wholesale (counted per incCheck call). Each
+  /// round asserts at least one new instance or fully grounds a clause,
+  /// so the loop terminates with or without the budget; the budget caps
+  /// solver round-trips on adversarial models.
+  unsigned RefineBudget = 16;
   /// Parallel set-tuple search width: 0 = one worker per hardware thread,
   /// 1 = today's serial search, N = exactly N workers. Each worker owns a
   /// private TermManager, SMT solver and reduction state (no shared-state

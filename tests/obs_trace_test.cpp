@@ -401,7 +401,7 @@ TEST(ObsGolden, SerialSkeletonIsReproducible) {
 
 // The incremental Houdini path's observability contract: the counters and
 // the assumption-check histogram it feeds must survive a full run. These
-// are the fields the bench tooling (tools/sweep.sh --bench-pr5) keys on,
+// are the fields the bench tooling (tools/sweep.sh --bench-pr10) keys on,
 // so a rename or a dropped emission fails here instead of producing a
 // silently empty benchmark column.
 TEST(ObsGolden, IncrementalRunEmitsCoreDropAndAssumeMetrics) {
@@ -413,8 +413,11 @@ TEST(ObsGolden, IncrementalRunEmitsCoreDropAndAssumeMetrics) {
 
   // Emitted even when zero (run() flushes a zero delta) so consumers can
   // tell "feature off" from "field renamed".
-  for (const char *C : {"core_drops", "solver_context_reuses",
-                        "axioms_lazy_deferred", "lazy_escalations"}) {
+  for (const char *C :
+       {"core_drops", "solver_context_reuses", "axioms_lazy_deferred",
+        "refine_full_groundings", "refine_instances_asserted",
+        "refine_budget_exhausted", "quant_instances_filtered",
+        "manifest_instances"}) {
     const int64_t *V = S.counter(C);
     ASSERT_NE(V, nullptr) << "missing counter " << C;
     EXPECT_GE(*V, 0) << C;

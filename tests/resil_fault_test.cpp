@@ -574,6 +574,45 @@ TEST(Chaos, UnknownAtEverySiteNeverVerifies) {
   EXPECT_GT(Out.Stats.FaultsInjected, 0u);
 }
 
+// -- Chaos at the refine site (model-guided instantiation, PR-10) -------------
+//
+// The `refine` site guards the per-round manifest evaluation inside
+// incCheck's CEGAR loop. Timeout/Unknown there mean "the model became
+// unusable mid-refinement" and must degrade to a full grounding of every
+// selected pending clause -- lossless, so the run still verifies; Throw
+// unwinds through the tuple containment path like any worker fault.
+
+TEST(Chaos, RefineUnknownDegradesToFullGrounding) {
+  ChaosOut Out = runChaos(makeIncrement, 1, "seed=8;refine:unknown@every=2");
+  expectHonest(Out, "increment refine unknown");
+  EXPECT_GT(Out.Stats.FaultsInjected, 0u)
+      << "the CEGAR loop never reached the refine site";
+  // Degrading to the full grounding loses nothing: the verdict must be
+  // the fault-free one, not merely honest.
+  EXPECT_TRUE(Out.Verified);
+}
+
+TEST(Chaos, RefineThrowIsContainedOnIncrementFourWorkers) {
+  ChaosOut Out = runChaos(makeIncrement, 4, "seed=9;refine:throw@every=2");
+  expectHonest(Out, "increment refine throw");
+}
+
+TEST(Chaos, RefineLatencyOnlySlowsTheRun) {
+  ChaosOut Out = runChaos(makeIncrement, 1, "seed=10;refine:latency=5@every=2");
+  expectHonest(Out, "increment refine latency");
+  EXPECT_TRUE(Out.Verified);
+}
+
+TEST(Chaos, RefineFaultedRunsReplayExactly) {
+  const char *Plan = "seed=11;refine:unknown@every=2;refine:throw@every=5";
+  ChaosOut A = runChaos(makeIncrement, 1, Plan);
+  ChaosOut B = runChaos(makeIncrement, 1, Plan);
+  EXPECT_EQ(A.Verified, B.Verified);
+  EXPECT_EQ(A.SetBodies, B.SetBodies);
+  EXPECT_EQ(A.Atoms, B.Atoms);
+  EXPECT_EQ(A.Stats.FaultsInjected, B.Stats.FaultsInjected);
+}
+
 TEST(Chaos, TimeoutStormOnTicketFourWorkers) {
   ChaosOut Out =
       runChaos(makeTicketMutex, 4, "seed=6;smt_check:timeout@p=0.3");

@@ -2,21 +2,34 @@
 //
 // Part of sharpie. The incremental assumption-based Houdini (the default,
 // SynthOptions::Incremental) must be a pure performance feature: on every
-// bundled protocol it has to produce exactly the verdict and the rendered
-// invariant (set bodies + atoms) of the monolithic re-assertion loop that
-// --no-incremental selects. The suite enumerates examples/protocols/
-// *.sharpie at runtime so a newly added protocol joins the parity claim
-// automatically; ticket_lock runs with the paper's pinned template (the
-// full search costs ~85s across both modes, and the unpinned A/B lives in
-// tools/sweep.sh --bench-pr5), every other protocol runs the full search.
+// bundled protocol, all three solving modes have to produce exactly the
+// same verdict and rendered invariant (set bodies + atoms):
+//
+//   eager        --no-incremental: monolithic re-assertion per check,
+//                full reduction up front;
+//   coarse-lazy  incremental + --no-refine: relevancy-filtered lazy
+//                reduction, surviving models escalate whole clauses;
+//   CEGAR        incremental default: partitioned full reduction with a
+//                deferred-instance manifest, surviving models assert only
+//                the manifest entries they violate (SynthOptions::Refine).
+//
+// The suite enumerates examples/protocols/*.sharpie at runtime so a newly
+// added protocol joins the parity claim automatically; ticket_lock runs
+// with the paper's pinned template (the full search costs ~85s across the
+// modes, and the unpinned A/B lives in tools/sweep.sh --bench-pr10),
+// every other protocol runs the full search.
 //
 // Why parity is not an accident (and what a failure here means): the
 // merged per-tuple context reaches the *greatest* inductive subset of the
 // candidate atoms, which is unique, so the drop order -- one refuted atom
 // per clause sweep monolithically, every implicated atom per model
-// incrementally -- cannot change the fixpoint. A diff here means one of
-// the two loops dropped an atom it could not justify (or kept one it had
-// refuted), i.e. a soundness bug, not a tuning regression.
+// incrementally -- cannot change the fixpoint; and a CEGAR check only
+// returns Sat once every selected clause's remaining manifest entries
+// evaluate true in the model, i.e. once the model satisfies the *full*
+// reduction (core AND manifest == unpartitioned reduction by
+// construction). A diff here means one of the loops dropped an atom it
+// could not justify (or kept one it had refuted), i.e. a soundness bug,
+// not a tuning regression.
 //
 //===----------------------------------------------------------------------===//
 
@@ -73,7 +86,7 @@ std::vector<Term> ticketBodies(TermManager &M,
           M.mkEq(M.mkRead(Mv, T), F.Q[0])};
 }
 
-ModeOutput runMode(const std::string &Path, bool Incremental,
+ModeOutput runMode(const std::string &Path, bool Incremental, bool Refine,
                    bool PinTicketTemplate) {
   TermManager M;
   front::LoadResult L = front::loadProtocolFile(M, Path);
@@ -89,6 +102,7 @@ ModeOutput runMode(const std::string &Path, bool Incremental,
   Opts.Reduce.Card.Venn = L.Bundle->NeedsVenn;
   Opts.Explicit = L.Bundle->Explicit;
   Opts.Incremental = Incremental;
+  Opts.Refine = Refine;
   if (PinTicketTemplate)
     Opts.FixedSetBodies = ticketBodies(M, Opts.Shape);
   synth::SynthResult R = synth::synthesize(*L.Bundle->Sys, Opts);
@@ -104,19 +118,56 @@ ModeOutput runMode(const std::string &Path, bool Incremental,
   return Out;
 }
 
+void expectModeEq(const char *Label, const ModeOutput &Got,
+                  const ModeOutput &Eager) {
+  SCOPED_TRACE(Label);
+  EXPECT_EQ(Got.Verified, Eager.Verified)
+      << Label << ": " << Got.Note << " / eager: " << Eager.Note;
+  EXPECT_EQ(Got.Inconclusive, Eager.Inconclusive);
+  EXPECT_EQ(Got.HasCex, Eager.HasCex);
+  EXPECT_EQ(Got.SetBodies, Eager.SetBodies);
+  EXPECT_EQ(Got.Atoms, Eager.Atoms);
+  // The point of the incremental paths: never more solver checks than
+  // the monolithic loop needs on the same protocol.
+  EXPECT_LE(Got.SmtChecks, Eager.SmtChecks);
+}
+
 void expectParity(const std::string &Path, bool PinTicketTemplate) {
   SCOPED_TRACE(Path);
-  ModeOutput Inc = runMode(Path, /*Incremental=*/true, PinTicketTemplate);
-  ModeOutput Mono = runMode(Path, /*Incremental=*/false, PinTicketTemplate);
-  EXPECT_EQ(Inc.Verified, Mono.Verified)
-      << "inc: " << Inc.Note << " / mono: " << Mono.Note;
-  EXPECT_EQ(Inc.Inconclusive, Mono.Inconclusive);
-  EXPECT_EQ(Inc.HasCex, Mono.HasCex);
-  EXPECT_EQ(Inc.SetBodies, Mono.SetBodies);
-  EXPECT_EQ(Inc.Atoms, Mono.Atoms);
-  // The point of the incremental path: never more solver checks than the
-  // monolithic loop needs on the same protocol.
-  EXPECT_LE(Inc.SmtChecks, Mono.SmtChecks);
+  ModeOutput Eager =
+      runMode(Path, /*Incremental=*/false, /*Refine=*/true, PinTicketTemplate);
+  ModeOutput Coarse =
+      runMode(Path, /*Incremental=*/true, /*Refine=*/false, PinTicketTemplate);
+  ModeOutput Cegar =
+      runMode(Path, /*Incremental=*/true, /*Refine=*/true, PinTicketTemplate);
+  expectModeEq("coarse-lazy", Coarse, Eager);
+  expectModeEq("cegar", Cegar, Eager);
+}
+
+// The escalation budget is a performance valve, not a semantics knob: a
+// budget of 1 forces the fall-back full grounding on nearly every check,
+// and the verdict and invariant must not move.
+TEST(SynthIncremental, TinyRefineBudgetKeepsParity) {
+  const std::string Path = protoDir() + "/increment.sharpie";
+  ModeOutput Eager = runMode(Path, /*Incremental=*/false, /*Refine=*/true,
+                             /*PinTicketTemplate=*/false);
+  TermManager M;
+  front::LoadResult L = front::loadProtocolFile(M, Path);
+  ASSERT_TRUE(L.ok());
+  synth::SynthOptions Opts;
+  Opts.Shape = L.Bundle->Shape;
+  Opts.QGuard = L.Bundle->QGuard;
+  Opts.Reduce.Card.Venn = L.Bundle->NeedsVenn;
+  Opts.Explicit = L.Bundle->Explicit;
+  Opts.Incremental = true;
+  Opts.Refine = true;
+  Opts.RefineBudget = 1;
+  synth::SynthResult R = synth::synthesize(*L.Bundle->Sys, Opts);
+  EXPECT_EQ(R.Verified, Eager.Verified) << R.Note;
+  std::vector<std::string> Atoms;
+  for (Term A : R.Atoms)
+    Atoms.push_back(logic::toString(A));
+  EXPECT_EQ(Atoms, Eager.Atoms);
 }
 
 TEST(SynthIncremental, EveryBundledProtocolAgreesAcrossModes) {

@@ -76,6 +76,23 @@
 #                              (zero hung), completed <= capacity,
 #                              shed >= clients - capacity, and health
 #                              answers ok mid-storm.
+#   tools/sweep.sh --bench-pr10 model-guided refinement A/B/C: runs each
+#                              protocol eager (--no-incremental), coarse
+#                              (--no-refine) and with the default CEGAR
+#                              refinement loop, and writes BENCH_PR10.json.
+#                              Gates: byte-identical rendered invariants
+#                              and verdicts across all three modes on
+#                              every protocol, zero refinement-budget
+#                              exhaustions, and on the headline protocol
+#                              (ticket_lock) refine must be the fastest
+#                              mode (EAGER_SPEEDUP / COARSE_SPEEDUP
+#                              factors) with a mean Houdini check under
+#                              HOUDINI_MS_BUDGET (a third of the
+#                              BENCH_PR5 incremental baseline's 293ms)
+#                              and >= CHECK_SPEEDUP leaner than the same
+#                              run's coarse mode. Also reports the wall
+#                              ratio against the recorded BENCH_PR5
+#                              incremental baseline.
 #   tools/sweep.sh --bench-pr5 incremental-Houdini A/B: runs each protocol
 #                              in the default incremental mode and under
 #                              --no-incremental (the monolithic baseline)
@@ -272,6 +289,154 @@ if [ "$1" = "--bench-pr5" ]; then
   done
   for f in $SHARPIE_PROTOS; do
     pr5_ab "$(basename "$f" .sharpie)" "$SHARPIE_BIN" "$f"
+  done
+  echo "wrote $OUT"
+  exit $FAIL
+fi
+
+if [ "$1" = "--bench-pr10" ]; then
+  OUT=${OUT:-BENCH_PR10.json}
+  # Three-way A/B/C around the model-guided refinement loop: eager
+  # (--no-incremental: every clause fully grounded in a fresh context),
+  # coarse (--no-refine: incremental contexts with the whole-clause
+  # escalation of PR 5), and refine (the default CEGAR loop). ticket_lock
+  # is the headline case: its full template search is formula-bound, and
+  # the refinement loop is what keeps each Houdini check lean.
+  PROTOS=${PROTOS:-"increment ticket-mutex one-third"}
+  SHARPIE_PROTOS=${SHARPIE_PROTOS:-"examples/protocols/ticket_lock.sharpie"}
+  PR10_TIMEOUT=${PR10_TIMEOUT:-300}
+  HEADLINE=${HEADLINE:-ticket_lock}
+  # Wall gates: on the headline protocol the refinement loop must be the
+  # strictly fastest mode, by these factors. (Eager wall is long-tailed
+  # on a loaded host -- 53-69s observed for the same binary -- so the
+  # eager factor is set below the ~2.3x worst measured, not at the ~3x
+  # best; the stable >=3x claim is gated on per-check cost below.)
+  EAGER_SPEEDUP=${EAGER_SPEEDUP:-1.8}
+  COARSE_SPEEDUP=${COARSE_SPEEDUP:-1.2}
+  # Check-cost gates: the tentpole claim is that refinement kills the
+  # per-check instance bloat. The refine-mode mean Houdini check on the
+  # headline protocol must (a) sit under a third of the BENCH_PR5
+  # incremental baseline (293ms mean on ticket_lock; see BENCH_PR5.json)
+  # and (b) beat the same run's coarse-mode mean by CHECK_SPEEDUP
+  # (measured ~7x; same host and load, so this ratio is noise-immune).
+  HOUDINI_MS_BUDGET=${HOUDINI_MS_BUDGET:-98}
+  CHECK_SPEEDUP=${CHECK_SPEEDUP:-3}
+  # The recorded BENCH_PR5 incremental wall on the headline protocol, for
+  # the cross-PR ratio report (measured fresh on whatever host ran PR 5).
+  PR5_INC_WALL=${PR5_INC_WALL:-32.901}
+  FAIL=0
+  printf '{"meta":{"nproc":%s,"eager_speedup":%s,"coarse_speedup":%s,"check_speedup":%s,"houdini_ms_budget":%s,"pr5_inc_wall":%s,"timeout":%s}}\n' \
+    "$(nproc 2>/dev/null || echo 0)" "$EAGER_SPEEDUP" "$COARSE_SPEEDUP" \
+    "$CHECK_SPEEDUP" "$HOUDINI_MS_BUDGET" "$PR5_INC_WALL" "$PR10_TIMEOUT" \
+    > "$OUT"
+  pr10_run() { # $1=display name $2=mode $3...=command; fills p10_* globals
+    p10_name=$1; p10_mode=$2; shift 2
+    p10_out=$(timeout "$PR10_TIMEOUT" "$@" --stats --json 2>/dev/null)
+    p10_line=$(printf '%s\n' "$p10_out" | grep '^{' | head -1)
+    # Everything from "inferred cardinalities:" down is the rendered
+    # invariant (set bodies + atoms) -- timing-free, so it diffs cleanly
+    # across modes.
+    p10_inv=$(printf '%s\n' "$p10_out" | sed -n '/^inferred cardinalities:/,$p')
+    if [ -z "$p10_line" ]; then
+      printf '{"mode":"%s","protocol":"%s","error":"timeout"}\n' \
+        "$p10_mode" "$p10_name" >> "$OUT"
+      p10_secs=; p10_houdini_mean=; p10_exhausted=; p10_verified=
+      printf '%-14s %-8s TIMEOUT\n' "$p10_name" "$p10_mode"
+      FAIL=1
+      return
+    fi
+    printf '{"mode":"%s",%s\n' "$p10_mode" "${p10_line#?}" >> "$OUT"
+    p10_secs=$(printf '%s' "$p10_line" \
+               | sed -n 's/.*"synth_seconds":\([0-9.]*\).*/\1/p')
+    p10_houdini_mean=$(printf '%s' "$p10_line" | sed -n \
+      's/.*"hist_smt_ms\.houdini": {[^}]*"mean": \([0-9.]*\).*/\1/p')
+    p10_exhausted=$(printf '%s' "$p10_line" \
+      | sed -n 's/.*"ctr_refine_budget_exhausted": \([0-9]*\).*/\1/p')
+    p10_verified=$(printf '%s' "$p10_line" \
+                   | sed -n 's/.*"verified":\(true\|false\).*/\1/p')
+    p10_ctrs=$(printf '%s' "$p10_line" | grep -oE \
+      '"ctr_(refine_instances_asserted|refine_full_groundings|manifest_instances)": [0-9]+' \
+      | tr '\n' ' ')
+    printf '%-14s %-8s %8ss  houdini_mean=%-8sms %s\n' \
+      "$p10_name" "$p10_mode" "${p10_secs:-?}" "${p10_houdini_mean:-?}" \
+      "$p10_ctrs"
+  }
+  pr10_abc() { # $1=display name $2...=command (without mode flags)
+    abc_name=$1; shift
+    pr10_run "$abc_name" eager "$@" --no-incremental
+    eag_secs=$p10_secs; eag_inv=$p10_inv; eag_ok=$p10_verified
+    pr10_run "$abc_name" coarse "$@" --no-refine
+    crs_secs=$p10_secs; crs_mean=$p10_houdini_mean
+    crs_inv=$p10_inv; crs_ok=$p10_verified
+    pr10_run "$abc_name" refine "$@"
+    ref_secs=$p10_secs; ref_mean=$p10_houdini_mean
+    # Soundness gate: refinement is a pure perf feature, so any verdict or
+    # invariant difference across the three modes fails the whole bench.
+    if [ "$eag_ok" != "$p10_verified" ] || [ "$crs_ok" != "$p10_verified" ] \
+       || [ "$eag_inv" != "$p10_inv" ] || [ "$crs_inv" != "$p10_inv" ]; then
+      printf '%-14s PARITY FAIL: verdict/invariant differs across modes\n' \
+        "$abc_name"
+      FAIL=1
+    fi
+    # Termination-path gate: the Fig. 6 family must converge inside the
+    # refinement budget -- a nonzero exhaustion count means the loop only
+    # terminated via the full-grounding fallback.
+    if [ -n "$p10_exhausted" ] && [ "$p10_exhausted" -ne 0 ]; then
+      printf '%-14s BUDGET FAIL: %s refinement budget exhaustions\n' \
+        "$abc_name" "$p10_exhausted"
+      FAIL=1
+    fi
+    if [ -z "$eag_secs" ] || [ -z "$ref_secs" ]; then
+      return
+    fi
+    awk -v n="$abc_name" -v e="$eag_secs" -v c="${crs_secs:-0}" \
+        -v r="$ref_secs" 'BEGIN {
+      if (r > 0 && c > 0)
+        printf "%-14s wall: %.2fx vs eager, %.2fx vs coarse\n", n, e/r, c/r
+      else if (r > 0)
+        printf "%-14s wall: %.2fx vs eager\n", n, e/r }'
+    if [ "$abc_name" = "$HEADLINE" ]; then
+      if awk -v e="$eag_secs" -v r="$ref_secs" -v k="$EAGER_SPEEDUP" \
+             'BEGIN { exit !(r * k > e) }'; then
+        printf '%-14s WALL FAIL: eager %ss / refine %ss < %sx\n' \
+          "$abc_name" "$eag_secs" "$ref_secs" "$EAGER_SPEEDUP"
+        FAIL=1
+      fi
+      if [ -z "$crs_secs" ] || \
+         awk -v c="$crs_secs" -v r="$ref_secs" -v k="$COARSE_SPEEDUP" \
+             'BEGIN { exit !(r * k > c) }'; then
+        printf '%-14s WALL FAIL: coarse %ss / refine %ss < %sx\n' \
+          "$abc_name" "${crs_secs:-?}" "$ref_secs" "$COARSE_SPEEDUP"
+        FAIL=1
+      fi
+      if [ -z "$ref_mean" ] || \
+         awk -v m="$ref_mean" -v b="$HOUDINI_MS_BUDGET" \
+             'BEGIN { exit !(m > b) }'; then
+        printf '%-14s CHECK FAIL: houdini mean %sms > %sms budget\n' \
+          "$abc_name" "${ref_mean:-?}" "$HOUDINI_MS_BUDGET"
+        FAIL=1
+      fi
+      if [ -z "$crs_mean" ] || [ -z "$ref_mean" ] || \
+         awk -v c="$crs_mean" -v r="$ref_mean" -v k="$CHECK_SPEEDUP" \
+             'BEGIN { exit !(r * k > c) }'; then
+        printf '%-14s CHECK FAIL: coarse mean %sms / refine mean %sms < %sx\n' \
+          "$abc_name" "${crs_mean:-?}" "${ref_mean:-?}" "$CHECK_SPEEDUP"
+        FAIL=1
+      else
+        awk -v c="$crs_mean" -v r="$ref_mean" 'BEGIN {
+          printf "%-14s houdini check mean: %.1fms vs %.1fms coarse (%.1fx)\n",
+                 "", r, c, c / r }'
+      fi
+      awk -v p="$PR5_INC_WALL" -v r="$ref_secs" 'BEGIN {
+        if (r > 0) printf "%-14s vs BENCH_PR5 incremental wall (%ss): %.2fx\n",
+                          "", p, p / r }'
+    fi
+  }
+  for name in $PROTOS; do
+    pr10_abc "$name" "$BIN" "$name"
+  done
+  for f in $SHARPIE_PROTOS; do
+    pr10_abc "$(basename "$f" .sharpie)" "$SHARPIE_BIN" "$f"
   done
   echo "wrote $OUT"
   exit $FAIL
